@@ -1,0 +1,86 @@
+"""Benchmarks: ablation studies over ACTOR's design choices.
+
+These go beyond the paper's figures and quantify the design decisions the
+paper argues for qualitatively: ANN prediction versus regression and
+empirical search, the size of the event set, the ensemble fold count, the
+hidden-layer width and the sampling budget.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    run_ablation_event_sets,
+    run_ablation_folds,
+    run_ablation_hidden_width,
+    run_ablation_policies,
+    run_ablation_sampling_fraction,
+)
+
+
+def test_ablation_policies(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_ablation_policies, args=(warm_ctx,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    normalized = figure.data["normalized"]
+    # For the poorly scaling IS benchmark every adaptive policy must beat the
+    # static default on ED2.
+    assert normalized["IS"]["prediction:ed2"] < 1.0
+    assert normalized["IS"]["search:ed2"] < 1.0
+    print()
+    print(figure.render())
+
+
+def test_ablation_event_sets(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_ablation_event_sets, args=(warm_ctx,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    errors = figure.data["median_error"]
+    assert set(errors) == {"full", "reduced"}
+    assert all(e < 0.5 for e in errors.values())
+    print()
+    print(figure.render())
+
+
+def test_ablation_cv_folds(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_ablation_folds, args=(warm_ctx,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    errors = figure.data["median_error"]
+    assert len(errors) == 3
+    assert all(e < 0.5 for e in errors.values())
+    print()
+    print(figure.render())
+
+
+def test_ablation_hidden_width(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_ablation_hidden_width,
+        args=(warm_ctx,),
+        kwargs={"widths": (4, 16)},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    errors = figure.data["median_error"]
+    assert len(errors) == 2
+    print()
+    print(figure.render())
+
+
+def test_ablation_sampling_fraction(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_ablation_sampling_fraction,
+        args=(warm_ctx,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    normalized = figure.data["normalized"]
+    assert len(normalized) == 3
+    # The paper's 20% budget clearly pays off on IS; a starved budget (10%,
+    # i.e. a single sampled instance covering only two events) can misfire,
+    # which is exactly the trade-off this ablation is meant to expose.
+    assert normalized["20%"]["ed2"] < 1.0
+    assert normalized["40%"]["ed2"] < 1.0
+    print()
+    print(figure.render())

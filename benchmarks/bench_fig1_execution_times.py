@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 1 (execution times by configuration).
+
+Reports the cost of the whole-suite scalability sweep and checks the
+paper's qualitative result: the scaling classes (scalable / flat /
+degrading) come out as published.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_execution_times(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_fig1, args=(warm_ctx,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    times = figure.data["times"]
+    speedups = figure.data["speedups"]
+
+    # Scalable class gains from every core.
+    for name in ("BT", "FT", "LU-HP"):
+        assert speedups[name]["4"] > 2.0
+    # Degrading class is best on two loosely coupled cores.
+    for name in ("IS", "MG"):
+        assert figure.data["best_configuration"][name] == "2b"
+    # IS suffers on tightly coupled cores (paper: 2.04x slower than 2b).
+    assert times["IS"]["2a"] / times["IS"]["2b"] > 1.4
+    print()
+    print(figure.render())

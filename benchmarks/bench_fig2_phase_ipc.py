@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 2 (per-phase IPC of SP per configuration)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_phase_ipc(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_fig2, args=(warm_ctx,), kwargs={"benchmark": "SP"},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    low, high = figure.data["max_ipc_range"]
+    # Paper: maximum per-phase IPC ranges from 0.32 to 4.64 — wide spread.
+    assert low < 1.0
+    assert high > 3.0
+    # Best configuration varies across phases (phase-granularity motivation).
+    assert len(figure.data["distinct_best_configurations"]) >= 2
+    print()
+    print(figure.render())

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3 (power and energy by configuration)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_power_energy(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_fig3, args=(warm_ctx,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    # Paper: four-core power is ~14% above one-core on average; BT shows the
+    # largest power increase but a large energy reduction.
+    assert 0.05 < figure.data["avg_power_increase_4_vs_1"] < 0.30
+    assert figure.data["bt_power_ratio_4_vs_1"] > 1.10
+    assert figure.data["bt_energy_ratio_4_vs_1"] < 0.60
+    # Suite-wide energy change from one to four cores is small compared with
+    # the per-benchmark spread (paper: -0.7%).
+    assert abs(figure.data["suite_energy_change_4_vs_1"]) < 0.35
+    print()
+    print(figure.render())

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 7 (rank of the selected configuration)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_rank_selection(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_fig7, args=(warm_ctx,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    # Paper: best configuration selected for 59.3% of phases, best-or-second
+    # for 88.1%, the worst never.
+    assert figure.data["best_fraction"] > 0.5
+    assert figure.data["top2_fraction"] > 0.75
+    assert figure.data["worst_fraction"] < 0.1
+    print()
+    print(figure.render())

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 8 (prediction-based throttling vs alternatives).
+
+This is the paper's headline experiment: per benchmark, the normalized
+execution time, power, energy and ED² of the static all-cores default, the
+global-optimal oracle, the phase-optimal oracle and ACTOR's ANN prediction
+policy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_concurrency_throttling(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_fig8, args=(warm_ctx,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    averages = figure.data["averages"]
+
+    # Paper averages (prediction policy vs the 4-core default):
+    #   time -6.5%, power +1.5%, energy -5.2%, ED2 -17.2%.
+    # The shape to reproduce: the prediction policy saves time/energy/ED2 on
+    # average, sits between the default and the phase-optimal oracle, and
+    # power stays roughly flat.
+    assert averages["time"]["prediction"] < 1.0
+    assert averages["energy"]["prediction"] < 1.0
+    assert averages["ed2"]["prediction"] < 0.95
+    assert 0.9 < averages["power"]["prediction"] < 1.1
+    assert (
+        averages["ed2"]["phase-optimal"]
+        <= averages["ed2"]["prediction"] + 1e-9
+    )
+    # IS shows the largest ED2 win (paper: -71.6%).
+    assert figure.data["normalized"]["ed2"]["IS"]["prediction"] < 0.7
+    print()
+    print(figure.render())

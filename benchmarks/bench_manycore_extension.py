@@ -1,0 +1,15 @@
+"""Benchmark: many-core extension (throttling opportunity vs core count)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_manycore_extension
+
+
+def test_manycore_extension(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_manycore_extension, args=(warm_ctx,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    savings = figure.data["savings"]
+    assert savings["8-core dual-socket"]["geomean"] >= savings["4-core (paper)"]["geomean"] - 0.02
+    print()
+    print(figure.render())

@@ -1,0 +1,81 @@
+"""Benchmarks: online overhead of ACTOR's building blocks.
+
+The paper emphasizes that prediction-based adaptation must have low online
+overhead (counter collection plus model evaluation) compared with empirical
+search.  These micro-benchmarks measure the per-call cost of the pieces that
+run online — phase execution on the simulator, a counter-sampled execution,
+an ANN ensemble prediction — and of the offline training step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import collect_training_dataset, train_ipc_predictor
+from repro.core.training import ANNTrainingOptions
+from repro.ann import TrainingConfig
+from repro.machine import CONFIG_4, Machine
+from repro.openmp import OpenMPRuntime, PhaseDirective
+from repro.workloads import nas_suite
+
+
+def test_machine_execute_throughput(benchmark, suite, machine):
+    """Cost of one analytical phase execution (the simulator's hot path)."""
+    work = suite.get("SP").phases[0].work
+
+    def execute():
+        return machine.execute(work, CONFIG_4, apply_noise=False)
+
+    result = benchmark(execute)
+    assert result.time_seconds > 0
+
+
+def test_sampled_region_execution(benchmark, suite):
+    """Cost of executing a region with two hardware counters programmed."""
+    machine = Machine()
+    runtime = OpenMPRuntime(machine, seed=1)
+    workload = suite.get("SP")
+    region = runtime.register_regions(workload)[0]
+    directive = PhaseDirective(
+        configuration=CONFIG_4, sample_events=("PAPI_L2_TCM", "PAPI_BUS_TRN")
+    )
+
+    execution = benchmark(lambda: runtime.execute_region(region, 0, directive))
+    assert execution.reading is not None
+
+
+def test_online_prediction_latency(benchmark, warm_ctx):
+    """Cost of one ensemble prediction for all target configurations.
+
+    This is ACTOR's online model-evaluation overhead; the paper argues it is
+    comparable to the regression baseline and far cheaper than search.
+    """
+    bundle = warm_ctx.bundle_for_held_out("SP")
+    predictor = bundle.full
+    rng = np.random.default_rng(0)
+    features = {
+        event: abs(rng.normal(0.01, 0.005)) for event in predictor.event_set.events
+    }
+
+    predictions = benchmark(lambda: predictor.predict_from_rates(0.8, features))
+    assert set(predictions) == {"1", "2a", "2b", "3"}
+
+
+def test_offline_training_cost(benchmark, machine):
+    """Cost of the offline training pipeline on a two-benchmark corpus."""
+    suite = nas_suite(machine=Machine(noise_sigma=0.0), names=["CG", "FT"])
+    options = ANNTrainingOptions(
+        hidden_layers=(8,),
+        folds=3,
+        training=TrainingConfig(max_epochs=40, patience=8),
+        samples_per_phase=2,
+    )
+
+    def train():
+        dataset = collect_training_dataset(
+            machine, list(suite), samples_per_phase=2, seed=3
+        )
+        return train_ipc_predictor(dataset, options)
+
+    predictor = benchmark.pedantic(train, rounds=1, iterations=1, warmup_rounds=0)
+    assert predictor.target_configurations == ["1", "2a", "2b", "3"]

@@ -1,0 +1,23 @@
+"""Benchmark: Section III in-text scalability/energy statistics."""
+
+from __future__ import annotations
+
+from repro.experiments import run_scaling_summary
+
+
+def test_section3_summary(benchmark, warm_ctx):
+    figure = benchmark.pedantic(
+        run_scaling_summary, args=(warm_ctx,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    data = figure.data
+    # Scalable class averages above 2x on four cores (paper: 2.37x).
+    assert data["scalable_class_speedup_4"] > 2.0
+    # Flat class gains little from four cores versus two (paper: 7%).
+    assert data["flat_class_gain_4_vs_2"] < 0.20
+    # IS: four cores no better than one; 2b clearly beats 2a (paper: 2.04x).
+    assert data["is_speedup_4_vs_1"] < 1.15
+    assert data["is_2b_over_2a"] > 1.4
+    # MG best at two loosely coupled cores.
+    assert data["mg_4_slower_than_2b"] > 0.10
+    print()
+    print(figure.render())

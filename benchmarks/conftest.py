@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_figN_*.py`` file regenerates the data behind one figure of the
+paper using :mod:`repro.experiments` and reports its wall-clock cost through
+``pytest-benchmark``.  The heavy artefacts (calibrated suite, leave-one-out
+predictor bundles, oracle tables) are shared through a session-scoped
+:class:`~repro.experiments.ExperimentContext` so the harness measures the
+experiment drivers rather than repeated re-training.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.machine import Machine
+from repro.workloads import nas_suite
+
+
+def pytest_configure(config):
+    # The harness is driven by --benchmark-only in CI; nothing to configure,
+    # the hook exists to document the intended invocation.
+    return None
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The simulated quad-core platform used by all benchmarks."""
+    return Machine()
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Shared experiment context (reduced training effort, full suite)."""
+    return ExperimentContext(machine=Machine(), fast=True, seed=2007)
+
+
+@pytest.fixture(scope="session")
+def warm_ctx(ctx):
+    """Context with oracles and predictor bundles already built.
+
+    Used by the figure benchmarks so they measure the experiment logic
+    itself rather than the one-off offline training cost (which is
+    benchmarked separately in ``bench_training.py``).
+    """
+    ctx.oracles()
+    for workload in ctx.suite:
+        ctx.bundle_for_held_out(workload.name)
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def suite(machine):
+    """Calibrated NAS-like suite."""
+    return nas_suite(machine=Machine(noise_sigma=0.0), variability=0.0)

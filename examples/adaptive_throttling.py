@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figure 8 comparison for a subset of benchmarks.
+
+For each selected benchmark the script runs the four execution strategies of
+the paper — the static all-cores default, the global-optimal oracle, the
+phase-optimal oracle, and ACTOR's ANN-prediction policy (trained with the
+benchmark left out) — and prints execution time, power, energy and ED²
+normalized to the all-cores default.
+
+Run with::
+
+    python examples/adaptive_throttling.py            # IS, MG, SP (fast)
+    python examples/adaptive_throttling.py BT CG      # pick benchmarks
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+from repro.ann import TrainingConfig
+from repro.core import (
+    ACTOR,
+    ANNTrainingOptions,
+    measure_oracle,
+    train_predictor_bundle,
+)
+from repro.machine import Machine
+from repro.openmp import OpenMPRuntime
+from repro.workloads import nas_suite
+
+
+def run(benchmarks: Sequence[str]) -> None:
+    machine = Machine()
+    suite = nas_suite(machine=Machine(noise_sigma=0.0))
+    options = ANNTrainingOptions(
+        folds=5,
+        training=TrainingConfig(max_epochs=150, patience=20),
+        samples_per_phase=3,
+    )
+
+    for name in benchmarks:
+        workload = suite.get(name)
+        training_workloads, _ = suite.leave_one_out(name)
+        bundle = train_predictor_bundle(machine, training_workloads, options=options)
+        oracle = measure_oracle(machine, workload)
+
+        runtime = OpenMPRuntime(machine)
+        actor = ACTOR(runtime)
+        comparison = actor.standard_comparison(workload, bundle, oracle=oracle)
+        print(comparison.summary())
+        print(
+            "  phase-optimal assignment:",
+            ", ".join(
+                f"{p}->{c}"
+                for p, c in oracle.phase_optimal_configurations().items()
+            ),
+        )
+        print()
+
+
+def main() -> None:
+    benchmarks = sys.argv[1:] or ["IS", "MG", "SP"]
+    run(benchmarks)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark with and without ACTOR's adaptation.
+
+This example builds the simulated quad-core Xeon, trains the ANN-based IPC
+predictor on every NAS-like benchmark except SP (leave-one-application-out,
+as in the paper), and then runs SP twice: once with the static all-cores
+default and once under ACTOR's prediction-based concurrency throttling.
+It prints the per-phase configuration decisions and the resulting
+time/power/energy/ED² improvements.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.ann import TrainingConfig
+from repro.core import (
+    ACTOR,
+    ANNTrainingOptions,
+    PredictionPolicy,
+    StaticPolicy,
+    train_default_predictor,
+)
+from repro.machine import CONFIG_4, Machine
+from repro.openmp import OpenMPRuntime
+from repro.workloads import nas_suite
+
+
+def main() -> None:
+    # 1. The simulated platform: a quad-core Xeon QX6600 lookalike with two
+    #    shared 4 MB L2 caches and a single front-side bus.
+    machine = Machine()
+    print(machine.topology.describe())
+    print()
+
+    # 2. The workload: the calibrated NAS-like suite; we adapt SP.
+    suite = nas_suite(machine=Machine(noise_sigma=0.0))
+    target = suite.get("SP")
+
+    # 3. Train the predictor on the *other* benchmarks (moderate effort so
+    #    the example runs in a few seconds; drop `options` for full fidelity).
+    options = ANNTrainingOptions(
+        folds=5,
+        training=TrainingConfig(max_epochs=150, patience=20),
+        samples_per_phase=3,
+    )
+    bundle = train_default_predictor(machine, exclude="SP", suite=suite, options=options)
+
+    # 4. Run SP under the static all-cores default and under ACTOR.
+    runtime = OpenMPRuntime(machine)
+    actor = ACTOR(runtime)
+    baseline = actor.run_with_policy(target, StaticPolicy(CONFIG_4))
+    policy = PredictionPolicy(bundle)
+    adapted = actor.run_with_policy(target, policy)
+
+    # 5. Report.
+    print("Per-phase configurations chosen by ACTOR:")
+    for phase, config in sorted(policy.decisions().items()):
+        print(f"  {phase:20s} -> configuration {config}")
+    print()
+    print(f"{'metric':22s} {'all cores (4)':>15s} {'ACTOR':>15s} {'change':>9s}")
+    for label, attr in [
+        ("time (s)", "time_seconds"),
+        ("power (W)", "average_power_watts"),
+        ("energy (J)", "energy_joules"),
+        ("ED^2 (J*s^2)", "ed2"),
+    ]:
+        before = getattr(baseline, attr)
+        after = getattr(adapted, attr)
+        print(
+            f"{label:22s} {before:15.1f} {after:15.1f} "
+            f"{100.0 * (after - before) / before:+8.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Scalability and energy analysis of the NAS-like suite (paper Section III).
+
+Measures every benchmark under the five threading configurations of the
+paper (1, 2a, 2b, 3, 4) and prints the execution times, speedups, power and
+energy — the data behind Figures 1 and 3 — plus the scaling-class summary
+statistics quoted in the paper's text.
+
+Run with::
+
+    python examples/scalability_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import EnergyStudy, ScalabilityStudy, format_nested_table
+from repro.machine import Machine
+from repro.workloads import nas_suite
+
+
+def main() -> None:
+    machine = Machine(noise_sigma=0.0)
+    suite = nas_suite(machine=machine, variability=0.0)
+
+    scal = ScalabilityStudy.measure(machine, suite)
+    energy = EnergyStudy.measure(machine, suite, oracles=scal.oracles)
+    configs = scal.configuration_names
+
+    print("Execution time (seconds)")
+    print(format_nested_table(scal.times_table(), columns=configs, float_format="{:.1f}"))
+    print()
+    print("Speedup over one core")
+    print(format_nested_table(scal.speedup_table("1"), columns=configs, float_format="{:.2f}"))
+    print()
+    print("Average system power (Watts)")
+    print(format_nested_table(energy.power_table(), columns=configs, float_format="{:.1f}"))
+    print()
+    print("Total energy (Joules)")
+    print(format_nested_table(energy.energy_table(), columns=configs, float_format="{:.0f}"))
+    print()
+
+    print("Scaling-class summary (paper values in parentheses):")
+    print(
+        f"  scalable class speedup on 4 cores : "
+        f"{scal.class_average_speedup('scalable', '4'):.2f}x   (paper 2.37x)"
+    )
+    print(
+        f"  flat class gain, 4 vs best 2 cores: "
+        f"{100 * scal.flat_class_gain_four_vs_two():.1f}%    (paper 7.0%)"
+    )
+    print(
+        f"  power increase, 4 vs 1 core       : "
+        f"{100 * energy.average_power_increase_four_vs_one():.1f}%   (paper 14.2%)"
+    )
+    print(
+        f"  suite energy change, 4 vs 1 core  : "
+        f"{100 * energy.suite_energy_change_four_vs_one():+.1f}%   (paper -0.7%)"
+    )
+    print(
+        f"  BT power ratio 4 vs 1             : "
+        f"{energy.benchmark('BT').power_ratio('4', '1'):.2f}x   (paper 1.31x)"
+    )
+    print("  fastest configuration per benchmark:")
+    for bench in scal.benchmarks:
+        print(f"    {bench.name:6s} -> {bench.best_configuration()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Train the ANN IPC predictor and evaluate its accuracy (paper Figures 6-7).
+
+Performs the paper's leave-one-application-out evaluation on a configurable
+subset of the suite: for each held-out benchmark, a predictor trained on the
+remaining benchmarks predicts the per-configuration IPC of every phase from
+noisy counter samples taken at maximal concurrency.  The script reports the
+median relative error, the error CDF and how often the truly best
+configuration is selected.
+
+Run with::
+
+    python examples/train_and_evaluate_predictor.py            # IS MG SP
+    python examples/train_and_evaluate_predictor.py BT CG FT   # choose targets
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+import numpy as np
+
+from repro.ann import TrainingConfig, error_cdf
+from repro.core import ANNTrainingOptions
+from repro.experiments import ExperimentContext
+from repro.machine import Machine
+from repro.workloads import nas_suite
+
+
+def main() -> None:
+    held_out_names = sys.argv[1:] or ["IS", "MG", "SP"]
+
+    ctx = ExperimentContext(machine=Machine(), fast=True)
+    records = [
+        record
+        for record in ctx.prediction_records()
+        if record.workload in held_out_names
+    ]
+    if not records:
+        raise SystemExit(f"no phases found for benchmarks {held_out_names}")
+
+    errors = []
+    for record in records:
+        errors.extend(record.relative_errors().values())
+    errors = np.array(errors)
+    thresholds, cdf = error_cdf(errors, thresholds=np.linspace(0, 0.5, 11))
+
+    print(f"held-out benchmarks : {', '.join(held_out_names)}")
+    print(f"phases evaluated    : {len(records)}")
+    print(f"predictions         : {errors.size}")
+    print(f"median error        : {100 * np.median(errors):.1f}%   (paper: 9.1%)")
+    print(f"errors below 5%     : {100 * np.mean(errors < 0.05):.1f}%   (paper: 29.2%)")
+    print()
+    print("error CDF:")
+    for t, f in zip(thresholds, cdf):
+        print(f"  <= {100 * t:5.1f}%  : {100 * f:5.1f}% of predictions")
+    print()
+
+    ranks = Counter(record.selected_rank for record in records)
+    total = len(records)
+    print("rank of the selected configuration (paper: 59.3% best, 28.8% second):")
+    for rank in sorted(ranks):
+        print(f"  rank {rank}: {100 * ranks[rank] / total:5.1f}% of phases")
+    print()
+    print("example decisions:")
+    for record in records[:8]:
+        print(
+            f"  {record.workload}:{record.phase:20s} selected {record.selected} "
+            f"(true best {max(record.true_ipcs, key=record.true_ipcs.get)})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Analysis utilities: metrics, scalability and energy studies, reporting."""
+
+from .energy import BenchmarkEnergy, EnergyStudy
+from .metrics import (
+    energy_delay_product,
+    energy_delay_squared,
+    energy_joules,
+    geometric_mean,
+    normalize,
+    normalize_map,
+    percent_change,
+    speedup,
+)
+from .reporting import Figure, format_nested_table, format_series, format_table
+from .scalability import BenchmarkScaling, ScalabilityStudy
+
+__all__ = [
+    "BenchmarkEnergy",
+    "BenchmarkScaling",
+    "EnergyStudy",
+    "Figure",
+    "ScalabilityStudy",
+    "energy_delay_product",
+    "energy_delay_squared",
+    "energy_joules",
+    "format_nested_table",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "normalize",
+    "normalize_map",
+    "percent_change",
+    "speedup",
+]

@@ -1,0 +1,151 @@
+"""Power and energy analysis (the paper's Section III-B).
+
+Computes, from the exhaustive oracle measurements, the per-benchmark power
+and energy under every static configuration and the suite-level statistics
+the paper reports: the ~14 % rise of total system power from one to four
+cores, the per-class behaviour (scalable codes gain energy efficiency with
+more cores, poorly scaling codes lose it), and the geometric mean of
+normalized power/energy shown in the bottom-right panel of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.oracle import OracleTable, measure_oracle
+from ..machine.machine import Machine
+from ..machine.placement import Configuration, standard_configurations
+from ..workloads.base import WorkloadSuite
+from .metrics import geometric_mean, normalize_map
+
+__all__ = ["BenchmarkEnergy", "EnergyStudy"]
+
+
+@dataclass(frozen=True)
+class BenchmarkEnergy:
+    """Power and energy of one benchmark across configurations."""
+
+    name: str
+    scaling_class: str
+    times: Mapping[str, float]
+    powers: Mapping[str, float]
+    energies: Mapping[str, float]
+
+    def power_ratio(self, config: str = "4", baseline: str = "1") -> float:
+        """Power of ``config`` relative to ``baseline``."""
+        return self.powers[config] / self.powers[baseline]
+
+    def energy_ratio(self, config: str = "4", baseline: str = "1") -> float:
+        """Energy of ``config`` relative to ``baseline``."""
+        return self.energies[config] / self.energies[baseline]
+
+    def most_energy_efficient(self) -> str:
+        """Configuration with the lowest total energy."""
+        return min(self.energies, key=self.energies.get)  # type: ignore[arg-type]
+
+    def normalized_energy(self, baseline: str = "4") -> Dict[str, float]:
+        """Energy of every configuration normalized to ``baseline``."""
+        return normalize_map(dict(self.energies), baseline)
+
+    def normalized_power(self, baseline: str = "4") -> Dict[str, float]:
+        """Power of every configuration normalized to ``baseline``."""
+        return normalize_map(dict(self.powers), baseline)
+
+
+@dataclass
+class EnergyStudy:
+    """Power/energy analysis of a whole suite (the Figure 3 data)."""
+
+    benchmarks: List[BenchmarkEnergy] = field(default_factory=list)
+    configuration_names: List[str] = field(default_factory=list)
+
+    @classmethod
+    def measure(
+        cls,
+        machine: Machine,
+        suite: WorkloadSuite,
+        configurations: Optional[Sequence[Configuration]] = None,
+        oracles: Optional[Mapping[str, OracleTable]] = None,
+    ) -> "EnergyStudy":
+        """Measure (or reuse) exhaustive per-benchmark power/energy data."""
+        configs = list(configurations or standard_configurations(machine.topology))
+        study = cls(configuration_names=[c.name for c in configs])
+        for workload in suite:
+            oracle = (
+                oracles[workload.name]
+                if oracles is not None and workload.name in oracles
+                else measure_oracle(machine, workload, configs)
+            )
+            times = {c.name: oracle.application_time_seconds(c.name) for c in configs}
+            energies = {
+                c.name: oracle.application_energy_joules(c.name) for c in configs
+            }
+            powers = {c.name: energies[c.name] / times[c.name] for c in configs}
+            study.benchmarks.append(
+                BenchmarkEnergy(
+                    name=workload.name,
+                    scaling_class=workload.scaling_class,
+                    times=times,
+                    powers=powers,
+                    energies=energies,
+                )
+            )
+        return study
+
+    # ------------------------------------------------------------------
+    def benchmark(self, name: str) -> BenchmarkEnergy:
+        """Energy record of one benchmark."""
+        for b in self.benchmarks:
+            if b.name == name:
+                return b
+        raise KeyError(f"no benchmark named {name!r} in the study")
+
+    def power_table(self) -> Dict[str, Dict[str, float]]:
+        """Benchmark -> configuration -> average power (Figure 3 power series)."""
+        return {b.name: dict(b.powers) for b in self.benchmarks}
+
+    def energy_table(self) -> Dict[str, Dict[str, float]]:
+        """Benchmark -> configuration -> energy (Figure 3 energy bars)."""
+        return {b.name: dict(b.energies) for b in self.benchmarks}
+
+    def average_power_increase_four_vs_one(self) -> float:
+        """Mean fractional power increase of four cores over one core.
+
+        The paper reports 14.2 %.
+        """
+        ratios = [b.power_ratio("4", "1") for b in self.benchmarks]
+        return sum(ratios) / len(ratios) - 1.0
+
+    def suite_energy_change_four_vs_one(self) -> float:
+        """Geometric-mean fractional energy change of four cores versus one.
+
+        The paper reports a minor 0.7 % *decrease* across the suite.
+        """
+        ratios = [b.energy_ratio("4", "1") for b in self.benchmarks]
+        return geometric_mean(ratios) - 1.0
+
+    def geometric_mean_normalized(
+        self, metric: str = "energy", baseline: str = "4"
+    ) -> Dict[str, float]:
+        """Geometric mean across benchmarks of normalized power or energy.
+
+        This is the bottom-right panel of the paper's Figure 3.
+        """
+        if metric not in ("energy", "power"):
+            raise ValueError("metric must be 'energy' or 'power'")
+        result: Dict[str, float] = {}
+        for config in self.configuration_names:
+            values = []
+            for b in self.benchmarks:
+                table = b.normalized_energy(baseline) if metric == "energy" else b.normalized_power(baseline)
+                values.append(table[config])
+            result[config] = geometric_mean(values)
+        return result
+
+    def class_power_ratio(self, scaling_class: str) -> float:
+        """Mean 4-vs-1 power ratio of one scaling class."""
+        members = [b for b in self.benchmarks if b.scaling_class == scaling_class]
+        if not members:
+            raise ValueError(f"no benchmarks in class {scaling_class!r}")
+        return sum(b.power_ratio("4", "1") for b in members) / len(members)

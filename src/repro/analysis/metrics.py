@@ -1,0 +1,81 @@
+"""Performance / power / energy metrics used throughout the evaluation.
+
+Small, dependency-free helpers shared by the analysis modules and the
+experiment drivers: speedups, normalization to a baseline configuration,
+energy-delay products and geometric means (the paper's Figure 3 reports the
+geometric mean of normalized energy and power across the suite).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence
+
+__all__ = [
+    "speedup",
+    "normalize",
+    "normalize_map",
+    "energy_joules",
+    "energy_delay_product",
+    "energy_delay_squared",
+    "geometric_mean",
+    "percent_change",
+]
+
+
+def speedup(baseline_time: float, new_time: float) -> float:
+    """Classic speedup: baseline time divided by new time."""
+    if baseline_time <= 0 or new_time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / new_time
+
+
+def normalize(value: float, baseline: float) -> float:
+    """Value relative to a baseline (1.0 means equal to the baseline)."""
+    if baseline == 0:
+        raise ZeroDivisionError("baseline is zero")
+    return value / baseline
+
+
+def normalize_map(
+    values: Mapping[str, float], baseline_key: str
+) -> Dict[str, float]:
+    """Normalize every entry of ``values`` to the entry at ``baseline_key``."""
+    if baseline_key not in values:
+        raise KeyError(f"baseline key {baseline_key!r} not present")
+    base = values[baseline_key]
+    return {key: normalize(value, base) for key, value in values.items()}
+
+
+def energy_joules(power_watts: float, time_seconds: float) -> float:
+    """Energy consumed at constant power over an interval."""
+    if power_watts < 0 or time_seconds < 0:
+        raise ValueError("power and time must be non-negative")
+    return power_watts * time_seconds
+
+
+def energy_delay_product(energy: float, time_seconds: float) -> float:
+    """Energy-delay product (EDP), J*s."""
+    return energy * time_seconds
+
+
+def energy_delay_squared(energy: float, time_seconds: float) -> float:
+    """Energy-delay-squared (ED²), the paper's headline HPC metric, J*s²."""
+    return energy * time_seconds ** 2
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean requires at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent_change(baseline: float, new: float) -> float:
+    """Signed percent change from ``baseline`` to ``new`` (negative = reduction)."""
+    if baseline == 0:
+        raise ZeroDivisionError("baseline is zero")
+    return 100.0 * (new - baseline) / baseline

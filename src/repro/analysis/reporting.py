@@ -1,0 +1,106 @@
+"""Plain-text reporting helpers for experiment results.
+
+The experiment drivers print the same rows/series the paper's figures show;
+these helpers format nested dictionaries as aligned ASCII tables so results
+are readable in a terminal and easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_nested_table", "format_series", "Figure"]
+
+
+def format_table(
+    rows: Sequence[Sequence[object]],
+    headers: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Format a list of rows as an aligned ASCII table.
+
+    Floats are rendered with ``float_format``; everything else with ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered: List[List[str]] = [[render(c) for c in row] for row in rows]
+    if headers is not None:
+        rendered.insert(0, [str(h) for h in headers])
+    if not rendered:
+        return ""
+    widths = [
+        max(len(row[col]) for row in rendered if col < len(row))
+        for col in range(max(len(r) for r in rendered))
+    ]
+    lines = []
+    for i, row in enumerate(rendered):
+        line = "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if headers is not None and i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_nested_table(
+    data: Mapping[str, Mapping[str, float]],
+    columns: Optional[Sequence[str]] = None,
+    row_label: str = "benchmark",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Format ``{row: {column: value}}`` as an aligned table.
+
+    Column order defaults to the key order of the first row.
+    """
+    if not data:
+        return ""
+    rows = list(data.keys())
+    if columns is None:
+        columns = list(next(iter(data.values())).keys())
+    table_rows = []
+    for row in rows:
+        table_rows.append([row] + [data[row].get(col, float("nan")) for col in columns])
+    return format_table(table_rows, headers=[row_label, *columns], float_format=float_format)
+
+
+def format_series(
+    series: Mapping[object, float], name: str = "value", float_format: str = "{:.3f}"
+) -> str:
+    """Format a 1-D mapping as a two-column table."""
+    rows = [[str(k), float(v)] for k, v in series.items()]
+    return format_table(rows, headers=["key", name], float_format=float_format)
+
+
+class Figure:
+    """A named experiment result: data plus a rendered text block.
+
+    Experiment drivers return ``Figure`` objects so both tests and the
+    benchmark harness can inspect the underlying numbers while humans get a
+    readable rendering.
+    """
+
+    def __init__(
+        self,
+        figure_id: str,
+        title: str,
+        data: Mapping[str, object],
+        text: str,
+        notes: str = "",
+    ) -> None:
+        self.figure_id = figure_id
+        self.title = title
+        self.data = dict(data)
+        self.text = text
+        self.notes = notes
+
+    def render(self) -> str:
+        """Full text rendering of the figure."""
+        lines = [f"=== {self.figure_id}: {self.title} ===", self.text]
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Figure({self.figure_id!r}, {self.title!r})"

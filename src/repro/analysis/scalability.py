@@ -1,0 +1,150 @@
+"""Whole-application scalability analysis (the paper's Section III-A).
+
+Given the exhaustive oracle measurements of a suite, this module computes the
+per-benchmark execution time under every static configuration, the resulting
+speedups, and the paper's scaling-class summary statistics (scalable / flat /
+degrading classes, average class speedups, and the suite-wide observation
+that effective scaling stops at two cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.oracle import OracleTable, measure_oracle
+from ..machine.machine import Machine
+from ..machine.placement import Configuration, standard_configurations
+from ..workloads.base import Workload, WorkloadSuite
+from .metrics import geometric_mean, speedup
+
+__all__ = ["BenchmarkScaling", "ScalabilityStudy"]
+
+
+@dataclass(frozen=True)
+class BenchmarkScaling:
+    """Execution times and speedups of one benchmark across configurations.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name.
+    scaling_class:
+        The paper's class label (``scalable`` / ``flat`` / ``degrading``).
+    times:
+        Whole-run execution time per configuration name.
+    """
+
+    name: str
+    scaling_class: str
+    times: Mapping[str, float]
+
+    def speedups(self, baseline: str = "1") -> Dict[str, float]:
+        """Speedup of every configuration relative to ``baseline``."""
+        base = self.times[baseline]
+        return {config: speedup(base, t) for config, t in self.times.items()}
+
+    def best_configuration(self) -> str:
+        """Configuration with the lowest execution time."""
+        return min(self.times, key=self.times.get)  # type: ignore[arg-type]
+
+    def gain_over(self, config_a: str, config_b: str) -> float:
+        """Fractional time reduction of ``config_a`` relative to ``config_b``."""
+        return 1.0 - self.times[config_a] / self.times[config_b]
+
+
+@dataclass
+class ScalabilityStudy:
+    """Scalability analysis of a whole suite.
+
+    Build with :meth:`measure`, then query per-benchmark scaling results and
+    the class-level summaries the paper reports in prose.
+    """
+
+    benchmarks: List[BenchmarkScaling] = field(default_factory=list)
+    oracles: Dict[str, OracleTable] = field(default_factory=dict)
+    configuration_names: List[str] = field(default_factory=list)
+
+    @classmethod
+    def measure(
+        cls,
+        machine: Machine,
+        suite: WorkloadSuite,
+        configurations: Optional[Sequence[Configuration]] = None,
+    ) -> "ScalabilityStudy":
+        """Measure every benchmark of ``suite`` under every configuration."""
+        configs = list(configurations or standard_configurations(machine.topology))
+        study = cls(configuration_names=[c.name for c in configs])
+        for workload in suite:
+            oracle = measure_oracle(machine, workload, configs)
+            times = {c.name: oracle.application_time_seconds(c.name) for c in configs}
+            study.oracles[workload.name] = oracle
+            study.benchmarks.append(
+                BenchmarkScaling(
+                    name=workload.name,
+                    scaling_class=workload.scaling_class,
+                    times=times,
+                )
+            )
+        return study
+
+    # ------------------------------------------------------------------
+    def benchmark(self, name: str) -> BenchmarkScaling:
+        """Scaling record of one benchmark."""
+        for b in self.benchmarks:
+            if b.name == name:
+                return b
+        raise KeyError(f"no benchmark named {name!r} in the study")
+
+    def times_table(self) -> Dict[str, Dict[str, float]]:
+        """Benchmark -> configuration -> execution time (the Figure 1 data)."""
+        return {b.name: dict(b.times) for b in self.benchmarks}
+
+    def speedup_table(self, baseline: str = "1") -> Dict[str, Dict[str, float]]:
+        """Benchmark -> configuration -> speedup over ``baseline``."""
+        return {b.name: b.speedups(baseline) for b in self.benchmarks}
+
+    def class_members(self, scaling_class: str) -> List[BenchmarkScaling]:
+        """Benchmarks belonging to one scaling class."""
+        return [b for b in self.benchmarks if b.scaling_class == scaling_class]
+
+    def class_average_speedup(
+        self, scaling_class: str, configuration: str = "4", baseline: str = "1"
+    ) -> float:
+        """Mean speedup of a scaling class at a configuration.
+
+        The paper reports a 2.37x average for the scalable class on four
+        cores.
+        """
+        members = self.class_members(scaling_class)
+        if not members:
+            raise ValueError(f"no benchmarks in class {scaling_class!r}")
+        return sum(b.speedups(baseline)[configuration] for b in members) / len(members)
+
+    def flat_class_gain_four_vs_two(self) -> float:
+        """Average fractional gain of four cores over the better two-core
+        configuration for the flat class (the paper reports ~7 %)."""
+        members = self.class_members("flat")
+        if not members:
+            raise ValueError("no benchmarks in the flat class")
+        gains = []
+        for b in members:
+            best_two = min(b.times.get("2a", float("inf")), b.times.get("2b", float("inf")))
+            gains.append(1.0 - b.times["4"] / best_two)
+        return sum(gains) / len(gains)
+
+    def best_configuration_counts(self) -> Dict[str, int]:
+        """How many benchmarks are fastest under each configuration."""
+        counts: Dict[str, int] = {}
+        for b in self.benchmarks:
+            best = b.best_configuration()
+            counts[best] = counts.get(best, 0) + 1
+        return counts
+
+    def geometric_mean_speedup(
+        self, configuration: str = "4", baseline: str = "1"
+    ) -> float:
+        """Geometric-mean speedup of the suite at a configuration."""
+        return geometric_mean(
+            b.speedups(baseline)[configuration] for b in self.benchmarks
+        )

@@ -1,0 +1,58 @@
+"""From-scratch artificial-neural-network library (numpy only).
+
+Implements the modelling machinery of the paper: fully connected
+feed-forward networks with sigmoid hidden units, backpropagation training
+with early stopping, and n-fold cross-validation ensembles whose outputs are
+averaged at prediction time.
+"""
+
+from .activations import (
+    ACTIVATIONS,
+    Activation,
+    Identity,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    get_activation,
+)
+from .ensemble import CrossValidationEnsemble, FoldResult
+from .metrics import (
+    error_cdf,
+    fraction_below,
+    mean_absolute_error,
+    mean_squared_error,
+    median_relative_error,
+    r_squared,
+    relative_errors,
+    root_mean_squared_error,
+)
+from .network import LayerGradients, NeuralNetwork
+from .scaling import MinMaxScaler, StandardScaler
+from .training import BackpropTrainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "ACTIVATIONS",
+    "Activation",
+    "BackpropTrainer",
+    "CrossValidationEnsemble",
+    "FoldResult",
+    "Identity",
+    "LayerGradients",
+    "MinMaxScaler",
+    "NeuralNetwork",
+    "ReLU",
+    "Sigmoid",
+    "StandardScaler",
+    "Tanh",
+    "TrainingConfig",
+    "TrainingHistory",
+    "error_cdf",
+    "fraction_below",
+    "get_activation",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "median_relative_error",
+    "r_squared",
+    "relative_errors",
+    "root_mean_squared_error",
+]

@@ -1,0 +1,118 @@
+"""Activation functions for the feed-forward neural networks.
+
+The paper uses the classic sigmoid unit (its Figure 5 reproduces the textbook
+diagram from Mitchell's *Machine Learning*); any "nonlinear, monotonic and
+differentiable" activation would do, so a few common alternatives are
+provided for the ablation studies.  Each activation is a small object with a
+``value`` and a ``derivative`` method; derivatives are expressed in terms of
+the activation *output* where that is cheaper (sigmoid, tanh), which is what
+the backpropagation implementation expects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "Activation",
+    "Sigmoid",
+    "Tanh",
+    "ReLU",
+    "Identity",
+    "get_activation",
+    "ACTIVATIONS",
+]
+
+
+class Activation:
+    """Base class for activations used by :class:`repro.ann.network.NeuralNetwork`."""
+
+    name = "base"
+
+    def value(self, x: np.ndarray) -> np.ndarray:
+        """Apply the activation element-wise."""
+        raise NotImplementedError
+
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        """Derivative of the activation expressed via its output ``y``.
+
+        For activations whose derivative is not expressible from the output
+        alone, implementations may raise and the trainer will fall back to
+        :meth:`derivative_from_input`.
+        """
+        raise NotImplementedError
+
+    def derivative_from_input(self, x: np.ndarray) -> np.ndarray:
+        """Derivative of the activation at pre-activation input ``x``."""
+        return self.derivative_from_output(self.value(x))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid ``1 / (1 + exp(-x))`` — the paper's choice."""
+
+    name = "sigmoid"
+
+    def value(self, x: np.ndarray) -> np.ndarray:
+        # Clipping keeps exp() finite for extreme pre-activations without
+        # changing the result materially.
+        x = np.clip(x, -60.0, 60.0)
+        return 1.0 / (1.0 + np.exp(-x))
+
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        return y * (1.0 - y)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent activation."""
+
+    name = "tanh"
+
+    def value(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        return 1.0 - y * y
+
+
+class ReLU(Activation):
+    """Rectified linear unit (provided for ablations; not used by the paper)."""
+
+    name = "relu"
+
+    def value(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        return (y > 0.0).astype(y.dtype)
+
+
+class Identity(Activation):
+    """Identity activation, used for linear regression output layers."""
+
+    name = "identity"
+
+    def value(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        return np.ones_like(y)
+
+
+ACTIVATIONS: Dict[str, Activation] = {
+    a.name: a for a in (Sigmoid(), Tanh(), ReLU(), Identity())
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by name (``sigmoid``, ``tanh``, ``relu``, ``identity``)."""
+    try:
+        return ACTIVATIONS[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown activation {name!r}; available: {sorted(ACTIVATIONS)}"
+        ) from exc

@@ -1,0 +1,178 @@
+"""Cross-validation ensembles of neural networks.
+
+The paper mitigates overfitting with an ensemble method it calls cross
+validation: the training set is split into *n* equal folds; for each of the
+*n* rotations one fold is used to estimate generalization, one for early
+stopping, and the remaining *n-2* for weight updates; the *n* resulting
+networks are averaged at prediction time.  "Each ANN in the ensemble sees a
+subset of training data, but the group as a whole tends to perform better
+than a single network."
+
+:class:`CrossValidationEnsemble` implements that scheme, including the
+per-fold generalization estimates, on top of
+:class:`~repro.ann.network.NeuralNetwork` and
+:class:`~repro.ann.training.BackpropTrainer`.  Input/target scaling is
+handled internally so callers work in natural units (event rates in, IPC
+out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import mean_squared_error
+from .network import NeuralNetwork
+from .scaling import StandardScaler
+from .training import BackpropTrainer, TrainingConfig, TrainingHistory
+
+__all__ = ["FoldResult", "CrossValidationEnsemble"]
+
+
+@dataclass
+class FoldResult:
+    """Outcome of training one member of the ensemble.
+
+    Attributes
+    ----------
+    fold_index:
+        Index of the rotation (0-based).
+    history:
+        Training history of the member network.
+    holdout_mse:
+        Mean squared error on the fold held out entirely from training
+        (the paper's per-fold estimate of model performance).
+    """
+
+    fold_index: int
+    history: TrainingHistory
+    holdout_mse: float
+
+
+@dataclass
+class CrossValidationEnsemble:
+    """An averaged ensemble of identically structured networks.
+
+    Parameters
+    ----------
+    hidden_layers:
+        Sizes of the hidden layers shared by all members.
+    folds:
+        Number of folds / ensemble members (the paper's example uses 10).
+    config:
+        Trainer hyper-parameters shared by all members.
+    seed:
+        Base seed; member *k* uses ``seed + k`` for initialization and
+        shuffling so the ensemble is reproducible but diverse.
+    """
+
+    hidden_layers: Tuple[int, ...] = (16,)
+    folds: int = 10
+    config: TrainingConfig = field(default_factory=TrainingConfig)
+    seed: int = 0
+    members: List[NeuralNetwork] = field(default_factory=list, repr=False)
+    fold_results: List[FoldResult] = field(default_factory=list, repr=False)
+    input_scaler: StandardScaler = field(default_factory=StandardScaler, repr=False)
+    target_scaler: StandardScaler = field(default_factory=StandardScaler, repr=False)
+    _num_outputs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.folds < 3:
+            raise ValueError(
+                "cross-validation needs at least 3 folds (train/stop/holdout)"
+            )
+        if not self.hidden_layers or any(h <= 0 for h in self.hidden_layers):
+            raise ValueError("hidden_layers must be non-empty positive sizes")
+
+    # ------------------------------------------------------------------
+    @property
+    def trained(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return bool(self.members)
+
+    def _fold_indices(self, n_samples: int) -> List[np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        return [np.array(sorted(chunk)) for chunk in np.array_split(order, self.folds)]
+
+    def fit(self, inputs: np.ndarray, targets: np.ndarray) -> List[FoldResult]:
+        """Train the ensemble on (inputs, targets) and return per-fold results."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim == 1:
+            targets = targets.reshape(-1, 1)
+        if inputs.shape[0] != targets.shape[0]:
+            raise ValueError("inputs and targets must have the same number of samples")
+        if inputs.shape[0] < self.folds:
+            raise ValueError(
+                f"need at least {self.folds} samples for {self.folds}-fold training, "
+                f"got {inputs.shape[0]}"
+            )
+        self._num_outputs = targets.shape[1]
+        scaled_inputs = self.input_scaler.fit_transform(inputs)
+        scaled_targets = self.target_scaler.fit_transform(targets)
+
+        folds = self._fold_indices(inputs.shape[0])
+        self.members = []
+        self.fold_results = []
+        layer_sizes = (inputs.shape[1], *self.hidden_layers, self._num_outputs)
+
+        for k in range(self.folds):
+            holdout_idx = folds[k]
+            stop_idx = folds[(k + 1) % self.folds]
+            train_idx = np.concatenate(
+                [folds[j] for j in range(self.folds) if j not in (k, (k + 1) % self.folds)]
+            )
+            network = NeuralNetwork(layer_sizes, seed=self.seed + 101 * (k + 1))
+            trainer = BackpropTrainer(self.config, seed=self.seed + 977 * (k + 1))
+            history = trainer.train(
+                network,
+                scaled_inputs[train_idx],
+                scaled_targets[train_idx],
+                validation_inputs=scaled_inputs[stop_idx],
+                validation_targets=scaled_targets[stop_idx],
+            )
+            holdout_pred = network.predict(scaled_inputs[holdout_idx])
+            holdout_mse = mean_squared_error(scaled_targets[holdout_idx], holdout_pred)
+            self.members.append(network)
+            self.fold_results.append(
+                FoldResult(fold_index=k, history=history, holdout_mse=holdout_mse)
+            )
+        return self.fold_results
+
+    # ------------------------------------------------------------------
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Averaged ensemble prediction in natural (unscaled) units."""
+        if not self.trained:
+            raise RuntimeError("ensemble must be fitted before prediction")
+        inputs = np.asarray(inputs, dtype=float)
+        single = inputs.ndim == 1
+        batch = np.atleast_2d(inputs)
+        scaled = self.input_scaler.transform(batch)
+        stacked = np.stack([m.predict(scaled) for m in self.members], axis=0)
+        mean_scaled = stacked.mean(axis=0)
+        output = self.target_scaler.inverse_transform(mean_scaled)
+        if self._num_outputs == 1:
+            output = output.ravel()
+            return float(output[0]) if single else output
+        return output[0] if single else output
+
+    def predict_std(self, inputs: np.ndarray) -> np.ndarray:
+        """Standard deviation of member predictions (a confidence signal)."""
+        if not self.trained:
+            raise RuntimeError("ensemble must be fitted before prediction")
+        batch = np.atleast_2d(np.asarray(inputs, dtype=float))
+        scaled = self.input_scaler.transform(batch)
+        stacked = np.stack([m.predict(scaled) for m in self.members], axis=0)
+        # Spread in scaled space converted back through the target scaler's std.
+        spread = stacked.std(axis=0)
+        std_unscaled = spread * self.target_scaler.std_
+        return std_unscaled.ravel() if self._num_outputs == 1 else std_unscaled
+
+    def generalization_estimate(self) -> float:
+        """Mean held-out-fold MSE (in scaled target units)."""
+        if not self.fold_results:
+            raise RuntimeError("ensemble must be fitted first")
+        return float(np.mean([fr.holdout_mse for fr in self.fold_results]))

@@ -1,0 +1,118 @@
+"""Error metrics for regression models.
+
+Besides the usual mean-squared / mean-absolute errors used during training,
+this module provides the paper's evaluation metrics: the *relative* IPC
+prediction error ``|(obs - pred) / obs|`` whose cumulative distribution is
+the paper's Figure 6 (median 9.1 %), and helpers to summarize distributions
+of such errors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "r_squared",
+    "relative_errors",
+    "median_relative_error",
+    "error_cdf",
+    "fraction_below",
+]
+
+
+def _flatten_pair(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return a, b
+
+
+def mean_squared_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean squared error between two arrays."""
+    a, p = _flatten_pair(actual, predicted)
+    return float(np.mean((a - p) ** 2))
+
+
+def root_mean_squared_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root of the mean squared error."""
+    return float(np.sqrt(mean_squared_error(actual, predicted)))
+
+
+def mean_absolute_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error between two arrays."""
+    a, p = _flatten_pair(actual, predicted)
+    return float(np.mean(np.abs(a - p)))
+
+
+def r_squared(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination (1 is perfect, 0 is the mean predictor)."""
+    a, p = _flatten_pair(actual, predicted)
+    ss_res = float(np.sum((a - p) ** 2))
+    ss_tot = float(np.sum((a - np.mean(a)) ** 2))
+    if ss_tot < 1e-15:
+        return 1.0 if ss_res < 1e-15 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def relative_errors(actual: np.ndarray, predicted: np.ndarray) -> np.ndarray:
+    """Per-sample relative errors ``|(actual - predicted) / actual|``.
+
+    This is the paper's prediction-error definition
+    (``|(IPC_obs - IPC_pred) / IPC_obs|``).  Samples with an actual value of
+    zero are excluded (they would make the ratio undefined).
+    """
+    a, p = _flatten_pair(actual, predicted)
+    mask = np.abs(a) > 1e-15
+    if not np.any(mask):
+        raise ValueError("all actual values are zero; relative error undefined")
+    return np.abs((a[mask] - p[mask]) / a[mask])
+
+
+def median_relative_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Median of the per-sample relative errors."""
+    return float(np.median(relative_errors(actual, predicted)))
+
+
+def error_cdf(
+    errors: Sequence[float], thresholds: Sequence[float] | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative distribution of errors at the given thresholds.
+
+    Parameters
+    ----------
+    errors:
+        Error samples (e.g. relative errors as fractions).
+    thresholds:
+        Points at which to evaluate the CDF; defaults to 0 %, 10 %, ...,
+        100 % expressed as fractions, matching the x-axis of the paper's
+        Figure 6.
+
+    Returns
+    -------
+    (thresholds, fractions)
+        ``fractions[i]`` is the fraction of errors ``<= thresholds[i]``.
+    """
+    errs = np.asarray(list(errors), dtype=float)
+    if errs.size == 0:
+        raise ValueError("error_cdf requires at least one error sample")
+    if thresholds is None:
+        thresholds = np.linspace(0.0, 1.0, 11)
+    thr = np.asarray(list(thresholds), dtype=float)
+    fractions = np.array([np.mean(errs <= t) for t in thr])
+    return thr, fractions
+
+
+def fraction_below(errors: Sequence[float], threshold: float) -> float:
+    """Fraction of error samples strictly below ``threshold``."""
+    errs = np.asarray(list(errors), dtype=float)
+    if errs.size == 0:
+        raise ValueError("fraction_below requires at least one error sample")
+    return float(np.mean(errs < threshold))

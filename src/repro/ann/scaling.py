@@ -1,0 +1,129 @@
+"""Feature and target scaling for neural-network training.
+
+Hardware event rates span several orders of magnitude (branch instructions
+per cycle are O(0.1); TLB misses per cycle are O(1e-5)), and networks with
+sigmoid hidden units train poorly on unscaled inputs.  The paper normalizes
+counter values to elapsed cycles (producing *rates*) before feeding them to
+the ANN; on top of that this module provides standard score and min-max
+scaling, fitted on training data only and applied consistently at prediction
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+@dataclass
+class StandardScaler:
+    """Per-feature standard-score scaling: ``(x - mean) / std``.
+
+    Features with zero variance are passed through unchanged (std is
+    clamped to 1) so constant columns do not produce NaNs.
+    """
+
+    mean_: Optional[np.ndarray] = field(default=None, repr=False)
+    std_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        """Fit the scaler on a 2-D array of shape (samples, features)."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ValueError("expected a 2-D array of shape (samples, features)")
+        if data.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on zero samples")
+        self.mean_ = data.mean(axis=0)
+        std = data.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.std_ = std
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.mean_ is not None and self.std_ is not None
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Scale ``data`` with the fitted statistics."""
+        if not self.fitted:
+            raise RuntimeError("scaler must be fitted before transform")
+        data = np.asarray(data, dtype=float)
+        return (data - self.mean_) / self.std_
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its scaled version."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Undo the scaling."""
+        if not self.fitted:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        data = np.asarray(data, dtype=float)
+        return data * self.std_ + self.mean_
+
+
+@dataclass
+class MinMaxScaler:
+    """Per-feature min-max scaling onto ``[low, high]`` (default [0, 1]).
+
+    Useful for targets fed to a sigmoid output unit, whose range is (0, 1).
+    A small margin keeps targets away from the asymptotes.
+    """
+
+    low: float = 0.0
+    high: float = 1.0
+    margin: float = 0.0
+    min_: Optional[np.ndarray] = field(default=None, repr=False)
+    max_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise ValueError("high must exceed low")
+        if not 0.0 <= self.margin < 0.5:
+            raise ValueError("margin must be in [0, 0.5)")
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        """Fit on a 2-D array of shape (samples, features)."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ValueError("expected a 2-D array of shape (samples, features)")
+        if data.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on zero samples")
+        self.min_ = data.min(axis=0)
+        self.max_ = data.max(axis=0)
+        same = (self.max_ - self.min_) < 1e-12
+        self.max_ = np.where(same, self.min_ + 1.0, self.max_)
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.min_ is not None and self.max_ is not None
+
+    def _span(self) -> float:
+        return (self.high - self.low) * (1.0 - 2.0 * self.margin)
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Scale ``data`` onto the configured range."""
+        if not self.fitted:
+            raise RuntimeError("scaler must be fitted before transform")
+        data = np.asarray(data, dtype=float)
+        unit = (data - self.min_) / (self.max_ - self.min_)
+        return self.low + (self.high - self.low) * self.margin + unit * self._span()
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its scaled version."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Undo the scaling."""
+        if not self.fitted:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        data = np.asarray(data, dtype=float)
+        unit = (data - self.low - (self.high - self.low) * self.margin) / self._span()
+        return self.min_ + unit * (self.max_ - self.min_)

@@ -1,0 +1,219 @@
+"""Backpropagation training with early stopping.
+
+The paper trains its networks with gradient descent on the squared error
+(the classic weight-update rule ``w <- w - eta * dE/dw`` of its Equation 1)
+and counters overfitting with *early stopping*: part of the training data is
+held aside as a validation set and training halts when accuracy on that set
+starts to degrade.  :class:`BackpropTrainer` implements exactly that recipe
+(plus the standard momentum term and mini-batches, which only affect how fast
+the same optimum is reached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .metrics import mean_squared_error
+from .network import NeuralNetwork
+
+__all__ = ["TrainingConfig", "TrainingHistory", "BackpropTrainer"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the backpropagation trainer.
+
+    Attributes
+    ----------
+    learning_rate:
+        Step size ``eta`` of the gradient-descent update.
+    momentum:
+        Momentum coefficient applied to the previous update.
+    max_epochs:
+        Hard cap on the number of passes over the training data.
+    batch_size:
+        Mini-batch size; ``0`` means full-batch gradient descent.
+    patience:
+        Early stopping patience: training halts after this many consecutive
+        epochs without improvement of the validation error.
+    min_delta:
+        Minimum decrease of the validation error that counts as an
+        improvement.
+    validation_fraction:
+        Fraction of the training data held aside for early stopping when an
+        explicit validation set is not supplied.
+    shuffle:
+        Whether to reshuffle the training samples every epoch.
+    l2:
+        L2 weight-decay coefficient.
+    """
+
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    max_epochs: int = 600
+    batch_size: int = 16
+    patience: int = 40
+    min_delta: float = 1e-6
+    validation_fraction: float = 0.2
+    shuffle: bool = True
+    l2: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if self.max_epochs < 1:
+            raise ValueError("max_epochs must be >= 1")
+        if self.batch_size < 0:
+            raise ValueError("batch_size must be >= 0")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if not 0.0 < self.validation_fraction < 0.9:
+            raise ValueError("validation_fraction must be in (0, 0.9)")
+        if self.l2 < 0:
+            raise ValueError("l2 must be non-negative")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    train_errors: List[float] = field(default_factory=list)
+    validation_errors: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_validation_error: float = float("inf")
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        """Number of epochs actually executed."""
+        return len(self.train_errors)
+
+
+class BackpropTrainer:
+    """Trains a :class:`~repro.ann.network.NeuralNetwork` by backpropagation.
+
+    Parameters
+    ----------
+    config:
+        Training hyper-parameters.
+    seed:
+        Seed used for mini-batch shuffling and validation splitting.
+    """
+
+    def __init__(self, config: Optional[TrainingConfig] = None, seed: int = 0) -> None:
+        self.config = config or TrainingConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _split_validation(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        n = inputs.shape[0]
+        n_val = max(1, int(round(n * self.config.validation_fraction)))
+        if n - n_val < 1:
+            n_val = n - 1
+        order = self._rng.permutation(n)
+        val_idx = order[:n_val]
+        train_idx = order[n_val:]
+        return inputs[train_idx], targets[train_idx], inputs[val_idx], targets[val_idx]
+
+    def _apply_gradients(
+        self,
+        network: NeuralNetwork,
+        gradients,
+        velocity_w: List[np.ndarray],
+        velocity_b: List[np.ndarray],
+    ) -> None:
+        cfg = self.config
+        for layer, grad in enumerate(gradients):
+            grad_w = grad.weights + cfg.l2 * network.weights[layer]
+            velocity_w[layer] = (
+                cfg.momentum * velocity_w[layer] - cfg.learning_rate * grad_w
+            )
+            velocity_b[layer] = (
+                cfg.momentum * velocity_b[layer] - cfg.learning_rate * grad.biases
+            )
+            network.weights[layer] = network.weights[layer] + velocity_w[layer]
+            network.biases[layer] = network.biases[layer] + velocity_b[layer]
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        network: NeuralNetwork,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        validation_inputs: Optional[np.ndarray] = None,
+        validation_targets: Optional[np.ndarray] = None,
+    ) -> TrainingHistory:
+        """Train ``network`` in place and return the training history.
+
+        Parameters
+        ----------
+        network:
+            The network to train (modified in place; the parameters of the
+            best validation epoch are restored before returning).
+        inputs, targets:
+            Training data, shapes (samples, features) and (samples, outputs).
+        validation_inputs, validation_targets:
+            Explicit validation set used for early stopping.  When omitted,
+            ``validation_fraction`` of the training data is held out.
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        if targets.shape[0] != inputs.shape[0]:
+            raise ValueError("inputs and targets must have the same number of samples")
+        if inputs.shape[0] < 2:
+            raise ValueError("training requires at least two samples")
+
+        if validation_inputs is None or validation_targets is None:
+            train_x, train_y, val_x, val_y = self._split_validation(inputs, targets)
+        else:
+            train_x, train_y = inputs, targets
+            val_x = np.atleast_2d(np.asarray(validation_inputs, dtype=float))
+            val_y = np.atleast_2d(np.asarray(validation_targets, dtype=float))
+
+        cfg = self.config
+        history = TrainingHistory()
+        velocity_w = [np.zeros_like(w) for w in network.weights]
+        velocity_b = [np.zeros_like(b) for b in network.biases]
+        best_parameters = network.get_parameters()
+        epochs_since_best = 0
+
+        n_train = train_x.shape[0]
+        batch = cfg.batch_size if cfg.batch_size > 0 else n_train
+        batch = min(batch, n_train)
+
+        for epoch in range(cfg.max_epochs):
+            if cfg.shuffle:
+                order = self._rng.permutation(n_train)
+            else:
+                order = np.arange(n_train)
+            for start in range(0, n_train, batch):
+                idx = order[start : start + batch]
+                activations = network.forward(train_x[idx])
+                gradients = network.backward(activations, train_y[idx])
+                self._apply_gradients(network, gradients, velocity_w, velocity_b)
+
+            train_error = mean_squared_error(train_y, network.predict(train_x))
+            val_error = mean_squared_error(val_y, network.predict(val_x))
+            history.train_errors.append(float(train_error))
+            history.validation_errors.append(float(val_error))
+
+            if val_error < history.best_validation_error - cfg.min_delta:
+                history.best_validation_error = float(val_error)
+                history.best_epoch = epoch
+                best_parameters = network.get_parameters()
+                epochs_since_best = 0
+            else:
+                epochs_since_best += 1
+                if epochs_since_best >= cfg.patience:
+                    history.stopped_early = True
+                    break
+
+        network.set_parameters(best_parameters)
+        return history

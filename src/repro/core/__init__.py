@@ -1,0 +1,84 @@
+"""ACTOR: the paper's adaptive concurrency-throttling runtime.
+
+Contains the counter-sampling machinery, the ANN-based per-configuration IPC
+predictor, the configuration selector, the adaptation policies (prediction,
+regression, empirical search, oracles, static) and the :class:`ACTOR`
+runtime manager that ties them to the OpenMP-like runtime.
+"""
+
+from .actor import ACTOR, PolicyComparison
+from .dataset import PredictionDataset, TrainingSample
+from .events import (
+    DEFAULT_SAMPLING_FRACTION,
+    FULL_EVENT_SET,
+    REDUCED_EVENT_SET,
+    EventSet,
+    sampling_budget,
+    select_event_set,
+)
+from .oracle import OracleTable, PhaseConfigMeasurement, measure_oracle
+from .policies import (
+    AdaptationPolicy,
+    OracleGlobalPolicy,
+    OraclePhasePolicy,
+    PredictionPolicy,
+    RegressionPolicy,
+    SearchPolicy,
+    StaticPolicy,
+)
+from .predictor import (
+    ConfigurationModel,
+    IPCPredictor,
+    LinearIPCModel,
+    PredictorBundle,
+)
+from .sampler import PhaseSampler, SampleAggregate
+from .selector import ConfigurationSelector, RankedPrediction, rank_of_selection
+from .training import (
+    ANNTrainingOptions,
+    DEFAULT_TARGET_CONFIGURATIONS,
+    collect_training_dataset,
+    train_default_predictor,
+    train_ipc_predictor,
+    train_linear_predictor,
+    train_predictor_bundle,
+)
+
+__all__ = [
+    "ACTOR",
+    "ANNTrainingOptions",
+    "AdaptationPolicy",
+    "ConfigurationModel",
+    "ConfigurationSelector",
+    "DEFAULT_SAMPLING_FRACTION",
+    "DEFAULT_TARGET_CONFIGURATIONS",
+    "EventSet",
+    "FULL_EVENT_SET",
+    "IPCPredictor",
+    "LinearIPCModel",
+    "OracleGlobalPolicy",
+    "OraclePhasePolicy",
+    "OracleTable",
+    "PhaseConfigMeasurement",
+    "PhaseSampler",
+    "PolicyComparison",
+    "PredictionDataset",
+    "PredictionPolicy",
+    "PredictorBundle",
+    "RankedPrediction",
+    "REDUCED_EVENT_SET",
+    "RegressionPolicy",
+    "SampleAggregate",
+    "SearchPolicy",
+    "StaticPolicy",
+    "TrainingSample",
+    "collect_training_dataset",
+    "measure_oracle",
+    "rank_of_selection",
+    "sampling_budget",
+    "select_event_set",
+    "train_default_predictor",
+    "train_ipc_predictor",
+    "train_linear_predictor",
+    "train_predictor_bundle",
+]

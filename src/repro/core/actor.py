@@ -1,0 +1,181 @@
+"""ACTOR — the Adaptive Concurrency Throttling Optimization Runtime.
+
+:class:`ACTOR` is the user-facing entry point of the reproduction: it binds
+an :class:`~repro.openmp.runtime.OpenMPRuntime` to an adaptation policy and
+runs whole applications under that policy, producing
+:class:`~repro.openmp.runtime.WorkloadRunReport` objects with time, power,
+energy and ED² plus the per-phase configuration decisions.
+
+Typical use::
+
+    machine = Machine()
+    runtime = OpenMPRuntime(machine)
+    bundle = train_default_predictor(machine, exclude="SP")
+    actor = ACTOR(runtime, policy=PredictionPolicy(bundle))
+    report = actor.run(sp())
+    baseline = actor.run_with_policy(sp(), StaticPolicy(CONFIG_4))
+    print(report.time_seconds / baseline.time_seconds)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from ..machine.machine import Machine
+from ..machine.placement import CONFIG_4, Configuration
+from ..openmp.runtime import OpenMPRuntime, WorkloadRunReport
+from ..workloads.base import Workload
+from .oracle import OracleTable, measure_oracle
+from .policies import (
+    AdaptationPolicy,
+    OracleGlobalPolicy,
+    OraclePhasePolicy,
+    PredictionPolicy,
+    StaticPolicy,
+)
+from .predictor import PredictorBundle
+
+__all__ = ["ACTOR", "PolicyComparison"]
+
+
+@dataclass
+class PolicyComparison:
+    """Reports of several policies over the same workload.
+
+    Attributes
+    ----------
+    workload_name:
+        Application the comparison was run on.
+    reports:
+        Run report per policy name.
+    baseline:
+        Name of the policy used as the normalization baseline (the paper
+        normalizes to the all-cores configuration ``4``).
+    """
+
+    workload_name: str
+    reports: Dict[str, WorkloadRunReport]
+    baseline: str = "static-4"
+
+    def normalized(self, metric: str = "time_seconds") -> Dict[str, float]:
+        """Each policy's metric normalized to the baseline policy.
+
+        ``metric`` is one of ``time_seconds``, ``energy_joules``,
+        ``average_power_watts`` or ``ed2``.
+        """
+        if self.baseline not in self.reports:
+            raise KeyError(f"baseline policy {self.baseline!r} missing from reports")
+        base = getattr(self.reports[self.baseline], metric)
+        if base == 0:
+            raise ZeroDivisionError(f"baseline {metric} is zero")
+        return {
+            name: getattr(report, metric) / base
+            for name, report in self.reports.items()
+        }
+
+    def summary(self) -> str:
+        """Tabular summary of normalized time / power / energy / ED²."""
+        header = f"{self.workload_name}: normalized to {self.baseline}"
+        lines = [header, f"{'policy':18s} {'time':>8s} {'power':>8s} {'energy':>8s} {'ED2':>8s}"]
+        time_n = self.normalized("time_seconds")
+        power_n = self.normalized("average_power_watts")
+        energy_n = self.normalized("energy_joules")
+        ed2_n = self.normalized("ed2")
+        for name in self.reports:
+            lines.append(
+                f"{name:18s} {time_n[name]:8.3f} {power_n[name]:8.3f} "
+                f"{energy_n[name]:8.3f} {ed2_n[name]:8.3f}"
+            )
+        return "\n".join(lines)
+
+
+class ACTOR:
+    """The adaptive concurrency-throttling runtime system.
+
+    Parameters
+    ----------
+    runtime:
+        The OpenMP-like runtime to execute workloads on.
+    policy:
+        Default adaptation policy (the ANN prediction policy in the paper);
+        when omitted, ACTOR falls back to the static all-cores policy.
+    """
+
+    def __init__(
+        self,
+        runtime: OpenMPRuntime,
+        policy: Optional[AdaptationPolicy] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.policy = policy or StaticPolicy(CONFIG_4)
+
+    # ------------------------------------------------------------------
+    @property
+    def machine(self) -> Machine:
+        """The machine the runtime executes on."""
+        return self.runtime.machine
+
+    def run(
+        self, workload: Workload, max_timesteps: Optional[int] = None
+    ) -> WorkloadRunReport:
+        """Run ``workload`` under the default policy."""
+        return self.run_with_policy(workload, self.policy, max_timesteps=max_timesteps)
+
+    def run_with_policy(
+        self,
+        workload: Workload,
+        policy: AdaptationPolicy,
+        max_timesteps: Optional[int] = None,
+    ) -> WorkloadRunReport:
+        """Run ``workload`` under an explicit policy."""
+        policy.prepare(workload)
+        return self.runtime.run(
+            workload,
+            controller=policy,
+            controller_name=policy.name,
+            max_timesteps=max_timesteps,
+        )
+
+    # ------------------------------------------------------------------
+    def compare_policies(
+        self,
+        workload: Workload,
+        policies: Sequence[AdaptationPolicy],
+        baseline: str = "static-4",
+        max_timesteps: Optional[int] = None,
+    ) -> PolicyComparison:
+        """Run several policies over the same workload and collect reports."""
+        reports: Dict[str, WorkloadRunReport] = {}
+        for policy in policies:
+            reports[policy.name] = self.run_with_policy(
+                workload, policy, max_timesteps=max_timesteps
+            )
+        return PolicyComparison(
+            workload_name=workload.name, reports=reports, baseline=baseline
+        )
+
+    def standard_comparison(
+        self,
+        workload: Workload,
+        bundle: PredictorBundle,
+        oracle: Optional[OracleTable] = None,
+        max_timesteps: Optional[int] = None,
+    ) -> PolicyComparison:
+        """The paper's Figure 8 comparison for one benchmark.
+
+        Runs the four strategies of the paper — the all-cores default, the
+        global-optimal oracle, the phase-optimal oracle and the ANN
+        prediction policy — and returns their reports normalized to the
+        all-cores default.
+        """
+        oracle = oracle or measure_oracle(self.machine, workload)
+        policies: Sequence[AdaptationPolicy] = (
+            StaticPolicy(CONFIG_4),
+            OracleGlobalPolicy(oracle),
+            OraclePhasePolicy(oracle),
+            PredictionPolicy(bundle),
+        )
+        return self.compare_policies(
+            workload, policies, baseline="static-4", max_timesteps=max_timesteps
+        )

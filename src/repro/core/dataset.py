@@ -1,0 +1,156 @@
+"""Training datasets for the ANN-based IPC predictor.
+
+A training sample corresponds to one observation of one phase: the features
+are the IPC and hardware-event rates measured while the phase ran on the
+*sample configuration* (maximum concurrency), and the targets are the IPCs
+the same phase achieves on each *target configuration*.  The paper trains
+one model per target configuration (its Equation 2:
+``IPC_T = F_T(IPC_S, e_1S, ..., e_nS)``); a :class:`PredictionDataset` keeps
+the shared features once and exposes per-target target vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .events import EventSet
+
+__all__ = ["TrainingSample", "PredictionDataset"]
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One phase observation: sampled features plus per-configuration IPCs.
+
+    Attributes
+    ----------
+    phase_id:
+        Fully qualified phase name (``workload:phase``).
+    workload:
+        Workload the phase belongs to (used for leave-one-application-out
+        splits).
+    features:
+        Feature vector laid out as ``EventSet.feature_names()``:
+        sampled IPC first, then one per-cycle rate per event.
+    targets:
+        Measured aggregate IPC of the phase on each target configuration.
+    """
+
+    phase_id: str
+    workload: str
+    features: Tuple[float, ...]
+    targets: Mapping[str, float]
+
+    def target_for(self, configuration: str) -> float:
+        """IPC of the phase on ``configuration``."""
+        try:
+            return float(self.targets[configuration])
+        except KeyError as exc:
+            raise KeyError(
+                f"sample {self.phase_id} has no target for configuration {configuration!r}"
+            ) from exc
+
+
+@dataclass
+class PredictionDataset:
+    """A collection of training samples sharing one feature layout.
+
+    Attributes
+    ----------
+    event_set:
+        The event set defining the feature layout.
+    sample_configuration:
+        Name of the configuration the features were observed on
+        (the paper samples at maximal concurrency, configuration ``4``).
+    target_configurations:
+        Names of the configurations for which IPC targets are present.
+    samples:
+        The training samples.
+    """
+
+    event_set: EventSet
+    sample_configuration: str
+    target_configurations: Tuple[str, ...]
+    samples: List[TrainingSample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.target_configurations:
+            raise ValueError("at least one target configuration is required")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def add(self, sample: TrainingSample) -> None:
+        """Append a sample after validating its shape and targets."""
+        expected = self.event_set.num_features
+        if len(sample.features) != expected:
+            raise ValueError(
+                f"sample {sample.phase_id} has {len(sample.features)} features, "
+                f"expected {expected}"
+            )
+        for config in self.target_configurations:
+            sample.target_for(config)  # raises if missing
+        self.samples.append(sample)
+
+    def extend(self, samples: Iterable[TrainingSample]) -> None:
+        """Append several samples."""
+        for sample in samples:
+            self.add(sample)
+
+    # ------------------------------------------------------------------
+    def feature_matrix(self) -> np.ndarray:
+        """All features as a (samples, features) array."""
+        if not self.samples:
+            raise ValueError("dataset is empty")
+        return np.array([s.features for s in self.samples], dtype=float)
+
+    def target_vector(self, configuration: str) -> np.ndarray:
+        """Targets for ``configuration`` as a (samples,) array."""
+        if not self.samples:
+            raise ValueError("dataset is empty")
+        return np.array([s.target_for(configuration) for s in self.samples], dtype=float)
+
+    def workloads(self) -> List[str]:
+        """Distinct workload names present in the dataset."""
+        return sorted({s.workload for s in self.samples})
+
+    def phase_ids(self) -> List[str]:
+        """Distinct phase identifiers present in the dataset."""
+        return sorted({s.phase_id for s in self.samples})
+
+    def filter_workloads(
+        self, include: Sequence[str] | None = None, exclude: Sequence[str] | None = None
+    ) -> "PredictionDataset":
+        """Return a new dataset keeping / dropping samples by workload name."""
+        include_set = set(include) if include is not None else None
+        exclude_set = set(exclude or ())
+        kept = [
+            s
+            for s in self.samples
+            if (include_set is None or s.workload in include_set)
+            and s.workload not in exclude_set
+        ]
+        subset = PredictionDataset(
+            event_set=self.event_set,
+            sample_configuration=self.sample_configuration,
+            target_configurations=self.target_configurations,
+        )
+        subset.samples = kept
+        return subset
+
+    def leave_one_out(self, workload: str) -> Tuple["PredictionDataset", "PredictionDataset"]:
+        """Split into (training dataset without ``workload``, held-out dataset)."""
+        train = self.filter_workloads(exclude=[workload])
+        held = self.filter_workloads(include=[workload])
+        return train, held
+
+    def summary(self) -> Dict[str, int]:
+        """Number of samples per workload."""
+        counts: Dict[str, int] = {}
+        for s in self.samples:
+            counts[s.workload] = counts.get(s.workload, 0) + 1
+        return counts

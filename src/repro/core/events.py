@@ -1,0 +1,143 @@
+"""Event-set selection and multiplexing schedules for ACTOR's sampling.
+
+The paper selects twelve hardware events "representing the cache and bus
+behavior of the application" as ANN inputs, but the experimental platform can
+only record two events simultaneously, so ACTOR rotates event pairs across
+consecutive timesteps.  Because the sampling period is capped at 20 % of the
+application's timesteps, benchmarks with few iterations (FT, IS and MG in the
+paper) cannot cover all twelve events and fall back to a reduced event set.
+
+This module encapsulates those rules:
+
+* :class:`EventSet` — a named list of programmable events plus the
+  multiplexing schedule (one group of ``registers`` events per sampled
+  timestep);
+* :func:`sampling_budget` — the 20 % cap on sampled timesteps;
+* :func:`select_event_set` — full set when the budget allows, reduced set
+  otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..machine.counters import (
+    PREDICTION_EVENTS,
+    REDUCED_PREDICTION_EVENTS,
+    event_by_name,
+    event_pairs,
+)
+
+__all__ = [
+    "EventSet",
+    "FULL_EVENT_SET",
+    "REDUCED_EVENT_SET",
+    "sampling_budget",
+    "select_event_set",
+    "DEFAULT_SAMPLING_FRACTION",
+]
+
+#: The paper's cap on the fraction of timesteps spent sampling.
+DEFAULT_SAMPLING_FRACTION = 0.20
+
+
+@dataclass(frozen=True)
+class EventSet:
+    """A named collection of programmable events used as predictor inputs.
+
+    Attributes
+    ----------
+    name:
+        ``"full"`` or ``"reduced"`` (custom sets may use any name).
+    events:
+        Programmable event names, in a stable order that defines the
+        feature layout of the predictor.
+    registers:
+        Number of events that can be recorded simultaneously.
+    """
+
+    name: str
+    events: Tuple[str, ...]
+    registers: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ValueError("an event set must contain at least one event")
+        if self.registers < 1:
+            raise ValueError("registers must be >= 1")
+        for event in self.events:
+            event_by_name(event)  # validates the name
+        if len(set(self.events)) != len(self.events):
+            raise ValueError("duplicate events in event set")
+
+    @property
+    def num_events(self) -> int:
+        """Number of programmable events in the set."""
+        return len(self.events)
+
+    @property
+    def timesteps_required(self) -> int:
+        """Sampled timesteps needed to observe every event once."""
+        return math.ceil(self.num_events / self.registers)
+
+    def schedule(self) -> List[Tuple[str, ...]]:
+        """Multiplexing schedule: one register-sized group per sampled timestep."""
+        return event_pairs(self.events, registers=self.registers)
+
+    def feature_names(self) -> List[str]:
+        """Names of the predictor features derived from this set.
+
+        The first feature is always the IPC observed on the sample
+        configuration, followed by the per-cycle rate of each event.
+        """
+        return ["ipc_sample"] + [f"rate:{e}" for e in self.events]
+
+    @property
+    def num_features(self) -> int:
+        """Number of predictor input features (IPC + event rates)."""
+        return 1 + self.num_events
+
+
+#: The paper's twelve-event input set.
+FULL_EVENT_SET = EventSet(name="full", events=tuple(PREDICTION_EVENTS))
+
+#: Reduced set used when the sampling budget cannot cover twelve events.
+REDUCED_EVENT_SET = EventSet(name="reduced", events=tuple(REDUCED_PREDICTION_EVENTS))
+
+
+def sampling_budget(
+    timesteps: int, fraction: float = DEFAULT_SAMPLING_FRACTION
+) -> int:
+    """Number of timesteps ACTOR may spend sampling a phase.
+
+    At least one timestep is always granted (otherwise no adaptation is
+    possible), and at most ``fraction`` of the phase's timesteps are used,
+    mirroring the paper's 20 % cap.
+    """
+    if timesteps < 1:
+        raise ValueError("timesteps must be >= 1")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    return max(1, int(math.floor(timesteps * fraction)))
+
+
+def select_event_set(
+    timesteps: int,
+    fraction: float = DEFAULT_SAMPLING_FRACTION,
+    full: EventSet = FULL_EVENT_SET,
+    reduced: EventSet = REDUCED_EVENT_SET,
+    registers: int = 2,
+) -> EventSet:
+    """Choose the event set a phase can afford within its sampling budget.
+
+    The full set is used when the budget covers its multiplexing schedule;
+    otherwise the reduced set is used (even if the budget cannot quite cover
+    it either — the sampler will then simply observe fewer events, as the
+    paper accepts a small accuracy loss for short applications).
+    """
+    budget = sampling_budget(timesteps, fraction)
+    if budget >= math.ceil(full.num_events / registers):
+        return full
+    return reduced

@@ -1,0 +1,229 @@
+"""Exhaustive per-phase measurement: the oracle the paper compares against.
+
+The paper evaluates ACTOR against two oracle-derived strategies: the *global
+optimal* (best single static configuration for the whole application) and the
+*phase optimal* (best configuration for every phase individually).  Those
+oracles require information "not normally available" — exhaustive offline
+measurement of every phase under every configuration — which is exactly what
+this module produces from the simulator.
+
+The same exhaustive table also backs the scalability and power analysis of
+the paper's Section III (Figures 1-3): whole-application execution time,
+power and energy under each static configuration are simple sums over the
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..machine.machine import Machine
+from ..machine.placement import Configuration, standard_configurations
+from ..workloads.base import PhaseSpec, Workload
+
+__all__ = ["PhaseConfigMeasurement", "OracleTable", "measure_oracle"]
+
+
+@dataclass(frozen=True)
+class PhaseConfigMeasurement:
+    """Noise-free measurement of one phase invocation under one configuration.
+
+    Attributes
+    ----------
+    phase_name:
+        Name of the measured phase.
+    configuration:
+        Configuration name.
+    time_seconds:
+        Execution time of a single invocation.
+    ipc:
+        Aggregate IPC of the invocation.
+    power_watts:
+        Average wall power during the invocation.
+    """
+
+    phase_name: str
+    configuration: str
+    time_seconds: float
+    ipc: float
+    power_watts: float
+
+    @property
+    def energy_joules(self) -> float:
+        """Energy of a single invocation."""
+        return self.power_watts * self.time_seconds
+
+
+@dataclass
+class OracleTable:
+    """Exhaustive phase x configuration measurements for one workload."""
+
+    workload: Workload
+    configurations: List[Configuration]
+    measurements: Dict[str, Dict[str, PhaseConfigMeasurement]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # basic access
+    # ------------------------------------------------------------------
+    def configuration_names(self) -> List[str]:
+        """Configuration names in measurement order."""
+        return [c.name for c in self.configurations]
+
+    def phase_names(self) -> List[str]:
+        """Phase names in workload order."""
+        return [p.name for p in self.workload.phases]
+
+    def measurement(self, phase: str, configuration: str) -> PhaseConfigMeasurement:
+        """Measurement of ``phase`` under ``configuration``."""
+        try:
+            return self.measurements[phase][configuration]
+        except KeyError as exc:
+            raise KeyError(
+                f"no measurement for phase {phase!r} under configuration {configuration!r}"
+            ) from exc
+
+    def _phase_spec(self, phase: str) -> PhaseSpec:
+        return self.workload.phase(phase)
+
+    # ------------------------------------------------------------------
+    # per-phase queries
+    # ------------------------------------------------------------------
+    def phase_metric(self, phase: str, metric: str = "time_seconds") -> Dict[str, float]:
+        """Per-configuration value of ``metric`` for one phase.
+
+        ``metric`` is one of ``time_seconds``, ``ipc``, ``power_watts`` or
+        ``energy_joules``.
+        """
+        values: Dict[str, float] = {}
+        for config in self.configuration_names():
+            m = self.measurement(phase, config)
+            values[config] = float(getattr(m, metric))
+        return values
+
+    def best_configuration_for_phase(
+        self, phase: str, metric: str = "time_seconds", minimize: bool = True
+    ) -> str:
+        """Best configuration for one phase under the chosen metric."""
+        values = self.phase_metric(phase, metric)
+        chooser = min if minimize else max
+        return chooser(values, key=values.get)  # type: ignore[arg-type]
+
+    def phase_optimal_configurations(
+        self, metric: str = "time_seconds", minimize: bool = True
+    ) -> Dict[str, str]:
+        """Best configuration for every phase (the paper's phase oracle)."""
+        return {
+            phase: self.best_configuration_for_phase(phase, metric, minimize)
+            for phase in self.phase_names()
+        }
+
+    # ------------------------------------------------------------------
+    # whole-application queries
+    # ------------------------------------------------------------------
+    def application_time_seconds(self, configuration: str) -> float:
+        """Whole-run execution time under a single static configuration."""
+        total = 0.0
+        for phase in self.phase_names():
+            spec = self._phase_spec(phase)
+            m = self.measurement(phase, configuration)
+            total += m.time_seconds * spec.invocations_per_timestep
+        return total * self.workload.timesteps
+
+    def application_energy_joules(self, configuration: str) -> float:
+        """Whole-run energy under a single static configuration."""
+        total = 0.0
+        for phase in self.phase_names():
+            spec = self._phase_spec(phase)
+            m = self.measurement(phase, configuration)
+            total += m.energy_joules * spec.invocations_per_timestep
+        return total * self.workload.timesteps
+
+    def application_power_watts(self, configuration: str) -> float:
+        """Time-weighted average power under a single static configuration."""
+        time = self.application_time_seconds(configuration)
+        if time <= 0:
+            return 0.0
+        return self.application_energy_joules(configuration) / time
+
+    def application_metrics(self, configuration: str) -> Dict[str, float]:
+        """Time, energy, power and ED² of the whole run under a configuration."""
+        time = self.application_time_seconds(configuration)
+        energy = self.application_energy_joules(configuration)
+        return {
+            "time_seconds": time,
+            "energy_joules": energy,
+            "power_watts": energy / time if time > 0 else 0.0,
+            "ed2": energy * time ** 2,
+        }
+
+    def global_optimal_configuration(
+        self, metric: str = "time_seconds", minimize: bool = True
+    ) -> str:
+        """Best single static configuration for the whole application."""
+        values = {
+            config: self.application_metrics(config)[
+                metric if metric in ("time_seconds", "energy_joules", "ed2") else "time_seconds"
+            ]
+            for config in self.configuration_names()
+        }
+        chooser = min if minimize else max
+        return chooser(values, key=values.get)  # type: ignore[arg-type]
+
+    def phase_optimal_application_metrics(
+        self, metric: str = "time_seconds"
+    ) -> Dict[str, float]:
+        """Whole-run metrics when every phase uses its own best configuration."""
+        assignment = self.phase_optimal_configurations(metric="time_seconds")
+        time = 0.0
+        energy = 0.0
+        for phase, config in assignment.items():
+            spec = self._phase_spec(phase)
+            m = self.measurement(phase, config)
+            time += m.time_seconds * spec.invocations_per_timestep
+            energy += m.energy_joules * spec.invocations_per_timestep
+        time *= self.workload.timesteps
+        energy *= self.workload.timesteps
+        return {
+            "time_seconds": time,
+            "energy_joules": energy,
+            "power_watts": energy / time if time > 0 else 0.0,
+            "ed2": energy * time ** 2,
+        }
+
+    # ------------------------------------------------------------------
+    def phase_ipc_table(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase, per-configuration IPC (the paper's Figure 2 for SP)."""
+        return {
+            phase: self.phase_metric(phase, "ipc") for phase in self.phase_names()
+        }
+
+
+def measure_oracle(
+    machine: Machine,
+    workload: Workload,
+    configurations: Optional[Sequence[Configuration]] = None,
+) -> OracleTable:
+    """Exhaustively measure every phase of ``workload`` under every configuration.
+
+    Measurements are noise-free single invocations of each phase — the
+    deterministic ground truth against which sampling-based policies and the
+    ANN predictor are evaluated.
+    """
+    configs = list(configurations or standard_configurations(machine.topology))
+    table = OracleTable(workload=workload, configurations=configs)
+    for phase in workload.phases:
+        row: Dict[str, PhaseConfigMeasurement] = {}
+        for config in configs:
+            result = machine.execute(phase.work, config.placement, apply_noise=False)
+            row[config.name] = PhaseConfigMeasurement(
+                phase_name=phase.name,
+                configuration=config.name,
+                time_seconds=result.time_seconds,
+                ipc=result.ipc,
+                power_watts=result.power_watts,
+            )
+        table.measurements[phase.name] = row
+    return table

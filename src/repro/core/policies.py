@@ -1,0 +1,327 @@
+"""Concurrency-adaptation policies (ACTOR controllers).
+
+Every policy implements the :class:`repro.openmp.runtime.ConcurrencyController`
+protocol — the pair of instrumentation calls the paper inserts around each
+OpenMP phase — and decides, per phase, which threading configuration to use:
+
+* :class:`StaticPolicy` — a fixed configuration for everything (the paper's
+  baseline is the all-cores configuration ``4``);
+* :class:`PredictionPolicy` — the paper's contribution: sample hardware
+  counters at maximal concurrency for the first few instances of each phase,
+  predict the IPC of every configuration with the ANN ensembles, and lock the
+  phase to the configuration with the highest predicted IPC;
+* :class:`RegressionPolicy` — identical control flow but backed by the
+  multiple-linear-regression models of the paper's earlier work [3];
+* :class:`SearchPolicy` — the empirical-search baseline [17]: try every
+  candidate configuration on successive instances and keep the best measured
+  one;
+* :class:`OraclePhasePolicy` / :class:`OracleGlobalPolicy` — the two
+  oracle-derived comparison strategies built from exhaustive offline
+  measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..machine.placement import (
+    CONFIG_4,
+    Configuration,
+    configuration_by_name,
+    standard_configurations,
+)
+from ..openmp.region import ParallelRegion
+from ..openmp.runtime import PhaseDirective, PhaseObservation
+from ..workloads.base import Workload
+from .events import DEFAULT_SAMPLING_FRACTION, select_event_set
+from .oracle import OracleTable
+from .predictor import IPCPredictor, PredictorBundle
+from .sampler import PhaseSampler
+from .selector import ConfigurationSelector, RankedPrediction
+
+__all__ = [
+    "AdaptationPolicy",
+    "StaticPolicy",
+    "PredictionPolicy",
+    "RegressionPolicy",
+    "SearchPolicy",
+    "OraclePhasePolicy",
+    "OracleGlobalPolicy",
+]
+
+
+class AdaptationPolicy:
+    """Base class for ACTOR policies.
+
+    Subclasses implement :meth:`before_phase` / :meth:`after_phase`; the
+    optional :meth:`prepare` hook gives the policy access to the workload
+    about to run (e.g. its timestep count, which defines the sampling
+    budget).
+    """
+
+    #: Short name used in reports and experiment tables.
+    name = "policy"
+
+    def prepare(self, workload: Workload) -> None:
+        """Called by ACTOR before a run starts (default: no-op)."""
+
+    def before_phase(self, region: ParallelRegion, timestep: int) -> PhaseDirective:
+        """Decide the configuration (and sampling) of the next instance."""
+        raise NotImplementedError
+
+    def after_phase(self, observation: PhaseObservation) -> None:
+        """Observe the outcome of the instance just executed (default: no-op)."""
+
+    def decisions(self) -> Dict[str, str]:
+        """Final configuration decision per phase (empty if not applicable)."""
+        return {}
+
+
+class StaticPolicy(AdaptationPolicy):
+    """Always run every phase on one fixed configuration."""
+
+    def __init__(self, configuration: Configuration = CONFIG_4) -> None:
+        self.configuration = configuration
+        self.name = f"static-{configuration.name}"
+
+    def before_phase(self, region: ParallelRegion, timestep: int) -> PhaseDirective:
+        return PhaseDirective(configuration=self.configuration)
+
+    def decisions(self) -> Dict[str, str]:
+        return {}
+
+
+@dataclass
+class _PredictionPhaseState:
+    """Per-phase bookkeeping of the prediction policy."""
+
+    sampler: PhaseSampler
+    predictor: IPCPredictor
+    decision: Optional[Configuration] = None
+    ranking: Optional[RankedPrediction] = None
+
+
+class PredictionPolicy(AdaptationPolicy):
+    """ANN-prediction-based concurrency throttling (the paper's ACTOR policy).
+
+    Parameters
+    ----------
+    bundle:
+        Trained full-event / reduced-event predictors.
+    sample_configuration:
+        Configuration used during the sampling period (the paper samples at
+        maximal concurrency so contention is maximally visible).
+    sampling_fraction:
+        Cap on the fraction of a phase's timesteps spent sampling.
+    counter_registers:
+        Number of simultaneously measurable events.
+    selector:
+        Ranking/selection strategy (defaults to highest predicted IPC).
+    """
+
+    name = "prediction"
+
+    def __init__(
+        self,
+        bundle: PredictorBundle,
+        sample_configuration: Optional[Configuration] = None,
+        sampling_fraction: float = DEFAULT_SAMPLING_FRACTION,
+        counter_registers: int = 2,
+        selector: Optional[ConfigurationSelector] = None,
+    ) -> None:
+        self.bundle = bundle
+        self.sample_configuration = sample_configuration or configuration_by_name(
+            bundle.sample_configuration
+        )
+        self.sampling_fraction = sampling_fraction
+        self.counter_registers = counter_registers
+        self.selector = selector or ConfigurationSelector()
+        self._states: Dict[str, _PredictionPhaseState] = {}
+        self._timesteps: int = 20
+        if bundle.full.kind == "linear":
+            self.name = "regression"
+
+    # ------------------------------------------------------------------
+    def prepare(self, workload: Workload) -> None:
+        self._timesteps = workload.timesteps
+        self._states = {}
+
+    def _state_for(self, region: ParallelRegion) -> _PredictionPhaseState:
+        key = region.phase_name
+        if key not in self._states:
+            event_set = select_event_set(
+                self._timesteps,
+                fraction=self.sampling_fraction,
+                registers=self.counter_registers,
+            )
+            try:
+                predictor = self.bundle.for_event_set(event_set.name)
+            except KeyError:
+                predictor = self.bundle.full
+                event_set = predictor.event_set
+            self._states[key] = _PredictionPhaseState(
+                sampler=PhaseSampler(
+                    event_set=event_set,
+                    timesteps=self._timesteps,
+                    sampling_fraction=self.sampling_fraction,
+                ),
+                predictor=predictor,
+            )
+        return self._states[key]
+
+    # ------------------------------------------------------------------
+    def before_phase(self, region: ParallelRegion, timestep: int) -> PhaseDirective:
+        state = self._state_for(region)
+        if state.decision is not None:
+            return PhaseDirective(configuration=state.decision)
+        return PhaseDirective(
+            configuration=self.sample_configuration,
+            sample_events=state.sampler.next_events(),
+        )
+
+    def after_phase(self, observation: PhaseObservation) -> None:
+        state = self._states.get(observation.phase_name)
+        if state is None or state.decision is not None:
+            return
+        if observation.reading is None:
+            return
+        state.sampler.record(observation.reading)
+        if not state.sampler.complete:
+            return
+        aggregate = state.sampler.aggregate()
+        predictions = state.predictor.predict_from_rates(
+            aggregate.ipc_sample, aggregate.rates
+        )
+        ranking = self.selector.rank(
+            predictions,
+            measured_sample=(self.sample_configuration.name, aggregate.ipc_sample),
+        )
+        state.ranking = ranking
+        state.decision = configuration_by_name(ranking.best)
+
+    # ------------------------------------------------------------------
+    def decisions(self) -> Dict[str, str]:
+        return {
+            phase: state.decision.name
+            for phase, state in self._states.items()
+            if state.decision is not None
+        }
+
+    def rankings(self) -> Dict[str, RankedPrediction]:
+        """Per-phase prediction rankings (for accuracy analysis)."""
+        return {
+            phase: state.ranking
+            for phase, state in self._states.items()
+            if state.ranking is not None
+        }
+
+
+class RegressionPolicy(PredictionPolicy):
+    """Prediction policy backed by linear-regression models (baseline [3])."""
+
+    name = "regression"
+
+
+@dataclass
+class _SearchPhaseState:
+    """Per-phase bookkeeping of the empirical search policy."""
+
+    remaining: List[Configuration]
+    observations: Dict[str, float] = field(default_factory=dict)
+    pending: Optional[str] = None
+    decision: Optional[Configuration] = None
+
+
+class SearchPolicy(AdaptationPolicy):
+    """Empirical search over configurations (the paper's earlier approach [17]).
+
+    Each candidate configuration is executed for one instance of the phase;
+    the configuration with the highest observed IPC is then locked in.  The
+    search overhead grows linearly with the number of candidate
+    configurations, which is the scalability concern that motivates the
+    prediction-based approach.
+    """
+
+    name = "search"
+
+    def __init__(self, configurations: Optional[Sequence[Configuration]] = None) -> None:
+        self.configurations = list(configurations or standard_configurations())
+        self._states: Dict[str, _SearchPhaseState] = {}
+
+    def prepare(self, workload: Workload) -> None:
+        self._states = {}
+
+    def _state_for(self, region: ParallelRegion) -> _SearchPhaseState:
+        key = region.phase_name
+        if key not in self._states:
+            self._states[key] = _SearchPhaseState(remaining=list(self.configurations))
+        return self._states[key]
+
+    def before_phase(self, region: ParallelRegion, timestep: int) -> PhaseDirective:
+        state = self._state_for(region)
+        if state.decision is not None:
+            return PhaseDirective(configuration=state.decision)
+        candidate = state.remaining[0]
+        state.pending = candidate.name
+        return PhaseDirective(configuration=candidate)
+
+    def after_phase(self, observation: PhaseObservation) -> None:
+        state = self._states.get(observation.phase_name)
+        if state is None or state.decision is not None or state.pending is None:
+            return
+        state.observations[state.pending] = observation.ipc
+        state.remaining = [c for c in state.remaining if c.name != state.pending]
+        state.pending = None
+        if not state.remaining:
+            best = max(state.observations, key=state.observations.get)  # type: ignore[arg-type]
+            state.decision = configuration_by_name(best)
+
+    def decisions(self) -> Dict[str, str]:
+        return {
+            phase: state.decision.name
+            for phase, state in self._states.items()
+            if state.decision is not None
+        }
+
+
+class OraclePhasePolicy(AdaptationPolicy):
+    """Use the true best configuration of every phase (the paper's phase optimal)."""
+
+    name = "phase-optimal"
+
+    def __init__(self, oracle: OracleTable, metric: str = "time_seconds") -> None:
+        self.oracle = oracle
+        self.metric = metric
+        self._assignment = {
+            phase: configuration_by_name(config)
+            for phase, config in oracle.phase_optimal_configurations(metric).items()
+        }
+
+    def before_phase(self, region: ParallelRegion, timestep: int) -> PhaseDirective:
+        configuration = self._assignment.get(region.phase_name, CONFIG_4)
+        return PhaseDirective(configuration=configuration)
+
+    def decisions(self) -> Dict[str, str]:
+        return {phase: config.name for phase, config in self._assignment.items()}
+
+
+class OracleGlobalPolicy(AdaptationPolicy):
+    """Use the true best single configuration for the whole application."""
+
+    name = "global-optimal"
+
+    def __init__(self, oracle: OracleTable, metric: str = "time_seconds") -> None:
+        self.oracle = oracle
+        self.metric = metric
+        self.configuration = configuration_by_name(
+            oracle.global_optimal_configuration(metric)
+        )
+
+    def before_phase(self, region: ParallelRegion, timestep: int) -> PhaseDirective:
+        return PhaseDirective(configuration=self.configuration)
+
+    def decisions(self) -> Dict[str, str]:
+        return {
+            phase: self.configuration.name for phase in self.oracle.phase_names()
+        }

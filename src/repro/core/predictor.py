@@ -1,0 +1,183 @@
+"""ANN-based per-configuration IPC prediction.
+
+The prediction module of ACTOR realizes the paper's Equation 2: for every
+target configuration ``T`` a separate model maps the IPC and hardware-event
+rates observed on the sample configuration ``S`` (maximum concurrency) to the
+IPC the phase would achieve on ``T``:
+
+    IPC_T = F_T(IPC_S, e_1S, ..., e_nS)
+
+Each ``F_T`` is a cross-validation ensemble of feed-forward networks
+(:class:`repro.ann.ensemble.CrossValidationEnsemble`).  A linear-regression
+variant with the identical interface backs the paper's prior-work baseline
+[Curtis-Maury et al., ICS'06]; both are interchangeable inside the
+prediction-based policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ann.ensemble import CrossValidationEnsemble
+from .events import EventSet
+
+__all__ = ["ConfigurationModel", "IPCPredictor", "PredictorBundle", "LinearIPCModel"]
+
+
+class ConfigurationModel:
+    """Interface of a single-target-configuration IPC model."""
+
+    def predict_one(self, features: np.ndarray) -> float:
+        """Predict the IPC for one feature vector."""
+        raise NotImplementedError
+
+
+@dataclass
+class LinearIPCModel(ConfigurationModel):
+    """Ordinary-least-squares IPC model (the regression baseline).
+
+    The paper contrasts its ANN approach with its earlier multiple-linear-
+    regression predictor, which achieves low overhead but needs expert,
+    machine-specific feature engineering.  This implementation fits the same
+    feature vector with a closed-form least-squares solution.
+    """
+
+    coefficients: Optional[np.ndarray] = None
+    intercept: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearIPCModel":
+        """Fit the model by least squares (with an intercept column)."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(targets, dtype=float).ravel()
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets must have the same number of samples")
+        design = np.hstack([np.ones((features.shape[0], 1)), features])
+        solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        self.intercept = float(solution[0])
+        self.coefficients = solution[1:]
+        return self
+
+    def predict_one(self, features: np.ndarray) -> float:
+        if self.coefficients is None:
+            raise RuntimeError("linear model must be fitted before prediction")
+        features = np.asarray(features, dtype=float).ravel()
+        return float(self.intercept + features @ self.coefficients)
+
+
+class _EnsembleModel(ConfigurationModel):
+    """Adapter exposing a cross-validation ensemble as a ConfigurationModel."""
+
+    def __init__(self, ensemble: CrossValidationEnsemble) -> None:
+        self.ensemble = ensemble
+
+    def predict_one(self, features: np.ndarray) -> float:
+        return float(self.ensemble.predict(np.asarray(features, dtype=float)))
+
+
+@dataclass
+class IPCPredictor:
+    """Per-target-configuration IPC predictor.
+
+    Attributes
+    ----------
+    event_set:
+        Feature layout (sampled IPC + event rates) the models expect.
+    sample_configuration:
+        Name of the configuration the features must be observed on.
+    models:
+        One :class:`ConfigurationModel` per target configuration name.
+    kind:
+        ``"ann"`` or ``"linear"`` — informational label used in reports.
+    """
+
+    event_set: EventSet
+    sample_configuration: str
+    models: Dict[str, ConfigurationModel] = field(default_factory=dict)
+    kind: str = "ann"
+
+    @classmethod
+    def from_ensembles(
+        cls,
+        event_set: EventSet,
+        sample_configuration: str,
+        ensembles: Mapping[str, CrossValidationEnsemble],
+        kind: str = "ann",
+    ) -> "IPCPredictor":
+        """Build a predictor from per-configuration ensembles."""
+        return cls(
+            event_set=event_set,
+            sample_configuration=sample_configuration,
+            models={name: _EnsembleModel(e) for name, e in ensembles.items()},
+            kind=kind,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def target_configurations(self) -> List[str]:
+        """Names of the configurations this predictor can score."""
+        return sorted(self.models)
+
+    def feature_vector(
+        self, ipc_sample: float, rates: Mapping[str, float]
+    ) -> np.ndarray:
+        """Assemble the feature vector from a sampled IPC and event rates.
+
+        Events missing from ``rates`` (possible when the sampling budget did
+        not cover the full multiplexing schedule) are filled with zero; the
+        standard scaler inside each ensemble then maps them to a neutral
+        value relative to the training distribution.
+        """
+        values = [float(ipc_sample)]
+        for event in self.event_set.events:
+            values.append(float(rates.get(event, 0.0)))
+        return np.array(values, dtype=float)
+
+    def predict(self, features: np.ndarray) -> Dict[str, float]:
+        """Predict the IPC of every target configuration for one sample."""
+        features = np.asarray(features, dtype=float).ravel()
+        if features.size != self.event_set.num_features:
+            raise ValueError(
+                f"expected {self.event_set.num_features} features, got {features.size}"
+            )
+        return {name: model.predict_one(features) for name, model in self.models.items()}
+
+    def predict_from_rates(
+        self, ipc_sample: float, rates: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """Predict per-configuration IPCs directly from sampled quantities."""
+        return self.predict(self.feature_vector(ipc_sample, rates))
+
+
+@dataclass
+class PredictorBundle:
+    """Full-event and reduced-event predictors packaged together.
+
+    The paper uses the full twelve-event model when the sampling budget
+    allows and a reduced-event model for applications with very few
+    iterations; :class:`~repro.core.policies.PredictionPolicy` picks the
+    right member per phase via :meth:`for_event_set`.
+    """
+
+    full: IPCPredictor
+    reduced: Optional[IPCPredictor] = None
+
+    def for_event_set(self, name: str) -> IPCPredictor:
+        """Return the member trained for the event set called ``name``."""
+        if name == self.full.event_set.name:
+            return self.full
+        if self.reduced is not None and name == self.reduced.event_set.name:
+            return self.reduced
+        raise KeyError(f"no predictor available for event set {name!r}")
+
+    @property
+    def sample_configuration(self) -> str:
+        """Sample configuration shared by the members."""
+        return self.full.sample_configuration
+
+    @property
+    def target_configurations(self) -> List[str]:
+        """Target configurations scored by the bundle."""
+        return self.full.target_configurations

@@ -1,0 +1,133 @@
+"""Multiplexed hardware-counter sampling for one phase.
+
+ACTOR samples each phase during its first few instances while running at
+maximum concurrency.  Only two events can be recorded per instance, so the
+sampler walks the event set's multiplexing schedule one group per instance,
+accumulates the observed per-cycle rates, and reports completion once either
+the schedule has been covered or the sampling budget (20 % of the phase's
+timesteps) is exhausted.
+
+The aggregated result — mean sampled IPC plus mean rate per observed event —
+is exactly the feature vector layout expected by
+:class:`repro.core.predictor.IPCPredictor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.counters import CounterReading
+from .events import EventSet, sampling_budget
+
+__all__ = ["SampleAggregate", "PhaseSampler"]
+
+
+@dataclass(frozen=True)
+class SampleAggregate:
+    """Aggregated observations of one phase's sampling period.
+
+    Attributes
+    ----------
+    ipc_sample:
+        Mean IPC observed on the sample configuration.
+    rates:
+        Mean per-cycle rate of every event that was observed.
+    instances:
+        Number of phase instances that contributed samples.
+    events_observed:
+        Events actually covered (may be a subset of the event set for very
+        short applications).
+    """
+
+    ipc_sample: float
+    rates: Dict[str, float]
+    instances: int
+    events_observed: Tuple[str, ...]
+
+
+@dataclass
+class PhaseSampler:
+    """Drives the multiplexed sampling of a single phase.
+
+    Parameters
+    ----------
+    event_set:
+        Events to observe and the register width of the platform.
+    timesteps:
+        Total number of timesteps the phase will execute (defines the
+        sampling budget).
+    sampling_fraction:
+        Maximum fraction of timesteps spent sampling (paper: 20 %).
+    """
+
+    event_set: EventSet
+    timesteps: int
+    sampling_fraction: float = 0.20
+    _schedule: List[Tuple[str, ...]] = field(default_factory=list, repr=False)
+    _next_group: int = 0
+    _ipc_samples: List[float] = field(default_factory=list, repr=False)
+    _rate_samples: Dict[str, List[float]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        self.budget = sampling_budget(self.timesteps, self.sampling_fraction)
+        full_schedule = self.event_set.schedule()
+        # The budget caps how many multiplexing groups can ever be observed.
+        self._schedule = full_schedule[: self.budget]
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """Whether sampling has finished (schedule covered or budget spent)."""
+        return self._next_group >= len(self._schedule)
+
+    @property
+    def instances_sampled(self) -> int:
+        """Number of instances sampled so far."""
+        return self._next_group
+
+    def next_events(self) -> Tuple[str, ...]:
+        """Events to program for the next sampled instance.
+
+        Raises
+        ------
+        RuntimeError
+            If sampling is already complete.
+        """
+        if self.complete:
+            raise RuntimeError("sampling is complete; no further events to program")
+        return self._schedule[self._next_group]
+
+    def record(self, reading: CounterReading) -> None:
+        """Record the counter reading of the instance just executed."""
+        if self.complete:
+            raise RuntimeError("sampling is complete; cannot record further readings")
+        expected = self._schedule[self._next_group]
+        self._ipc_samples.append(reading.ipc)
+        for event in expected:
+            self._rate_samples.setdefault(event, []).append(reading.rate(event))
+        self._next_group += 1
+
+    def aggregate(self) -> SampleAggregate:
+        """Aggregate all recorded readings into predictor inputs."""
+        if not self._ipc_samples:
+            raise RuntimeError("no samples recorded yet")
+        rates = {
+            event: sum(values) / len(values)
+            for event, values in self._rate_samples.items()
+        }
+        ipc = sum(self._ipc_samples) / len(self._ipc_samples)
+        return SampleAggregate(
+            ipc_sample=ipc,
+            rates=rates,
+            instances=len(self._ipc_samples),
+            events_observed=tuple(sorted(rates)),
+        )
+
+    def coverage(self) -> float:
+        """Fraction of the event set actually observed so far."""
+        if self.event_set.num_events == 0:
+            return 1.0
+        return len(self._rate_samples) / self.event_set.num_events

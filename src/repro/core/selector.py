@@ -1,0 +1,131 @@
+"""Configuration ranking and selection from predicted IPCs.
+
+ACTOR sorts the per-configuration IPC predictions and selects the
+configuration with the highest predicted IPC for each phase.  This module
+also provides the rank-accuracy analysis behind the paper's Figure 7: given
+the *true* per-configuration performance of a phase, at which rank does the
+selected configuration sit (1 = the true optimum, worst = never, per the
+paper's results)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["RankedPrediction", "ConfigurationSelector", "rank_of_selection"]
+
+
+@dataclass(frozen=True)
+class RankedPrediction:
+    """Outcome of ranking the predicted IPCs of one phase.
+
+    Attributes
+    ----------
+    best:
+        Name of the configuration with the highest predicted IPC.
+    ranking:
+        Configuration names in decreasing order of predicted IPC.
+    predictions:
+        The predicted IPC of every configuration.
+    """
+
+    best: str
+    ranking: Tuple[str, ...]
+    predictions: Mapping[str, float]
+
+    def predicted_ipc(self, configuration: str) -> float:
+        """Predicted IPC of ``configuration``."""
+        return float(self.predictions[configuration])
+
+
+class ConfigurationSelector:
+    """Selects the best configuration from per-configuration predictions.
+
+    Parameters
+    ----------
+    include_sample_configuration:
+        Name and assumed IPC source of the sample configuration.  The paper
+        predicts IPC for the four *other* configurations and already knows
+        the sampled IPC of the fifth (it was measured directly), so the
+        selector can fold the measured value into the ranking.
+    """
+
+    def __init__(self, tie_breaker: Sequence[str] | None = None) -> None:
+        # Deterministic tie-break order: prefer fewer threads (cheaper in
+        # power) when predictions are exactly equal.
+        self.tie_breaker = tuple(tie_breaker or ("1", "2a", "2b", "3", "4"))
+
+    def _tie_rank(self, name: str) -> int:
+        try:
+            return self.tie_breaker.index(name)
+        except ValueError:
+            return len(self.tie_breaker)
+
+    def rank(
+        self,
+        predictions: Mapping[str, float],
+        measured_sample: Tuple[str, float] | None = None,
+    ) -> RankedPrediction:
+        """Rank configurations by predicted IPC (highest first).
+
+        Parameters
+        ----------
+        predictions:
+            Predicted IPC per configuration name.
+        measured_sample:
+            Optional ``(name, ipc)`` of the sample configuration measured
+            directly during sampling; included in the ranking alongside the
+            predictions.
+        """
+        combined: Dict[str, float] = dict(predictions)
+        if measured_sample is not None:
+            name, ipc = measured_sample
+            combined[name] = float(ipc)
+        if not combined:
+            raise ValueError("cannot rank an empty set of predictions")
+        ordering = sorted(
+            combined.keys(),
+            key=lambda name: (-combined[name], self._tie_rank(name)),
+        )
+        return RankedPrediction(
+            best=ordering[0], ranking=tuple(ordering), predictions=combined
+        )
+
+    def select(
+        self,
+        predictions: Mapping[str, float],
+        measured_sample: Tuple[str, float] | None = None,
+    ) -> str:
+        """Name of the configuration with the highest predicted IPC."""
+        return self.rank(predictions, measured_sample).best
+
+
+def rank_of_selection(
+    selected: str, true_metric: Mapping[str, float], higher_is_better: bool = True
+) -> int:
+    """Rank (1-based) of ``selected`` within the true per-configuration metric.
+
+    Parameters
+    ----------
+    selected:
+        Configuration chosen by the predictor.
+    true_metric:
+        Ground-truth metric per configuration (IPC when
+        ``higher_is_better``, execution time otherwise).
+    higher_is_better:
+        Whether larger metric values are better.
+
+    Returns
+    -------
+    int
+        1 if the selected configuration is truly the best, 2 if second
+        best, and so on (the paper's Figure 7 histogram).
+    """
+    if selected not in true_metric:
+        raise KeyError(f"selected configuration {selected!r} not in true metric")
+    ordering = sorted(
+        true_metric.keys(),
+        key=lambda name: -true_metric[name] if higher_is_better else true_metric[name],
+    )
+    return ordering.index(selected) + 1

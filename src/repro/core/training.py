@@ -1,0 +1,303 @@
+"""Offline training pipeline for the ANN-based IPC predictor.
+
+The paper trains its models offline, once per platform, on counter samples
+collected from a set of training applications; the trained models are then
+used online for any application (evaluated with leave-one-application-out
+splits so the target application is never part of its own training set).
+
+This module implements that pipeline against the simulator:
+
+* :func:`collect_training_dataset` — run every phase of the training
+  workloads once per configuration to obtain ground-truth IPCs, and several
+  times on the sample configuration with realistic measurement noise to
+  obtain the feature vectors;
+* :func:`train_ipc_predictor` / :func:`train_linear_predictor` — fit one
+  cross-validation ANN ensemble (or least-squares model) per target
+  configuration;
+* :func:`train_predictor_bundle` — produce the full-event and reduced-event
+  predictors used by the online policy;
+* :func:`train_default_predictor` — convenience wrapper over the NAS-like
+  suite with optional leave-one-out exclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ann.ensemble import CrossValidationEnsemble
+from ..ann.training import TrainingConfig
+from ..machine.machine import Machine
+from ..machine.placement import CONFIG_4, Configuration, standard_configurations
+from ..workloads.base import Workload, WorkloadSuite
+from .dataset import PredictionDataset, TrainingSample
+from .events import FULL_EVENT_SET, REDUCED_EVENT_SET, EventSet
+from .predictor import IPCPredictor, LinearIPCModel, PredictorBundle
+
+__all__ = [
+    "ANNTrainingOptions",
+    "collect_training_dataset",
+    "train_ipc_predictor",
+    "train_linear_predictor",
+    "train_predictor_bundle",
+    "train_default_predictor",
+    "DEFAULT_TARGET_CONFIGURATIONS",
+]
+
+#: The paper predicts IPC for configurations 1, 2a, 2b and 3 from samples
+#: taken on configuration 4 (which is measured directly).
+DEFAULT_TARGET_CONFIGURATIONS: Tuple[str, ...] = ("1", "2a", "2b", "3")
+
+
+@dataclass(frozen=True)
+class ANNTrainingOptions:
+    """Hyper-parameters of the predictor training pipeline.
+
+    Attributes
+    ----------
+    hidden_layers:
+        Hidden layer sizes of every ensemble member.
+    folds:
+        Number of cross-validation folds (ensemble members).
+    training:
+        Backpropagation hyper-parameters.
+    samples_per_phase:
+        Number of noisy sampling repetitions collected per phase; more
+        repetitions expose the models to realistic measurement noise.
+    measurement_noise:
+        Relative standard deviation of the multiplicative noise applied to
+        counter values when collecting features.
+    seed:
+        Base random seed of the pipeline.
+    """
+
+    hidden_layers: Tuple[int, ...] = (16,)
+    folds: int = 10
+    training: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(
+            learning_rate=0.05,
+            momentum=0.9,
+            max_epochs=300,
+            batch_size=16,
+            patience=30,
+        )
+    )
+    samples_per_phase: int = 4
+    measurement_noise: float = 0.10
+    seed: int = 7
+
+
+def _noisy_rates(
+    result_counts: Mapping[str, float],
+    cycles: float,
+    events: Sequence[str],
+    rng: np.random.Generator,
+    noise: float,
+) -> Dict[str, float]:
+    """Per-cycle event rates with multiplicative measurement noise."""
+    rates: Dict[str, float] = {}
+    for event in events:
+        count = float(result_counts.get(event, 0.0))
+        if noise > 0:
+            count *= float(np.clip(1.0 + rng.normal(0.0, noise), 0.5, 1.5))
+        rates[event] = count / cycles if cycles > 0 else 0.0
+    return rates
+
+
+def collect_training_dataset(
+    machine: Machine,
+    workloads: Iterable[Workload],
+    event_set: EventSet = FULL_EVENT_SET,
+    sample_configuration: Configuration = CONFIG_4,
+    target_configurations: Optional[Sequence[str]] = None,
+    samples_per_phase: int = 4,
+    measurement_noise: float = 0.10,
+    seed: int = 7,
+) -> PredictionDataset:
+    """Collect a training dataset from the phases of ``workloads``.
+
+    For every phase the ground-truth IPC under every target configuration is
+    measured once (noise-free), and ``samples_per_phase`` noisy feature
+    vectors are generated from the phase's behaviour on the sample
+    configuration, mimicking the short, multiplexed counter sampling ACTOR
+    performs online.
+    """
+    if samples_per_phase < 1:
+        raise ValueError("samples_per_phase must be >= 1")
+    rng = np.random.default_rng(seed)
+    target_names = tuple(target_configurations or DEFAULT_TARGET_CONFIGURATIONS)
+    all_configs = {c.name: c for c in standard_configurations(machine.topology)}
+    for name in target_names:
+        if name not in all_configs:
+            raise KeyError(f"unknown target configuration {name!r}")
+
+    dataset = PredictionDataset(
+        event_set=event_set,
+        sample_configuration=sample_configuration.name,
+        target_configurations=target_names,
+    )
+    for workload in workloads:
+        for phase in workload.phases:
+            targets = {
+                name: machine.execute(
+                    phase.work, all_configs[name].placement, apply_noise=False
+                ).ipc
+                for name in target_names
+            }
+            sample_result = machine.execute(
+                phase.work, sample_configuration.placement, apply_noise=False
+            )
+            for _ in range(samples_per_phase):
+                rates = _noisy_rates(
+                    sample_result.event_counts,
+                    sample_result.cycles,
+                    event_set.events,
+                    rng,
+                    measurement_noise,
+                )
+                ipc_noise = 1.0
+                if measurement_noise > 0:
+                    ipc_noise = float(
+                        np.clip(1.0 + rng.normal(0.0, measurement_noise * 0.4), 0.8, 1.2)
+                    )
+                features = (sample_result.ipc * ipc_noise,) + tuple(
+                    rates[e] for e in event_set.events
+                )
+                dataset.add(
+                    TrainingSample(
+                        phase_id=f"{workload.name}:{phase.name}",
+                        workload=workload.name,
+                        features=features,
+                        targets=targets,
+                    )
+                )
+    return dataset
+
+
+def train_ipc_predictor(
+    dataset: PredictionDataset,
+    options: Optional[ANNTrainingOptions] = None,
+) -> IPCPredictor:
+    """Fit one cross-validation ANN ensemble per target configuration."""
+    options = options or ANNTrainingOptions()
+    if len(dataset) < options.folds:
+        raise ValueError(
+            f"dataset has {len(dataset)} samples but {options.folds}-fold "
+            "cross-validation was requested"
+        )
+    features = dataset.feature_matrix()
+    ensembles: Dict[str, CrossValidationEnsemble] = {}
+    for index, config_name in enumerate(dataset.target_configurations):
+        targets = dataset.target_vector(config_name)
+        ensemble = CrossValidationEnsemble(
+            hidden_layers=options.hidden_layers,
+            folds=options.folds,
+            config=options.training,
+            seed=options.seed + 1000 * (index + 1),
+        )
+        ensemble.fit(features, targets)
+        ensembles[config_name] = ensemble
+    return IPCPredictor.from_ensembles(
+        event_set=dataset.event_set,
+        sample_configuration=dataset.sample_configuration,
+        ensembles=ensembles,
+        kind="ann",
+    )
+
+
+def train_linear_predictor(dataset: PredictionDataset) -> IPCPredictor:
+    """Fit one least-squares model per target configuration (baseline [3])."""
+    features = dataset.feature_matrix()
+    models = {}
+    for config_name in dataset.target_configurations:
+        targets = dataset.target_vector(config_name)
+        models[config_name] = LinearIPCModel().fit(features, targets)
+    return IPCPredictor(
+        event_set=dataset.event_set,
+        sample_configuration=dataset.sample_configuration,
+        models=models,
+        kind="linear",
+    )
+
+
+def train_predictor_bundle(
+    machine: Machine,
+    workloads: Sequence[Workload],
+    options: Optional[ANNTrainingOptions] = None,
+    include_reduced: bool = True,
+    linear: bool = False,
+    target_configurations: Optional[Sequence[str]] = None,
+) -> PredictorBundle:
+    """Train the full-event (and optionally reduced-event) predictors.
+
+    Parameters
+    ----------
+    machine:
+        Machine used to collect training measurements.
+    workloads:
+        Training applications.
+    options:
+        Training hyper-parameters.
+    include_reduced:
+        Whether to also train the reduced-event predictor used for phases
+        whose sampling budget cannot cover the full event set.
+    linear:
+        Train least-squares models instead of ANN ensembles (the paper's
+        regression baseline).
+    """
+    options = options or ANNTrainingOptions()
+
+    def _train(event_set: EventSet, seed_offset: int) -> IPCPredictor:
+        dataset = collect_training_dataset(
+            machine,
+            workloads,
+            event_set=event_set,
+            target_configurations=target_configurations,
+            samples_per_phase=options.samples_per_phase,
+            measurement_noise=options.measurement_noise,
+            seed=options.seed + seed_offset,
+        )
+        if linear:
+            return train_linear_predictor(dataset)
+        return train_ipc_predictor(dataset, options)
+
+    full = _train(FULL_EVENT_SET, 0)
+    reduced = _train(REDUCED_EVENT_SET, 13) if include_reduced else None
+    return PredictorBundle(full=full, reduced=reduced)
+
+
+def train_default_predictor(
+    machine: Machine,
+    exclude: Optional[str] = None,
+    suite: Optional[WorkloadSuite] = None,
+    options: Optional[ANNTrainingOptions] = None,
+    linear: bool = False,
+) -> PredictorBundle:
+    """Train a predictor bundle on the NAS-like suite.
+
+    Parameters
+    ----------
+    machine:
+        Machine used for training measurements.
+    exclude:
+        Optional workload name to hold out (leave-one-application-out, as
+        in the paper's evaluation methodology).
+    suite:
+        Suite to train on; defaults to the calibrated NAS-like suite.
+    options:
+        Training hyper-parameters.
+    linear:
+        Train the regression baseline instead of the ANN ensembles.
+    """
+    from ..workloads.nas import nas_suite  # local import to avoid cycles
+
+    suite = suite or nas_suite(machine=machine)
+    if exclude is not None:
+        training_workloads, _ = suite.leave_one_out(exclude)
+    else:
+        training_workloads = list(suite)
+    return train_predictor_bundle(
+        machine, training_workloads, options=options, linear=linear
+    )

@@ -1,0 +1,41 @@
+"""Experiment drivers regenerating every figure of the paper's evaluation."""
+
+from .ablations import (
+    run_ablation_event_sets,
+    run_ablation_folds,
+    run_ablation_hidden_width,
+    run_ablation_policies,
+    run_ablation_sampling_fraction,
+)
+from .common import ExperimentContext, PhasePredictionRecord
+from .fig1_execution_times import run_fig1
+from .fig2_phase_ipc import run_fig2
+from .fig3_power_energy import run_fig3
+from .fig6_prediction_cdf import run_fig6
+from .fig7_rank_selection import run_fig7
+from .fig8_throttling import STRATEGY_NAMES, run_fig8
+from .manycore_extension import run_manycore_extension
+from .runner import ABLATIONS, EXPERIMENTS, run_all
+from .scaling_summary import run_scaling_summary
+
+__all__ = [
+    "ABLATIONS",
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "PhasePredictionRecord",
+    "STRATEGY_NAMES",
+    "run_ablation_event_sets",
+    "run_ablation_folds",
+    "run_ablation_hidden_width",
+    "run_ablation_policies",
+    "run_ablation_sampling_fraction",
+    "run_all",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_manycore_extension",
+    "run_scaling_summary",
+]

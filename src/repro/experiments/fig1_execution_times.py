@@ -1,0 +1,58 @@
+"""Figure 1 — execution times by hardware configuration.
+
+The paper's Figure 1 shows, for each of the eight NAS benchmarks, the
+whole-application execution time under the five threading configurations
+(1, 2a, 2b, 3, 4).  The headline observations to reproduce:
+
+* BT, FT and LU-HP gain substantially from every additional core;
+* CG, LU and SP flatten after two loosely coupled cores;
+* IS and MG run best on two loosely coupled cores, with IS degrading
+  markedly at higher concurrency and on tightly coupled cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.reporting import Figure, format_nested_table
+from ..analysis.scalability import ScalabilityStudy
+from .common import ExperimentContext
+
+__all__ = ["run_fig1"]
+
+
+def run_fig1(ctx: ExperimentContext) -> Figure:
+    """Regenerate the Figure 1 data (execution time per benchmark per config)."""
+    study = ScalabilityStudy.measure(
+        ctx.machine, ctx.suite, ctx.configurations
+    )
+    # Reuse the freshly measured oracles for later figures.
+    ctx._oracles.update(study.oracles)
+
+    times = study.times_table()
+    speedups = study.speedup_table(baseline="1")
+    configs = ctx.configuration_names()
+
+    text = "Execution time (seconds)\n"
+    text += format_nested_table(times, columns=configs, float_format="{:.1f}")
+    text += "\n\nSpeedup over configuration 1\n"
+    text += format_nested_table(speedups, columns=configs, float_format="{:.2f}")
+
+    best_configs: Dict[str, str] = {
+        b.name: b.best_configuration() for b in study.benchmarks
+    }
+    return Figure(
+        figure_id="fig1",
+        title="Execution times by hardware configuration",
+        data={
+            "times": times,
+            "speedups": speedups,
+            "best_configuration": best_configs,
+            "configurations": configs,
+        },
+        text=text,
+        notes=(
+            "Paper: BT/FT/LU-HP scale, CG/LU/SP flatten after two cores, "
+            "IS/MG are best on two loosely coupled cores."
+        ),
+    )

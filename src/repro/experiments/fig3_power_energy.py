@@ -1,0 +1,62 @@
+"""Figure 3 — power and energy consumption by hardware configuration.
+
+The paper's Figure 3 plots, per benchmark, the total energy (bars) and the
+average system power (line) of every threading configuration, plus a final
+panel with the geometric mean of normalized energy and power across the
+suite.  The observations to reproduce:
+
+* total system power rises with the number of active cores (~14 % from one
+  to four cores on average);
+* well-scaling benchmarks show the largest power increases but the largest
+  energy reductions (BT: ~1.3x power, ~2x less energy on four cores);
+* poorly scaling benchmarks gain little or lose energy efficiency at four
+  cores (MG, IS).
+"""
+
+from __future__ import annotations
+
+from ..analysis.energy import EnergyStudy
+from ..analysis.reporting import Figure, format_nested_table, format_series
+from .common import ExperimentContext
+
+__all__ = ["run_fig3"]
+
+
+def run_fig3(ctx: ExperimentContext) -> Figure:
+    """Regenerate the Figure 3 data (power/energy per benchmark per config)."""
+    study = EnergyStudy.measure(
+        ctx.machine, ctx.suite, ctx.configurations, oracles=ctx.oracles()
+    )
+    configs = ctx.configuration_names()
+    power = study.power_table()
+    energy = study.energy_table()
+
+    text = "Average system power (Watts)\n"
+    text += format_nested_table(power, columns=configs, float_format="{:.1f}")
+    text += "\n\nTotal energy (Joules)\n"
+    text += format_nested_table(energy, columns=configs, float_format="{:.0f}")
+    text += "\n\nGeometric mean of normalized energy (baseline: configuration 4)\n"
+    text += format_series(study.geometric_mean_normalized("energy"), name="energy")
+    text += "\n\nGeometric mean of normalized power (baseline: configuration 4)\n"
+    text += format_series(study.geometric_mean_normalized("power"), name="power")
+
+    return Figure(
+        figure_id="fig3",
+        title="Power and energy consumption by hardware configuration",
+        data={
+            "power": power,
+            "energy": energy,
+            "geomean_energy_normalized": study.geometric_mean_normalized("energy"),
+            "geomean_power_normalized": study.geometric_mean_normalized("power"),
+            "avg_power_increase_4_vs_1": study.average_power_increase_four_vs_one(),
+            "suite_energy_change_4_vs_1": study.suite_energy_change_four_vs_one(),
+            "bt_power_ratio_4_vs_1": study.benchmark("BT").power_ratio("4", "1"),
+            "bt_energy_ratio_4_vs_1": study.benchmark("BT").energy_ratio("4", "1"),
+        },
+        text=text,
+        notes=(
+            "Paper: four-core power is ~14.2% above one-core on average; BT draws "
+            "1.31x more power but 2.04x less energy on four cores; the suite's "
+            "energy changes by only ~0.7% from one to four cores."
+        ),
+    )

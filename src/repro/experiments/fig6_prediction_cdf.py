@@ -1,0 +1,62 @@
+"""Figure 6 — cumulative distribution of the ANN IPC-prediction error.
+
+The paper evaluates its predictor with leave-one-application-out training:
+for every benchmark a model trained on the other seven predicts the IPC of
+each phase on the four target configurations (1, 2a, 2b, 3) from counter
+samples taken at maximal concurrency.  The error metric is
+``|(IPC_obs - IPC_pred) / IPC_obs|``; the paper reports a median error of
+9.1 % with 29.2 % of predictions below 5 % error.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..analysis.reporting import Figure, format_table
+from ..ann.metrics import error_cdf, fraction_below
+from .common import ExperimentContext
+
+__all__ = ["run_fig6"]
+
+
+def run_fig6(ctx: ExperimentContext) -> Figure:
+    """Regenerate the Figure 6 data (CDF of relative IPC prediction error)."""
+    records = ctx.prediction_records()
+    errors: List[float] = []
+    for record in records:
+        errors.extend(record.relative_errors().values())
+    errors_arr = np.array(errors, dtype=float)
+
+    thresholds, fractions = error_cdf(errors_arr, thresholds=np.linspace(0.0, 1.0, 21))
+    median_error = float(np.median(errors_arr))
+    below_5 = fraction_below(errors_arr, 0.05)
+    below_10 = fraction_below(errors_arr, 0.10)
+    below_20 = fraction_below(errors_arr, 0.20)
+
+    rows = [
+        [f"{t * 100:.0f}%", f * 100.0] for t, f in zip(thresholds, fractions)
+    ]
+    text = "Cumulative distribution of prediction error (% of predictions)\n"
+    text += format_table(rows, headers=["error <=", "% of predictions"], float_format="{:.1f}")
+    text += (
+        f"\n\nmedian error: {median_error * 100:.1f}%   "
+        f"<5%: {below_5 * 100:.1f}%   <10%: {below_10 * 100:.1f}%   "
+        f"<20%: {below_20 * 100:.1f}%   predictions: {errors_arr.size}"
+    )
+    return Figure(
+        figure_id="fig6",
+        title="Cumulative distribution function of prediction error",
+        data={
+            "thresholds": [float(t) for t in thresholds],
+            "cdf": [float(f) for f in fractions],
+            "median_error": median_error,
+            "fraction_below_5pct": below_5,
+            "fraction_below_10pct": below_10,
+            "fraction_below_20pct": below_20,
+            "num_predictions": int(errors_arr.size),
+        },
+        text=text,
+        notes="Paper: median error 9.1%, 29.2% of predictions below 5% error.",
+    )

@@ -1,0 +1,132 @@
+"""Run every paper experiment in one sweep.
+
+``python -m repro.experiments.runner`` regenerates the data behind every
+figure of the paper (plus the Section III in-text statistics and, optionally,
+the ablations) and prints the rendered tables.  The same entry point is used
+by ``EXPERIMENTS.md`` to record paper-versus-measured comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.reporting import Figure
+from .ablations import (
+    run_ablation_event_sets,
+    run_ablation_folds,
+    run_ablation_hidden_width,
+    run_ablation_policies,
+    run_ablation_sampling_fraction,
+)
+from .common import ExperimentContext
+from .fig1_execution_times import run_fig1
+from .fig2_phase_ipc import run_fig2
+from .fig3_power_energy import run_fig3
+from .fig6_prediction_cdf import run_fig6
+from .fig7_rank_selection import run_fig7
+from .fig8_throttling import run_fig8
+from .manycore_extension import run_manycore_extension
+from .scaling_summary import run_scaling_summary
+
+__all__ = ["EXPERIMENTS", "ABLATIONS", "run_all", "main"]
+
+#: Figure experiments in paper order.
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], Figure]] = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "sec3-summary": run_scaling_summary,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+}
+
+#: Ablation experiments (design-choice studies beyond the paper's figures).
+ABLATIONS: Dict[str, Callable[[ExperimentContext], Figure]] = {
+    "ablation-policies": run_ablation_policies,
+    "ablation-events": run_ablation_event_sets,
+    "ablation-folds": run_ablation_folds,
+    "ablation-hidden": run_ablation_hidden_width,
+    "ablation-sampling": run_ablation_sampling_fraction,
+    "ext-manycore": run_manycore_extension,
+}
+
+
+def run_all(
+    ctx: Optional[ExperimentContext] = None,
+    names: Optional[Sequence[str]] = None,
+    include_ablations: bool = False,
+    verbose: bool = True,
+) -> Dict[str, Figure]:
+    """Run the selected experiments and return their Figures.
+
+    Parameters
+    ----------
+    ctx:
+        Shared experiment context (a default one is built when omitted).
+    names:
+        Subset of experiment names to run (default: all figures, plus the
+        ablations when ``include_ablations``).
+    include_ablations:
+        Whether to append the ablation studies to the default selection.
+    verbose:
+        Print each figure as it completes.
+    """
+    ctx = ctx or ExperimentContext()
+    available = dict(EXPERIMENTS)
+    available.update(ABLATIONS)
+    if names is None:
+        names = list(EXPERIMENTS)
+        if include_ablations:
+            names += list(ABLATIONS)
+    figures: Dict[str, Figure] = {}
+    for name in names:
+        if name not in available:
+            raise KeyError(
+                f"unknown experiment {name!r}; available: {sorted(available)}"
+            )
+        started = time.time()
+        figure = available[name](ctx)
+        figures[name] = figure
+        if verbose:
+            print(figure.render())
+            print(f"[{name} completed in {time.time() - started:.1f} s]\n")
+    return figures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation figures on the simulator."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (default: all figures)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use reduced training effort for a quick pass",
+    )
+    parser.add_argument(
+        "--ablations",
+        action="store_true",
+        help="also run the ablation studies",
+    )
+    args = parser.parse_args(argv)
+    ctx = ExperimentContext(fast=args.fast)
+    run_all(
+        ctx,
+        names=args.experiments or None,
+        include_ablations=args.ablations,
+        verbose=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

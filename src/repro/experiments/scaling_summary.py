@@ -1,0 +1,71 @@
+"""Section III in-text summary statistics.
+
+Besides Figures 1-3, the paper's scalability section quotes several aggregate
+numbers in prose; this driver reproduces them in one table:
+
+* average speedup of the scalable class on four cores (paper: 2.37x);
+* average gain of the flat class from four cores versus two (paper: 7.0 %);
+* MG's best configuration and its gain over four threads (paper: 2b, 14 %);
+* IS's loss on four threads versus one (paper: 40 %) and its 2b-versus-2a
+  advantage (paper: 2.04x);
+* the suite-wide power increase (14.2 %) and energy change (-0.7 %) from one
+  to four cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.energy import EnergyStudy
+from ..analysis.reporting import Figure, format_series
+from ..analysis.scalability import ScalabilityStudy
+from .common import ExperimentContext
+
+__all__ = ["run_scaling_summary"]
+
+
+def run_scaling_summary(ctx: ExperimentContext) -> Figure:
+    """Compute the Section III in-text aggregate statistics."""
+    scal = ScalabilityStudy.measure(ctx.machine, ctx.suite, ctx.configurations)
+    ctx._oracles.update(scal.oracles)
+    energy = EnergyStudy.measure(
+        ctx.machine, ctx.suite, ctx.configurations, oracles=ctx.oracles()
+    )
+
+    present = {b.name for b in scal.benchmarks}
+    stats: Dict[str, float] = {
+        "avg_power_increase_4_vs_1": energy.average_power_increase_four_vs_one(),
+        "suite_energy_change_4_vs_1": energy.suite_energy_change_four_vs_one(),
+    }
+    if any(b.scaling_class == "scalable" for b in scal.benchmarks):
+        stats["scalable_class_speedup_4"] = scal.class_average_speedup("scalable", "4")
+    if any(b.scaling_class == "flat" for b in scal.benchmarks):
+        stats["flat_class_gain_4_vs_2"] = scal.flat_class_gain_four_vs_two()
+    if "IS" in present:
+        is_scaling = scal.benchmark("IS")
+        stats["is_speedup_4_vs_1"] = is_scaling.speedups("1")["4"]
+        stats["is_2b_over_2a"] = is_scaling.times["2a"] / is_scaling.times["2b"]
+        stats["is_gain_2b_vs_1"] = 1.0 - is_scaling.times["2b"] / is_scaling.times["1"]
+    if "MG" in present:
+        mg_scaling = scal.benchmark("MG")
+        stats["mg_speedup_2b"] = mg_scaling.speedups("1")["2b"]
+        stats["mg_4_slower_than_2b"] = (
+            mg_scaling.times["4"] / mg_scaling.times["2b"] - 1.0
+        )
+    if "BT" in present:
+        stats["bt_power_ratio_4_vs_1"] = energy.benchmark("BT").power_ratio("4", "1")
+        stats["bt_energy_ratio_1_vs_4"] = 1.0 / energy.benchmark("BT").energy_ratio(
+            "4", "1"
+        )
+    text = format_series(stats, name="measured")
+    return Figure(
+        figure_id="sec3-summary",
+        title="Section III in-text scalability and energy statistics",
+        data=stats,
+        text=text,
+        notes=(
+            "Paper values: scalable class 2.37x, flat class +7.0% (4 vs 2 cores), "
+            "IS -40% on 4 cores and 2.04x (2b vs 2a), MG best at 2b (+29% over 1), "
+            "power +14.2% (4 vs 1), suite energy -0.7%, BT power 1.31x / energy 2.04x."
+        ),
+    )

@@ -1,0 +1,254 @@
+"""PAPI-like hardware performance counter interface.
+
+The paper collects twelve hardware events describing cache and bus behaviour
+with PAPI 3.5.  The experimental platform can only record **two events
+simultaneously**, so ACTOR rotates event pairs across consecutive timesteps
+(multiplexing) and caps the sampling period at 20 % of total execution; for
+benchmarks with very few iterations it falls back to a reduced event set.
+
+This module reproduces that interface:
+
+* :data:`EVENTS` / :class:`EventDef` — the event catalogue, with the twelve
+  prediction events flagged;
+* :class:`CounterReading` — the values observed during one measured interval;
+* :class:`PerformanceCounterFile` — a register file with a configurable
+  number of simultaneous counters; programming more events than registers
+  raises, exactly like PAPI would refuse to add the event.
+
+The *values* of the events are produced by the machine model
+(:class:`repro.machine.machine.Machine`); this module is only concerned with
+which events exist and which subset can be observed at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "EventDef",
+    "EVENTS",
+    "EVENT_NAMES",
+    "PREDICTION_EVENTS",
+    "REDUCED_PREDICTION_EVENTS",
+    "ALWAYS_AVAILABLE",
+    "CounterReading",
+    "PerformanceCounterFile",
+    "event_pairs",
+]
+
+
+@dataclass(frozen=True)
+class EventDef:
+    """Definition of one hardware event.
+
+    Attributes
+    ----------
+    name:
+        PAPI-style preset name (e.g. ``PAPI_L2_TCM``).
+    description:
+        Human-readable description.
+    prediction_input:
+        Whether the event belongs to the twelve-event set used as ANN
+        inputs in the paper.
+    fixed:
+        Whether the event is available without occupying a programmable
+        register (cycles and retired instructions come from fixed counters
+        on this platform and are always collected so IPC can be computed).
+    """
+
+    name: str
+    description: str
+    prediction_input: bool = True
+    fixed: bool = False
+
+
+#: The event catalogue.  The first two events are fixed counters used to
+#: compute IPC; the remaining twelve are the programmable cache/bus events
+#: used as predictor inputs.
+EVENTS: Tuple[EventDef, ...] = (
+    EventDef("PAPI_TOT_INS", "Instructions retired", prediction_input=False, fixed=True),
+    EventDef("PAPI_TOT_CYC", "Total elapsed cycles", prediction_input=False, fixed=True),
+    EventDef("PAPI_L1_DCM", "Level-1 data cache misses"),
+    EventDef("PAPI_L1_DCA", "Level-1 data cache accesses"),
+    EventDef("PAPI_L2_DCM", "Level-2 data cache misses"),
+    EventDef("PAPI_L2_DCA", "Level-2 data cache accesses"),
+    EventDef("PAPI_L2_TCM", "Level-2 total cache misses"),
+    EventDef("PAPI_BUS_TRN", "Front-side bus memory transactions"),
+    EventDef("PAPI_RES_STL", "Cycles stalled on any resource"),
+    EventDef("PAPI_TLB_DM", "Data TLB misses"),
+    EventDef("PAPI_BR_INS", "Branch instructions retired"),
+    EventDef("PAPI_BR_MSP", "Mispredicted branches"),
+    EventDef("PAPI_FP_OPS", "Floating point operations"),
+    EventDef("PAPI_LST_INS", "Load/store instructions retired"),
+)
+
+#: All event names in catalogue order.
+EVENT_NAMES: Tuple[str, ...] = tuple(e.name for e in EVENTS)
+
+#: Events always collected regardless of register pressure.
+ALWAYS_AVAILABLE: Tuple[str, ...] = tuple(e.name for e in EVENTS if e.fixed)
+
+#: The twelve programmable events used as ANN inputs (paper, Section V-A).
+PREDICTION_EVENTS: Tuple[str, ...] = tuple(
+    e.name for e in EVENTS if e.prediction_input
+)
+
+#: Reduced event set used for benchmarks with very few iterations
+#: (FT, IS, MG in the paper): the most informative cache/bus events only.
+REDUCED_PREDICTION_EVENTS: Tuple[str, ...] = (
+    "PAPI_L2_TCM",
+    "PAPI_BUS_TRN",
+    "PAPI_RES_STL",
+    "PAPI_L1_DCM",
+)
+
+_EVENT_INDEX: Dict[str, EventDef] = {e.name: e for e in EVENTS}
+
+
+def event_by_name(name: str) -> EventDef:
+    """Look up an event definition by its PAPI-style name."""
+    try:
+        return _EVENT_INDEX[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown hardware event {name!r}") from exc
+
+
+def event_pairs(
+    events: Sequence[str] | None = None, registers: int = 2
+) -> List[Tuple[str, ...]]:
+    """Group events into register-sized tuples for multiplexed collection.
+
+    Parameters
+    ----------
+    events:
+        Programmable events to schedule; defaults to the full twelve-event
+        prediction set.
+    registers:
+        Number of simultaneously programmable counters (2 on the paper's
+        platform).
+
+    Returns
+    -------
+    list of tuples
+        Each tuple fits in the register file; collecting one tuple per
+        timestep covers the full set after ``len(result)`` timesteps.
+    """
+    if registers < 1:
+        raise ValueError("registers must be >= 1")
+    evs = list(PREDICTION_EVENTS if events is None else events)
+    for name in evs:
+        event_by_name(name)
+    return [tuple(evs[i : i + registers]) for i in range(0, len(evs), registers)]
+
+
+@dataclass(frozen=True)
+class CounterReading:
+    """Counter values observed over one measured interval.
+
+    Attributes
+    ----------
+    values:
+        Mapping of event name to raw count over the interval.
+    cycles:
+        Elapsed cycles of the interval (wall-clock cycles).
+    instructions:
+        Instructions retired during the interval (all threads).
+    """
+
+    values: Mapping[str, float]
+    cycles: float
+    instructions: float
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate IPC over the interval."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def rate(self, event: str) -> float:
+        """Event occurrences per elapsed cycle (the paper's event *rates*)."""
+        if self.cycles <= 0:
+            return 0.0
+        return float(self.values.get(event, 0.0)) / self.cycles
+
+    def rates(self, events: Iterable[str] | None = None) -> Dict[str, float]:
+        """Return per-cycle rates for ``events`` (default: all observed)."""
+        names = list(self.values.keys()) if events is None else list(events)
+        return {name: self.rate(name) for name in names}
+
+
+class PerformanceCounterFile:
+    """A register file exposing a limited number of simultaneous counters.
+
+    The machine model produces the *complete* set of event counts for every
+    execution; this class models the measurement constraint that only
+    ``num_registers`` programmable events (plus the fixed counters) can be
+    observed in any one interval.
+
+    Parameters
+    ----------
+    num_registers:
+        Number of programmable counter registers (2 on the QX6600 as used
+        in the paper).
+    """
+
+    def __init__(self, num_registers: int = 2) -> None:
+        if num_registers < 1:
+            raise ValueError("num_registers must be >= 1")
+        self.num_registers = num_registers
+        self._programmed: Tuple[str, ...] = ()
+
+    @property
+    def programmed(self) -> Tuple[str, ...]:
+        """Currently programmed programmable events."""
+        return self._programmed
+
+    def program(self, events: Sequence[str]) -> None:
+        """Program a set of events, replacing any previous programming.
+
+        Raises
+        ------
+        ValueError
+            If more events than registers are requested or an event name is
+            unknown or fixed (fixed events need no register).
+        """
+        events = tuple(events)
+        if len(events) > self.num_registers:
+            raise ValueError(
+                f"cannot program {len(events)} events with only "
+                f"{self.num_registers} registers"
+            )
+        for name in events:
+            definition = event_by_name(name)
+            if definition.fixed:
+                raise ValueError(
+                    f"{name} is a fixed counter and must not occupy a register"
+                )
+        if len(set(events)) != len(events):
+            raise ValueError("duplicate events programmed")
+        self._programmed = events
+
+    def read(self, full_counts: Mapping[str, float], cycles: float) -> CounterReading:
+        """Observe an interval: visible events only, plus the fixed counters.
+
+        Parameters
+        ----------
+        full_counts:
+            Complete event counts of the interval as produced by the
+            machine model.
+        cycles:
+            Elapsed cycles of the interval.
+        """
+        visible: Dict[str, float] = {}
+        for name in ALWAYS_AVAILABLE:
+            if name in full_counts:
+                visible[name] = float(full_counts[name])
+        for name in self._programmed:
+            visible[name] = float(full_counts.get(name, 0.0))
+        return CounterReading(
+            values=visible,
+            cycles=float(cycles),
+            instructions=float(full_counts.get("PAPI_TOT_INS", 0.0)),
+        )

@@ -1,0 +1,429 @@
+"""The phase execution engine: the simulated quad-core platform.
+
+:class:`Machine` combines the topology, cache, memory, CPU and power models
+into a single entry point::
+
+    machine = Machine()                               # QX6600-like platform
+    result = machine.execute(work, CONFIG_2B.placement)
+    result.time_seconds, result.ipc, result.power_watts, result.event_counts
+
+Executing a phase under a placement proceeds in four steps:
+
+1. the cache model resolves the per-thread L2 miss ratio from the placement's
+   cache sharing pattern;
+2. the memory and CPU models are iterated to a fixed point: thread throughput
+   determines bus traffic, bus traffic determines queueing delay, queueing
+   delay determines thread throughput;
+3. the cycle counts of the serial part, the parallel part (critical-path
+   thread including load imbalance) and the synchronization overhead are
+   summed into wall-clock cycles and time;
+4. the complete hardware event counts and the wall-power draw of the
+   execution are derived.
+
+The model is deterministic for a given seed; a small multiplicative
+"operating system noise" term (disabled by setting ``noise_sigma=0``) makes
+repeated executions of the same phase realistically non-identical, which
+matters for the empirical-search baseline and for counter-sampling error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .caches import CacheModel
+from .cpu import CPIBreakdown, CPUModel
+from .memory import BusState, MemoryModel
+from .placement import Configuration, ThreadPlacement
+from .power import PowerBreakdown, PowerModel
+from .topology import Topology, quad_core_xeon
+from .work import WorkRequest
+
+__all__ = ["ExecutionResult", "Machine"]
+
+#: Instructions charged per thread per barrier for the synchronization code
+#: itself (spin loops, flag updates); small but keeps counters consistent.
+_SYNC_INSTRUCTIONS_PER_BARRIER = 400.0
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Complete outcome of executing one phase invocation on the machine.
+
+    Attributes
+    ----------
+    work:
+        The phase characterization that was executed.
+    placement:
+        Thread-to-core placement used.
+    time_seconds:
+        Wall-clock execution time.
+    cycles:
+        Wall-clock cycles (time multiplied by core frequency).
+    instructions:
+        Total instructions retired across all threads (including
+        synchronization overhead instructions).
+    ipc:
+        Aggregate IPC: ``instructions / cycles``.  This is the quantity the
+        paper predicts (its Figure 2 reports aggregate per-phase IPCs of up
+        to ~4.6 on four cores).
+    thread_ipcs:
+        Per-thread IPC during the parallel portion.
+    thread_cpi:
+        Per-thread CPI breakdowns during the parallel portion.
+    bus:
+        Resolved front-side-bus state during the parallel portion.
+    power:
+        Wall-power breakdown during the execution.
+    event_counts:
+        Complete hardware event counts for the execution (the measurement
+        layer decides which of these are actually visible).
+    """
+
+    work: WorkRequest
+    placement: ThreadPlacement
+    time_seconds: float
+    cycles: float
+    instructions: float
+    ipc: float
+    thread_ipcs: Sequence[float]
+    thread_cpi: Sequence[CPIBreakdown]
+    bus: BusState
+    power: PowerBreakdown
+    event_counts: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def power_watts(self) -> float:
+        """Average wall power during the execution."""
+        return self.power.total_watts
+
+    @property
+    def energy_joules(self) -> float:
+        """Wall energy consumed by the execution."""
+        return self.power_watts * self.time_seconds
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J*s)."""
+        return self.energy_joules * self.time_seconds
+
+    @property
+    def ed2(self) -> float:
+        """Energy-delay-squared product (J*s^2), the paper's headline metric."""
+        return self.energy_joules * self.time_seconds ** 2
+
+    @property
+    def num_threads(self) -> int:
+        """Concurrency level used."""
+        return self.placement.num_threads
+
+
+class Machine:
+    """The simulated multicore platform.
+
+    Parameters
+    ----------
+    topology:
+        Machine structure; defaults to the paper's quad-core Xeon.
+    cache_model, memory_model, cpu_model, power_model:
+        Component models; sensible defaults are constructed from the
+        topology when omitted.
+    noise_sigma:
+        Relative standard deviation of the multiplicative execution-time
+        jitter applied per execution (models OS noise and run-to-run
+        variability).  Set to 0 for a fully deterministic machine.
+    seed:
+        Seed of the machine's private random generator (used only for the
+        noise term).
+    fixed_point_iterations:
+        Maximum iterations of the throughput/bus-latency fixed point.
+    """
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        cache_model: Optional[CacheModel] = None,
+        memory_model: Optional[MemoryModel] = None,
+        cpu_model: Optional[CPUModel] = None,
+        power_model: Optional[PowerModel] = None,
+        noise_sigma: float = 0.004,
+        seed: int = 20070917,
+        fixed_point_iterations: int = 48,
+        fixed_point_tolerance: float = 1e-6,
+    ) -> None:
+        self.topology = topology or quad_core_xeon()
+        self.cache_model = cache_model or CacheModel(self.topology)
+        self.memory_model = memory_model or MemoryModel(self.topology)
+        self.cpu_model = cpu_model or CPUModel()
+        self.power_model = power_model or PowerModel(self.topology)
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        self.noise_sigma = noise_sigma
+        self._rng = np.random.default_rng(seed)
+        self.fixed_point_iterations = fixed_point_iterations
+        self.fixed_point_tolerance = fixed_point_tolerance
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _validate_placement(self, placement: ThreadPlacement) -> None:
+        for core in placement.cores:
+            self.topology.core(core)  # raises KeyError for unknown cores
+
+    def _line_bytes(self) -> int:
+        return self.topology.caches[0].line_bytes
+
+    def _frequency_hz(self, placement: ThreadPlacement) -> float:
+        return self.topology.core(placement.cores[0]).frequency_ghz * 1e9
+
+    # ------------------------------------------------------------------
+    # fixed point between CPU throughput and bus latency
+    # ------------------------------------------------------------------
+    def _demand_at(
+        self,
+        work: WorkRequest,
+        placement: ThreadPlacement,
+        miss_ratios: Sequence[float],
+        assumed_utilization: float,
+    ) -> tuple[List[CPIBreakdown], float]:
+        """Per-thread CPI and aggregate traffic assuming a bus utilization."""
+        line_bytes = self._line_bytes()
+        l1_misses_per_instr = work.mem_fraction * work.l1_miss_rate
+        latency = self.memory_model.effective_latency_cycles(
+            assumed_utilization,
+            prefetch_friendliness=work.prefetch_friendliness,
+            active_requestors=placement.num_threads,
+        )
+        breakdowns: List[CPIBreakdown] = []
+        demand_bytes_per_cycle = 0.0
+        for core_id, miss_ratio in zip(placement.cores, miss_ratios):
+            core = self.topology.core(core_id)
+            cache = self.topology.cache_of(core_id)
+            bd = self.cpu_model.breakdown(
+                work,
+                core,
+                l2_miss_ratio=miss_ratio,
+                memory_latency_cycles=latency,
+                l2_hit_latency_cycles=cache.hit_latency_cycles,
+            )
+            breakdowns.append(bd)
+            # traffic: L2 misses per instruction * instructions per cycle
+            l2_misses_per_instr = l1_misses_per_instr * miss_ratio
+            demand_bytes_per_cycle += l2_misses_per_instr * bd.ipc * line_bytes
+        return breakdowns, demand_bytes_per_cycle
+
+    def _resolve_parallel(
+        self, work: WorkRequest, placement: ThreadPlacement
+    ) -> tuple[List[CPIBreakdown], BusState]:
+        """Resolve self-consistent per-thread CPI and bus state.
+
+        The coupling is a one-dimensional fixed point in the *demanded* bus
+        utilization ``u``: higher assumed utilization raises the effective
+        memory latency, which lowers thread throughput, which lowers the
+        traffic demand.  The map from assumed to implied utilization is
+        therefore monotonically decreasing, so the fixed point is unique and
+        is found robustly by bisection on ``implied(u) - u``.
+        """
+        miss_ratios = self.cache_model.per_thread_miss_ratios(work, placement)
+        line_bytes = self._line_bytes()
+        n_requestors = placement.num_threads
+        capacity = self.memory_model.effective_capacity_bytes_per_cycle(n_requestors)
+
+        def implied_utilization(assumed: float) -> tuple[List[CPIBreakdown], float, float]:
+            breakdowns, demand = self._demand_at(
+                work, placement, miss_ratios, assumed
+            )
+            implied = demand / capacity if capacity > 0 else 0.0
+            return breakdowns, demand, implied
+
+        # Bracket the fixed point: at u=0 the implied utilization is maximal.
+        breakdowns, demand, implied0 = implied_utilization(0.0)
+        if implied0 <= self.fixed_point_tolerance:
+            bus_state = self.memory_model.resolve(
+                demand, line_bytes=line_bytes, active_requestors=n_requestors
+            )
+            return breakdowns, bus_state
+
+        low, high = 0.0, implied0
+        for _ in range(self.fixed_point_iterations):
+            mid = 0.5 * (low + high)
+            breakdowns, demand, implied = implied_utilization(mid)
+            if abs(implied - mid) < self.fixed_point_tolerance:
+                break
+            if implied > mid:
+                low = mid
+            else:
+                high = mid
+        bus_state = self.memory_model.resolve(
+            demand, line_bytes=line_bytes, active_requestors=n_requestors
+        )
+        return breakdowns, bus_state
+
+    def _resolve_serial(self, work: WorkRequest, core_id: int) -> CPIBreakdown:
+        """CPI of the serial portion: one thread with a whole L2 to itself."""
+        solo_placement = ThreadPlacement((core_id,))
+        miss_ratio = self.cache_model.per_thread_miss_ratios(work, solo_placement)[0]
+        latency = self.memory_model.effective_latency_cycles(
+            0.0, prefetch_friendliness=work.prefetch_friendliness
+        )
+        core = self.topology.core(core_id)
+        cache = self.topology.cache_of(core_id)
+        return self.cpu_model.breakdown(
+            work,
+            core,
+            l2_miss_ratio=miss_ratio,
+            memory_latency_cycles=latency,
+            l2_hit_latency_cycles=cache.hit_latency_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # event count synthesis
+    # ------------------------------------------------------------------
+    def _event_counts(
+        self,
+        work: WorkRequest,
+        placement: ThreadPlacement,
+        instructions: float,
+        cycles: float,
+        breakdowns: Sequence[CPIBreakdown],
+        miss_ratios: Sequence[float],
+        bus: BusState,
+    ) -> Dict[str, float]:
+        n = placement.num_threads
+        mem_instr = instructions * work.mem_fraction
+        l1_misses = mem_instr * work.l1_miss_rate
+        mean_miss_ratio = sum(miss_ratios) / len(miss_ratios)
+        l2_accesses = l1_misses
+        l2_total_misses = l1_misses * mean_miss_ratio
+        l2_data_misses = l2_total_misses * 0.92
+        stall_cycles = sum(
+            bd.memory_cpi / bd.total for bd in breakdowns
+        ) / n * cycles * n  # per-thread stall fraction * thread-cycles
+        tlb_rate = min(0.02, 0.0004 * work.working_set_mb)
+        counts = {
+            "PAPI_TOT_INS": instructions,
+            "PAPI_TOT_CYC": cycles,
+            "PAPI_L1_DCA": mem_instr,
+            "PAPI_L1_DCM": l1_misses,
+            "PAPI_L2_DCA": l2_accesses,
+            "PAPI_L2_DCM": l2_data_misses,
+            "PAPI_L2_TCM": l2_total_misses,
+            "PAPI_BUS_TRN": l2_total_misses * 1.05,
+            "PAPI_RES_STL": stall_cycles,
+            "PAPI_TLB_DM": mem_instr * tlb_rate,
+            "PAPI_BR_INS": instructions * work.branch_fraction,
+            "PAPI_BR_MSP": instructions
+            * work.branch_fraction
+            * self.cpu_model.branch_misprediction_rate,
+            "PAPI_FP_OPS": instructions * work.flop_fraction,
+            "PAPI_LST_INS": mem_instr,
+        }
+        return counts
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        work: WorkRequest,
+        placement: ThreadPlacement | Configuration,
+        apply_noise: bool = True,
+    ) -> ExecutionResult:
+        """Execute one invocation of a phase under a placement.
+
+        Parameters
+        ----------
+        work:
+            Phase characterization (see :class:`repro.machine.work.WorkRequest`).
+        placement:
+            Either a raw :class:`ThreadPlacement` or a named
+            :class:`Configuration`.
+        apply_noise:
+            Whether to apply the machine's run-to-run noise term to the
+            execution time (the oracle measurement pipeline disables it).
+        """
+        if isinstance(placement, Configuration):
+            placement = placement.placement
+        self._validate_placement(placement)
+
+        n = placement.num_threads
+        freq_hz = self._frequency_hz(placement)
+
+        # --- parallel portion -----------------------------------------
+        breakdowns, bus_state = self._resolve_parallel(work, placement)
+        miss_ratios = self.cache_model.per_thread_miss_ratios(work, placement)
+        parallel_instructions = work.instructions * (1.0 - work.serial_fraction)
+        per_thread_instr = parallel_instructions / n
+        critical_instr = per_thread_instr * (work.load_imbalance if n > 1 else 1.0)
+        # Critical-path thread: the slowest CPI among threads governs time.
+        critical_cpi = max(bd.total for bd in breakdowns)
+        parallel_cycles = critical_instr * critical_cpi
+
+        # --- serial portion --------------------------------------------
+        serial_instructions = work.instructions * work.serial_fraction
+        serial_cycles = 0.0
+        if serial_instructions > 0:
+            serial_bd = self._resolve_serial(work, placement.cores[0])
+            serial_cycles = serial_instructions * serial_bd.total
+
+        # --- synchronization --------------------------------------------
+        sync_cycles = 0.0
+        sync_instructions = 0.0
+        if n > 1 and work.barriers > 0:
+            per_barrier = work.sync_cycles_per_barrier + 450.0 * n
+            sync_cycles = work.barriers * per_barrier
+            sync_instructions = work.barriers * _SYNC_INSTRUCTIONS_PER_BARRIER * n
+
+        total_cycles = parallel_cycles + serial_cycles + sync_cycles
+        if apply_noise and self.noise_sigma > 0:
+            jitter = float(
+                np.clip(1.0 + self._rng.normal(0.0, self.noise_sigma), 0.9, 1.1)
+            )
+            total_cycles *= jitter
+
+        total_instructions = work.instructions + sync_instructions
+        time_seconds = total_cycles / freq_hz
+        ipc = total_instructions / total_cycles if total_cycles > 0 else 0.0
+
+        # --- power -------------------------------------------------------
+        power = self.power_model.evaluate(
+            occupied_cores=placement.cores,
+            thread_ipcs=[bd.ipc for bd in breakdowns],
+            stall_fractions=[bd.stall_fraction for bd in breakdowns],
+            bus_utilization=bus_state.utilization,
+        )
+
+        events = self._event_counts(
+            work,
+            placement,
+            total_instructions,
+            total_cycles,
+            breakdowns,
+            miss_ratios,
+            bus_state,
+        )
+        return ExecutionResult(
+            work=work,
+            placement=placement,
+            time_seconds=time_seconds,
+            cycles=total_cycles,
+            instructions=total_instructions,
+            ipc=ipc,
+            thread_ipcs=tuple(bd.ipc for bd in breakdowns),
+            thread_cpi=tuple(breakdowns),
+            bus=bus_state,
+            power=power,
+            event_counts=events,
+        )
+
+    def execute_config(
+        self, work: WorkRequest, configuration: Configuration, apply_noise: bool = True
+    ) -> ExecutionResult:
+        """Execute a phase under a named configuration (thin wrapper)."""
+        return self.execute(work, configuration.placement, apply_noise=apply_noise)
+
+    def idle_power_watts(self) -> float:
+        """Wall power of the idle platform."""
+        return self.power_model.idle_power_watts()

@@ -1,0 +1,244 @@
+"""Threading configurations: concurrency level plus thread-to-core placement.
+
+The paper evaluates five *threading configurations* on the quad-core Xeon:
+
+====  =======  =================================================
+name  threads  placement
+====  =======  =================================================
+1     1        one thread on a single core
+2a    2        two threads on *tightly coupled* cores (shared L2)
+2b    2        two threads on *loosely coupled* cores (private L2s)
+3     3        three threads (one shared L2 fully occupied)
+4     4        all four cores
+====  =======  =================================================
+
+A configuration is therefore more than a thread count: the same concurrency
+level can behave very differently depending on whether the threads share a
+cache (the paper's IS benchmark runs 2.04x faster on ``2b`` than ``2a``).
+:class:`ThreadPlacement` captures the exact core set, and
+:func:`standard_configurations` enumerates the paper's five for any topology
+shaped like the QX6600.  :func:`enumerate_configurations` generalizes the
+enumeration to arbitrary topologies for the many-core extension experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .topology import Topology
+
+__all__ = [
+    "ThreadPlacement",
+    "Configuration",
+    "standard_configurations",
+    "configuration_by_name",
+    "enumerate_configurations",
+    "CONFIG_1",
+    "CONFIG_2A",
+    "CONFIG_2B",
+    "CONFIG_3",
+    "CONFIG_4",
+    "STANDARD_CONFIG_NAMES",
+]
+
+#: Canonical ordering of the paper's configuration names.
+STANDARD_CONFIG_NAMES: Tuple[str, ...] = ("1", "2a", "2b", "3", "4")
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """An assignment of threads to specific cores.
+
+    ``cores[i]`` is the core that thread ``i`` is bound to.  Placements are
+    immutable and hashable so they can key dictionaries of measured or
+    predicted results.
+    """
+
+    cores: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise ValueError("a placement must bind at least one thread")
+        if len(set(self.cores)) != len(self.cores):
+            raise ValueError("each thread must be bound to a distinct core")
+
+    @property
+    def num_threads(self) -> int:
+        """Number of threads in the placement."""
+        return len(self.cores)
+
+    def sharers_by_cache(self, topology: Topology) -> Dict[int, List[int]]:
+        """Group the placed cores by the L2 cache they occupy."""
+        return topology.cache_sharers(self.cores)
+
+    def max_cache_sharers(self, topology: Topology) -> int:
+        """Largest number of placed threads sharing any single L2."""
+        groups = self.sharers_by_cache(topology)
+        return max(len(v) for v in groups.values())
+
+    def occupied_caches(self, topology: Topology) -> List[int]:
+        """Identifiers of L2 domains with at least one placed thread."""
+        return sorted(self.sharers_by_cache(topology))
+
+    def idle_cores(self, topology: Topology) -> List[int]:
+        """Cores of the topology that carry no thread under this placement."""
+        used = set(self.cores)
+        return [c for c in topology.core_ids() if c not in used]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A named threading configuration: a placement with the paper's label."""
+
+    name: str
+    placement: ThreadPlacement
+
+    @property
+    def num_threads(self) -> int:
+        """Concurrency level of the configuration."""
+        return self.placement.num_threads
+
+    @property
+    def cores(self) -> Tuple[int, ...]:
+        """Cores occupied by the configuration."""
+        return self.placement.cores
+
+    def describe(self, topology: Topology) -> str:
+        """One-line description including cache coupling."""
+        groups = self.placement.sharers_by_cache(topology)
+        shared = ", ".join(
+            f"L2#{cache}:{sorted(cores)}" for cache, cores in sorted(groups.items())
+        )
+        return f"config {self.name}: {self.num_threads} thread(s) on cores {list(self.cores)} ({shared})"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Configuration({self.name}, cores={list(self.cores)})"
+
+
+# ----------------------------------------------------------------------
+# The paper's five standard configurations
+# ----------------------------------------------------------------------
+CONFIG_1 = Configuration("1", ThreadPlacement((0,)))
+CONFIG_2A = Configuration("2a", ThreadPlacement((0, 1)))
+CONFIG_2B = Configuration("2b", ThreadPlacement((0, 2)))
+CONFIG_3 = Configuration("3", ThreadPlacement((0, 1, 2)))
+CONFIG_4 = Configuration("4", ThreadPlacement((0, 1, 2, 3)))
+
+_STANDARD = {c.name: c for c in (CONFIG_1, CONFIG_2A, CONFIG_2B, CONFIG_3, CONFIG_4)}
+
+
+def standard_configurations(topology: Topology | None = None) -> List[Configuration]:
+    """Return the paper's five configurations (1, 2a, 2b, 3, 4).
+
+    When a topology is supplied the placements are validated against it: the
+    topology must have at least four cores, cores 0/1 must be tightly coupled
+    and cores 0/2 loosely coupled (i.e. the QX6600 layout produced by
+    :func:`repro.machine.topology.quad_core_xeon`).
+    """
+    configs = [CONFIG_1, CONFIG_2A, CONFIG_2B, CONFIG_3, CONFIG_4]
+    if topology is not None:
+        if topology.num_cores < 4:
+            raise ValueError(
+                "standard configurations require at least four cores; "
+                f"topology has {topology.num_cores}"
+            )
+        if not topology.tightly_coupled(0, 1):
+            raise ValueError("cores 0 and 1 must share an L2 for configuration 2a")
+        if not topology.loosely_coupled(0, 2):
+            raise ValueError("cores 0 and 2 must not share an L2 for configuration 2b")
+    return configs
+
+
+def configuration_by_name(name: str) -> Configuration:
+    """Look up one of the paper's standard configurations by its label."""
+    try:
+        return _STANDARD[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown configuration {name!r}; expected one of {STANDARD_CONFIG_NAMES}"
+        ) from exc
+
+
+def _compact_placement(topology: Topology, num_threads: int) -> ThreadPlacement:
+    """Fill caches one at a time (maximizes sharing)."""
+    cores: List[int] = []
+    for cache in topology.caches:
+        for core_id in topology.cores_of_cache(cache.cache_id):
+            if len(cores) < num_threads:
+                cores.append(core_id)
+    return ThreadPlacement(tuple(cores[:num_threads]))
+
+
+def _scattered_placement(topology: Topology, num_threads: int) -> ThreadPlacement:
+    """Round-robin across caches (minimizes sharing)."""
+    per_cache = {c.cache_id: list(topology.cores_of_cache(c.cache_id)) for c in topology.caches}
+    cores: List[int] = []
+    while len(cores) < num_threads:
+        progressed = False
+        for cache_id in sorted(per_cache):
+            if per_cache[cache_id] and len(cores) < num_threads:
+                cores.append(per_cache[cache_id].pop(0))
+                progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            break
+    return ThreadPlacement(tuple(cores))
+
+
+def enumerate_configurations(
+    topology: Topology,
+    thread_counts: Iterable[int] | None = None,
+) -> List[Configuration]:
+    """Enumerate meaningful configurations for an arbitrary topology.
+
+    For each requested thread count this produces a *compact* placement
+    (threads packed onto as few L2 domains as possible) and, when it differs,
+    a *scattered* placement (threads spread across L2 domains).  On the
+    quad-core Xeon this reduces exactly to the paper's 1, 2a, 2b, 3, 4 set
+    (three threads have only one distinct placement up to symmetry).
+
+    Parameters
+    ----------
+    topology:
+        The machine to enumerate for.
+    thread_counts:
+        Concurrency levels of interest; defaults to ``1..num_cores``.
+    """
+    if thread_counts is None:
+        thread_counts = range(1, topology.num_cores + 1)
+    configs: List[Configuration] = []
+    for n in thread_counts:
+        if n < 1 or n > topology.num_cores:
+            raise ValueError(
+                f"thread count {n} outside 1..{topology.num_cores} for {topology.name}"
+            )
+        compact = _compact_placement(topology, n)
+        scattered = _scattered_placement(topology, n)
+        if placements_equivalent(topology, compact, scattered):
+            configs.append(Configuration(str(n), compact))
+        else:
+            # Suffix convention follows the paper: 'a' = shared caches
+            # (compact), 'b' = private caches (scattered).
+            configs.append(Configuration(f"{n}a", compact))
+            configs.append(Configuration(f"{n}b", scattered))
+    return configs
+
+
+def placements_equivalent(
+    topology: Topology, a: ThreadPlacement, b: ThreadPlacement
+) -> bool:
+    """Return ``True`` when two placements are equivalent up to symmetry.
+
+    Two placements are considered equivalent when they occupy the same number
+    of cores on each L2 domain occupancy pattern (the performance model treats
+    all cores and all caches as homogeneous, so only the occupancy multiset
+    matters).
+    """
+    if a.num_threads != b.num_threads:
+        return False
+    occ_a = sorted(len(v) for v in a.sharers_by_cache(topology).values())
+    occ_b = sorted(len(v) for v in b.sharers_by_cache(topology).values())
+    return occ_a == occ_b
+
+
+__all__.append("placements_equivalent")

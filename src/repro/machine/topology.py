@@ -1,0 +1,362 @@
+"""Processor topology model for the simulated quad-core Xeon platform.
+
+The paper's experimental platform is an Intel Xeon QX6600: a single package
+built from two dual-core dies, each die pairing two cores behind a shared
+4 MB L2 cache, with all four cores sharing a 1066 MHz front-side bus to
+memory.  The paper calls two cores that share an L2 *tightly coupled* and two
+cores on different dies *loosely coupled*; configuration ``2a`` places two
+threads on tightly coupled cores while ``2b`` places them on loosely coupled
+cores.
+
+This module provides a small, explicit description of that topology.  Nothing
+in it is specific to the QX6600 — arbitrary core counts, cache domains and
+cache/bus parameters can be described — but :func:`quad_core_xeon` builds the
+exact machine used throughout the paper's evaluation and this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "CacheDescriptor",
+    "CoreDescriptor",
+    "Topology",
+    "quad_core_xeon",
+    "dual_socket_xeon",
+    "many_core",
+]
+
+
+@dataclass(frozen=True)
+class CacheDescriptor:
+    """Description of a single last-level cache domain.
+
+    Attributes
+    ----------
+    cache_id:
+        Integer identifier, unique within a :class:`Topology`.
+    size_mb:
+        Capacity of the cache in megabytes.
+    line_bytes:
+        Cache line size in bytes.  Misses transfer one line over the bus.
+    hit_latency_cycles:
+        Load-to-use latency of a hit in this cache, in core cycles.
+    """
+
+    cache_id: int
+    size_mb: float = 4.0
+    line_bytes: int = 64
+    hit_latency_cycles: int = 14
+
+    @property
+    def size_bytes(self) -> int:
+        """Capacity in bytes."""
+        return int(self.size_mb * 1024 * 1024)
+
+
+@dataclass(frozen=True)
+class CoreDescriptor:
+    """Description of a single processor core.
+
+    Attributes
+    ----------
+    core_id:
+        Integer identifier, unique within a :class:`Topology`.
+    l2_cache_id:
+        Identifier of the L2 cache domain this core sits behind.
+    frequency_ghz:
+        Core clock frequency in GHz.
+    l1_size_kb:
+        Private L1 data cache capacity in kilobytes.
+    l1_hit_latency_cycles:
+        Load-to-use latency of an L1 hit.
+    peak_ipc:
+        Maximum sustainable instructions per cycle of the core
+        (4-wide issue on the Core micro-architecture, realistically ~2.5-3
+        retired per cycle for scientific codes; we keep the architectural
+        width and let the CPI model account for realistic throughput).
+    """
+
+    core_id: int
+    l2_cache_id: int
+    frequency_ghz: float = 2.4
+    l1_size_kb: float = 32.0
+    l1_hit_latency_cycles: int = 3
+    peak_ipc: float = 4.0
+
+
+@dataclass
+class Topology:
+    """A processor package: cores, shared caches and a shared front-side bus.
+
+    The topology is intentionally minimal: it captures only the structural
+    facts the paper's analysis relies on — which cores share an L2 (tight
+    coupling) and that every core shares one memory bus.
+
+    Parameters
+    ----------
+    name:
+        Human-readable platform name.
+    cores:
+        Sequence of :class:`CoreDescriptor`.
+    caches:
+        Sequence of :class:`CacheDescriptor`.
+    bus_bandwidth_gbs:
+        Peak front-side-bus bandwidth in GB/s (8.5 GB/s for a 1066 MHz FSB
+        with a 64-bit data path).
+    memory_latency_ns:
+        Unloaded DRAM access latency in nanoseconds.
+    memory_gb:
+        Installed main memory, informational only.
+    """
+
+    name: str
+    cores: List[CoreDescriptor]
+    caches: List[CacheDescriptor]
+    bus_bandwidth_gbs: float = 8.5
+    memory_latency_ns: float = 95.0
+    memory_gb: float = 2.0
+    _cache_index: Dict[int, CacheDescriptor] = field(init=False, repr=False)
+    _core_index: Dict[int, CoreDescriptor] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._cache_index = {c.cache_id: c for c in self.caches}
+        self._core_index = {c.core_id: c for c in self.cores}
+        if len(self._cache_index) != len(self.caches):
+            raise ValueError("duplicate cache_id in topology")
+        if len(self._core_index) != len(self.cores):
+            raise ValueError("duplicate core_id in topology")
+        for core in self.cores:
+            if core.l2_cache_id not in self._cache_index:
+                raise ValueError(
+                    f"core {core.core_id} references unknown cache "
+                    f"{core.l2_cache_id}"
+                )
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        """Number of cores in the package."""
+        return len(self.cores)
+
+    @property
+    def num_caches(self) -> int:
+        """Number of distinct L2 cache domains."""
+        return len(self.caches)
+
+    def core(self, core_id: int) -> CoreDescriptor:
+        """Return the descriptor of ``core_id``."""
+        try:
+            return self._core_index[core_id]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise KeyError(f"unknown core id {core_id}") from exc
+
+    def cache(self, cache_id: int) -> CacheDescriptor:
+        """Return the descriptor of cache ``cache_id``."""
+        try:
+            return self._cache_index[cache_id]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise KeyError(f"unknown cache id {cache_id}") from exc
+
+    def cache_of(self, core_id: int) -> CacheDescriptor:
+        """Return the L2 cache domain of ``core_id``."""
+        return self.cache(self.core(core_id).l2_cache_id)
+
+    def cores_of_cache(self, cache_id: int) -> List[int]:
+        """Return the core ids attached to cache ``cache_id``."""
+        return [c.core_id for c in self.cores if c.l2_cache_id == cache_id]
+
+    def core_ids(self) -> List[int]:
+        """Return all core ids in ascending order."""
+        return sorted(self._core_index)
+
+    # ------------------------------------------------------------------
+    # coupling queries used by placement logic
+    # ------------------------------------------------------------------
+    def tightly_coupled(self, core_a: int, core_b: int) -> bool:
+        """Return ``True`` when the two cores share an L2 cache."""
+        if core_a == core_b:
+            raise ValueError("coupling is defined between distinct cores")
+        return self.core(core_a).l2_cache_id == self.core(core_b).l2_cache_id
+
+    def loosely_coupled(self, core_a: int, core_b: int) -> bool:
+        """Return ``True`` when the two cores do not share an L2 cache."""
+        return not self.tightly_coupled(core_a, core_b)
+
+    def tightly_coupled_pairs(self) -> List[Tuple[int, int]]:
+        """Return every (ordered-ascending) pair of cores sharing an L2."""
+        pairs: List[Tuple[int, int]] = []
+        ids = self.core_ids()
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                if self.tightly_coupled(a, b):
+                    pairs.append((a, b))
+        return pairs
+
+    def loosely_coupled_pairs(self) -> List[Tuple[int, int]]:
+        """Return every (ordered-ascending) pair of cores on distinct L2s."""
+        pairs: List[Tuple[int, int]] = []
+        ids = self.core_ids()
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                if self.loosely_coupled(a, b):
+                    pairs.append((a, b))
+        return pairs
+
+    def cache_sharers(self, core_ids: Sequence[int]) -> Dict[int, List[int]]:
+        """Group a set of cores by the L2 cache they occupy.
+
+        Parameters
+        ----------
+        core_ids:
+            The cores occupied by threads of a parallel phase.
+
+        Returns
+        -------
+        dict
+            Mapping ``cache_id -> list of occupied core ids`` for caches
+            with at least one occupant.
+        """
+        groups: Dict[int, List[int]] = {}
+        for cid in core_ids:
+            cache_id = self.core(cid).l2_cache_id
+            groups.setdefault(cache_id, []).append(cid)
+        return groups
+
+    # ------------------------------------------------------------------
+    # derived bus parameters
+    # ------------------------------------------------------------------
+    def bus_bytes_per_cycle(self, frequency_ghz: float | None = None) -> float:
+        """Front-side-bus bandwidth expressed in bytes per core cycle.
+
+        The CPU cycle-accounting model works in core cycles; expressing the
+        bus capacity in bytes/cycle lets it compare traffic demand against
+        capacity without unit conversions.
+        """
+        if frequency_ghz is None:
+            frequency_ghz = self.cores[0].frequency_ghz
+        return self.bus_bandwidth_gbs / frequency_ghz
+
+    def memory_latency_cycles(self, frequency_ghz: float | None = None) -> float:
+        """Unloaded memory latency expressed in core cycles."""
+        if frequency_ghz is None:
+            frequency_ghz = self.cores[0].frequency_ghz
+        return self.memory_latency_ns * frequency_ghz
+
+    def describe(self) -> str:
+        """Return a short multi-line human-readable description."""
+        lines = [f"{self.name}: {self.num_cores} cores, {self.num_caches} L2 domains"]
+        for cache in self.caches:
+            sharers = self.cores_of_cache(cache.cache_id)
+            lines.append(
+                f"  L2 #{cache.cache_id}: {cache.size_mb:.1f} MB shared by cores {sharers}"
+            )
+        lines.append(
+            f"  FSB {self.bus_bandwidth_gbs:.1f} GB/s, memory latency "
+            f"{self.memory_latency_ns:.0f} ns, {self.memory_gb:.0f} GB RAM"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# factory functions
+# ----------------------------------------------------------------------
+def quad_core_xeon(
+    frequency_ghz: float = 2.4,
+    l2_mb: float = 4.0,
+    bus_bandwidth_gbs: float = 8.5,
+    memory_latency_ns: float = 95.0,
+) -> Topology:
+    """Build the paper's experimental platform (Intel Xeon QX6600-like).
+
+    Two dual-core dies on one package: cores 0 and 1 share L2 #0, cores 2 and
+    3 share L2 #1, and the whole package shares one front-side bus.
+    """
+    caches = [
+        CacheDescriptor(cache_id=0, size_mb=l2_mb),
+        CacheDescriptor(cache_id=1, size_mb=l2_mb),
+    ]
+    cores = [
+        CoreDescriptor(core_id=0, l2_cache_id=0, frequency_ghz=frequency_ghz),
+        CoreDescriptor(core_id=1, l2_cache_id=0, frequency_ghz=frequency_ghz),
+        CoreDescriptor(core_id=2, l2_cache_id=1, frequency_ghz=frequency_ghz),
+        CoreDescriptor(core_id=3, l2_cache_id=1, frequency_ghz=frequency_ghz),
+    ]
+    return Topology(
+        name="Intel Xeon QX6600 (simulated)",
+        cores=cores,
+        caches=caches,
+        bus_bandwidth_gbs=bus_bandwidth_gbs,
+        memory_latency_ns=memory_latency_ns,
+        memory_gb=2.0,
+    )
+
+
+def dual_socket_xeon(frequency_ghz: float = 2.4, l2_mb: float = 4.0) -> Topology:
+    """Build a hypothetical dual-socket (8-core) extension of the platform.
+
+    The paper argues its conclusions strengthen as core counts grow; this
+    topology supports the extension experiments that explore that claim.
+    Each socket contributes two dual-core dies; all eight cores share one
+    memory bus (the dominant contention point in the model).
+    """
+    caches = [CacheDescriptor(cache_id=i, size_mb=l2_mb) for i in range(4)]
+    cores = [
+        CoreDescriptor(core_id=i, l2_cache_id=i // 2, frequency_ghz=frequency_ghz)
+        for i in range(8)
+    ]
+    return Topology(
+        name="Dual-socket quad-core Xeon (simulated)",
+        cores=cores,
+        caches=caches,
+        bus_bandwidth_gbs=10.6,
+        memory_latency_ns=105.0,
+        memory_gb=4.0,
+    )
+
+
+def many_core(
+    num_cores: int,
+    cores_per_cache: int = 2,
+    frequency_ghz: float = 2.0,
+    l2_mb: float = 2.0,
+    bus_bandwidth_gbs: float = 12.0,
+) -> Topology:
+    """Build a generic many-core package for scaling studies.
+
+    Parameters
+    ----------
+    num_cores:
+        Total number of cores; must be a positive multiple of
+        ``cores_per_cache``.
+    cores_per_cache:
+        How many cores share each L2 domain.
+    """
+    if num_cores <= 0:
+        raise ValueError("num_cores must be positive")
+    if cores_per_cache <= 0:
+        raise ValueError("cores_per_cache must be positive")
+    if num_cores % cores_per_cache != 0:
+        raise ValueError("num_cores must be a multiple of cores_per_cache")
+    num_caches = num_cores // cores_per_cache
+    caches = [CacheDescriptor(cache_id=i, size_mb=l2_mb) for i in range(num_caches)]
+    cores = [
+        CoreDescriptor(
+            core_id=i,
+            l2_cache_id=i // cores_per_cache,
+            frequency_ghz=frequency_ghz,
+        )
+        for i in range(num_cores)
+    ]
+    return Topology(
+        name=f"Many-core ({num_cores} cores, simulated)",
+        cores=cores,
+        caches=caches,
+        bus_bandwidth_gbs=bus_bandwidth_gbs,
+        memory_latency_ns=110.0,
+        memory_gb=8.0,
+    )

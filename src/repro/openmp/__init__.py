@@ -1,0 +1,30 @@
+"""OpenMP-like parallel-region runtime with adjustable concurrency."""
+
+from .region import ParallelRegion, RegionExecution
+from .runtime import (
+    ConcurrencyController,
+    OpenMPRuntime,
+    PhaseDirective,
+    PhaseObservation,
+    PhaseSummary,
+    StaticController,
+    WorkloadRunReport,
+)
+from .schedule import Schedule, ScheduleKind
+from .team import ThreadTeam, WorkerThread
+
+__all__ = [
+    "ConcurrencyController",
+    "OpenMPRuntime",
+    "ParallelRegion",
+    "PhaseDirective",
+    "PhaseObservation",
+    "PhaseSummary",
+    "RegionExecution",
+    "Schedule",
+    "ScheduleKind",
+    "StaticController",
+    "ThreadTeam",
+    "WorkerThread",
+    "WorkloadRunReport",
+]

@@ -1,0 +1,115 @@
+"""Parallel regions: the runtime's unit of execution and adaptation.
+
+A :class:`ParallelRegion` is the runtime-side representation of one workload
+phase (an OpenMP ``parallel`` construct).  The paper instruments the
+beginning and end of each region with calls into ACTOR; in this reproduction
+those instrumentation points are the ``before_phase`` / ``after_phase``
+callbacks of a :class:`~repro.openmp.runtime.ConcurrencyController`.
+
+Each execution of a region produces a :class:`RegionExecution` record
+containing both the quantities observable online by the runtime (elapsed
+time, the programmed hardware counters) and the ground-truth quantities that
+only the experimental harness may look at (energy, power, the full event
+set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..machine.counters import CounterReading
+from ..machine.machine import ExecutionResult
+from ..machine.placement import Configuration
+from ..workloads.base import PhaseSpec
+
+__all__ = ["ParallelRegion", "RegionExecution"]
+
+
+@dataclass(frozen=True)
+class ParallelRegion:
+    """A parallel region registered with the runtime.
+
+    Attributes
+    ----------
+    region_id:
+        Dense integer identifier assigned at registration time.
+    workload_name:
+        Name of the application the region belongs to.
+    phase:
+        The workload phase this region executes.
+    """
+
+    region_id: int
+    workload_name: str
+    phase: PhaseSpec
+
+    @property
+    def name(self) -> str:
+        """Fully qualified region name (``workload:phase``)."""
+        return f"{self.workload_name}:{self.phase.name}"
+
+    @property
+    def phase_name(self) -> str:
+        """Name of the underlying workload phase."""
+        return self.phase.name
+
+
+@dataclass(frozen=True)
+class RegionExecution:
+    """Outcome of one execution (instance) of a parallel region.
+
+    Attributes
+    ----------
+    region:
+        The region that was executed.
+    timestep:
+        Application timestep of this instance (0-based).
+    configuration:
+        Threading configuration used.
+    time_seconds:
+        Wall-clock time including runtime scheduling overhead.
+    overhead_seconds:
+        Portion of ``time_seconds`` added by the runtime itself (loop
+        scheduling, team management).
+    reading:
+        Counter values visible to the runtime for this instance (``None``
+        when the controller did not request sampling).
+    result:
+        Ground-truth machine result (includes power/energy and the full
+        event counts).  Online policies must not inspect the power fields;
+        the experimental harness uses them for reporting.
+    """
+
+    region: ParallelRegion
+    timestep: int
+    configuration: Configuration
+    time_seconds: float
+    overhead_seconds: float
+    reading: Optional[CounterReading]
+    result: ExecutionResult
+
+    @property
+    def energy_joules(self) -> float:
+        """Ground-truth energy of the instance (harness use only)."""
+        return self.result.power_watts * self.time_seconds
+
+    @property
+    def power_watts(self) -> float:
+        """Ground-truth average power of the instance (harness use only)."""
+        return self.result.power_watts
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate IPC of the instance."""
+        return self.result.ipc
+
+    def observable(self) -> Dict[str, float]:
+        """The quantities an online policy is allowed to use."""
+        data: Dict[str, float] = {
+            "time_seconds": self.time_seconds,
+            "ipc": self.result.ipc,
+        }
+        if self.reading is not None:
+            data.update({f"rate:{k}": v for k, v in self.reading.rates().items()})
+        return data

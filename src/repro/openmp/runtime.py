@@ -1,0 +1,384 @@
+"""The OpenMP-like runtime: executes workloads region by region.
+
+This is the layer the paper's ACTOR library plugs into.  The runtime
+
+* registers one :class:`~repro.openmp.region.ParallelRegion` per workload
+  phase,
+* executes each region instance on the machine under the currently selected
+  threading configuration,
+* exposes the two instrumentation points the paper adds around every phase
+  (``before_phase`` and ``after_phase`` of a :class:`ConcurrencyController`),
+* performs hardware-counter measurements on request, honouring the
+  two-registers-at-a-time constraint and adding realistic sampling noise,
+* accumulates a :class:`WorkloadRunReport` with per-phase and whole-run
+  statistics (time, energy, power, ED²).
+
+Online controllers only ever see :class:`PhaseObservation` objects — elapsed
+time, IPC and the counter rates they asked for — never power or energy,
+mirroring the information actually available to the paper's runtime system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.counters import CounterReading, PerformanceCounterFile
+from ..machine.machine import ExecutionResult, Machine
+from ..machine.placement import CONFIG_4, Configuration
+from ..workloads.base import PhaseSpec, Workload
+from .region import ParallelRegion, RegionExecution
+from .schedule import Schedule
+from .team import ThreadTeam
+
+__all__ = [
+    "PhaseDirective",
+    "PhaseObservation",
+    "ConcurrencyController",
+    "StaticController",
+    "PhaseSummary",
+    "WorkloadRunReport",
+    "OpenMPRuntime",
+]
+
+
+@dataclass(frozen=True)
+class PhaseDirective:
+    """Controller decision for one upcoming region instance.
+
+    Attributes
+    ----------
+    configuration:
+        Threading configuration to execute the instance under.
+    sample_events:
+        Programmable hardware events to collect during the instance
+        (at most the runtime's register count), or ``None``/empty for no
+        sampling beyond the fixed counters.
+    """
+
+    configuration: Configuration
+    sample_events: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PhaseObservation:
+    """What a controller is allowed to observe about a finished instance."""
+
+    region_name: str
+    phase_name: str
+    timestep: int
+    configuration: Configuration
+    time_seconds: float
+    ipc: float
+    reading: Optional[CounterReading]
+
+
+class ConcurrencyController(Protocol):
+    """Interface of ACTOR-style adaptive controllers.
+
+    The runtime calls :meth:`before_phase` immediately before executing a
+    region instance and :meth:`after_phase` immediately after, mirroring the
+    instrumentation calls the paper inserts at the beginning and end of each
+    OpenMP phase.
+    """
+
+    def before_phase(self, region: ParallelRegion, timestep: int) -> PhaseDirective:
+        """Decide configuration and sampling for the upcoming instance."""
+        ...
+
+    def after_phase(self, observation: PhaseObservation) -> None:
+        """Receive the observable outcome of the finished instance."""
+        ...
+
+
+class StaticController:
+    """Trivial controller: always run on a fixed configuration, never sample.
+
+    This is the paper's baseline ("the default for a performance-oriented
+    developer" is the all-cores configuration ``4``).
+    """
+
+    def __init__(self, configuration: Configuration = CONFIG_4) -> None:
+        self.configuration = configuration
+
+    def before_phase(self, region: ParallelRegion, timestep: int) -> PhaseDirective:
+        return PhaseDirective(configuration=self.configuration)
+
+    def after_phase(self, observation: PhaseObservation) -> None:  # noqa: D401
+        return None
+
+
+@dataclass
+class PhaseSummary:
+    """Accumulated statistics of one region over a whole run."""
+
+    phase_name: str
+    instances: int = 0
+    time_seconds: float = 0.0
+    energy_joules: float = 0.0
+    overhead_seconds: float = 0.0
+    configurations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def average_power_watts(self) -> float:
+        """Mean power over the phase's accumulated execution time."""
+        if self.time_seconds <= 0:
+            return 0.0
+        return self.energy_joules / self.time_seconds
+
+    def record(self, execution: RegionExecution) -> None:
+        """Fold one instance into the summary."""
+        self.instances += 1
+        self.time_seconds += execution.time_seconds
+        self.energy_joules += execution.energy_joules
+        self.overhead_seconds += execution.overhead_seconds
+        key = execution.configuration.name
+        self.configurations[key] = self.configurations.get(key, 0) + 1
+
+    def dominant_configuration(self) -> str:
+        """Configuration used for the most instances of this phase."""
+        if not self.configurations:
+            return ""
+        return max(self.configurations.items(), key=lambda kv: kv[1])[0]
+
+
+@dataclass
+class WorkloadRunReport:
+    """Whole-run outcome of executing a workload under a controller."""
+
+    workload_name: str
+    controller_name: str
+    time_seconds: float = 0.0
+    energy_joules: float = 0.0
+    sampling_overhead_seconds: float = 0.0
+    phases: Dict[str, PhaseSummary] = field(default_factory=dict)
+    executions: List[RegionExecution] = field(default_factory=list)
+    keep_executions: bool = True
+
+    @property
+    def average_power_watts(self) -> float:
+        """Average wall power over the run."""
+        if self.time_seconds <= 0:
+            return 0.0
+        return self.energy_joules / self.time_seconds
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product of the run (J*s)."""
+        return self.energy_joules * self.time_seconds
+
+    @property
+    def ed2(self) -> float:
+        """Energy-delay-squared of the run (J*s^2)."""
+        return self.energy_joules * self.time_seconds ** 2
+
+    def record(self, execution: RegionExecution) -> None:
+        """Fold one region instance into the report."""
+        self.time_seconds += execution.time_seconds
+        self.energy_joules += execution.energy_joules
+        summary = self.phases.setdefault(
+            execution.region.phase_name, PhaseSummary(execution.region.phase_name)
+        )
+        summary.record(execution)
+        if self.keep_executions:
+            self.executions.append(execution)
+
+    def phase_configurations(self) -> Dict[str, str]:
+        """Dominant configuration chosen for each phase."""
+        return {name: s.dominant_configuration() for name, s in self.phases.items()}
+
+    def summary(self) -> str:
+        """Multi-line human-readable run summary."""
+        lines = [
+            f"{self.workload_name} under {self.controller_name}: "
+            f"{self.time_seconds:.2f} s, {self.energy_joules:.0f} J, "
+            f"{self.average_power_watts:.1f} W, ED2 {self.ed2:.3e}"
+        ]
+        for name, s in self.phases.items():
+            lines.append(
+                f"  {name:24s} {s.instances:5d} inst  {s.time_seconds:9.2f} s  "
+                f"{s.energy_joules:10.0f} J  config {s.dominant_configuration()}"
+            )
+        return "\n".join(lines)
+
+
+class OpenMPRuntime:
+    """Executes workloads phase by phase on the simulated machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine to execute on.
+    default_configuration:
+        Configuration used when a controller does not specify one (and by
+        :class:`StaticController` defaults).
+    schedule:
+        Loop schedule used for all regions.
+    counter_registers:
+        Number of simultaneously programmable hardware counters (2 on the
+        paper's platform).
+    measurement_noise:
+        Relative standard deviation of multiplicative noise applied to
+        sampled counter values: short sampling windows and counter
+        multiplexing make online measurements imperfect, which is the main
+        source of prediction error for the ANN models.
+    seed:
+        Seed of the runtime's private random generator (phase variability
+        and measurement noise).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        default_configuration: Configuration = CONFIG_4,
+        schedule: Schedule | None = None,
+        counter_registers: int = 2,
+        measurement_noise: float = 0.10,
+        seed: int = 42,
+        keep_executions: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.default_configuration = default_configuration
+        self.schedule = schedule or Schedule()
+        self.counter_file = PerformanceCounterFile(num_registers=counter_registers)
+        if measurement_noise < 0:
+            raise ValueError("measurement_noise must be non-negative")
+        self.measurement_noise = measurement_noise
+        self._rng = np.random.default_rng(seed)
+        self.keep_executions = keep_executions
+        self._next_region_id = 0
+
+    # ------------------------------------------------------------------
+    # region management
+    # ------------------------------------------------------------------
+    def register_regions(self, workload: Workload) -> List[ParallelRegion]:
+        """Create one parallel region per phase of ``workload``."""
+        regions: List[ParallelRegion] = []
+        for phase in workload.phases:
+            regions.append(
+                ParallelRegion(
+                    region_id=self._next_region_id,
+                    workload_name=workload.name,
+                    phase=phase,
+                )
+            )
+            self._next_region_id += 1
+        return regions
+
+    # ------------------------------------------------------------------
+    # execution primitives
+    # ------------------------------------------------------------------
+    def _instantiate_work(self, phase: PhaseSpec, team: ThreadTeam):
+        """Apply per-instance variability and the team's loop schedule."""
+        work = phase.work
+        if phase.variability > 0:
+            work = work.with_noise(self._rng, phase.variability)
+        effective_imbalance = team.schedule.effective_imbalance(
+            work, team.num_threads
+        )
+        if effective_imbalance != work.load_imbalance:
+            work = replace(work, load_imbalance=max(1.0, effective_imbalance))
+        return work
+
+    def _measure(
+        self,
+        result: ExecutionResult,
+        events: Sequence[str],
+    ) -> CounterReading:
+        """Produce a noisy counter reading of ``result`` for ``events``."""
+        self.counter_file.program(tuple(events))
+        counts = dict(result.event_counts)
+        if self.measurement_noise > 0:
+            for key in counts:
+                jitter = 1.0 + self._rng.normal(0.0, self.measurement_noise)
+                counts[key] = counts[key] * float(np.clip(jitter, 0.5, 1.5))
+        return self.counter_file.read(counts, cycles=result.cycles)
+
+    def execute_region(
+        self,
+        region: ParallelRegion,
+        timestep: int,
+        directive: PhaseDirective,
+    ) -> RegionExecution:
+        """Execute one instance of ``region`` according to ``directive``."""
+        configuration = directive.configuration or self.default_configuration
+        team = ThreadTeam(configuration=configuration, schedule=self.schedule)
+        work = self._instantiate_work(region.phase, team)
+        result = self.machine.execute(work, configuration.placement)
+
+        frequency_hz = (
+            self.machine.topology.core(configuration.cores[0]).frequency_ghz * 1e9
+        )
+        overhead_seconds = (
+            team.schedule.overhead_cycles(work, team.num_threads) / frequency_hz
+        )
+        reading: Optional[CounterReading] = None
+        if directive.sample_events:
+            reading = self._measure(result, directive.sample_events)
+        return RegionExecution(
+            region=region,
+            timestep=timestep,
+            configuration=configuration,
+            time_seconds=result.time_seconds + overhead_seconds,
+            overhead_seconds=overhead_seconds,
+            reading=reading,
+            result=result,
+        )
+
+    # ------------------------------------------------------------------
+    # whole-workload driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        controller: Optional[ConcurrencyController] = None,
+        controller_name: Optional[str] = None,
+        max_timesteps: Optional[int] = None,
+    ) -> WorkloadRunReport:
+        """Run a workload to completion under a controller.
+
+        Parameters
+        ----------
+        workload:
+            The application to execute.
+        controller:
+            ACTOR-style controller; defaults to a static all-cores
+            controller.
+        controller_name:
+            Label recorded in the report (defaults to the controller class
+            name).
+        max_timesteps:
+            Optionally truncate the run (useful in tests).
+        """
+        if controller is None:
+            controller = StaticController(self.default_configuration)
+        name = controller_name or type(controller).__name__
+        report = WorkloadRunReport(
+            workload_name=workload.name,
+            controller_name=name,
+            keep_executions=self.keep_executions,
+        )
+        regions = self.register_regions(workload)
+        timesteps = workload.timesteps if max_timesteps is None else min(
+            workload.timesteps, max_timesteps
+        )
+        for timestep in range(timesteps):
+            for region in regions:
+                for _ in range(region.phase.invocations_per_timestep):
+                    directive = controller.before_phase(region, timestep)
+                    execution = self.execute_region(region, timestep, directive)
+                    report.record(execution)
+                    controller.after_phase(
+                        PhaseObservation(
+                            region_name=region.name,
+                            phase_name=region.phase_name,
+                            timestep=timestep,
+                            configuration=execution.configuration,
+                            time_seconds=execution.time_seconds,
+                            ipc=execution.ipc,
+                            reading=execution.reading,
+                        )
+                    )
+        return report

@@ -1,0 +1,78 @@
+"""Loop scheduling policies of the OpenMP-like runtime.
+
+OpenMP offers several ways of distributing loop iterations across the thread
+team.  The paper's benchmarks use static scheduling almost exclusively (the
+NAS OpenMP codes are written that way), but the runtime models the three
+classic policies because the choice affects the effective load imbalance and
+the per-invocation overhead — one of the ablation studies varies it.
+
+The model is intentionally coarse: a schedule transforms the phase's inherent
+``load_imbalance`` into an *effective* imbalance seen by the machine model
+and adds a per-invocation overhead in cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..machine.work import WorkRequest
+
+__all__ = ["ScheduleKind", "Schedule"]
+
+
+class ScheduleKind(str, Enum):
+    """OpenMP loop schedule kinds supported by the runtime."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A loop schedule: kind plus (abstract) chunk size.
+
+    Attributes
+    ----------
+    kind:
+        One of :class:`ScheduleKind`.
+    chunk:
+        Abstract chunk size; only its magnitude relative to the default
+        (1.0) matters.  Smaller chunks reduce imbalance but raise overhead
+        for the dynamic/guided schedules.
+    """
+
+    kind: ScheduleKind = ScheduleKind.STATIC
+    chunk: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.chunk <= 0:
+            raise ValueError("chunk must be positive")
+
+    def effective_imbalance(self, work: WorkRequest, num_threads: int) -> float:
+        """Load-imbalance multiplier seen by the machine under this schedule."""
+        if num_threads <= 1:
+            return 1.0
+        inherent = work.load_imbalance
+        if self.kind is ScheduleKind.STATIC:
+            return inherent
+        if self.kind is ScheduleKind.DYNAMIC:
+            # Dynamic scheduling removes most of the imbalance; smaller
+            # chunks remove more.
+            residual = 1.0 + (inherent - 1.0) * min(1.0, 0.25 * self.chunk)
+            return residual
+        # Guided: between static and dynamic.
+        return 1.0 + (inherent - 1.0) * 0.5
+
+    def overhead_cycles(self, work: WorkRequest, num_threads: int) -> float:
+        """Extra scheduling overhead (cycles) added to one invocation."""
+        if num_threads <= 1:
+            return 0.0
+        if self.kind is ScheduleKind.STATIC:
+            return 0.0
+        # Dynamic/guided scheduling costs one atomic fetch per chunk; model
+        # the number of chunks as work spread over threads divided by chunk.
+        chunks = max(1.0, 64.0 / self.chunk) * num_threads
+        per_chunk = 120.0 if self.kind is ScheduleKind.DYNAMIC else 60.0
+        return chunks * per_chunk

@@ -1,0 +1,94 @@
+"""Thread teams: the set of worker threads executing a parallel region.
+
+A team binds a number of threads to specific cores (a
+:class:`~repro.machine.placement.Configuration`) and carries the loop
+schedule used to distribute iterations.  Teams are cheap, immutable value
+objects — the runtime creates a new team whenever the concurrency or
+placement of a region changes (which is exactly the operation ACTOR performs
+when it throttles concurrency between region instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from ..machine.placement import Configuration, ThreadPlacement
+from ..machine.topology import Topology
+from .schedule import Schedule, ScheduleKind
+
+__all__ = ["WorkerThread", "ThreadTeam"]
+
+
+@dataclass(frozen=True)
+class WorkerThread:
+    """One OpenMP worker thread bound to a core.
+
+    Attributes
+    ----------
+    thread_id:
+        Team-local identifier (0 is the master thread).
+    core_id:
+        Core the thread is bound to.
+    """
+
+    thread_id: int
+    core_id: int
+
+
+@dataclass(frozen=True)
+class ThreadTeam:
+    """A bound thread team plus its loop schedule.
+
+    Attributes
+    ----------
+    configuration:
+        The named concurrency/placement the team realizes.
+    schedule:
+        Loop schedule used for work distribution inside regions.
+    """
+
+    configuration: Configuration
+    schedule: Schedule = field(default_factory=Schedule)
+
+    @property
+    def num_threads(self) -> int:
+        """Number of worker threads (including the master)."""
+        return self.configuration.num_threads
+
+    @property
+    def placement(self) -> ThreadPlacement:
+        """Thread-to-core placement of the team."""
+        return self.configuration.placement
+
+    @property
+    def threads(self) -> Tuple[WorkerThread, ...]:
+        """The worker threads, master first."""
+        return tuple(
+            WorkerThread(thread_id=i, core_id=core)
+            for i, core in enumerate(self.configuration.cores)
+        )
+
+    @property
+    def master(self) -> WorkerThread:
+        """The master thread (thread 0)."""
+        return self.threads[0]
+
+    def idle_cores(self, topology: Topology) -> List[int]:
+        """Cores left idle by this team on ``topology``."""
+        return self.placement.idle_cores(topology)
+
+    def with_configuration(self, configuration: Configuration) -> "ThreadTeam":
+        """Return a new team on a different configuration, same schedule."""
+        return replace(self, configuration=configuration)
+
+    def with_schedule(self, schedule: Schedule) -> "ThreadTeam":
+        """Return a new team with a different loop schedule."""
+        return replace(self, schedule=schedule)
+
+    def describe(self) -> str:
+        """One-line description of the team."""
+        return (
+            f"team[{self.configuration.name}] {self.num_threads} thread(s) on cores "
+            f"{list(self.configuration.cores)} schedule={self.schedule.kind.value}"
+        )

@@ -1,0 +1,9 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Short identifier of the paper reproduced by this package.
+PAPER = (
+    "Curtis-Maury et al., 'Identifying Energy-Efficient Concurrency Levels "
+    "Using Machine Learning', Workshop on Green Computing / IEEE Cluster, 2007"
+)

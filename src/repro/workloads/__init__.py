@@ -1,0 +1,42 @@
+"""Workload models: phases, applications, NAS-like benchmarks and generators."""
+
+from .base import PhaseSpec, Workload, WorkloadSuite
+from .calibrate import calibrate_phases, calibration_machine, seconds_per_instruction
+from .generator import GeneratorRanges, SyntheticWorkloadGenerator
+from .nas import (
+    NAS_BENCHMARK_NAMES,
+    SCALING_CLASSES,
+    bt,
+    build_benchmark,
+    cg,
+    ft,
+    is_,
+    lu,
+    lu_hp,
+    mg,
+    nas_suite,
+    sp,
+)
+
+__all__ = [
+    "GeneratorRanges",
+    "NAS_BENCHMARK_NAMES",
+    "PhaseSpec",
+    "SCALING_CLASSES",
+    "SyntheticWorkloadGenerator",
+    "Workload",
+    "WorkloadSuite",
+    "bt",
+    "build_benchmark",
+    "calibrate_phases",
+    "calibration_machine",
+    "cg",
+    "ft",
+    "is_",
+    "lu",
+    "lu_hp",
+    "mg",
+    "nas_suite",
+    "seconds_per_instruction",
+    "sp",
+]

@@ -1,0 +1,221 @@
+"""Workload abstractions: phases, applications and whole-application runs.
+
+The paper's unit of adaptation is the *phase*: a user-defined region of
+parallel code (in practice an OpenMP parallel region) that is executed once
+per outer iteration ("timestep") of the application.  An application is then
+a sequence of phases repeated for a number of timesteps, which is exactly how
+the NAS Parallel Benchmarks are structured.
+
+* :class:`PhaseSpec` — one parallel region: a name plus the
+  :class:`~repro.machine.work.WorkRequest` describing one invocation of it.
+* :class:`Workload` — an application: an ordered list of phases and the
+  number of timesteps.
+* :class:`WorkloadSuite` — a named collection of workloads (e.g. the NAS
+  suite), convenient for training/evaluation splits.
+
+Workloads are purely declarative; executing them on a machine is the job of
+the OpenMP-like runtime (:mod:`repro.openmp`) or of the static analysis
+helpers in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..machine.work import WorkRequest
+
+__all__ = ["PhaseSpec", "Workload", "WorkloadSuite"]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One parallel region of an application.
+
+    Attributes
+    ----------
+    name:
+        Phase identifier, unique within its workload (e.g. ``"sp.rhs"``).
+    work:
+        Characterization of a single invocation of the phase.
+    invocations_per_timestep:
+        How many times the region executes per application timestep.
+    variability:
+        Relative standard deviation of instance-to-instance work variation
+        (input dependence); applied by the runtime when instantiating the
+        phase for a particular timestep.
+    """
+
+    name: str
+    work: WorkRequest
+    invocations_per_timestep: int = 1
+    variability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("phase name must be non-empty")
+        if self.invocations_per_timestep < 1:
+            raise ValueError("invocations_per_timestep must be >= 1")
+        if self.variability < 0:
+            raise ValueError("variability must be non-negative")
+
+    @property
+    def instructions_per_timestep(self) -> float:
+        """Total instructions contributed by this phase to one timestep."""
+        return self.work.instructions * self.invocations_per_timestep
+
+    def scaled(self, factor: float) -> "PhaseSpec":
+        """Return a copy with the per-invocation work scaled by ``factor``."""
+        return replace(self, work=self.work.scaled(factor))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An application: named phases executed for a number of timesteps.
+
+    Attributes
+    ----------
+    name:
+        Application name (e.g. ``"IS"``).
+    phases:
+        Ordered phases executed once (or more) per timestep.
+    timesteps:
+        Number of outer iterations of the application.
+    description:
+        Free-text description of what the application computes.
+    scaling_class:
+        Informal label used by the analysis layer: ``"scalable"``, ``"flat"``
+        or ``"degrading"`` per the paper's Section III taxonomy (optional).
+    """
+
+    name: str
+    phases: Tuple[PhaseSpec, ...]
+    timesteps: int
+    description: str = ""
+    scaling_class: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload name must be non-empty")
+        if not self.phases:
+            raise ValueError("workload must contain at least one phase")
+        if self.timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        names = [p.name for p in self.phases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate phase names in workload {self.name}: {names}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_phases(self) -> int:
+        """Number of distinct phases per timestep."""
+        return len(self.phases)
+
+    @property
+    def total_instructions(self) -> float:
+        """Total dynamic instructions over the full run."""
+        return self.timesteps * sum(p.instructions_per_timestep for p in self.phases)
+
+    def phase(self, name: str) -> PhaseSpec:
+        """Look up a phase by name."""
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"workload {self.name} has no phase named {name!r}")
+
+    def phase_names(self) -> List[str]:
+        """Names of the phases in execution order."""
+        return [p.name for p in self.phases]
+
+    def iter_invocations(self) -> Iterator[Tuple[int, PhaseSpec]]:
+        """Iterate ``(timestep, phase)`` over the whole run in program order."""
+        for step in range(self.timesteps):
+            for phase in self.phases:
+                for _ in range(phase.invocations_per_timestep):
+                    yield step, phase
+
+    def with_timesteps(self, timesteps: int) -> "Workload":
+        """Return a copy with a different number of timesteps."""
+        return replace(self, timesteps=timesteps)
+
+    def scaled(self, factor: float) -> "Workload":
+        """Return a copy with every phase's work scaled by ``factor``."""
+        return replace(self, phases=tuple(p.scaled(factor) for p in self.phases))
+
+
+@dataclass
+class WorkloadSuite:
+    """A named, ordered collection of workloads.
+
+    Provides the leave-one-application-out splits used for training the
+    ANN predictor exactly as the paper describes ("we use each benchmark for
+    evaluation by training as many models as there are applications, each
+    time leaving one particular application out of the training process").
+    """
+
+    name: str
+    workloads: List[Workload] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [w.name for w in self.workloads]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate workload names in suite {self.name}")
+
+    def __iter__(self) -> Iterator[Workload]:
+        return iter(self.workloads)
+
+    def __len__(self) -> int:
+        return len(self.workloads)
+
+    def names(self) -> List[str]:
+        """Workload names in suite order."""
+        return [w.name for w in self.workloads]
+
+    def get(self, name: str) -> Workload:
+        """Look up a workload by name."""
+        for w in self.workloads:
+            if w.name == name:
+                return w
+        raise KeyError(f"suite {self.name} has no workload named {name!r}")
+
+    def add(self, workload: Workload) -> None:
+        """Add a workload, rejecting duplicate names."""
+        if workload.name in self.names():
+            raise ValueError(f"workload {workload.name} already in suite {self.name}")
+        self.workloads.append(workload)
+
+    def leave_one_out(
+        self, held_out: str
+    ) -> Tuple[List[Workload], Workload]:
+        """Split the suite into (training workloads, held-out workload)."""
+        target = self.get(held_out)
+        train = [w for w in self.workloads if w.name != held_out]
+        if not train:
+            raise ValueError("leave-one-out split requires at least two workloads")
+        return train, target
+
+    def leave_one_out_splits(self) -> Iterator[Tuple[List[Workload], Workload]]:
+        """Yield every leave-one-application-out split of the suite."""
+        for w in self.workloads:
+            yield self.leave_one_out(w.name)
+
+    def subset(self, names: Iterable[str]) -> "WorkloadSuite":
+        """Return a new suite restricted to ``names`` (in the given order)."""
+        return WorkloadSuite(
+            name=f"{self.name}-subset",
+            workloads=[self.get(n) for n in names],
+        )
+
+    def total_phases(self) -> int:
+        """Total number of distinct phases across the suite."""
+        return sum(w.num_phases for w in self.workloads)
+
+    def describe(self) -> str:
+        """Multi-line summary of the suite."""
+        lines = [f"suite {self.name}: {len(self.workloads)} workloads"]
+        for w in self.workloads:
+            lines.append(
+                f"  {w.name:8s} {w.num_phases:2d} phases x {w.timesteps:4d} timesteps"
+                f"  ({w.scaling_class or 'unclassified'})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Synthetic workload generator for predictor training and stress testing.
+
+The paper trains its ANN models on counter samples from *training
+applications representing a variety of runtime characteristics*.  Besides the
+leave-one-application-out evaluation over the NAS suite, it is useful to be
+able to generate arbitrary numbers of synthetic phases spanning the
+characteristic space — both to enlarge the training corpus and to
+property-test the runtime on inputs far away from the NAS parameterizations.
+
+:class:`SyntheticWorkloadGenerator` draws phase characteristics from wide but
+physically sensible ranges (miss rates in [0,1], working sets from
+cache-resident to many times the L2, bandwidth sensitivities around 1) using
+a seeded :class:`numpy.random.Generator`, so generated corpora are fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..machine.work import WorkRequest
+from .base import PhaseSpec, Workload, WorkloadSuite
+
+__all__ = ["GeneratorRanges", "SyntheticWorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class GeneratorRanges:
+    """Sampling ranges for synthetic phase characteristics.
+
+    Each attribute is a ``(low, high)`` tuple; values are drawn uniformly
+    (log-uniformly for the working set, which spans orders of magnitude).
+    """
+
+    mem_fraction: tuple = (0.20, 0.50)
+    flop_fraction: tuple = (0.05, 0.55)
+    l1_miss_rate: tuple = (0.01, 0.18)
+    l2_miss_rate_solo: tuple = (0.03, 0.65)
+    working_set_mb: tuple = (0.25, 16.0)
+    locality_exponent: tuple = (0.2, 3.0)
+    sharing_fraction: tuple = (0.0, 0.5)
+    bandwidth_sensitivity: tuple = (0.6, 1.35)
+    serial_fraction: tuple = (0.0, 0.25)
+    load_imbalance: tuple = (1.0, 1.15)
+    barriers: tuple = (1, 24)
+    prefetch_friendliness: tuple = (0.2, 0.9)
+    base_cpi: tuple = (0.45, 0.85)
+    instructions: tuple = (5.0e7, 2.0e9)
+
+
+class SyntheticWorkloadGenerator:
+    """Reproducible generator of synthetic phases and workloads.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the private random generator.
+    ranges:
+        Sampling ranges; defaults cover the space spanned by the NAS-like
+        models plus a margin.
+    """
+
+    def __init__(
+        self, seed: int = 1971, ranges: Optional[GeneratorRanges] = None
+    ) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.ranges = ranges or GeneratorRanges()
+
+    # ------------------------------------------------------------------
+    def _uniform(self, bounds: Sequence[float]) -> float:
+        low, high = float(bounds[0]), float(bounds[1])
+        return float(self._rng.uniform(low, high))
+
+    def _log_uniform(self, bounds: Sequence[float]) -> float:
+        low, high = float(bounds[0]), float(bounds[1])
+        return float(np.exp(self._rng.uniform(np.log(low), np.log(high))))
+
+    def random_work(self) -> WorkRequest:
+        """Draw a single random phase characterization."""
+        r = self.ranges
+        mem = self._uniform(r.mem_fraction)
+        flop = min(self._uniform(r.flop_fraction), max(0.0, 0.92 - mem))
+        return WorkRequest(
+            instructions=self._log_uniform(r.instructions),
+            mem_fraction=mem,
+            flop_fraction=flop,
+            branch_fraction=float(self._rng.uniform(0.05, 0.15)),
+            l1_miss_rate=self._uniform(r.l1_miss_rate),
+            l2_miss_rate_solo=self._uniform(r.l2_miss_rate_solo),
+            working_set_mb=self._log_uniform(r.working_set_mb),
+            locality_exponent=self._uniform(r.locality_exponent),
+            sharing_fraction=self._uniform(r.sharing_fraction),
+            bandwidth_sensitivity=self._uniform(r.bandwidth_sensitivity),
+            serial_fraction=self._uniform(r.serial_fraction),
+            load_imbalance=self._uniform(r.load_imbalance),
+            barriers=int(self._rng.integers(int(r.barriers[0]), int(r.barriers[1]) + 1)),
+            sync_cycles_per_barrier=float(self._rng.uniform(1_500.0, 6_000.0)),
+            prefetch_friendliness=self._uniform(r.prefetch_friendliness),
+            base_cpi=self._uniform(r.base_cpi),
+        )
+
+    def random_phase(self, name: str) -> PhaseSpec:
+        """Draw a single random phase with the given name."""
+        return PhaseSpec(
+            name=name,
+            work=self.random_work(),
+            invocations_per_timestep=1,
+            variability=float(self._rng.uniform(0.0, 0.03)),
+        )
+
+    def random_workload(
+        self,
+        name: str,
+        num_phases: Optional[int] = None,
+        timesteps: Optional[int] = None,
+    ) -> Workload:
+        """Draw a random multi-phase workload.
+
+        Parameters
+        ----------
+        name:
+            Workload name.
+        num_phases:
+            Number of phases (default: 3-10, drawn at random).
+        timesteps:
+            Number of timesteps (default: 10-120, drawn at random).
+        """
+        if num_phases is None:
+            num_phases = int(self._rng.integers(3, 11))
+        if timesteps is None:
+            timesteps = int(self._rng.integers(10, 121))
+        phases = tuple(
+            self.random_phase(f"{name}.phase{i}") for i in range(num_phases)
+        )
+        return Workload(
+            name=name,
+            phases=phases,
+            timesteps=timesteps,
+            description="synthetic training workload",
+            scaling_class="synthetic",
+        )
+
+    def suite(self, num_workloads: int, prefix: str = "SYN") -> WorkloadSuite:
+        """Generate a suite of ``num_workloads`` synthetic workloads."""
+        if num_workloads < 1:
+            raise ValueError("num_workloads must be >= 1")
+        workloads: List[Workload] = [
+            self.random_workload(f"{prefix}{i:02d}") for i in range(num_workloads)
+        ]
+        return WorkloadSuite(name=f"{prefix}-synthetic", workloads=workloads)

@@ -1,0 +1,517 @@
+"""Synthetic models of the NAS Parallel Benchmarks (OpenMP, class B-like).
+
+The paper evaluates on eight codes from NPB 3.2: BT, CG, FT, IS, LU, LU-HP,
+MG and SP.  Running the real Fortran/C binaries is impossible in this
+environment, so each benchmark is modelled as a small set of phases whose
+performance-relevant characteristics (instruction mix, working set, locality,
+bandwidth sensitivity, synchronization) are chosen to reproduce the scaling
+behaviour the paper reports in Section III:
+
+* **scalable** — BT, FT, LU-HP: substantial gains from every additional core
+  (average speedup ~2.37x on four cores, BT up to ~2.7x);
+* **flat** — CG, LU, SP: performance saturates at two loosely coupled cores
+  (~7 % average gain from four cores versus two);
+* **degrading** — IS, MG: best at two loosely coupled cores; IS loses ~40 %
+  on four cores versus one and is ~2x slower on tightly coupled cores than
+  loosely coupled ones (shared-L2 interference plus bus saturation).
+
+Each phase is also given a distinct character so that, as in the paper's
+Figure 2, the best configuration varies from phase to phase within a single
+application — this heterogeneity is what phase-granularity adaptation
+exploits.
+
+The per-phase *shapes* below are specified with a placeholder instruction
+count; :func:`repro.workloads.calibrate.calibrate_phases` sizes them so that
+the configuration-``1`` execution time of each benchmark matches the
+single-thread bar of the paper's Figure 1 (approximate values read off the
+published charts).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from ..machine import Machine
+from ..machine.work import WorkRequest
+from .base import PhaseSpec, Workload, WorkloadSuite
+from .calibrate import calibrate_phases, calibration_machine
+
+__all__ = [
+    "NAS_BENCHMARK_NAMES",
+    "SCALING_CLASSES",
+    "build_benchmark",
+    "nas_suite",
+    "bt",
+    "cg",
+    "ft",
+    "is_",
+    "lu",
+    "lu_hp",
+    "mg",
+    "sp",
+]
+
+#: Benchmark names in the order the paper plots them.
+NAS_BENCHMARK_NAMES: Tuple[str, ...] = (
+    "BT",
+    "CG",
+    "FT",
+    "IS",
+    "LU",
+    "LU-HP",
+    "MG",
+    "SP",
+)
+
+#: The paper's Section III scaling taxonomy.
+SCALING_CLASSES: Dict[str, str] = {
+    "BT": "scalable",
+    "FT": "scalable",
+    "LU-HP": "scalable",
+    "CG": "flat",
+    "LU": "flat",
+    "SP": "flat",
+    "IS": "degrading",
+    "MG": "degrading",
+}
+
+# ----------------------------------------------------------------------
+# Phase shape archetypes
+# ----------------------------------------------------------------------
+# The placeholder instruction count (1.0) is replaced during calibration.
+_PLACEHOLDER = 1.0
+
+
+def _compute_phase(
+    ws_mb: float = 1.0,
+    miss_solo: float = 0.06,
+    mem: float = 0.30,
+    flop: float = 0.45,
+    base_cpi: float = 0.55,
+    pf: float = 0.40,
+    bw: float = 0.7,
+    serial: float = 0.004,
+    imbalance: float = 1.02,
+    barriers: int = 2,
+    sharing: float = 0.10,
+    locality: float = 1.0,
+    l1_mr: float = 0.025,
+) -> WorkRequest:
+    """Cache-resident, computation-dominated phase: scales with cores."""
+    return WorkRequest(
+        instructions=_PLACEHOLDER,
+        mem_fraction=mem,
+        flop_fraction=flop,
+        branch_fraction=0.08,
+        l1_miss_rate=l1_mr,
+        l2_miss_rate_solo=miss_solo,
+        working_set_mb=ws_mb,
+        locality_exponent=locality,
+        sharing_fraction=sharing,
+        bandwidth_sensitivity=bw,
+        serial_fraction=serial,
+        load_imbalance=imbalance,
+        barriers=barriers,
+        sync_cycles_per_barrier=2_500.0,
+        prefetch_friendliness=pf,
+        base_cpi=base_cpi,
+    )
+
+
+def _cache_sensitive_phase(
+    ws_mb: float = 3.0,
+    miss_solo: float = 0.15,
+    mem: float = 0.38,
+    flop: float = 0.35,
+    base_cpi: float = 0.60,
+    pf: float = 0.55,
+    bw: float = 1.0,
+    locality: float = 1.8,
+    serial: float = 0.005,
+    imbalance: float = 1.03,
+    barriers: int = 2,
+    sharing: float = 0.08,
+    l1_mr: float = 0.05,
+) -> WorkRequest:
+    """Working set near the L2 capacity: suffers when tightly coupled."""
+    return WorkRequest(
+        instructions=_PLACEHOLDER,
+        mem_fraction=mem,
+        flop_fraction=flop,
+        branch_fraction=0.09,
+        l1_miss_rate=l1_mr,
+        l2_miss_rate_solo=miss_solo,
+        working_set_mb=ws_mb,
+        locality_exponent=locality,
+        sharing_fraction=sharing,
+        bandwidth_sensitivity=bw,
+        serial_fraction=serial,
+        load_imbalance=imbalance,
+        barriers=barriers,
+        sync_cycles_per_barrier=2_500.0,
+        prefetch_friendliness=pf,
+        base_cpi=base_cpi,
+    )
+
+
+def _bandwidth_phase(
+    ws_mb: float = 10.0,
+    miss_solo: float = 0.60,
+    mem: float = 0.45,
+    flop: float = 0.28,
+    base_cpi: float = 0.60,
+    pf: float = 0.90,
+    bw: float = 1.0,
+    locality: float = 0.25,
+    serial: float = 0.005,
+    imbalance: float = 1.02,
+    barriers: int = 2,
+    sharing: float = 0.05,
+    l1_mr: float = 0.16,
+) -> WorkRequest:
+    """Streaming, bandwidth-bound phase: throughput limited by the bus."""
+    return WorkRequest(
+        instructions=_PLACEHOLDER,
+        mem_fraction=mem,
+        flop_fraction=flop,
+        branch_fraction=0.07,
+        l1_miss_rate=l1_mr,
+        l2_miss_rate_solo=miss_solo,
+        working_set_mb=ws_mb,
+        locality_exponent=locality,
+        sharing_fraction=sharing,
+        bandwidth_sensitivity=bw,
+        serial_fraction=serial,
+        load_imbalance=imbalance,
+        barriers=barriers,
+        sync_cycles_per_barrier=2_500.0,
+        prefetch_friendliness=pf,
+        base_cpi=base_cpi,
+    )
+
+
+def _thrash_phase(
+    ws_mb: float = 3.2,
+    miss_solo: float = 0.30,
+    mem: float = 0.46,
+    flop: float = 0.12,
+    base_cpi: float = 0.62,
+    pf: float = 0.82,
+    bw: float = 1.15,
+    locality: float = 3.2,
+    serial: float = 0.01,
+    imbalance: float = 1.04,
+    barriers: int = 4,
+    sharing: float = 0.04,
+    l1_mr: float = 0.20,
+) -> WorkRequest:
+    """Cache-thrashing, bandwidth-hungry phase: degrades beyond two cores."""
+    return WorkRequest(
+        instructions=_PLACEHOLDER,
+        mem_fraction=mem,
+        flop_fraction=flop,
+        branch_fraction=0.10,
+        l1_miss_rate=l1_mr,
+        l2_miss_rate_solo=miss_solo,
+        working_set_mb=ws_mb,
+        locality_exponent=locality,
+        sharing_fraction=sharing,
+        bandwidth_sensitivity=bw,
+        serial_fraction=serial,
+        load_imbalance=imbalance,
+        barriers=barriers,
+        sync_cycles_per_barrier=3_000.0,
+        prefetch_friendliness=pf,
+        base_cpi=base_cpi,
+    )
+
+
+def _serial_sync_phase(
+    serial: float = 0.35,
+    mem: float = 0.30,
+    flop: float = 0.25,
+    base_cpi: float = 0.70,
+    ws_mb: float = 1.0,
+    miss_solo: float = 0.10,
+    barriers: int = 10,
+    imbalance: float = 1.08,
+    bw: float = 0.8,
+    pf: float = 0.45,
+) -> WorkRequest:
+    """Serialization/synchronization-dominated phase: extra threads waste power."""
+    return WorkRequest(
+        instructions=_PLACEHOLDER,
+        mem_fraction=mem,
+        flop_fraction=flop,
+        branch_fraction=0.12,
+        l1_miss_rate=0.03,
+        l2_miss_rate_solo=miss_solo,
+        working_set_mb=ws_mb,
+        locality_exponent=1.0,
+        sharing_fraction=0.2,
+        bandwidth_sensitivity=bw,
+        serial_fraction=serial,
+        load_imbalance=imbalance,
+        barriers=barriers,
+        sync_cycles_per_barrier=6_000.0,
+        prefetch_friendliness=pf,
+        base_cpi=base_cpi,
+    )
+
+
+# ----------------------------------------------------------------------
+# Benchmark definitions
+# ----------------------------------------------------------------------
+# Each entry: (phase name, shape, weight of configuration-1 time).
+_PhaseShapes = Sequence[Tuple[str, WorkRequest, float]]
+
+
+def _bt_shapes() -> _PhaseShapes:
+    """BT: block-tridiagonal solver; computation heavy, scales well (~2.7x)."""
+    return [
+        ("bt.compute_rhs", _cache_sensitive_phase(ws_mb=2.6, miss_solo=0.14, bw=0.9, pf=0.55), 0.24),
+        ("bt.x_solve", _compute_phase(ws_mb=1.2, miss_solo=0.07, flop=0.50), 0.20),
+        ("bt.y_solve", _compute_phase(ws_mb=1.3, miss_solo=0.08, flop=0.50), 0.20),
+        ("bt.z_solve", _compute_phase(ws_mb=1.6, miss_solo=0.10, flop=0.48, pf=0.45), 0.21),
+        ("bt.add", _bandwidth_phase(ws_mb=7.0, miss_solo=0.45, mem=0.40, pf=0.85, bw=0.9), 0.15),
+    ]
+
+
+def _cg_shapes() -> _PhaseShapes:
+    """CG: sparse matrix-vector products; bandwidth bound, flattens at 2 cores."""
+    return [
+        ("cg.spmv", _bandwidth_phase(ws_mb=12.0, miss_solo=0.68, mem=0.46, pf=0.90, bw=1.0, l1_mr=0.20), 0.62),
+        ("cg.axpy", _bandwidth_phase(ws_mb=8.0, miss_solo=0.60, mem=0.44, pf=0.92, bw=0.95, l1_mr=0.18), 0.18),
+        ("cg.dot", _serial_sync_phase(serial=0.10, barriers=12, mem=0.35), 0.08),
+        ("cg.precond", _compute_phase(ws_mb=1.0, miss_solo=0.08, flop=0.40), 0.12),
+    ]
+
+
+def _ft_shapes() -> _PhaseShapes:
+    """FT: 3-D FFT; mostly compute with one transpose-like streaming phase."""
+    return [
+        ("ft.fft_x", _compute_phase(ws_mb=1.4, miss_solo=0.09, flop=0.52, pf=0.45), 0.22),
+        ("ft.fft_y", _compute_phase(ws_mb=1.6, miss_solo=0.10, flop=0.52, pf=0.45), 0.22),
+        ("ft.fft_z", _cache_sensitive_phase(ws_mb=2.6, miss_solo=0.16, bw=0.9, pf=0.55), 0.22),
+        ("ft.evolve", _bandwidth_phase(ws_mb=9.0, miss_solo=0.55, pf=0.88, bw=0.95, l1_mr=0.14), 0.24),
+        ("ft.checksum", _serial_sync_phase(serial=0.25, barriers=6), 0.10),
+    ]
+
+
+def _is_shapes() -> _PhaseShapes:
+    """IS: integer bucket sort; extremely bandwidth- and cache-sensitive.
+
+    The paper: best on 2 loosely coupled cores (+22.8 % vs one core), 2.04x
+    slower on tightly coupled cores, and 40 % slower on four cores than one.
+    """
+    return [
+        ("is.rank", _thrash_phase(ws_mb=3.5, miss_solo=0.45, mem=0.48, bw=1.25, locality=3.6, pf=0.85, l1_mr=0.24), 0.62),
+        ("is.bucket_scan", _bandwidth_phase(ws_mb=9.0, miss_solo=0.66, mem=0.46, pf=0.90, bw=1.1, l1_mr=0.20), 0.22),
+        ("is.key_shift", _thrash_phase(ws_mb=3.2, miss_solo=0.40, mem=0.46, bw=1.2, locality=3.2, pf=0.84, l1_mr=0.22), 0.10),
+        ("is.verify", _serial_sync_phase(serial=0.30, barriers=8, mem=0.32), 0.06),
+    ]
+
+
+def _lu_shapes() -> _PhaseShapes:
+    """LU: SSOR with wavefront parallelism; synchronization limits scaling."""
+    return [
+        ("lu.jacld_blts", _serial_sync_phase(serial=0.14, barriers=40, mem=0.38, imbalance=1.25, base_cpi=0.62, ws_mb=2.0, miss_solo=0.16, bw=1.0), 0.28),
+        ("lu.jacu_buts", _serial_sync_phase(serial=0.14, barriers=40, mem=0.38, imbalance=1.25, base_cpi=0.62, ws_mb=2.0, miss_solo=0.16, bw=1.0), 0.28),
+        ("lu.rhs", _bandwidth_phase(ws_mb=10.0, miss_solo=0.62, mem=0.45, pf=0.90, bw=1.0, l1_mr=0.18), 0.32),
+        ("lu.l2norm", _serial_sync_phase(serial=0.15, barriers=10), 0.04),
+        ("lu.add", _compute_phase(ws_mb=1.2, miss_solo=0.08), 0.08),
+    ]
+
+
+def _lu_hp_shapes() -> _PhaseShapes:
+    """LU-HP: hyperplane formulation of LU; better parallel structure, scales."""
+    return [
+        ("luhp.hyperplane_lower", _compute_phase(ws_mb=1.8, miss_solo=0.11, flop=0.48, imbalance=1.07, barriers=6, pf=0.45), 0.30),
+        ("luhp.hyperplane_upper", _compute_phase(ws_mb=1.8, miss_solo=0.11, flop=0.48, imbalance=1.07, barriers=6, pf=0.45), 0.30),
+        ("luhp.rhs", _cache_sensitive_phase(ws_mb=2.7, miss_solo=0.17, bw=0.95, pf=0.60), 0.22),
+        ("luhp.rhs_stream", _bandwidth_phase(ws_mb=9.0, miss_solo=0.55, mem=0.44, pf=0.88, bw=0.95, l1_mr=0.14), 0.08),
+        ("luhp.l2norm", _serial_sync_phase(serial=0.12, barriers=8), 0.04),
+        ("luhp.add", _compute_phase(ws_mb=1.2, miss_solo=0.08), 0.06),
+    ]
+
+
+def _mg_shapes() -> _PhaseShapes:
+    """MG: multigrid; bandwidth bound on fine grids, best at 2 loose cores."""
+    return [
+        ("mg.resid", _thrash_phase(ws_mb=3.2, miss_solo=0.55, mem=0.46, bw=1.05, locality=2.6, pf=0.90, l1_mr=0.24), 0.38),
+        ("mg.psinv", _bandwidth_phase(ws_mb=9.0, miss_solo=0.70, mem=0.46, pf=0.93, bw=1.0, l1_mr=0.24), 0.30),
+        ("mg.rprj3", _cache_sensitive_phase(ws_mb=2.9, miss_solo=0.24, bw=1.0, pf=0.70, l1_mr=0.10), 0.16),
+        ("mg.interp", _compute_phase(ws_mb=1.4, miss_solo=0.10, mem=0.34), 0.10),
+        ("mg.norm2u3", _serial_sync_phase(serial=0.18, barriers=8), 0.06),
+    ]
+
+
+def _sp_shapes() -> _PhaseShapes:
+    """SP: scalar pentadiagonal solver; 11 heterogeneous phases (paper Fig. 2)."""
+    return [
+        ("sp.compute_rhs", _bandwidth_phase(ws_mb=9.5, miss_solo=0.50, mem=0.42, pf=0.86, bw=1.0), 0.22),
+        ("sp.txinvr", _compute_phase(ws_mb=1.2, miss_solo=0.07, flop=0.50), 0.06),
+        ("sp.x_solve", _cache_sensitive_phase(ws_mb=2.7, miss_solo=0.16, bw=1.0, pf=0.58), 0.15),
+        ("sp.ninvr", _compute_phase(ws_mb=1.0, miss_solo=0.06, flop=0.48), 0.04),
+        ("sp.y_solve", _cache_sensitive_phase(ws_mb=2.9, miss_solo=0.17, bw=1.0, pf=0.58), 0.15),
+        ("sp.pinvr", _compute_phase(ws_mb=1.0, miss_solo=0.06, flop=0.48), 0.04),
+        ("sp.z_solve", _thrash_phase(ws_mb=3.1, miss_solo=0.22, mem=0.44, bw=1.1, locality=2.4, pf=0.68), 0.16),
+        ("sp.tzetar", _compute_phase(ws_mb=1.1, miss_solo=0.07, flop=0.50), 0.05),
+        ("sp.add", _bandwidth_phase(ws_mb=8.0, miss_solo=0.46, mem=0.40, pf=0.88, bw=0.95), 0.07),
+        ("sp.error_norm", _serial_sync_phase(serial=0.20, barriers=8), 0.03),
+        ("sp.adi_sync", _serial_sync_phase(serial=0.10, barriers=16, imbalance=1.10), 0.03),
+    ]
+
+
+# (target configuration-1 seconds, timesteps) per benchmark, read off Fig. 1.
+_BENCHMARK_SIZES: Dict[str, Tuple[float, int]] = {
+    "BT": (420.0, 120),
+    "CG": (120.0, 75),
+    "FT": (90.0, 20),
+    "IS": (6.4, 12),
+    "LU": (450.0, 150),
+    "LU-HP": (560.0, 150),
+    "MG": (13.5, 20),
+    "SP": (320.0, 200),
+}
+
+_SHAPE_BUILDERS = {
+    "BT": _bt_shapes,
+    "CG": _cg_shapes,
+    "FT": _ft_shapes,
+    "IS": _is_shapes,
+    "LU": _lu_shapes,
+    "LU-HP": _lu_hp_shapes,
+    "MG": _mg_shapes,
+    "SP": _sp_shapes,
+}
+
+_DESCRIPTIONS = {
+    "BT": "Block tridiagonal CFD solver (ADI), computation dominated.",
+    "CG": "Conjugate gradient with irregular sparse matrix-vector products.",
+    "FT": "3-D fast Fourier transform of a spectral method.",
+    "IS": "Integer bucket sort, communication and bandwidth intensive.",
+    "LU": "LU factorization via SSOR with wavefront (pipelined) parallelism.",
+    "LU-HP": "Hyperplane formulation of LU with improved parallel structure.",
+    "MG": "Multigrid V-cycle on a 3-D Poisson problem.",
+    "SP": "Scalar pentadiagonal CFD solver (ADI) with many distinct phases.",
+}
+
+
+def build_benchmark(
+    name: str,
+    machine: Machine | None = None,
+    timesteps: int | None = None,
+    target_seconds_config1: float | None = None,
+    variability: float = 0.015,
+) -> Workload:
+    """Build one calibrated NAS-like benchmark model.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`NAS_BENCHMARK_NAMES`.
+    machine:
+        Calibration machine (deterministic default when omitted).
+    timesteps:
+        Override the default timestep count.
+    target_seconds_config1:
+        Override the default single-thread execution-time target.
+    variability:
+        Instance-to-instance work variability applied to every phase.
+    """
+    key = name.upper()
+    if key not in _SHAPE_BUILDERS:
+        raise KeyError(
+            f"unknown NAS benchmark {name!r}; expected one of {NAS_BENCHMARK_NAMES}"
+        )
+    default_seconds, default_steps = _BENCHMARK_SIZES[key]
+    steps = timesteps or default_steps
+    seconds = target_seconds_config1 or default_seconds
+    shapes = _SHAPE_BUILDERS[key]()
+    machine = machine or calibration_machine()
+    specs = calibrate_phases(
+        shapes,
+        target_seconds_config1=seconds,
+        timesteps=steps,
+        machine=machine,
+        variability={phase_name: variability for phase_name, _, _ in shapes},
+    )
+    return Workload(
+        name=key,
+        phases=tuple(specs),
+        timesteps=steps,
+        description=_DESCRIPTIONS[key],
+        scaling_class=SCALING_CLASSES[key],
+    )
+
+
+@lru_cache(maxsize=8)
+def _cached_benchmark(name: str) -> Workload:
+    return build_benchmark(name)
+
+
+def bt() -> Workload:
+    """The BT benchmark model."""
+    return _cached_benchmark("BT")
+
+
+def cg() -> Workload:
+    """The CG benchmark model."""
+    return _cached_benchmark("CG")
+
+
+def ft() -> Workload:
+    """The FT benchmark model."""
+    return _cached_benchmark("FT")
+
+
+def is_() -> Workload:
+    """The IS benchmark model (trailing underscore avoids the keyword)."""
+    return _cached_benchmark("IS")
+
+
+def lu() -> Workload:
+    """The LU benchmark model."""
+    return _cached_benchmark("LU")
+
+
+def lu_hp() -> Workload:
+    """The LU-HP benchmark model."""
+    return _cached_benchmark("LU-HP")
+
+
+def mg() -> Workload:
+    """The MG benchmark model."""
+    return _cached_benchmark("MG")
+
+
+def sp() -> Workload:
+    """The SP benchmark model."""
+    return _cached_benchmark("SP")
+
+
+def nas_suite(
+    machine: Machine | None = None,
+    names: Sequence[str] | None = None,
+    variability: float = 0.015,
+) -> WorkloadSuite:
+    """Build the full calibrated NAS-like suite (or a named subset).
+
+    Parameters
+    ----------
+    machine:
+        Calibration machine shared by all benchmarks.
+    names:
+        Subset of :data:`NAS_BENCHMARK_NAMES` to include (default: all).
+    variability:
+        Instance-to-instance variability applied to every phase.
+    """
+    selected = list(names or NAS_BENCHMARK_NAMES)
+    machine = machine or calibration_machine()
+    workloads: List[Workload] = [
+        build_benchmark(name, machine=machine, variability=variability)
+        for name in selected
+    ]
+    return WorkloadSuite(name="NPB-3.2-like", workloads=workloads)

@@ -1,0 +1,163 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the calibrated NAS-like suite, trained predictor
+bundles, exhaustive oracle tables) are built once per session with reduced
+training effort so the whole suite stays fast while still exercising the
+real code paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ann import TrainingConfig
+from repro.core import (
+    ANNTrainingOptions,
+    measure_oracle,
+    train_predictor_bundle,
+)
+from repro.machine import Machine, WorkRequest, quad_core_xeon, standard_configurations
+from repro.openmp import OpenMPRuntime
+from repro.workloads import PhaseSpec, Workload, nas_suite
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """The paper's quad-core Xeon topology."""
+    return quad_core_xeon()
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """A deterministic machine (no run-to-run noise)."""
+    return Machine(noise_sigma=0.0)
+
+
+@pytest.fixture(scope="session")
+def noisy_machine():
+    """A machine with the default run-to-run noise enabled."""
+    return Machine()
+
+
+@pytest.fixture(scope="session")
+def configurations(machine):
+    """The five standard threading configurations."""
+    return standard_configurations(machine.topology)
+
+
+@pytest.fixture(scope="session")
+def suite(machine):
+    """The calibrated NAS-like suite without per-instance variability."""
+    return nas_suite(machine=machine, variability=0.0)
+
+
+@pytest.fixture(scope="session")
+def compute_work():
+    """A cache-resident, computation-dominated phase characterization."""
+    return WorkRequest(
+        instructions=2.0e8,
+        mem_fraction=0.30,
+        flop_fraction=0.45,
+        l1_miss_rate=0.02,
+        l2_miss_rate_solo=0.06,
+        working_set_mb=1.0,
+        prefetch_friendliness=0.4,
+        bandwidth_sensitivity=0.8,
+        serial_fraction=0.005,
+        barriers=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def bandwidth_work():
+    """A streaming, bandwidth-bound phase characterization."""
+    return WorkRequest(
+        instructions=2.0e8,
+        mem_fraction=0.46,
+        flop_fraction=0.25,
+        l1_miss_rate=0.18,
+        l2_miss_rate_solo=0.65,
+        working_set_mb=10.0,
+        locality_exponent=0.3,
+        prefetch_friendliness=0.9,
+        bandwidth_sensitivity=1.0,
+        serial_fraction=0.005,
+        barriers=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def thrash_work():
+    """A cache-thrashing phase that degrades when caches are shared."""
+    return WorkRequest(
+        instructions=2.0e8,
+        mem_fraction=0.47,
+        flop_fraction=0.15,
+        l1_miss_rate=0.22,
+        l2_miss_rate_solo=0.35,
+        working_set_mb=3.4,
+        locality_exponent=3.2,
+        prefetch_friendliness=0.82,
+        bandwidth_sensitivity=1.2,
+        serial_fraction=0.01,
+        barriers=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(compute_work, bandwidth_work):
+    """A small two-phase workload for fast end-to-end tests."""
+    return Workload(
+        name="TINY",
+        phases=(
+            PhaseSpec("tiny.compute", compute_work),
+            PhaseSpec("tiny.stream", bandwidth_work),
+        ),
+        timesteps=12,
+        description="small synthetic workload for tests",
+        scaling_class="synthetic",
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_options():
+    """Reduced training effort used throughout the test suite."""
+    return ANNTrainingOptions(
+        hidden_layers=(10,),
+        folds=4,
+        training=TrainingConfig(max_epochs=80, patience=12, batch_size=16),
+        samples_per_phase=2,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_training_workloads(suite):
+    """A small subset of the suite used to train test predictors."""
+    return [suite.get(name) for name in ("BT", "CG", "IS", "MG", "SP")]
+
+
+@pytest.fixture(scope="session")
+def trained_bundle(machine, mini_training_workloads, fast_options):
+    """A predictor bundle trained once per test session (reduced effort)."""
+    return train_predictor_bundle(
+        machine, mini_training_workloads, options=fast_options
+    )
+
+
+@pytest.fixture(scope="session")
+def sp_oracle(machine, suite):
+    """Exhaustive oracle measurements for SP."""
+    return measure_oracle(machine, suite.get("SP"))
+
+
+@pytest.fixture(scope="session")
+def is_oracle(machine, suite):
+    """Exhaustive oracle measurements for IS."""
+    return measure_oracle(machine, suite.get("IS"))
+
+
+@pytest.fixture()
+def runtime(machine):
+    """A fresh OpenMP runtime per test (isolated RNG state)."""
+    return OpenMPRuntime(machine, seed=123)

@@ -1,0 +1,149 @@
+"""Tests for the analysis metrics, studies and reporting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    EnergyStudy,
+    Figure,
+    ScalabilityStudy,
+    energy_delay_product,
+    energy_delay_squared,
+    energy_joules,
+    format_nested_table,
+    format_series,
+    format_table,
+    geometric_mean,
+    normalize,
+    normalize_map,
+    percent_change,
+    speedup,
+)
+from repro.workloads import nas_suite
+from repro.machine import Machine
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_normalize_and_map(self):
+        assert normalize(5.0, 10.0) == pytest.approx(0.5)
+        with pytest.raises(ZeroDivisionError):
+            normalize(1.0, 0.0)
+        table = normalize_map({"a": 2.0, "b": 4.0}, "a")
+        assert table == {"a": 1.0, "b": 2.0}
+        with pytest.raises(KeyError):
+            normalize_map({"a": 1.0}, "missing")
+
+    def test_energy_metrics(self):
+        assert energy_joules(100.0, 2.0) == pytest.approx(200.0)
+        assert energy_delay_product(200.0, 2.0) == pytest.approx(400.0)
+        assert energy_delay_squared(200.0, 2.0) == pytest.approx(800.0)
+        with pytest.raises(ValueError):
+            energy_joules(-1.0, 2.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_percent_change(self):
+        assert percent_change(10.0, 9.0) == pytest.approx(-10.0)
+        with pytest.raises(ZeroDivisionError):
+            percent_change(0.0, 1.0)
+
+
+class TestReporting:
+    def test_format_table_aligns_and_formats_floats(self):
+        text = format_table([["a", 1.23456], ["bb", 2.0]], headers=["name", "value"])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text
+        assert "2.000" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == ""
+
+    def test_format_nested_table_orders_columns(self):
+        data = {"r1": {"c1": 1.0, "c2": 2.0}, "r2": {"c1": 3.0, "c2": 4.0}}
+        text = format_nested_table(data)
+        assert text.splitlines()[0].split()[:3] == ["benchmark", "c1", "c2"]
+
+    def test_format_nested_table_missing_cell_is_nan(self):
+        data = {"r1": {"c1": 1.0}, "r2": {}}
+        text = format_nested_table(data, columns=["c1"])
+        assert "nan" in text.lower()
+
+    def test_format_series(self):
+        text = format_series({"a": 0.5}, name="metric")
+        assert "metric" in text and "0.500" in text
+
+    def test_figure_render(self):
+        figure = Figure("figX", "demo", {"k": 1}, "body", notes="note")
+        rendered = figure.render()
+        assert "figX" in rendered and "body" in rendered and "note" in rendered
+
+
+@pytest.fixture(scope="module")
+def small_suite(machine):
+    return nas_suite(machine=machine, names=["BT", "IS", "CG"], variability=0.0)
+
+
+class TestStudies:
+    def test_scalability_study_shapes(self, machine, small_suite):
+        study = ScalabilityStudy.measure(machine, small_suite)
+        assert {b.name for b in study.benchmarks} == {"BT", "IS", "CG"}
+        times = study.times_table()
+        assert set(times["BT"]) == {"1", "2a", "2b", "3", "4"}
+        speedups = study.speedup_table()
+        assert speedups["BT"]["1"] == pytest.approx(1.0)
+        assert study.benchmark("IS").best_configuration() == "2b"
+        with pytest.raises(KeyError):
+            study.benchmark("ZZ")
+
+    def test_scalability_class_statistics(self, machine, small_suite):
+        study = ScalabilityStudy.measure(machine, small_suite)
+        assert study.class_average_speedup("scalable", "4") > 2.0
+        assert study.geometric_mean_speedup("4") > 1.0
+        counts = study.best_configuration_counts()
+        assert sum(counts.values()) == 3
+        with pytest.raises(ValueError):
+            study.class_average_speedup("unknown-class")
+
+    def test_energy_study_reuses_oracles(self, machine, small_suite):
+        scal = ScalabilityStudy.measure(machine, small_suite)
+        energy = EnergyStudy.measure(machine, small_suite, oracles=scal.oracles)
+        bt = energy.benchmark("BT")
+        assert bt.power_ratio("4", "1") > 1.05
+        assert bt.energy_ratio("4", "1") < 0.8
+        assert bt.most_energy_efficient() in {"3", "4"}
+        normalized = bt.normalized_energy("4")
+        assert normalized["4"] == pytest.approx(1.0)
+
+    def test_energy_study_suite_statistics(self, machine, small_suite):
+        energy = EnergyStudy.measure(machine, small_suite)
+        increase = energy.average_power_increase_four_vs_one()
+        assert 0.0 < increase < 0.35
+        geo = energy.geometric_mean_normalized("energy")
+        assert set(geo) == {"1", "2a", "2b", "3", "4"}
+        assert geo["4"] == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            energy.geometric_mean_normalized("volume")
+        with pytest.raises(KeyError):
+            energy.benchmark("ZZ")
+
+    def test_degrading_benchmark_energy_shape(self, machine, small_suite):
+        energy = EnergyStudy.measure(machine, small_suite)
+        is_bench = energy.benchmark("IS")
+        # IS consumes less energy at its best configuration (2b) than on all
+        # four cores.
+        assert is_bench.energies["2b"] < is_bench.energies["4"]

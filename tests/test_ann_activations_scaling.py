@@ -1,0 +1,128 @@
+"""Unit tests for activations and scalers of the ANN library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import (
+    ACTIVATIONS,
+    Identity,
+    MinMaxScaler,
+    ReLU,
+    Sigmoid,
+    StandardScaler,
+    Tanh,
+    get_activation,
+)
+
+
+class TestActivations:
+    def test_sigmoid_range_and_midpoint(self):
+        sigmoid = Sigmoid()
+        x = np.array([-50.0, 0.0, 50.0])
+        y = sigmoid.value(x)
+        assert y[0] < 1e-6
+        assert y[1] == pytest.approx(0.5)
+        assert y[2] > 1 - 1e-6
+
+    def test_sigmoid_derivative_matches_numerical(self):
+        sigmoid = Sigmoid()
+        x = np.linspace(-3, 3, 13)
+        eps = 1e-6
+        numerical = (sigmoid.value(x + eps) - sigmoid.value(x - eps)) / (2 * eps)
+        analytic = sigmoid.derivative_from_output(sigmoid.value(x))
+        assert np.allclose(numerical, analytic, atol=1e-6)
+
+    def test_tanh_derivative_matches_numerical(self):
+        tanh = Tanh()
+        x = np.linspace(-2, 2, 9)
+        eps = 1e-6
+        numerical = (tanh.value(x + eps) - tanh.value(x - eps)) / (2 * eps)
+        analytic = tanh.derivative_from_output(tanh.value(x))
+        assert np.allclose(numerical, analytic, atol=1e-6)
+
+    def test_relu_and_identity(self):
+        relu = ReLU()
+        identity = Identity()
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(relu.value(x), [0.0, 0.0, 2.0])
+        assert np.allclose(identity.value(x), x)
+        assert np.allclose(identity.derivative_from_output(x), 1.0)
+
+    def test_sigmoid_handles_extreme_inputs_without_overflow(self):
+        y = Sigmoid().value(np.array([-1e6, 1e6]))
+        assert np.isfinite(y).all()
+
+    def test_registry_lookup(self):
+        assert isinstance(get_activation("sigmoid"), Sigmoid)
+        assert isinstance(get_activation("TANH"), Tanh)
+        assert set(ACTIVATIONS) == {"sigmoid", "tanh", "relu", "identity"}
+        with pytest.raises(KeyError):
+            get_activation("swish")
+
+
+class TestStandardScaler:
+    def test_fit_transform_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_transform_round_trip(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(50, 3)) * [1.0, 10.0, 100.0]
+        scaler = StandardScaler().fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_constant_column_passthrough(self):
+        data = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_requires_2d_input(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+
+class TestMinMaxScaler:
+    def test_scales_to_unit_interval(self):
+        data = np.array([[0.0], [5.0], [10.0]])
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_custom_range_and_margin(self):
+        data = np.array([[0.0], [10.0]])
+        scaler = MinMaxScaler(low=0.0, high=1.0, margin=0.1)
+        scaled = scaler.fit_transform(data)
+        assert scaled.min() == pytest.approx(0.1)
+        assert scaled.max() == pytest.approx(0.9)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(2)
+        data = rng.uniform(-5, 20, size=(40, 2))
+        scaler = MinMaxScaler(margin=0.05).fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_constant_column_does_not_nan(self):
+        data = np.full((5, 1), 3.0)
+        scaled = MinMaxScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(low=1.0, high=0.0)
+        with pytest.raises(ValueError):
+            MinMaxScaler(margin=0.6)
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((1, 1)))

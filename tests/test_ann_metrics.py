@@ -1,0 +1,94 @@
+"""Unit tests for the regression / prediction error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import (
+    error_cdf,
+    fraction_below,
+    mean_absolute_error,
+    mean_squared_error,
+    median_relative_error,
+    r_squared,
+    relative_errors,
+    root_mean_squared_error,
+)
+
+
+class TestBasicMetrics:
+    def test_mse_and_rmse(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        predicted = np.array([1.0, 2.0, 5.0])
+        assert mean_squared_error(actual, predicted) == pytest.approx(4.0 / 3.0)
+        assert root_mean_squared_error(actual, predicted) == pytest.approx(
+            np.sqrt(4.0 / 3.0)
+        )
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, -1.0], [2.0, 1.0]) == pytest.approx(1.5)
+
+    def test_perfect_prediction_metrics(self):
+        data = np.array([0.5, 1.5, 2.5])
+        assert mean_squared_error(data, data) == 0.0
+        assert r_squared(data, data) == pytest.approx(1.0)
+
+    def test_r_squared_of_mean_predictor_is_zero(self):
+        actual = np.array([1.0, 2.0, 3.0, 4.0])
+        predicted = np.full(4, actual.mean())
+        assert r_squared(actual, predicted) == pytest.approx(0.0)
+
+    def test_r_squared_constant_actual(self):
+        assert r_squared([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r_squared([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0, 2.0], [1.0])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+
+class TestRelativeErrors:
+    def test_definition_matches_paper(self):
+        actual = np.array([2.0, 4.0])
+        predicted = np.array([1.8, 5.0])
+        errors = relative_errors(actual, predicted)
+        assert errors == pytest.approx([0.1, 0.25])
+
+    def test_zero_actuals_are_excluded(self):
+        errors = relative_errors([0.0, 2.0], [1.0, 1.0])
+        assert errors == pytest.approx([0.5])
+
+    def test_all_zero_actuals_raise(self):
+        with pytest.raises(ValueError):
+            relative_errors([0.0, 0.0], [1.0, 1.0])
+
+    def test_median_relative_error(self):
+        assert median_relative_error([1.0, 2.0, 4.0], [1.1, 2.2, 4.0]) == pytest.approx(0.1)
+
+
+class TestErrorDistributions:
+    def test_error_cdf_monotone_and_bounded(self):
+        errors = [0.02, 0.05, 0.08, 0.2, 0.5]
+        thresholds, cdf = error_cdf(errors)
+        assert list(thresholds) == pytest.approx(list(np.linspace(0, 1, 11)))
+        assert all(0.0 <= f <= 1.0 for f in cdf)
+        assert all(a <= b for a, b in zip(cdf, cdf[1:]))
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_error_cdf_custom_thresholds(self):
+        _, cdf = error_cdf([0.1, 0.3], thresholds=[0.2])
+        assert cdf[0] == pytest.approx(0.5)
+
+    def test_error_cdf_empty_raises(self):
+        with pytest.raises(ValueError):
+            error_cdf([])
+
+    def test_fraction_below(self):
+        assert fraction_below([0.01, 0.04, 0.2], 0.05) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            fraction_below([], 0.05)

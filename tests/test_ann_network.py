@@ -1,0 +1,152 @@
+"""Unit tests for the feed-forward network and backpropagation gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import NeuralNetwork, mean_squared_error
+
+
+class TestConstruction:
+    def test_layer_sizes_and_parameter_count(self):
+        net = NeuralNetwork((3, 5, 2))
+        assert net.num_inputs == 3
+        assert net.num_outputs == 2
+        assert net.num_layers == 2
+        assert net.num_parameters() == 3 * 5 + 5 + 5 * 2 + 2
+
+    def test_requires_two_layers(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork((4,))
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork((4, 0, 1))
+
+    def test_weights_initialized_near_zero(self):
+        net = NeuralNetwork((10, 8, 1), init_scale=0.1, seed=1)
+        for weights in net.weights:
+            assert np.abs(weights).max() <= 0.1
+        for biases in net.biases:
+            assert np.allclose(biases, 0.0)
+
+    def test_same_seed_same_weights(self):
+        a = NeuralNetwork((4, 3, 1), seed=7)
+        b = NeuralNetwork((4, 3, 1), seed=7)
+        assert all(np.array_equal(wa, wb) for wa, wb in zip(a.weights, b.weights))
+
+    def test_clone_structure(self):
+        net = NeuralNetwork((4, 6, 2), hidden_activation="tanh")
+        clone = net.clone_structure(seed=9)
+        assert clone.layer_sizes == net.layer_sizes
+        assert clone.hidden_activation.name == "tanh"
+
+
+class TestForward:
+    def test_output_shape_batch(self):
+        net = NeuralNetwork((3, 4, 2))
+        out = net.predict(np.zeros((7, 3)))
+        assert out.shape == (7, 2)
+
+    def test_single_sample_convenience(self):
+        net = NeuralNetwork((3, 4, 2))
+        out = net.predict(np.zeros(3))
+        assert out.shape == (2,)
+
+    def test_wrong_feature_count_raises(self):
+        net = NeuralNetwork((3, 4, 1))
+        with pytest.raises(ValueError):
+            net.predict(np.zeros((2, 5)))
+
+    def test_forward_caches_all_layer_activations(self):
+        net = NeuralNetwork((3, 4, 1))
+        activations = net.forward(np.zeros((2, 3)))
+        assert len(activations) == 3
+        assert activations[0].shape == (2, 3)
+        assert activations[1].shape == (2, 4)
+        assert activations[2].shape == (2, 1)
+
+    def test_sigmoid_hidden_outputs_bounded(self):
+        net = NeuralNetwork((3, 6, 1), init_scale=2.0, seed=0)
+        hidden = net.forward(np.random.default_rng(0).normal(size=(10, 3)))[1]
+        assert np.all(hidden > 0.0) and np.all(hidden < 1.0)
+
+
+class TestBackward:
+    def test_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(0)
+        net = NeuralNetwork((3, 4, 2), seed=3, init_scale=0.5)
+        inputs = rng.normal(size=(5, 3))
+        targets = rng.normal(size=(5, 2))
+
+        def loss() -> float:
+            prediction = net.predict(inputs)
+            return 0.5 * float(np.mean(np.sum((prediction - targets) ** 2, axis=1))) * 2 / 2
+
+        # Analytic gradients.
+        activations = net.forward(inputs)
+        gradients = net.backward(activations, targets)
+
+        # Numerical gradient of a few randomly chosen weights.
+        eps = 1e-6
+        for layer in range(net.num_layers):
+            for _ in range(3):
+                i = rng.integers(net.weights[layer].shape[0])
+                j = rng.integers(net.weights[layer].shape[1])
+                original = net.weights[layer][i, j]
+                net.weights[layer][i, j] = original + eps
+                up = _mse_loss(net, inputs, targets)
+                net.weights[layer][i, j] = original - eps
+                down = _mse_loss(net, inputs, targets)
+                net.weights[layer][i, j] = original
+                numerical = (up - down) / (2 * eps)
+                assert gradients[layer].weights[i, j] == pytest.approx(
+                    numerical, rel=1e-3, abs=1e-6
+                )
+
+    def test_bias_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(1)
+        net = NeuralNetwork((2, 3, 1), seed=5, init_scale=0.5)
+        inputs = rng.normal(size=(4, 2))
+        targets = rng.normal(size=(4, 1))
+        gradients = net.backward(net.forward(inputs), targets)
+        eps = 1e-6
+        for layer in range(net.num_layers):
+            j = rng.integers(net.biases[layer].shape[0])
+            original = net.biases[layer][j]
+            net.biases[layer][j] = original + eps
+            up = _mse_loss(net, inputs, targets)
+            net.biases[layer][j] = original - eps
+            down = _mse_loss(net, inputs, targets)
+            net.biases[layer][j] = original
+            numerical = (up - down) / (2 * eps)
+            assert gradients[layer].biases[j] == pytest.approx(numerical, rel=1e-3, abs=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        net = NeuralNetwork((2, 3, 1))
+        activations = net.forward(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            net.backward(activations, np.zeros((4, 2)))
+
+
+class TestParameterVector:
+    def test_round_trip(self):
+        net = NeuralNetwork((3, 4, 1), seed=2)
+        vector = net.get_parameters()
+        other = NeuralNetwork((3, 4, 1), seed=99)
+        other.set_parameters(vector)
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        assert np.allclose(net.predict(x), other.predict(x))
+
+    def test_wrong_length_rejected(self):
+        net = NeuralNetwork((3, 4, 1))
+        with pytest.raises(ValueError):
+            net.set_parameters(np.zeros(3))
+
+
+def _mse_loss(net: NeuralNetwork, inputs: np.ndarray, targets: np.ndarray) -> float:
+    """Loss matching the gradient definition used in ``backward`` (0.5*MSE summed over outputs)."""
+    prediction = np.atleast_2d(net.predict(inputs))
+    diff = prediction - targets
+    return 0.5 * float(np.sum(diff ** 2)) / targets.shape[0]

@@ -1,0 +1,128 @@
+"""Tests for ACTOR's event-set selection and multiplexed phase sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FULL_EVENT_SET,
+    REDUCED_EVENT_SET,
+    EventSet,
+    PhaseSampler,
+    sampling_budget,
+    select_event_set,
+)
+from repro.machine import CounterReading
+
+
+class TestEventSet:
+    def test_full_set_has_twelve_events_and_thirteen_features(self):
+        assert FULL_EVENT_SET.num_events == 12
+        assert FULL_EVENT_SET.num_features == 13
+        assert FULL_EVENT_SET.feature_names()[0] == "ipc_sample"
+
+    def test_reduced_set_is_smaller(self):
+        assert REDUCED_EVENT_SET.num_events < FULL_EVENT_SET.num_events
+
+    def test_schedule_covers_all_events_in_register_sized_groups(self):
+        schedule = FULL_EVENT_SET.schedule()
+        assert len(schedule) == FULL_EVENT_SET.timesteps_required == 6
+        flattened = [e for group in schedule for e in group]
+        assert flattened == list(FULL_EVENT_SET.events)
+
+    def test_rejects_unknown_event(self):
+        with pytest.raises(KeyError):
+            EventSet(name="bad", events=("PAPI_NOT_AN_EVENT",))
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            EventSet(name="dup", events=("PAPI_L2_TCM", "PAPI_L2_TCM"))
+        with pytest.raises(ValueError):
+            EventSet(name="empty", events=())
+
+
+class TestSamplingBudget:
+    def test_twenty_percent_cap(self):
+        assert sampling_budget(100) == 20
+        assert sampling_budget(50) == 10
+
+    def test_at_least_one_timestep(self):
+        assert sampling_budget(3) == 1
+        assert sampling_budget(1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sampling_budget(0)
+        with pytest.raises(ValueError):
+            sampling_budget(10, fraction=0.0)
+
+    def test_select_event_set_uses_full_when_budget_allows(self):
+        assert select_event_set(200).name == "full"
+        assert select_event_set(30).name == "full"
+
+    def test_select_event_set_falls_back_to_reduced(self):
+        # 12 timesteps -> budget 2 sampled steps -> cannot cover 6 groups.
+        assert select_event_set(12).name == "reduced"
+        assert select_event_set(20).name == "reduced"
+
+
+def _reading(events, cycles=1000.0, instructions=500.0, value=10.0):
+    return CounterReading(
+        values={e: value for e in events},
+        cycles=cycles,
+        instructions=instructions,
+    )
+
+
+class TestPhaseSampler:
+    def test_schedule_walks_groups_in_order(self):
+        sampler = PhaseSampler(event_set=FULL_EVENT_SET, timesteps=200)
+        seen = []
+        while not sampler.complete:
+            group = sampler.next_events()
+            seen.append(group)
+            sampler.record(_reading(group))
+        assert seen == FULL_EVENT_SET.schedule()
+        assert sampler.instances_sampled == 6
+        assert sampler.coverage() == pytest.approx(1.0)
+
+    def test_budget_truncates_schedule(self):
+        sampler = PhaseSampler(event_set=FULL_EVENT_SET, timesteps=20)
+        groups = 0
+        while not sampler.complete:
+            group = sampler.next_events()
+            sampler.record(_reading(group))
+            groups += 1
+        assert groups == sampler.budget == 4
+        assert sampler.coverage() < 1.0
+
+    def test_aggregate_averages_rates_and_ipc(self):
+        sampler = PhaseSampler(event_set=REDUCED_EVENT_SET, timesteps=100)
+        first = sampler.next_events()
+        sampler.record(_reading(first, cycles=1000.0, instructions=400.0, value=10.0))
+        second = sampler.next_events()
+        sampler.record(_reading(second, cycles=1000.0, instructions=600.0, value=30.0))
+        aggregate = sampler.aggregate()
+        assert aggregate.instances == 2
+        assert aggregate.ipc_sample == pytest.approx(0.5)
+        assert aggregate.rates[first[0]] == pytest.approx(0.01)
+        assert aggregate.rates[second[0]] == pytest.approx(0.03)
+        assert set(aggregate.events_observed) == set(first) | set(second)
+
+    def test_record_after_completion_raises(self):
+        sampler = PhaseSampler(event_set=REDUCED_EVENT_SET, timesteps=100)
+        while not sampler.complete:
+            sampler.record(_reading(sampler.next_events()))
+        with pytest.raises(RuntimeError):
+            sampler.next_events()
+        with pytest.raises(RuntimeError):
+            sampler.record(_reading(("PAPI_L2_TCM",)))
+
+    def test_aggregate_before_any_sample_raises(self):
+        sampler = PhaseSampler(event_set=REDUCED_EVENT_SET, timesteps=100)
+        with pytest.raises(RuntimeError):
+            sampler.aggregate()
+
+    def test_invalid_timesteps_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSampler(event_set=REDUCED_EVENT_SET, timesteps=0)

@@ -1,0 +1,89 @@
+"""Tests for the exhaustive oracle measurements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import measure_oracle
+
+
+class TestOracleTable:
+    def test_measures_every_phase_and_configuration(self, sp_oracle, suite):
+        sp = suite.get("SP")
+        assert sp_oracle.phase_names() == sp.phase_names()
+        assert sp_oracle.configuration_names() == ["1", "2a", "2b", "3", "4"]
+        for phase in sp_oracle.phase_names():
+            for config in sp_oracle.configuration_names():
+                measurement = sp_oracle.measurement(phase, config)
+                assert measurement.time_seconds > 0
+                assert measurement.ipc > 0
+                assert measurement.energy_joules == pytest.approx(
+                    measurement.power_watts * measurement.time_seconds
+                )
+
+    def test_unknown_phase_or_configuration_raises(self, sp_oracle):
+        with pytest.raises(KeyError):
+            sp_oracle.measurement("nope", "4")
+        with pytest.raises(KeyError):
+            sp_oracle.measurement(sp_oracle.phase_names()[0], "9")
+
+    def test_phase_metric_returns_all_configurations(self, sp_oracle):
+        values = sp_oracle.phase_metric(sp_oracle.phase_names()[0], "time_seconds")
+        assert set(values) == {"1", "2a", "2b", "3", "4"}
+
+    def test_best_configuration_minimizes_time(self, sp_oracle):
+        phase = sp_oracle.phase_names()[0]
+        best = sp_oracle.best_configuration_for_phase(phase)
+        times = sp_oracle.phase_metric(phase, "time_seconds")
+        assert times[best] == min(times.values())
+
+    def test_phase_optimal_covers_every_phase(self, sp_oracle):
+        assignment = sp_oracle.phase_optimal_configurations()
+        assert set(assignment) == set(sp_oracle.phase_names())
+
+    def test_application_time_scales_with_timesteps(self, machine, suite):
+        sp = suite.get("SP")
+        oracle_full = measure_oracle(machine, sp)
+        oracle_short = measure_oracle(machine, sp.with_timesteps(10))
+        ratio = oracle_full.application_time_seconds("4") / oracle_short.application_time_seconds("4")
+        assert ratio == pytest.approx(sp.timesteps / 10, rel=1e-6)
+
+    def test_application_metrics_consistency(self, sp_oracle):
+        metrics = sp_oracle.application_metrics("2b")
+        assert metrics["power_watts"] == pytest.approx(
+            metrics["energy_joules"] / metrics["time_seconds"]
+        )
+        assert metrics["ed2"] == pytest.approx(
+            metrics["energy_joules"] * metrics["time_seconds"] ** 2
+        )
+
+    def test_global_optimal_is_a_valid_configuration(self, sp_oracle):
+        best = sp_oracle.global_optimal_configuration()
+        assert best in sp_oracle.configuration_names()
+        times = {
+            c: sp_oracle.application_time_seconds(c)
+            for c in sp_oracle.configuration_names()
+        }
+        assert times[best] == min(times.values())
+
+    def test_phase_optimal_beats_or_matches_global_optimal(self, sp_oracle):
+        phase_optimal = sp_oracle.phase_optimal_application_metrics()
+        global_best = sp_oracle.global_optimal_configuration()
+        global_time = sp_oracle.application_time_seconds(global_best)
+        assert phase_optimal["time_seconds"] <= global_time * (1 + 1e-9)
+
+    def test_is_benchmark_prefers_2b_globally(self, is_oracle):
+        assert is_oracle.global_optimal_configuration() == "2b"
+
+    def test_phase_ipc_table_shape(self, sp_oracle):
+        table = sp_oracle.phase_ipc_table()
+        assert len(table) == len(sp_oracle.phase_names())
+        assert all(len(row) == 5 for row in table.values())
+
+    def test_energy_metric_selection(self, is_oracle):
+        best_energy = is_oracle.global_optimal_configuration(metric="energy_joules")
+        energies = {
+            c: is_oracle.application_energy_joules(c)
+            for c in is_oracle.configuration_names()
+        }
+        assert energies[best_energy] == min(energies.values())

@@ -1,0 +1,152 @@
+"""Tests for configuration ranking/selection and the training dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfigurationSelector,
+    FULL_EVENT_SET,
+    PredictionDataset,
+    REDUCED_EVENT_SET,
+    TrainingSample,
+    rank_of_selection,
+)
+
+
+class TestConfigurationSelector:
+    def test_selects_highest_predicted_ipc(self):
+        selector = ConfigurationSelector()
+        predictions = {"1": 0.5, "2a": 0.8, "2b": 1.2, "3": 1.0}
+        assert selector.select(predictions) == "2b"
+
+    def test_measured_sample_participates_in_ranking(self):
+        selector = ConfigurationSelector()
+        predictions = {"1": 0.5, "2a": 0.8, "2b": 1.2, "3": 1.0}
+        ranked = selector.rank(predictions, measured_sample=("4", 2.0))
+        assert ranked.best == "4"
+        assert ranked.ranking[0] == "4"
+        assert ranked.predicted_ipc("4") == pytest.approx(2.0)
+
+    def test_ranking_is_sorted_descending(self):
+        selector = ConfigurationSelector()
+        ranked = selector.rank({"1": 0.2, "2b": 0.9, "3": 0.4})
+        values = [ranked.predictions[name] for name in ranked.ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_tie_break_prefers_fewer_threads(self):
+        selector = ConfigurationSelector()
+        ranked = selector.rank({"4": 1.0, "1": 1.0, "2b": 1.0})
+        assert ranked.best == "1"
+
+    def test_empty_predictions_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationSelector().rank({})
+
+    def test_rank_of_selection(self):
+        true_ipc = {"1": 0.5, "2a": 0.7, "2b": 1.4, "3": 1.0, "4": 1.2}
+        assert rank_of_selection("2b", true_ipc) == 1
+        assert rank_of_selection("4", true_ipc) == 2
+        assert rank_of_selection("1", true_ipc) == 5
+
+    def test_rank_of_selection_with_time_metric(self):
+        times = {"1": 10.0, "2b": 5.0, "4": 7.0}
+        assert rank_of_selection("2b", times, higher_is_better=False) == 1
+        assert rank_of_selection("1", times, higher_is_better=False) == 3
+
+    def test_rank_of_selection_unknown_config(self):
+        with pytest.raises(KeyError):
+            rank_of_selection("9", {"1": 1.0})
+
+
+def _sample(phase: str, workload: str, value: float, event_set=REDUCED_EVENT_SET):
+    features = tuple([value] + [value / 10.0] * event_set.num_events)
+    return TrainingSample(
+        phase_id=f"{workload}:{phase}",
+        workload=workload,
+        features=features,
+        targets={"1": value * 0.5, "2a": value * 0.7, "2b": value * 0.9, "3": value},
+    )
+
+
+class TestPredictionDataset:
+    def _dataset(self):
+        ds = PredictionDataset(
+            event_set=REDUCED_EVENT_SET,
+            sample_configuration="4",
+            target_configurations=("1", "2a", "2b", "3"),
+        )
+        ds.extend(
+            [
+                _sample("p0", "A", 1.0),
+                _sample("p1", "A", 2.0),
+                _sample("q0", "B", 3.0),
+            ]
+        )
+        return ds
+
+    def test_requires_target_configurations(self):
+        with pytest.raises(ValueError):
+            PredictionDataset(
+                event_set=REDUCED_EVENT_SET,
+                sample_configuration="4",
+                target_configurations=(),
+            )
+
+    def test_add_validates_feature_length(self):
+        ds = self._dataset()
+        bad = _sample("x", "C", 1.0, event_set=FULL_EVENT_SET)
+        with pytest.raises(ValueError):
+            ds.add(bad)
+
+    def test_add_validates_targets(self):
+        ds = self._dataset()
+        sample = TrainingSample(
+            phase_id="C:x",
+            workload="C",
+            features=tuple([1.0] * REDUCED_EVENT_SET.num_features),
+            targets={"1": 1.0},
+        )
+        with pytest.raises(KeyError):
+            ds.add(sample)
+
+    def test_matrices_shapes(self):
+        ds = self._dataset()
+        assert ds.feature_matrix().shape == (3, REDUCED_EVENT_SET.num_features)
+        assert ds.target_vector("2b").shape == (3,)
+        assert np.allclose(ds.target_vector("3"), [1.0, 2.0, 3.0])
+
+    def test_empty_dataset_matrix_raises(self):
+        ds = PredictionDataset(
+            event_set=REDUCED_EVENT_SET,
+            sample_configuration="4",
+            target_configurations=("1",),
+        )
+        with pytest.raises(ValueError):
+            ds.feature_matrix()
+
+    def test_workloads_and_phase_ids(self):
+        ds = self._dataset()
+        assert ds.workloads() == ["A", "B"]
+        assert len(ds.phase_ids()) == 3
+
+    def test_leave_one_out_split(self):
+        ds = self._dataset()
+        train, held = ds.leave_one_out("A")
+        assert train.workloads() == ["B"]
+        assert held.workloads() == ["A"]
+        assert len(train) + len(held) == len(ds)
+
+    def test_filter_include_exclude(self):
+        ds = self._dataset()
+        assert ds.filter_workloads(include=["B"]).workloads() == ["B"]
+        assert ds.filter_workloads(exclude=["B"]).workloads() == ["A"]
+
+    def test_summary_counts(self):
+        assert self._dataset().summary() == {"A": 2, "B": 1}
+
+    def test_missing_target_lookup_raises(self):
+        sample = _sample("p", "A", 1.0)
+        with pytest.raises(KeyError):
+            sample.target_for("4")

@@ -1,0 +1,167 @@
+"""Tests for the experiment drivers (figure reproduction pipeline).
+
+The drivers are exercised on a reduced context (a four-benchmark subset and
+low training effort) so the whole pipeline — scalability studies, oracle
+tables, leave-one-out prediction and the policy comparison — runs in seconds
+while still covering the real code paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ABLATIONS,
+    EXPERIMENTS,
+    ExperimentContext,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_scaling_summary,
+)
+from repro.experiments.runner import run_all
+from repro.machine import Machine
+from repro.workloads import nas_suite
+
+
+@pytest.fixture(scope="module")
+def ctx(machine):
+    suite = nas_suite(
+        machine=machine, names=["BT", "CG", "IS", "SP"], variability=0.0
+    )
+    return ExperimentContext(machine=Machine(), suite=suite, fast=True, seed=11)
+
+
+class TestFig1(object):
+    def test_times_and_speedups_present_for_every_benchmark(self, ctx):
+        figure = run_fig1(ctx)
+        times = figure.data["times"]
+        assert set(times) == {"BT", "CG", "IS", "SP"}
+        for per_config in times.values():
+            assert set(per_config) == {"1", "2a", "2b", "3", "4"}
+        assert figure.data["best_configuration"]["IS"] == "2b"
+        assert "Execution time" in figure.text
+
+    def test_scalable_benchmark_speedup_shape(self, ctx):
+        figure = run_fig1(ctx)
+        speedups = figure.data["speedups"]["BT"]
+        assert speedups["4"] > 2.0
+        assert speedups["4"] > speedups["2b"] > speedups["1"]
+
+
+class TestFig2(object):
+    def test_phase_ipc_table_shape(self, ctx):
+        figure = run_fig2(ctx, benchmark="SP")
+        ipc = figure.data["ipc"]
+        assert len(ipc) == 11
+        low, high = figure.data["max_ipc_range"]
+        assert low < 1.0 and high > 3.0
+
+    def test_multiple_best_configurations_across_phases(self, ctx):
+        figure = run_fig2(ctx, benchmark="SP")
+        assert len(figure.data["distinct_best_configurations"]) >= 2
+
+
+class TestFig3(object):
+    def test_power_energy_tables_and_summary_statistics(self, ctx):
+        figure = run_fig3(ctx)
+        assert set(figure.data["power"]) == {"BT", "CG", "IS", "SP"}
+        assert 0.0 < figure.data["avg_power_increase_4_vs_1"] < 0.35
+        assert figure.data["bt_power_ratio_4_vs_1"] > 1.05
+        assert figure.data["bt_energy_ratio_4_vs_1"] < 0.75
+        geo = figure.data["geomean_energy_normalized"]
+        assert geo["4"] == pytest.approx(1.0)
+
+
+class TestScalingSummary(object):
+    def test_statistics_have_paper_shape(self, ctx):
+        figure = run_scaling_summary(ctx)
+        data = figure.data
+        assert data["scalable_class_speedup_4"] > 2.0
+        assert data["is_2b_over_2a"] > 1.3
+        assert data["is_speedup_4_vs_1"] < 1.2
+        assert 0.0 < data["avg_power_increase_4_vs_1"] < 0.35
+
+
+class TestPredictionFigures(object):
+    def test_fig6_error_distribution(self, ctx):
+        figure = run_fig6(ctx)
+        assert figure.data["num_predictions"] > 20
+        assert 0.0 < figure.data["median_error"] < 0.35
+        cdf = figure.data["cdf"]
+        assert all(a <= b + 1e-12 for a, b in zip(cdf, cdf[1:]))
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_fig7_rank_histogram(self, ctx):
+        figure = run_fig7(ctx)
+        fractions = figure.data["rank_fractions"]
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert figure.data["top2_fraction"] > 0.6
+        assert figure.data["worst_fraction"] < 0.2
+
+    def test_prediction_records_are_cached(self, ctx):
+        first = ctx.prediction_records()
+        second = ctx.prediction_records()
+        assert first is second
+
+
+class TestFig8(object):
+    def test_normalized_metrics_per_strategy(self, ctx):
+        figure = run_fig8(ctx)
+        normalized = figure.data["normalized"]
+        for metric in ("time", "power", "energy", "ed2"):
+            assert set(normalized[metric]) == {"BT", "CG", "IS", "SP", "AVG"}
+            for bench, per_strategy in normalized[metric].items():
+                assert per_strategy["4-cores"] == pytest.approx(1.0)
+        averages = figure.data["averages"]
+        # Adaptation should not lose time on average and should cut ED2.
+        assert averages["time"]["prediction"] < 1.02
+        assert averages["ed2"]["prediction"] < 1.0
+        assert averages["ed2"]["phase-optimal"] <= averages["ed2"]["global-optimal"] + 1e-9
+
+    def test_is_gains_most_in_ed2(self, ctx):
+        figure = run_fig8(ctx)
+        ed2 = figure.data["normalized"]["ed2"]
+        assert ed2["IS"]["prediction"] < 0.75
+        assert ed2["IS"]["phase-optimal"] < 0.7
+
+
+class TestRunner(object):
+    def test_registry_contains_all_figures(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig2",
+            "fig3",
+            "sec3-summary",
+            "fig6",
+            "fig7",
+            "fig8",
+        }
+        assert len(ABLATIONS) == 6
+
+    def test_manycore_extension_shape(self, ctx):
+        from repro.experiments import run_manycore_extension
+
+        figure = run_manycore_extension(ctx, benchmarks=["IS", "SP"])
+        savings = figure.data["savings"]
+        assert set(savings) == {"4-core (paper)", "8-core dual-socket", "16-core"}
+        # The throttling opportunity on the larger parts is at least as large
+        # as on the quad-core platform (the paper's future-work claim).
+        assert (
+            savings["8-core dual-socket"]["geomean"]
+            >= savings["4-core (paper)"]["geomean"] - 0.02
+        )
+        # Search must cover more candidate configurations as cores grow.
+        costs = figure.data["search_configurations"]
+        assert costs["16-core"] > costs["8-core dual-socket"] > costs["4-core (paper)"]
+
+    def test_run_all_selected_subset(self, ctx):
+        figures = run_all(ctx, names=["fig1", "fig2"], verbose=False)
+        assert set(figures) == {"fig1", "fig2"}
+
+    def test_run_all_rejects_unknown_experiment(self, ctx):
+        with pytest.raises(KeyError):
+            run_all(ctx, names=["fig99"], verbose=False)

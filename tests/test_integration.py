@@ -1,0 +1,119 @@
+"""End-to-end integration tests across all layers of the library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ACTOR,
+    OraclePhasePolicy,
+    PredictionPolicy,
+    SearchPolicy,
+    StaticPolicy,
+    measure_oracle,
+    train_predictor_bundle,
+)
+from repro.machine import CONFIG_2B, CONFIG_4, Machine
+from repro.openmp import OpenMPRuntime
+from repro.workloads import SyntheticWorkloadGenerator, nas_suite
+
+
+class TestFullAdaptationPipeline:
+    """Train offline, adapt online, verify against the oracle."""
+
+    def test_leave_one_out_adaptation_on_mg(self, machine, suite, fast_options):
+        training, target = suite.leave_one_out("MG")
+        bundle = train_predictor_bundle(machine, training, options=fast_options)
+        oracle = measure_oracle(machine, target)
+
+        actor = ACTOR(OpenMPRuntime(machine, seed=21, keep_executions=False))
+        static = actor.run_with_policy(target, StaticPolicy(CONFIG_4))
+        policy = PredictionPolicy(bundle)
+        adapted = actor.run_with_policy(target, policy)
+        phase_optimal = actor.run_with_policy(target, OraclePhasePolicy(oracle))
+
+        # The adapted run must land between the static default and the
+        # phase-optimal oracle in energy-delay-squared.
+        assert adapted.ed2 < static.ed2
+        assert adapted.ed2 >= phase_optimal.ed2 * 0.95
+        # MG prefers two loosely coupled cores for its dominant phases.
+        decisions = policy.decisions()
+        assert any(config in ("2b", "2a", "1") for config in decisions.values())
+
+    def test_prediction_matches_oracle_choice_for_most_phases(
+        self, machine, suite, trained_bundle
+    ):
+        workload = suite.get("LU-HP")
+        oracle = measure_oracle(machine, workload)
+        actor = ACTOR(OpenMPRuntime(machine, seed=22, keep_executions=False))
+        policy = PredictionPolicy(trained_bundle)
+        actor.run_with_policy(workload, policy)
+        optimal = oracle.phase_optimal_configurations(metric="time_seconds")
+        agreements = sum(
+            1
+            for phase, choice in policy.decisions().items()
+            if choice == optimal[phase]
+        )
+        # The majority of phases should get the truly best (or tied-best)
+        # configuration even with a predictor trained on other benchmarks.
+        assert agreements >= len(optimal) // 2
+
+    def test_search_and_prediction_agree_on_clear_cases(self, machine, suite, trained_bundle):
+        workload = suite.get("IS")
+        actor = ACTOR(OpenMPRuntime(machine, seed=23, keep_executions=False))
+        search = SearchPolicy()
+        prediction = PredictionPolicy(trained_bundle)
+        actor.run_with_policy(workload, search)
+        actor.run_with_policy(workload, prediction)
+        # Both policies must avoid the pathological tightly coupled pair for
+        # the cache-thrashing rank phase.
+        assert search.decisions()["is.rank"] != "2a"
+        assert prediction.decisions()["is.rank"] != "2a"
+
+    def test_adaptation_generalizes_to_synthetic_workloads(
+        self, machine, trained_bundle
+    ):
+        generator = SyntheticWorkloadGenerator(seed=31)
+        workload = generator.random_workload("SYNTH", num_phases=4, timesteps=40)
+        oracle = measure_oracle(machine, workload)
+        actor = ACTOR(OpenMPRuntime(machine, seed=24, keep_executions=False))
+        static = actor.run_with_policy(workload, StaticPolicy(CONFIG_4))
+        adapted = actor.run_with_policy(workload, PredictionPolicy(trained_bundle))
+        phase_optimal = actor.run_with_policy(workload, OraclePhasePolicy(oracle))
+        # Never catastrophically worse than the default, and bounded below by
+        # the oracle.
+        assert adapted.time_seconds < static.time_seconds * 1.15
+        assert adapted.time_seconds >= phase_optimal.time_seconds * 0.98
+
+    def test_reports_conserve_energy_accounting(self, machine, suite, trained_bundle):
+        workload = suite.get("FT")
+        actor = ACTOR(OpenMPRuntime(machine, seed=25))
+        report = actor.run_with_policy(workload, PredictionPolicy(trained_bundle))
+        total_from_phases = sum(s.energy_joules for s in report.phases.values())
+        assert report.energy_joules == pytest.approx(total_from_phases, rel=1e-9)
+        total_time = sum(s.time_seconds for s in report.phases.values())
+        assert report.time_seconds == pytest.approx(total_time, rel=1e-9)
+
+
+class TestCrossSuiteConsistency:
+    def test_static_runs_match_oracle_predictions(self, machine, suite):
+        """Running a workload under a static policy must agree with the sum
+        of oracle measurements (same machine, no noise)."""
+        workload = suite.get("MG")
+        oracle = measure_oracle(machine, workload)
+        actor = ACTOR(OpenMPRuntime(machine, seed=26, keep_executions=False))
+        report = actor.run_with_policy(workload, StaticPolicy(CONFIG_2B))
+        assert report.time_seconds == pytest.approx(
+            oracle.application_time_seconds("2b"), rel=0.02
+        )
+        assert report.energy_joules == pytest.approx(
+            oracle.application_energy_joules("2b"), rel=0.02
+        )
+
+    def test_suite_rebuild_is_deterministic(self):
+        suite_a = nas_suite(machine=Machine(noise_sigma=0.0), variability=0.0)
+        suite_b = nas_suite(machine=Machine(noise_sigma=0.0), variability=0.0)
+        for wa, wb in zip(suite_a, suite_b):
+            assert wa.name == wb.name
+            for pa, pb in zip(wa.phases, wb.phases):
+                assert pa.work.instructions == pytest.approx(pb.work.instructions)

@@ -1,0 +1,137 @@
+"""Unit tests for the PAPI-like performance counter interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import (
+    ALWAYS_AVAILABLE,
+    EVENT_NAMES,
+    PREDICTION_EVENTS,
+    REDUCED_PREDICTION_EVENTS,
+    CounterReading,
+    PerformanceCounterFile,
+    event_by_name,
+    event_pairs,
+)
+
+
+class TestEventCatalogue:
+    def test_twelve_prediction_events(self):
+        assert len(PREDICTION_EVENTS) == 12
+
+    def test_fixed_counters_are_not_prediction_inputs(self):
+        assert "PAPI_TOT_INS" in ALWAYS_AVAILABLE
+        assert "PAPI_TOT_CYC" in ALWAYS_AVAILABLE
+        assert "PAPI_TOT_INS" not in PREDICTION_EVENTS
+
+    def test_reduced_set_is_subset_of_full_set(self):
+        assert set(REDUCED_PREDICTION_EVENTS) <= set(PREDICTION_EVENTS)
+
+    def test_event_by_name_lookup(self):
+        event = event_by_name("PAPI_L2_TCM")
+        assert event.prediction_input
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(KeyError):
+            event_by_name("PAPI_NOT_REAL")
+
+    def test_event_names_unique(self):
+        assert len(set(EVENT_NAMES)) == len(EVENT_NAMES)
+
+
+class TestEventPairs:
+    def test_default_pairs_cover_all_prediction_events(self):
+        pairs = event_pairs()
+        flattened = [e for pair in pairs for e in pair]
+        assert flattened == list(PREDICTION_EVENTS)
+        assert all(len(pair) <= 2 for pair in pairs)
+        assert len(pairs) == 6
+
+    def test_custom_register_width(self):
+        pairs = event_pairs(PREDICTION_EVENTS, registers=4)
+        assert len(pairs) == 3
+        assert all(len(pair) <= 4 for pair in pairs)
+
+    def test_rejects_zero_registers(self):
+        with pytest.raises(ValueError):
+            event_pairs(registers=0)
+
+    def test_rejects_unknown_event(self):
+        with pytest.raises(KeyError):
+            event_pairs(["PAPI_BOGUS"])
+
+
+class TestCounterReading:
+    def test_ipc_from_fixed_counters(self):
+        reading = CounterReading(values={}, cycles=200.0, instructions=100.0)
+        assert reading.ipc == pytest.approx(0.5)
+
+    def test_zero_cycles_gives_zero_ipc(self):
+        reading = CounterReading(values={}, cycles=0.0, instructions=100.0)
+        assert reading.ipc == 0.0
+
+    def test_rate_normalizes_by_cycles(self):
+        reading = CounterReading(
+            values={"PAPI_L2_TCM": 50.0}, cycles=1000.0, instructions=400.0
+        )
+        assert reading.rate("PAPI_L2_TCM") == pytest.approx(0.05)
+
+    def test_rate_of_unobserved_event_is_zero(self):
+        reading = CounterReading(values={}, cycles=1000.0, instructions=400.0)
+        assert reading.rate("PAPI_L2_TCM") == 0.0
+
+    def test_rates_for_selected_events(self):
+        reading = CounterReading(
+            values={"PAPI_L2_TCM": 50.0, "PAPI_BUS_TRN": 20.0},
+            cycles=1000.0,
+            instructions=400.0,
+        )
+        rates = reading.rates(["PAPI_L2_TCM"])
+        assert rates == {"PAPI_L2_TCM": pytest.approx(0.05)}
+
+
+class TestPerformanceCounterFile:
+    def test_default_two_registers(self):
+        assert PerformanceCounterFile().num_registers == 2
+
+    def test_programming_more_than_registers_fails(self):
+        counters = PerformanceCounterFile(num_registers=2)
+        with pytest.raises(ValueError):
+            counters.program(["PAPI_L1_DCM", "PAPI_L2_DCM", "PAPI_L2_TCM"])
+
+    def test_programming_fixed_event_fails(self):
+        counters = PerformanceCounterFile()
+        with pytest.raises(ValueError):
+            counters.program(["PAPI_TOT_INS"])
+
+    def test_programming_duplicates_fails(self):
+        counters = PerformanceCounterFile()
+        with pytest.raises(ValueError):
+            counters.program(["PAPI_L1_DCM", "PAPI_L1_DCM"])
+
+    def test_read_exposes_only_programmed_and_fixed_events(self):
+        counters = PerformanceCounterFile()
+        counters.program(["PAPI_L2_TCM", "PAPI_BUS_TRN"])
+        full = {
+            "PAPI_TOT_INS": 1000.0,
+            "PAPI_TOT_CYC": 2000.0,
+            "PAPI_L2_TCM": 30.0,
+            "PAPI_BUS_TRN": 31.0,
+            "PAPI_L1_DCM": 99.0,
+        }
+        reading = counters.read(full, cycles=2000.0)
+        assert "PAPI_L1_DCM" not in reading.values
+        assert reading.values["PAPI_L2_TCM"] == 30.0
+        assert reading.instructions == 1000.0
+        assert reading.ipc == pytest.approx(0.5)
+
+    def test_reprogramming_replaces_previous_events(self):
+        counters = PerformanceCounterFile()
+        counters.program(["PAPI_L2_TCM"])
+        counters.program(["PAPI_BUS_TRN"])
+        assert counters.programmed == ("PAPI_BUS_TRN",)
+
+    def test_zero_registers_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceCounterFile(num_registers=0)

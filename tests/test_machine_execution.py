@@ -1,0 +1,188 @@
+"""Tests for the machine execution engine and the scaling behaviours it must
+reproduce (the mechanisms behind the paper's Section III findings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import (
+    CONFIG_1,
+    CONFIG_2A,
+    CONFIG_2B,
+    CONFIG_3,
+    CONFIG_4,
+    Machine,
+    ThreadPlacement,
+    WorkRequest,
+)
+
+
+class TestExecutionResultBasics:
+    def test_result_fields_are_consistent(self, machine, compute_work):
+        result = machine.execute(compute_work, CONFIG_2B, apply_noise=False)
+        assert result.time_seconds > 0
+        assert result.cycles > 0
+        assert result.instructions >= compute_work.instructions
+        assert result.ipc == pytest.approx(result.instructions / result.cycles)
+        assert result.num_threads == 2
+        assert len(result.thread_ipcs) == 2
+        assert len(result.thread_cpi) == 2
+
+    def test_energy_and_derived_metrics(self, machine, compute_work):
+        result = machine.execute(compute_work, CONFIG_4, apply_noise=False)
+        assert result.energy_joules == pytest.approx(
+            result.power_watts * result.time_seconds
+        )
+        assert result.edp == pytest.approx(result.energy_joules * result.time_seconds)
+        assert result.ed2 == pytest.approx(result.energy_joules * result.time_seconds ** 2)
+
+    def test_deterministic_without_noise(self, machine, compute_work):
+        a = machine.execute(compute_work, CONFIG_4, apply_noise=False)
+        b = machine.execute(compute_work, CONFIG_4, apply_noise=False)
+        assert a.time_seconds == pytest.approx(b.time_seconds)
+        assert a.event_counts == b.event_counts
+
+    def test_noise_perturbs_time_but_stays_bounded(self, compute_work):
+        machine = Machine(noise_sigma=0.01, seed=3)
+        base = machine.execute(compute_work, CONFIG_4, apply_noise=False).time_seconds
+        noisy = [
+            machine.execute(compute_work, CONFIG_4).time_seconds for _ in range(5)
+        ]
+        assert any(abs(t - base) > 0 for t in noisy)
+        assert all(0.85 * base < t < 1.15 * base for t in noisy)
+
+    def test_unknown_core_in_placement_rejected(self, machine, compute_work):
+        with pytest.raises(KeyError):
+            machine.execute(compute_work, ThreadPlacement((0, 9)))
+
+    def test_accepts_configuration_or_placement(self, machine, compute_work):
+        via_config = machine.execute(compute_work, CONFIG_2A, apply_noise=False)
+        via_placement = machine.execute(
+            compute_work, CONFIG_2A.placement, apply_noise=False
+        )
+        assert via_config.time_seconds == pytest.approx(via_placement.time_seconds)
+
+    def test_idle_power_exposed(self, machine):
+        assert machine.idle_power_watts() > 100.0
+
+
+class TestEventCounts:
+    def test_counts_present_for_all_catalogue_events(self, machine, compute_work):
+        result = machine.execute(compute_work, CONFIG_4, apply_noise=False)
+        for name in (
+            "PAPI_TOT_INS",
+            "PAPI_TOT_CYC",
+            "PAPI_L1_DCM",
+            "PAPI_L2_TCM",
+            "PAPI_BUS_TRN",
+            "PAPI_RES_STL",
+            "PAPI_FP_OPS",
+        ):
+            assert name in result.event_counts
+
+    def test_cache_hierarchy_counts_are_ordered(self, machine, bandwidth_work):
+        counts = machine.execute(bandwidth_work, CONFIG_4, apply_noise=False).event_counts
+        assert counts["PAPI_L1_DCA"] >= counts["PAPI_L1_DCM"]
+        assert counts["PAPI_L1_DCM"] >= counts["PAPI_L2_TCM"]
+        assert counts["PAPI_L2_TCM"] >= counts["PAPI_L2_DCM"]
+
+    def test_instruction_mix_counts(self, machine, compute_work):
+        counts = machine.execute(compute_work, CONFIG_1, apply_noise=False).event_counts
+        assert counts["PAPI_FP_OPS"] == pytest.approx(
+            counts["PAPI_TOT_INS"] * compute_work.flop_fraction, rel=0.02
+        )
+        assert counts["PAPI_BR_MSP"] < counts["PAPI_BR_INS"]
+
+    def test_stall_cycles_below_total_thread_cycles(self, machine, bandwidth_work):
+        result = machine.execute(bandwidth_work, CONFIG_4, apply_noise=False)
+        assert result.event_counts["PAPI_RES_STL"] <= result.cycles * 4
+
+    def test_memory_bound_phase_has_more_bus_traffic(
+        self, machine, compute_work, bandwidth_work
+    ):
+        compute = machine.execute(compute_work, CONFIG_4, apply_noise=False)
+        stream = machine.execute(bandwidth_work, CONFIG_4, apply_noise=False)
+        compute_rate = compute.event_counts["PAPI_BUS_TRN"] / compute.cycles
+        stream_rate = stream.event_counts["PAPI_BUS_TRN"] / stream.cycles
+        assert stream_rate > compute_rate * 3
+
+
+class TestScalingMechanisms:
+    """The three contention mechanisms responsible for the paper's findings."""
+
+    def test_compute_bound_phase_scales_with_cores(self, machine, compute_work):
+        times = {
+            cfg.name: machine.execute(compute_work, cfg, apply_noise=False).time_seconds
+            for cfg in (CONFIG_1, CONFIG_2B, CONFIG_4)
+        }
+        assert times["1"] / times["4"] > 2.5
+        assert times["1"] / times["2b"] > 1.7
+
+    def test_bandwidth_bound_phase_flattens_after_two_threads(
+        self, machine, bandwidth_work
+    ):
+        times = {
+            cfg.name: machine.execute(bandwidth_work, cfg, apply_noise=False).time_seconds
+            for cfg in (CONFIG_1, CONFIG_2B, CONFIG_4)
+        }
+        speedup_2 = times["1"] / times["2b"]
+        speedup_4 = times["1"] / times["4"]
+        assert speedup_2 > 1.15
+        # Four threads add little or nothing over two loosely coupled ones.
+        assert speedup_4 < speedup_2 * 1.15
+
+    def test_cache_thrashing_prefers_loose_coupling(self, machine, thrash_work):
+        tight = machine.execute(thrash_work, CONFIG_2A, apply_noise=False).time_seconds
+        loose = machine.execute(thrash_work, CONFIG_2B, apply_noise=False).time_seconds
+        assert tight > loose * 1.3
+
+    def test_cache_thrashing_degrades_at_full_concurrency(self, machine, thrash_work):
+        one = machine.execute(thrash_work, CONFIG_1, apply_noise=False).time_seconds
+        two_loose = machine.execute(thrash_work, CONFIG_2B, apply_noise=False).time_seconds
+        four = machine.execute(thrash_work, CONFIG_4, apply_noise=False).time_seconds
+        assert two_loose < one
+        assert four > two_loose
+
+    def test_serial_fraction_limits_scaling(self, machine):
+        work = WorkRequest(
+            instructions=2e8,
+            serial_fraction=0.5,
+            l2_miss_rate_solo=0.05,
+            working_set_mb=1.0,
+        )
+        one = machine.execute(work, CONFIG_1, apply_noise=False).time_seconds
+        four = machine.execute(work, CONFIG_4, apply_noise=False).time_seconds
+        assert one / four < 2.0
+
+    def test_more_threads_increase_power(self, machine, compute_work):
+        p1 = machine.execute(compute_work, CONFIG_1, apply_noise=False).power_watts
+        p4 = machine.execute(compute_work, CONFIG_4, apply_noise=False).power_watts
+        assert p4 > p1 * 1.08
+
+    def test_contended_threads_draw_less_power_than_busy_threads(
+        self, machine, compute_work, thrash_work
+    ):
+        busy = machine.execute(compute_work, CONFIG_4, apply_noise=False).power_watts
+        stalled = machine.execute(thrash_work, CONFIG_4, apply_noise=False).power_watts
+        assert stalled < busy
+
+    def test_scalable_phase_saves_energy_with_more_cores(self, machine, compute_work):
+        e1 = machine.execute(compute_work, CONFIG_1, apply_noise=False).energy_joules
+        e4 = machine.execute(compute_work, CONFIG_4, apply_noise=False).energy_joules
+        assert e4 < e1
+
+    def test_thrashing_phase_wastes_energy_with_more_cores(self, machine, thrash_work):
+        e2b = machine.execute(thrash_work, CONFIG_2B, apply_noise=False).energy_joules
+        e4 = machine.execute(thrash_work, CONFIG_4, apply_noise=False).energy_joules
+        assert e4 > e2b
+
+    def test_three_thread_configuration_is_intermediate(self, machine, compute_work):
+        t2 = machine.execute(compute_work, CONFIG_2B, apply_noise=False).time_seconds
+        t3 = machine.execute(compute_work, CONFIG_3, apply_noise=False).time_seconds
+        t4 = machine.execute(compute_work, CONFIG_4, apply_noise=False).time_seconds
+        assert t4 < t3 < t2
+
+    def test_aggregate_ipc_reported_for_all_threads(self, machine, compute_work):
+        one = machine.execute(compute_work, CONFIG_1, apply_noise=False).ipc
+        four = machine.execute(compute_work, CONFIG_4, apply_noise=False).ipc
+        assert four > one * 2.0

@@ -1,0 +1,114 @@
+"""Unit tests for the front-side-bus / memory contention model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import MemoryModel, quad_core_xeon
+
+
+@pytest.fixture(scope="module")
+def memory():
+    return MemoryModel(quad_core_xeon())
+
+
+class TestCapacity:
+    def test_raw_capacity_matches_topology(self, memory):
+        assert memory.capacity_bytes_per_cycle() == pytest.approx(8.5 / 2.4)
+
+    def test_snoop_penalty_reduces_capacity(self, memory):
+        one = memory.effective_capacity_bytes_per_cycle(1)
+        four = memory.effective_capacity_bytes_per_cycle(4)
+        assert four < one
+        assert four == pytest.approx(one * (1 - memory.snoop_penalty_per_requestor * 3))
+
+    def test_capacity_floor_at_half(self, memory):
+        assert memory.effective_capacity_bytes_per_cycle(100) == pytest.approx(
+            0.5 * memory.capacity_bytes_per_cycle()
+        )
+
+    def test_unloaded_latency(self, memory):
+        assert memory.unloaded_latency_cycles() == pytest.approx(95.0 * 2.4)
+
+
+class TestLatencyStretch:
+    def test_no_penalty_below_onset(self, memory):
+        assert memory.latency_stretch(0.0) == pytest.approx(1.0)
+        assert memory.latency_stretch(memory.contention_onset * 0.9) == pytest.approx(1.0)
+
+    def test_stretch_grows_with_utilization(self, memory):
+        low = memory.latency_stretch(0.5)
+        high = memory.latency_stretch(0.9)
+        assert high > low >= 1.0
+
+    def test_stretch_is_capped(self, memory):
+        assert memory.latency_stretch(0.999) <= memory.max_stretch * (
+            1.0 + memory.row_conflict_penalty * 0.0 + 1e-9
+        )
+
+    def test_more_requestors_increase_stretch_at_same_utilization(self, memory):
+        one = memory.latency_stretch(0.7, active_requestors=1)
+        four = memory.latency_stretch(0.7, active_requestors=4)
+        assert four > one
+
+    def test_requestor_penalty_vanishes_at_zero_utilization(self, memory):
+        assert memory.latency_stretch(0.0, active_requestors=4) == pytest.approx(1.0)
+
+    def test_constructor_validation(self):
+        topo = quad_core_xeon()
+        with pytest.raises(ValueError):
+            MemoryModel(topo, max_stretch=0.5)
+        with pytest.raises(ValueError):
+            MemoryModel(topo, contention_onset=1.5)
+        with pytest.raises(ValueError):
+            MemoryModel(topo, snoop_penalty_per_requestor=0.9)
+        with pytest.raises(ValueError):
+            MemoryModel(topo, row_conflict_penalty=-0.1)
+
+
+class TestResolve:
+    def test_zero_demand(self, memory):
+        state = memory.resolve(0.0)
+        assert state.utilization == 0.0
+        assert state.latency_stretch == pytest.approx(1.0)
+        assert state.transactions_per_cycle == 0.0
+
+    def test_demand_below_capacity(self, memory):
+        capacity = memory.effective_capacity_bytes_per_cycle(1)
+        state = memory.resolve(capacity * 0.5)
+        assert state.utilization == pytest.approx(0.5)
+
+    def test_demand_above_capacity_clips_delivered_utilization(self, memory):
+        capacity = memory.effective_capacity_bytes_per_cycle(2, None)
+        state = memory.resolve(capacity * 2.0, active_requestors=2)
+        assert state.utilization == pytest.approx(1.0)
+        assert state.latency_stretch > 2.0
+
+    def test_negative_demand_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.resolve(-1.0)
+
+    def test_transactions_per_cycle_uses_line_size(self, memory):
+        state = memory.resolve(1.28, line_bytes=64)
+        assert state.transactions_per_cycle == pytest.approx(1.28 / 64 * 1.0 / 1.0, rel=1e-6)
+
+
+class TestEffectiveLatency:
+    def test_prefetch_hides_latency(self, memory):
+        exposed = memory.effective_latency_cycles(0.0, prefetch_friendliness=0.0)
+        hidden = memory.effective_latency_cycles(0.0, prefetch_friendliness=0.9)
+        assert hidden < exposed
+
+    def test_latency_grows_with_utilization(self, memory):
+        low = memory.effective_latency_cycles(0.1, prefetch_friendliness=0.3)
+        high = memory.effective_latency_cycles(0.95, prefetch_friendliness=0.3)
+        assert high > low
+
+    def test_accepts_bus_state(self, memory):
+        state = memory.resolve(2.0)
+        from_state = memory.effective_latency_cycles(state, prefetch_friendliness=0.3)
+        from_util = memory.effective_latency_cycles(
+            state.demand_bytes_per_cycle / state.capacity_bytes_per_cycle,
+            prefetch_friendliness=0.3,
+        )
+        assert from_state == pytest.approx(from_util, rel=1e-6)

@@ -1,0 +1,126 @@
+"""Unit tests for threading configurations and placements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import (
+    CONFIG_1,
+    CONFIG_2A,
+    CONFIG_2B,
+    CONFIG_3,
+    CONFIG_4,
+    STANDARD_CONFIG_NAMES,
+    Configuration,
+    ThreadPlacement,
+    configuration_by_name,
+    enumerate_configurations,
+    many_core,
+    placements_equivalent,
+    standard_configurations,
+)
+
+
+class TestThreadPlacement:
+    def test_requires_at_least_one_thread(self):
+        with pytest.raises(ValueError):
+            ThreadPlacement(())
+
+    def test_rejects_duplicate_cores(self):
+        with pytest.raises(ValueError):
+            ThreadPlacement((0, 0))
+
+    def test_num_threads(self):
+        assert ThreadPlacement((0, 2, 3)).num_threads == 3
+
+    def test_idle_cores(self, topology):
+        placement = ThreadPlacement((0, 2))
+        assert placement.idle_cores(topology) == [1, 3]
+
+    def test_max_cache_sharers(self, topology):
+        assert ThreadPlacement((0, 1)).max_cache_sharers(topology) == 2
+        assert ThreadPlacement((0, 2)).max_cache_sharers(topology) == 1
+        assert ThreadPlacement((0, 1, 2, 3)).max_cache_sharers(topology) == 2
+
+    def test_occupied_caches(self, topology):
+        assert ThreadPlacement((0, 1)).occupied_caches(topology) == [0]
+        assert ThreadPlacement((0, 2)).occupied_caches(topology) == [0, 1]
+
+
+class TestStandardConfigurations:
+    def test_five_standard_configurations(self, topology):
+        configs = standard_configurations(topology)
+        assert [c.name for c in configs] == list(STANDARD_CONFIG_NAMES)
+
+    def test_config_2a_is_tightly_coupled(self, topology):
+        assert topology.tightly_coupled(*CONFIG_2A.cores)
+
+    def test_config_2b_is_loosely_coupled(self, topology):
+        assert topology.loosely_coupled(*CONFIG_2B.cores)
+
+    def test_thread_counts(self):
+        assert CONFIG_1.num_threads == 1
+        assert CONFIG_2A.num_threads == 2
+        assert CONFIG_2B.num_threads == 2
+        assert CONFIG_3.num_threads == 3
+        assert CONFIG_4.num_threads == 4
+
+    def test_configuration_by_name(self):
+        assert configuration_by_name("2b") is CONFIG_2B
+        with pytest.raises(KeyError):
+            configuration_by_name("5x")
+
+    def test_describe_mentions_cache_domains(self, topology):
+        description = CONFIG_2A.describe(topology)
+        assert "2 thread" in description
+        assert "L2#0" in description
+
+    def test_validation_rejects_small_topology(self):
+        small = many_core(2, cores_per_cache=2)
+        with pytest.raises(ValueError):
+            standard_configurations(small)
+
+
+class TestEnumerateConfigurations:
+    def test_quad_core_enumeration_matches_paper(self, topology):
+        configs = enumerate_configurations(topology)
+        names = [c.name for c in configs]
+        # 1 thread and 4 threads have a single placement; 2 and 3 have
+        # compact ('a') and scattered ('b') variants.
+        assert "1" in names
+        assert "2a" in names and "2b" in names
+        assert "4" in names
+
+    def test_two_thread_variants_differ_in_sharing(self, topology):
+        configs = {c.name: c for c in enumerate_configurations(topology, [2])}
+        assert configs["2a"].placement.max_cache_sharers(topology) == 2
+        assert configs["2b"].placement.max_cache_sharers(topology) == 1
+
+    def test_rejects_out_of_range_thread_counts(self, topology):
+        with pytest.raises(ValueError):
+            enumerate_configurations(topology, [5])
+        with pytest.raises(ValueError):
+            enumerate_configurations(topology, [0])
+
+    def test_many_core_enumeration_counts(self):
+        topo = many_core(8, cores_per_cache=2)
+        configs = enumerate_configurations(topo, [4])
+        names = [c.name for c in configs]
+        assert names == ["4a", "4b"]
+
+
+class TestPlacementEquivalence:
+    def test_symmetric_pairs_are_equivalent(self, topology):
+        a = ThreadPlacement((0, 1))
+        b = ThreadPlacement((2, 3))
+        assert placements_equivalent(topology, a, b)
+
+    def test_different_sharing_not_equivalent(self, topology):
+        a = ThreadPlacement((0, 1))
+        b = ThreadPlacement((0, 2))
+        assert not placements_equivalent(topology, a, b)
+
+    def test_different_thread_counts_not_equivalent(self, topology):
+        assert not placements_equivalent(
+            topology, ThreadPlacement((0,)), ThreadPlacement((0, 1))
+        )

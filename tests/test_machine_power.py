@@ -1,0 +1,93 @@
+"""Unit tests for the full-system power model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import PowerModel, PowerParameters, quad_core_xeon
+
+
+@pytest.fixture(scope="module")
+def power():
+    return PowerModel(quad_core_xeon())
+
+
+class TestIdleAndValidation:
+    def test_idle_power_counts_all_cores(self, power):
+        params = power.parameters
+        expected = params.platform_idle_watts + 4 * params.core_idle_watts
+        assert power.idle_power_watts() == pytest.approx(expected)
+
+    def test_mismatched_arguments_rejected(self, power):
+        with pytest.raises(ValueError):
+            power.evaluate([0, 1], [1.0], [0.1], 0.5)
+
+    def test_invalid_bus_utilization_rejected(self, power):
+        with pytest.raises(ValueError):
+            power.evaluate([0], [1.0], [0.1], 1.5)
+
+    def test_negative_time_rejected(self, power):
+        with pytest.raises(ValueError):
+            power.energy_joules(100.0, -1.0)
+
+    def test_energy_is_power_times_time(self, power):
+        assert power.energy_joules(120.0, 10.0) == pytest.approx(1200.0)
+
+
+class TestActivityFactor:
+    def test_bounded_between_floor_and_one(self, power):
+        assert 0.0 < power.core_activity_factor(0.0, 1.0) < 0.2
+        assert power.core_activity_factor(4.0, 0.0) == pytest.approx(1.0)
+
+    def test_higher_ipc_means_more_activity(self, power):
+        low = power.core_activity_factor(0.2, 0.5)
+        high = power.core_activity_factor(1.5, 0.5)
+        assert high > low
+
+    def test_stalling_reduces_activity(self, power):
+        busy = power.core_activity_factor(1.0, 0.1)
+        stalled = power.core_activity_factor(1.0, 0.9)
+        assert stalled < busy
+
+
+class TestEvaluate:
+    def test_more_active_cores_draw_more_power(self, power):
+        one = power.evaluate([0], [1.2], [0.3], 0.3).total_watts
+        four = power.evaluate([0, 1, 2, 3], [1.2] * 4, [0.3] * 4, 0.5).total_watts
+        assert four > one
+
+    def test_idle_cores_billed_at_idle_power(self, power):
+        breakdown = power.evaluate([0], [1.0], [0.2], 0.2)
+        # Exactly one per-core component is reported for the busy core.
+        assert list(breakdown.components) == ["core0"]
+
+    def test_high_ipc_threads_draw_more_than_stalled_threads(self, power):
+        busy = power.evaluate([0, 1, 2, 3], [1.6] * 4, [0.2] * 4, 0.4).total_watts
+        stalled = power.evaluate([0, 1, 2, 3], [0.1] * 4, [0.95] * 4, 0.4).total_watts
+        assert busy > stalled + 10.0
+
+    def test_bus_utilization_adds_memory_power(self, power):
+        low = power.evaluate([0], [1.0], [0.3], 0.0).total_watts
+        high = power.evaluate([0], [1.0], [0.3], 1.0).total_watts
+        assert high - low == pytest.approx(power.parameters.memory_dynamic_watts)
+
+    def test_shared_cache_counted_once(self, power):
+        tight = power.evaluate([0, 1], [1.0, 1.0], [0.3, 0.3], 0.3)
+        loose = power.evaluate([0, 2], [1.0, 1.0], [0.3, 0.3], 0.3)
+        assert loose.caches_watts == pytest.approx(2 * power.parameters.l2_active_watts)
+        assert tight.caches_watts == pytest.approx(power.parameters.l2_active_watts)
+
+    def test_total_is_sum_of_breakdown(self, power):
+        b = power.evaluate([0, 2], [1.0, 0.5], [0.3, 0.6], 0.4)
+        assert b.total_watts == pytest.approx(
+            b.platform_watts + b.cores_watts + b.caches_watts + b.uncore_watts + b.memory_watts
+        )
+
+    def test_realistic_power_range(self, power):
+        total = power.evaluate([0, 1, 2, 3], [1.0] * 4, [0.4] * 4, 0.6).total_watts
+        assert 120.0 < total < 180.0
+
+    def test_custom_parameters_respected(self):
+        params = PowerParameters(platform_idle_watts=50.0, core_idle_watts=0.0)
+        model = PowerModel(quad_core_xeon(), params)
+        assert model.idle_power_watts() == pytest.approx(50.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the processor topology model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.topology import (
+    CacheDescriptor,
+    CoreDescriptor,
+    Topology,
+    dual_socket_xeon,
+    many_core,
+    quad_core_xeon,
+)
+
+
+class TestQuadCoreXeon:
+    def test_has_four_cores_and_two_caches(self, topology):
+        assert topology.num_cores == 4
+        assert topology.num_caches == 2
+
+    def test_cores_zero_and_one_share_a_cache(self, topology):
+        assert topology.tightly_coupled(0, 1)
+        assert topology.tightly_coupled(2, 3)
+
+    def test_cores_on_different_dies_are_loosely_coupled(self, topology):
+        assert topology.loosely_coupled(0, 2)
+        assert topology.loosely_coupled(1, 3)
+        assert topology.loosely_coupled(0, 3)
+
+    def test_cache_of_returns_the_right_domain(self, topology):
+        assert topology.cache_of(0).cache_id == 0
+        assert topology.cache_of(3).cache_id == 1
+
+    def test_cores_of_cache(self, topology):
+        assert topology.cores_of_cache(0) == [0, 1]
+        assert topology.cores_of_cache(1) == [2, 3]
+
+    def test_default_l2_size_is_4mb(self, topology):
+        assert topology.cache(0).size_mb == pytest.approx(4.0)
+        assert topology.cache(0).size_bytes == 4 * 1024 * 1024
+
+    def test_tightly_coupled_pairs(self, topology):
+        assert topology.tightly_coupled_pairs() == [(0, 1), (2, 3)]
+
+    def test_loosely_coupled_pairs(self, topology):
+        pairs = topology.loosely_coupled_pairs()
+        assert (0, 2) in pairs and (1, 3) in pairs
+        assert (0, 1) not in pairs
+
+    def test_cache_sharers_groups_by_cache(self, topology):
+        groups = topology.cache_sharers([0, 1, 2])
+        assert groups == {0: [0, 1], 1: [2]}
+
+    def test_core_ids_sorted(self, topology):
+        assert topology.core_ids() == [0, 1, 2, 3]
+
+    def test_describe_mentions_cores_and_bus(self, topology):
+        text = topology.describe()
+        assert "4 cores" in text
+        assert "FSB" in text
+
+    def test_bus_bytes_per_cycle(self, topology):
+        # 8.5 GB/s at 2.4 GHz is about 3.54 bytes per cycle.
+        assert topology.bus_bytes_per_cycle() == pytest.approx(8.5 / 2.4, rel=1e-6)
+
+    def test_memory_latency_cycles(self, topology):
+        assert topology.memory_latency_cycles() == pytest.approx(95.0 * 2.4, rel=1e-6)
+
+    def test_unknown_core_raises(self, topology):
+        with pytest.raises(KeyError):
+            topology.core(99)
+
+    def test_unknown_cache_raises(self, topology):
+        with pytest.raises(KeyError):
+            topology.cache(99)
+
+    def test_coupling_requires_distinct_cores(self, topology):
+        with pytest.raises(ValueError):
+            topology.tightly_coupled(1, 1)
+
+
+class TestTopologyValidation:
+    def test_duplicate_core_ids_rejected(self):
+        cache = CacheDescriptor(cache_id=0)
+        cores = [CoreDescriptor(0, 0), CoreDescriptor(0, 0)]
+        with pytest.raises(ValueError):
+            Topology(name="bad", cores=cores, caches=[cache])
+
+    def test_duplicate_cache_ids_rejected(self):
+        caches = [CacheDescriptor(cache_id=0), CacheDescriptor(cache_id=0)]
+        cores = [CoreDescriptor(0, 0)]
+        with pytest.raises(ValueError):
+            Topology(name="bad", cores=cores, caches=caches)
+
+    def test_core_referencing_missing_cache_rejected(self):
+        caches = [CacheDescriptor(cache_id=0)]
+        cores = [CoreDescriptor(0, 5)]
+        with pytest.raises(ValueError):
+            Topology(name="bad", cores=cores, caches=caches)
+
+
+class TestAlternativeTopologies:
+    def test_dual_socket_has_eight_cores(self):
+        topo = dual_socket_xeon()
+        assert topo.num_cores == 8
+        assert topo.num_caches == 4
+        assert topo.tightly_coupled(0, 1)
+        assert topo.loosely_coupled(0, 7)
+
+    def test_many_core_shape(self):
+        topo = many_core(16, cores_per_cache=4)
+        assert topo.num_cores == 16
+        assert topo.num_caches == 4
+        assert topo.cores_of_cache(0) == [0, 1, 2, 3]
+
+    def test_many_core_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            many_core(0)
+        with pytest.raises(ValueError):
+            many_core(6, cores_per_cache=4)
+        with pytest.raises(ValueError):
+            many_core(4, cores_per_cache=0)

@@ -1,0 +1,177 @@
+"""Tests for the OpenMP-like runtime: teams, schedules, regions and runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import CONFIG_1, CONFIG_2B, CONFIG_4, Machine, WorkRequest
+from repro.openmp import (
+    OpenMPRuntime,
+    PhaseDirective,
+    Schedule,
+    ScheduleKind,
+    StaticController,
+    ThreadTeam,
+)
+from repro.workloads import PhaseSpec, Workload
+
+
+class TestSchedule:
+    def test_static_keeps_inherent_imbalance(self):
+        work = WorkRequest(instructions=1e8, load_imbalance=1.2)
+        schedule = Schedule(ScheduleKind.STATIC)
+        assert schedule.effective_imbalance(work, 4) == pytest.approx(1.2)
+        assert schedule.overhead_cycles(work, 4) == 0.0
+
+    def test_dynamic_reduces_imbalance_but_adds_overhead(self):
+        work = WorkRequest(instructions=1e8, load_imbalance=1.2)
+        schedule = Schedule(ScheduleKind.DYNAMIC, chunk=1.0)
+        assert schedule.effective_imbalance(work, 4) < 1.2
+        assert schedule.overhead_cycles(work, 4) > 0.0
+
+    def test_guided_between_static_and_dynamic(self):
+        work = WorkRequest(instructions=1e8, load_imbalance=1.2)
+        dynamic = Schedule(ScheduleKind.DYNAMIC).effective_imbalance(work, 4)
+        guided = Schedule(ScheduleKind.GUIDED).effective_imbalance(work, 4)
+        static = Schedule(ScheduleKind.STATIC).effective_imbalance(work, 4)
+        assert dynamic <= guided <= static
+
+    def test_single_thread_has_no_imbalance_or_overhead(self):
+        work = WorkRequest(instructions=1e8, load_imbalance=1.3)
+        schedule = Schedule(ScheduleKind.DYNAMIC)
+        assert schedule.effective_imbalance(work, 1) == 1.0
+        assert schedule.overhead_cycles(work, 1) == 0.0
+
+    def test_chunk_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Schedule(chunk=0.0)
+
+
+class TestThreadTeam:
+    def test_team_threads_bound_to_configuration_cores(self):
+        team = ThreadTeam(configuration=CONFIG_2B)
+        assert team.num_threads == 2
+        assert [t.core_id for t in team.threads] == [0, 2]
+        assert team.master.thread_id == 0
+
+    def test_idle_cores(self, topology):
+        team = ThreadTeam(configuration=CONFIG_2B)
+        assert team.idle_cores(topology) == [1, 3]
+
+    def test_with_configuration_preserves_schedule(self):
+        schedule = Schedule(ScheduleKind.DYNAMIC)
+        team = ThreadTeam(configuration=CONFIG_4, schedule=schedule)
+        new_team = team.with_configuration(CONFIG_1)
+        assert new_team.schedule is schedule
+        assert new_team.num_threads == 1
+
+    def test_describe(self):
+        text = ThreadTeam(configuration=CONFIG_4).describe()
+        assert "4 thread" in text
+
+
+class TestRuntimeExecution:
+    def test_register_regions_assigns_unique_ids(self, runtime, tiny_workload):
+        regions = runtime.register_regions(tiny_workload)
+        assert len(regions) == tiny_workload.num_phases
+        assert len({r.region_id for r in regions}) == len(regions)
+        assert regions[0].name.startswith("TINY:")
+
+    def test_execute_region_without_sampling_has_no_reading(self, runtime, tiny_workload):
+        region = runtime.register_regions(tiny_workload)[0]
+        execution = runtime.execute_region(
+            region, 0, PhaseDirective(configuration=CONFIG_4)
+        )
+        assert execution.reading is None
+        assert execution.configuration is CONFIG_4
+        assert execution.time_seconds > 0
+
+    def test_execute_region_with_sampling_returns_reading(self, runtime, tiny_workload):
+        region = runtime.register_regions(tiny_workload)[0]
+        directive = PhaseDirective(
+            configuration=CONFIG_4, sample_events=("PAPI_L2_TCM", "PAPI_BUS_TRN")
+        )
+        execution = runtime.execute_region(region, 0, directive)
+        assert execution.reading is not None
+        assert "PAPI_L2_TCM" in execution.reading.values
+        assert "PAPI_L1_DCM" not in execution.reading.values
+        assert execution.reading.ipc > 0
+
+    def test_sampling_more_events_than_registers_fails(self, runtime, tiny_workload):
+        region = runtime.register_regions(tiny_workload)[0]
+        directive = PhaseDirective(
+            configuration=CONFIG_4,
+            sample_events=("PAPI_L2_TCM", "PAPI_BUS_TRN", "PAPI_L1_DCM"),
+        )
+        with pytest.raises(ValueError):
+            runtime.execute_region(region, 0, directive)
+
+    def test_observable_excludes_power(self, runtime, tiny_workload):
+        region = runtime.register_regions(tiny_workload)[0]
+        execution = runtime.execute_region(
+            region, 0, PhaseDirective(configuration=CONFIG_4)
+        )
+        observable = execution.observable()
+        assert "time_seconds" in observable and "ipc" in observable
+        assert not any("power" in key or "energy" in key for key in observable)
+
+    def test_measurement_noise_validated(self, machine):
+        with pytest.raises(ValueError):
+            OpenMPRuntime(machine, measurement_noise=-0.1)
+
+
+class TestWholeRun:
+    def test_run_accumulates_all_instances(self, runtime, tiny_workload):
+        report = runtime.run(tiny_workload)
+        assert report.workload_name == "TINY"
+        expected = tiny_workload.timesteps * tiny_workload.num_phases
+        assert sum(s.instances for s in report.phases.values()) == expected
+        assert len(report.executions) == expected
+        assert report.time_seconds > 0
+        assert report.energy_joules > 0
+        assert 100 < report.average_power_watts < 180
+
+    def test_run_with_max_timesteps_truncates(self, runtime, tiny_workload):
+        report = runtime.run(tiny_workload, max_timesteps=3)
+        assert sum(s.instances for s in report.phases.values()) == 3 * tiny_workload.num_phases
+
+    def test_static_controller_uses_configured_placement(self, runtime, tiny_workload):
+        report = runtime.run(tiny_workload, controller=StaticController(CONFIG_2B))
+        for summary in report.phases.values():
+            assert summary.dominant_configuration() == "2b"
+
+    def test_report_derived_metrics(self, runtime, tiny_workload):
+        report = runtime.run(tiny_workload, max_timesteps=2)
+        assert report.edp == pytest.approx(report.energy_joules * report.time_seconds)
+        assert report.ed2 == pytest.approx(
+            report.energy_joules * report.time_seconds ** 2
+        )
+        assert "TINY" in report.summary()
+
+    def test_keep_executions_false_drops_history(self, machine, tiny_workload):
+        runtime = OpenMPRuntime(machine, keep_executions=False)
+        report = runtime.run(tiny_workload, max_timesteps=2)
+        assert report.executions == []
+        assert report.time_seconds > 0
+
+    def test_phase_variability_changes_instances(self, machine):
+        workload = Workload(
+            name="VAR",
+            phases=(
+                PhaseSpec(
+                    "var.p",
+                    WorkRequest(instructions=1e8),
+                    variability=0.05,
+                ),
+            ),
+            timesteps=6,
+        )
+        runtime = OpenMPRuntime(machine, seed=9)
+        report = runtime.run(workload)
+        times = [e.time_seconds for e in report.executions]
+        assert len(set(round(t, 9) for t in times)) > 1
+
+    def test_runs_are_reproducible_with_same_seed(self, machine, tiny_workload):
+        report_a = OpenMPRuntime(machine, seed=77).run(tiny_workload, max_timesteps=4)
+        report_b = OpenMPRuntime(machine, seed=77).run(tiny_workload, max_timesteps=4)
+        assert report_a.time_seconds == pytest.approx(report_b.time_seconds, rel=1e-3)

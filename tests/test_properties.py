@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These tests exercise the machine model, the ANN scalers/networks and the
+selection logic over wide input ranges, checking invariants that must hold
+for *any* admissible input rather than hand-picked examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ann import MinMaxScaler, NeuralNetwork, StandardScaler
+from repro.core import ConfigurationSelector, rank_of_selection, sampling_budget
+from repro.machine import (
+    CONFIG_1,
+    CONFIG_2A,
+    CONFIG_2B,
+    CONFIG_4,
+    CacheModel,
+    Machine,
+    MemoryModel,
+    WorkRequest,
+    quad_core_xeon,
+)
+
+_MACHINE = Machine(noise_sigma=0.0)
+_CACHE = CacheModel(quad_core_xeon())
+_MEMORY = MemoryModel(quad_core_xeon())
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def work_requests(draw) -> WorkRequest:
+    """Random but physically admissible phase characterizations."""
+    mem = draw(st.floats(0.1, 0.5))
+    flop = draw(st.floats(0.0, 0.9 - mem))
+    return WorkRequest(
+        instructions=draw(st.floats(1e6, 5e9)),
+        mem_fraction=mem,
+        flop_fraction=flop,
+        branch_fraction=draw(st.floats(0.0, 0.2)),
+        l1_miss_rate=draw(st.floats(0.0, 0.3)),
+        l2_miss_rate_solo=draw(st.floats(0.0, 0.9)),
+        working_set_mb=draw(st.floats(0.1, 32.0)),
+        locality_exponent=draw(st.floats(0.0, 4.0)),
+        sharing_fraction=draw(st.floats(0.0, 1.0)),
+        bandwidth_sensitivity=draw(st.floats(0.3, 1.5)),
+        serial_fraction=draw(st.floats(0.0, 0.5)),
+        load_imbalance=draw(st.floats(1.0, 1.3)),
+        barriers=draw(st.integers(0, 30)),
+        sync_cycles_per_barrier=draw(st.floats(0.0, 10_000.0)),
+        prefetch_friendliness=draw(st.floats(0.0, 0.95)),
+        base_cpi=draw(st.floats(0.3, 1.5)),
+    )
+
+
+class TestMachineProperties:
+    @given(work=work_requests())
+    @_SETTINGS
+    def test_execution_results_are_physical(self, work):
+        result = _MACHINE.execute(work, CONFIG_4, apply_noise=False)
+        assert result.time_seconds > 0
+        assert result.cycles > 0
+        assert 0 < result.ipc < 16.0
+        assert 100.0 < result.power_watts < 200.0
+        assert result.energy_joules > 0
+        assert all(np.isfinite(v) for v in result.event_counts.values())
+        assert all(v >= 0 for v in result.event_counts.values())
+
+    @given(work=work_requests())
+    @_SETTINGS
+    def test_single_thread_never_slower_than_serialized_four_thread_work(self, work):
+        """Total machine work (thread-seconds) never shrinks with threads."""
+        one = _MACHINE.execute(work, CONFIG_1, apply_noise=False)
+        four = _MACHINE.execute(work, CONFIG_4, apply_noise=False)
+        # Four threads can be at most ~4x faster (plus a small tolerance for
+        # the constructive-sharing relief in the cache model).
+        assert four.time_seconds > one.time_seconds / 4.2
+
+    @given(work=work_requests())
+    @_SETTINGS
+    def test_tight_coupling_never_beats_loose_coupling_materially(self, work):
+        """Sharing an L2 can only hurt or be neutral for mostly-private data;
+        with strong sharing it may help, but never by more than the shared
+        fraction could explain."""
+        tight = _MACHINE.execute(work, CONFIG_2A, apply_noise=False).time_seconds
+        loose = _MACHINE.execute(work, CONFIG_2B, apply_noise=False).time_seconds
+        if work.sharing_fraction < 0.05:
+            assert tight >= loose * 0.98
+
+    @given(work=work_requests())
+    @_SETTINGS
+    def test_power_increases_with_active_cores(self, work):
+        p1 = _MACHINE.execute(work, CONFIG_1, apply_noise=False).power_watts
+        p4 = _MACHINE.execute(work, CONFIG_4, apply_noise=False).power_watts
+        assert p4 > p1
+
+    @given(work=work_requests(), occupants=st.integers(1, 4))
+    @_SETTINGS
+    def test_cache_miss_ratio_bounded(self, work, occupants):
+        ratio = _CACHE.miss_ratio(work, capacity_mb=4.0, occupants=occupants)
+        assert 0.0 < ratio <= 1.0
+
+    @given(work=work_requests())
+    @_SETTINGS
+    def test_cache_pressure_monotone_in_occupants(self, work):
+        """With mostly-private data, more occupants never reduce misses
+        (beyond the small constructive-sharing relief proportional to the
+        shared fraction)."""
+        ratios = [_CACHE.miss_ratio(work, 4.0, n) for n in (1, 2, 3, 4)]
+        if work.sharing_fraction < 0.05:
+            tolerance = 1.0 + 0.15 * work.sharing_fraction * 3 + 1e-9
+            assert all(a <= b * tolerance for a, b in zip(ratios, ratios[1:]))
+
+    @given(util=st.floats(0.0, 0.999), requestors=st.integers(1, 4))
+    @_SETTINGS
+    def test_latency_stretch_bounded_and_monotone_in_requestors(self, util, requestors):
+        stretch = _MEMORY.latency_stretch(util, requestors)
+        assert 1.0 <= stretch <= _MEMORY.max_stretch * (1 + _MEMORY.row_conflict_penalty * 3)
+        assert stretch >= _MEMORY.latency_stretch(util, 1) - 1e-12
+
+    @given(demand=st.floats(0.0, 50.0), requestors=st.integers(1, 4))
+    @_SETTINGS
+    def test_bus_state_invariants(self, demand, requestors):
+        state = _MEMORY.resolve(demand, active_requestors=requestors)
+        assert 0.0 <= state.utilization <= 1.0
+        assert state.latency_stretch >= 1.0
+        assert state.transactions_per_cycle >= 0.0
+
+
+class TestAnnProperties:
+    @given(
+        data=st.lists(
+            st.lists(st.floats(-1e3, 1e3), min_size=3, max_size=3),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @_SETTINGS
+    def test_standard_scaler_round_trip(self, data):
+        array = np.array(data, dtype=float)
+        scaler = StandardScaler().fit(array)
+        recovered = scaler.inverse_transform(scaler.transform(array))
+        assert np.allclose(recovered, array, atol=1e-6, rtol=1e-6)
+
+    @given(
+        data=st.lists(
+            st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=2),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @_SETTINGS
+    def test_minmax_scaler_bounds(self, data):
+        array = np.array(data, dtype=float)
+        scaler = MinMaxScaler(margin=0.05).fit(array)
+        scaled = scaler.transform(array)
+        assert scaled.min() >= 0.0 - 1e-9
+        assert scaled.max() <= 1.0 + 1e-9
+
+    @given(
+        inputs=st.lists(
+            st.lists(st.floats(-5, 5), min_size=4, max_size=4),
+            min_size=1,
+            max_size=16,
+        ),
+        seed=st.integers(0, 1000),
+    )
+    @_SETTINGS
+    def test_network_outputs_finite(self, inputs, seed):
+        net = NeuralNetwork((4, 6, 2), seed=seed)
+        outputs = net.predict(np.array(inputs, dtype=float))
+        assert np.isfinite(outputs).all()
+
+    @given(
+        values=st.dictionaries(
+            st.sampled_from(["1", "2a", "2b", "3", "4"]),
+            st.floats(0.01, 10.0),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    @_SETTINGS
+    def test_selector_picks_the_maximum(self, values):
+        selector = ConfigurationSelector()
+        best = selector.select(values)
+        maximum = max(values.values())
+        assert values[best] == pytest.approx(maximum)
+        # When the maximum is unique the selected configuration is also the
+        # rank-1 configuration; on exact ties any maximal entry is acceptable.
+        if sum(1 for v in values.values() if v == maximum) == 1:
+            assert rank_of_selection(best, values) == 1
+
+
+class TestBudgetProperties:
+    @given(timesteps=st.integers(1, 10_000), fraction=st.floats(0.01, 1.0))
+    @_SETTINGS
+    def test_sampling_budget_bounds(self, timesteps, fraction):
+        budget = sampling_budget(timesteps, fraction)
+        assert 1 <= budget <= max(1, timesteps)
+        assert budget <= timesteps * fraction + 1

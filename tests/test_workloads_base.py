@@ -1,0 +1,145 @@
+"""Unit tests for the workload abstractions (phases, workloads, suites)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import WorkRequest
+from repro.workloads import PhaseSpec, Workload, WorkloadSuite
+
+
+def _phase(name: str, instructions: float = 1e8, invocations: int = 1) -> PhaseSpec:
+    return PhaseSpec(
+        name=name,
+        work=WorkRequest(instructions=instructions),
+        invocations_per_timestep=invocations,
+    )
+
+
+class TestPhaseSpec:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(name="", work=WorkRequest(instructions=1e8))
+
+    def test_requires_positive_invocations(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(
+                name="p", work=WorkRequest(instructions=1e8), invocations_per_timestep=0
+            )
+
+    def test_rejects_negative_variability(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(name="p", work=WorkRequest(instructions=1e8), variability=-0.1)
+
+    def test_instructions_per_timestep(self):
+        phase = _phase("p", instructions=1e8, invocations=3)
+        assert phase.instructions_per_timestep == pytest.approx(3e8)
+
+    def test_scaled(self):
+        phase = _phase("p", instructions=1e8).scaled(0.5)
+        assert phase.work.instructions == pytest.approx(5e7)
+
+
+class TestWorkload:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            Workload(name="w", phases=(), timesteps=10)
+
+    def test_rejects_duplicate_phase_names(self):
+        with pytest.raises(ValueError):
+            Workload(name="w", phases=(_phase("a"), _phase("a")), timesteps=10)
+
+    def test_rejects_bad_timesteps(self):
+        with pytest.raises(ValueError):
+            Workload(name="w", phases=(_phase("a"),), timesteps=0)
+
+    def test_total_instructions(self):
+        workload = Workload(
+            name="w",
+            phases=(_phase("a", 1e8), _phase("b", 2e8, invocations=2)),
+            timesteps=10,
+        )
+        assert workload.total_instructions == pytest.approx(10 * (1e8 + 4e8))
+
+    def test_phase_lookup(self):
+        workload = Workload(name="w", phases=(_phase("a"), _phase("b")), timesteps=5)
+        assert workload.phase("b").name == "b"
+        with pytest.raises(KeyError):
+            workload.phase("missing")
+
+    def test_iter_invocations_in_program_order(self):
+        workload = Workload(
+            name="w", phases=(_phase("a"), _phase("b", invocations=2)), timesteps=2
+        )
+        sequence = [(step, phase.name) for step, phase in workload.iter_invocations()]
+        assert sequence == [
+            (0, "a"), (0, "b"), (0, "b"),
+            (1, "a"), (1, "b"), (1, "b"),
+        ]
+
+    def test_with_timesteps_and_scaled(self):
+        workload = Workload(name="w", phases=(_phase("a", 1e8),), timesteps=5)
+        assert workload.with_timesteps(20).timesteps == 20
+        assert workload.scaled(2.0).phase("a").work.instructions == pytest.approx(2e8)
+
+    def test_num_phases_and_names(self):
+        workload = Workload(name="w", phases=(_phase("a"), _phase("b")), timesteps=5)
+        assert workload.num_phases == 2
+        assert workload.phase_names() == ["a", "b"]
+
+
+class TestWorkloadSuite:
+    def _suite(self):
+        return WorkloadSuite(
+            name="s",
+            workloads=[
+                Workload(name="A", phases=(_phase("a1"),), timesteps=3),
+                Workload(name="B", phases=(_phase("b1"), _phase("b2")), timesteps=3),
+                Workload(name="C", phases=(_phase("c1"),), timesteps=3),
+            ],
+        )
+
+    def test_duplicate_names_rejected(self):
+        workload = Workload(name="A", phases=(_phase("a"),), timesteps=1)
+        with pytest.raises(ValueError):
+            WorkloadSuite(name="s", workloads=[workload, workload])
+
+    def test_lookup_and_len(self):
+        suite = self._suite()
+        assert len(suite) == 3
+        assert suite.get("B").num_phases == 2
+        with pytest.raises(KeyError):
+            suite.get("missing")
+
+    def test_add_rejects_duplicates(self):
+        suite = self._suite()
+        with pytest.raises(ValueError):
+            suite.add(Workload(name="A", phases=(_phase("x"),), timesteps=1))
+
+    def test_leave_one_out_split(self):
+        suite = self._suite()
+        train, held = suite.leave_one_out("B")
+        assert held.name == "B"
+        assert [w.name for w in train] == ["A", "C"]
+
+    def test_leave_one_out_splits_cover_all(self):
+        suite = self._suite()
+        held_names = [held.name for _, held in suite.leave_one_out_splits()]
+        assert held_names == ["A", "B", "C"]
+
+    def test_leave_one_out_requires_two_workloads(self):
+        suite = WorkloadSuite(
+            name="solo",
+            workloads=[Workload(name="A", phases=(_phase("a"),), timesteps=1)],
+        )
+        with pytest.raises(ValueError):
+            suite.leave_one_out("A")
+
+    def test_subset_preserves_order(self):
+        suite = self._suite().subset(["C", "A"])
+        assert suite.names() == ["C", "A"]
+
+    def test_total_phases_and_describe(self):
+        suite = self._suite()
+        assert suite.total_phases() == 4
+        assert "3 workloads" in suite.describe()

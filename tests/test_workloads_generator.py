@@ -1,0 +1,73 @@
+"""Unit tests for the synthetic workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import GeneratorRanges, SyntheticWorkloadGenerator
+
+
+class TestSyntheticWorkloadGenerator:
+    def test_random_work_within_ranges(self):
+        gen = SyntheticWorkloadGenerator(seed=1)
+        ranges = gen.ranges
+        for _ in range(50):
+            work = gen.random_work()
+            assert ranges.mem_fraction[0] <= work.mem_fraction <= ranges.mem_fraction[1]
+            assert ranges.working_set_mb[0] <= work.working_set_mb <= ranges.working_set_mb[1]
+            assert ranges.serial_fraction[0] <= work.serial_fraction <= ranges.serial_fraction[1]
+            assert work.mem_fraction + work.flop_fraction <= 0.95
+
+    def test_reproducible_with_same_seed(self):
+        a = SyntheticWorkloadGenerator(seed=42).random_work()
+        b = SyntheticWorkloadGenerator(seed=42).random_work()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = SyntheticWorkloadGenerator(seed=1).random_work()
+        b = SyntheticWorkloadGenerator(seed=2).random_work()
+        assert a != b
+
+    def test_random_phase_names(self):
+        gen = SyntheticWorkloadGenerator(seed=0)
+        phase = gen.random_phase("syn.p0")
+        assert phase.name == "syn.p0"
+        assert phase.variability >= 0.0
+
+    def test_random_workload_structure(self):
+        gen = SyntheticWorkloadGenerator(seed=3)
+        workload = gen.random_workload("SYN", num_phases=5, timesteps=17)
+        assert workload.num_phases == 5
+        assert workload.timesteps == 17
+        assert workload.scaling_class == "synthetic"
+        assert len(set(workload.phase_names())) == 5
+
+    def test_random_workload_defaults_within_bounds(self):
+        gen = SyntheticWorkloadGenerator(seed=4)
+        workload = gen.random_workload("SYN")
+        assert 3 <= workload.num_phases <= 10
+        assert 10 <= workload.timesteps <= 120
+
+    def test_suite_generation(self):
+        suite = SyntheticWorkloadGenerator(seed=5).suite(4, prefix="GEN")
+        assert len(suite) == 4
+        assert suite.names() == ["GEN00", "GEN01", "GEN02", "GEN03"]
+
+    def test_suite_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkloadGenerator(seed=5).suite(0)
+
+    def test_generated_workloads_execute_on_the_machine(self, machine, configurations):
+        gen = SyntheticWorkloadGenerator(seed=11)
+        workload = gen.random_workload("SYN", num_phases=3, timesteps=5)
+        for phase in workload.phases:
+            for config in configurations:
+                result = machine.execute(phase.work, config, apply_noise=False)
+                assert result.time_seconds > 0
+                assert result.ipc > 0
+
+    def test_custom_ranges_respected(self):
+        ranges = GeneratorRanges(working_set_mb=(1.0, 1.0001))
+        gen = SyntheticWorkloadGenerator(seed=7, ranges=ranges)
+        for _ in range(10):
+            assert gen.random_work().working_set_mb == pytest.approx(1.0, rel=1e-3)
