@@ -9,14 +9,37 @@ an ANN ensemble prediction — and of the offline training step.
 
 from __future__ import annotations
 
-import numpy as np
+import time
 
-from repro.core import collect_training_dataset, train_ipc_predictor
+import numpy as np
+import pytest
+
+from repro.core import (
+    collect_training_dataset,
+    train_ipc_predictor,
+    train_linear_predictor,
+)
 from repro.core.training import ANNTrainingOptions
 from repro.ann import TrainingConfig
 from repro.machine import CONFIG_4, Machine
 from repro.openmp import OpenMPRuntime, PhaseDirective
 from repro.workloads import nas_suite
+
+
+@pytest.fixture(scope="module")
+def small_predictor(machine):
+    """A small but real ANN predictor trained on a two-benchmark corpus."""
+    suite = nas_suite(machine=Machine(noise_sigma=0.0), names=["CG", "FT"])
+    dataset = collect_training_dataset(
+        machine, list(suite), samples_per_phase=3, seed=17
+    )
+    options = ANNTrainingOptions(
+        hidden_layers=(12,),
+        folds=4,
+        training=TrainingConfig(max_epochs=60, patience=10),
+        samples_per_phase=3,
+    )
+    return train_ipc_predictor(dataset, options)
 
 
 def test_machine_execute_throughput(benchmark, suite, machine):
@@ -59,6 +82,75 @@ def test_online_prediction_latency(benchmark, warm_ctx):
 
     predictions = benchmark(lambda: predictor.predict_from_rates(0.8, features))
     assert set(predictions) == {"1", "2a", "2b", "3"}
+
+
+@pytest.mark.perf_smoke
+def test_batched_prediction_throughput(small_predictor):
+    """Old-vs-new: 256 pending rows through predict_batch vs a predict loop.
+
+    The batched engine evaluates all target configurations for all rows with
+    one stacked matmul per ensemble layer; the acceptance bar is a >= 10x
+    speedup over 256 sequential per-row predictions, with numerical
+    equivalence to the loop path.
+    """
+    predictor = small_predictor
+    rng = np.random.default_rng(123)
+    rows = 256
+    features = np.column_stack(
+        [np.abs(rng.normal(0.9, 0.2, size=rows))]
+        + [np.abs(rng.normal(0.01, 0.005, size=rows)) for _ in predictor.event_set.events]
+    )
+
+    def sequential():
+        return [predictor.predict(row) for row in features]
+
+    def batched():
+        return predictor.predict_batch(features)
+
+    # Warm both paths (builds the ensembles' stacked parameter tensors).
+    loop_results = sequential()
+    batch_results = batched()
+
+    # Numerical equivalence of the two engines.
+    for config in predictor.target_configurations:
+        loop_column = np.array([row[config] for row in loop_results])
+        assert np.allclose(loop_column, batch_results[config], atol=1e-10, rtol=0.0)
+
+    def best_of_three(fn):
+        timings = []
+        for _ in range(3):
+            started = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - started)
+        return min(timings)
+
+    loop_seconds = best_of_three(sequential)
+    batch_seconds = best_of_three(batched)
+    speedup = loop_seconds / batch_seconds
+    print(
+        f"\nprediction throughput: loop {rows / loop_seconds:,.0f} rows/s, "
+        f"batched {rows / batch_seconds:,.0f} rows/s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 10.0, (
+        f"batched prediction only {speedup:.1f}x faster than the sequential "
+        f"loop (loop {loop_seconds * 1e3:.2f} ms, batched {batch_seconds * 1e3:.2f} ms)"
+    )
+
+
+@pytest.mark.perf_smoke
+def test_linear_batched_prediction_matches_loop(machine):
+    """The regression baseline's batched path is equivalent and faster too."""
+    suite = nas_suite(machine=Machine(noise_sigma=0.0), names=["CG"])
+    dataset = collect_training_dataset(
+        machine, list(suite), samples_per_phase=2, seed=19
+    )
+    predictor = train_linear_predictor(dataset)
+    rng = np.random.default_rng(7)
+    features = np.abs(rng.normal(0.05, 0.02, size=(256, dataset.event_set.num_features)))
+    batched = predictor.predict_batch(features)
+    for config in predictor.target_configurations:
+        loop = np.array([predictor.predict(row)[config] for row in features])
+        assert np.allclose(loop, batched[config], atol=1e-10, rtol=0.0)
 
 
 def test_offline_training_cost(benchmark, machine):

@@ -10,6 +10,17 @@ experiment drivers rather than repeated re-training.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Tiers
+-----
+Everything collected under ``benchmarks/`` is automatically marked ``slow``,
+so the fast tier (``python -m pytest -m "not slow"`` from the repository
+root, or plain ``python -m pytest`` which only collects ``tests/``) never
+pays for it.  The quick performance *assertions* — e.g. the batched-vs-loop
+prediction throughput check — additionally carry the ``perf_smoke`` marker
+and can be run on their own with::
+
+    PYTHONPATH=src python -m pytest benchmarks/ -m perf_smoke
 """
 
 from __future__ import annotations
@@ -21,10 +32,14 @@ from repro.machine import Machine
 from repro.workloads import nas_suite
 
 
-def pytest_configure(config):
-    # The harness is driven by --benchmark-only in CI; nothing to configure,
-    # the hook exists to document the intended invocation.
-    return None
+def pytest_collection_modifyitems(config, items):
+    # Everything in the benchmark harness belongs to the bench tier.
+    import pathlib
+
+    bench_dir = pathlib.Path(__file__).parent.resolve()
+    for item in items:
+        if bench_dir in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -4,6 +4,34 @@ Implements the modelling machinery of the paper: fully connected
 feed-forward networks with sigmoid hidden units, backpropagation training
 with early stopping, and n-fold cross-validation ensembles whose outputs are
 averaged at prediction time.
+
+Batched prediction API
+----------------------
+Every model exposes two prediction paths:
+
+* ``predict(x)`` — the compatibility path: accepts a single feature vector
+  (returning a scalar / 1-D output) or a 2-D batch, exactly as before;
+* ``predict_batch(X)`` — the vectorized hot path: a strict
+  ``(batch, features)`` matrix in, one batched result out.  The whole batch
+  flows through each layer as a single NumPy matmul, and
+  :meth:`CrossValidationEnsemble.predict_batch` additionally stacks the
+  member networks' weights into ``(members, fan_in, fan_out)`` tensors so
+  the *entire ensemble* is evaluated with one batched matmul per layer —
+  no Python loop over samples or members.
+
+``predict_batch(X)[i]`` equals ``predict(X[i])`` to within floating-point
+accumulation order (the property tests in ``tests/test_ann_batched.py``
+assert agreement to 1e-10).  Use ``predict_batch`` whenever more than a
+handful of feature vectors are pending — e.g. scoring all target
+configurations for all phases at once, as
+:meth:`repro.core.predictor.IPCPredictor.predict_batch` does::
+
+    ensemble = CrossValidationEnsemble(folds=5)
+    ensemble.fit(X_train, y_train)
+    y = ensemble.predict_batch(X_pending)      # (batch,) in one shot
+
+Models raise :class:`NotFittedError` (a :class:`RuntimeError` subclass)
+when asked to predict before being fitted.
 """
 
 from .activations import (
@@ -16,6 +44,7 @@ from .activations import (
     get_activation,
 )
 from .ensemble import CrossValidationEnsemble, FoldResult
+from .exceptions import NotFittedError
 from .metrics import (
     error_cdf,
     fraction_below,
@@ -40,6 +69,7 @@ __all__ = [
     "LayerGradients",
     "MinMaxScaler",
     "NeuralNetwork",
+    "NotFittedError",
     "ReLU",
     "Sigmoid",
     "StandardScaler",

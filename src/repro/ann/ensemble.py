@@ -23,8 +23,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .exceptions import NotFittedError
 from .metrics import mean_squared_error
-from .network import NeuralNetwork
+from .network import NeuralNetwork, require_batch_matrix
 from .scaling import StandardScaler
 from .training import BackpropTrainer, TrainingConfig, TrainingHistory
 
@@ -77,6 +78,9 @@ class CrossValidationEnsemble:
     input_scaler: StandardScaler = field(default_factory=StandardScaler, repr=False)
     target_scaler: StandardScaler = field(default_factory=StandardScaler, repr=False)
     _num_outputs: int = 1
+    _stacked: Optional[List[Tuple[np.ndarray, np.ndarray]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.folds < 3:
@@ -117,6 +121,7 @@ class CrossValidationEnsemble:
         folds = self._fold_indices(inputs.shape[0])
         self.members = []
         self.fold_results = []
+        self._stacked = None
         layer_sizes = (inputs.shape[1], *self.hidden_layers, self._num_outputs)
 
         for k in range(self.folds):
@@ -143,10 +148,51 @@ class CrossValidationEnsemble:
         return self.fold_results
 
     # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def _stacked_parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Member weights stacked per layer for one-shot batched prediction.
+
+        Every member shares the same layer structure, so layer ``l``'s
+        weights of all members stack into a ``(members, fan_in, fan_out)``
+        tensor (biases into ``(members, 1, fan_out)``).  A forward pass over
+        the whole ensemble then becomes one batched matmul per layer instead
+        of a Python loop over members.  The stack is built lazily and
+        invalidated by :meth:`fit`.
+        """
+        if self._stacked is None:
+            self._stacked = [
+                (
+                    np.stack([m.weights[layer] for m in self.members], axis=0),
+                    np.stack([m.biases[layer] for m in self.members], axis=0)[:, None, :],
+                )
+                for layer in range(self.members[0].num_layers)
+            ]
+        return self._stacked
+
+    def _member_outputs(self, scaled: np.ndarray) -> np.ndarray:
+        """Scaled outputs of every member: ``(members, batch, outputs)``."""
+        reference = self.members[0]
+        hidden = reference.hidden_activation
+        output_act = reference.output_activation
+        stacked = self._stacked_parameters()
+        act = scaled[None, :, :]  # broadcast the batch to every member
+        for layer, (weights, biases) in enumerate(stacked):
+            pre = act @ weights + biases
+            act = (
+                output_act.value(pre)
+                if layer == len(stacked) - 1
+                else hidden.value(pre)
+            )
+        return act
+
     def predict(self, inputs: np.ndarray) -> np.ndarray:
         """Averaged ensemble prediction in natural (unscaled) units."""
         if not self.trained:
-            raise RuntimeError("ensemble must be fitted before prediction")
+            raise NotFittedError(
+                "CrossValidationEnsemble is not fitted; call fit(inputs, targets) "
+                "before predict"
+            )
         inputs = np.asarray(inputs, dtype=float)
         single = inputs.ndim == 1
         batch = np.atleast_2d(inputs)
@@ -159,10 +205,33 @@ class CrossValidationEnsemble:
             return float(output[0]) if single else output
         return output[0] if single else output
 
+    def predict_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Batched ensemble prediction: ``(batch, features)`` rows in one shot.
+
+        Uses the stacked member parameters so the whole ensemble evaluates
+        every row with one batched matmul per layer.  Returns a ``(batch,)``
+        vector for single-output ensembles, ``(batch, outputs)`` otherwise;
+        entry ``i`` equals ``predict(inputs[i])`` up to floating-point
+        accumulation order.
+        """
+        if not self.trained:
+            raise NotFittedError(
+                "CrossValidationEnsemble is not fitted; call fit(inputs, targets) "
+                "before predict_batch"
+            )
+        inputs = require_batch_matrix(inputs)
+        scaled = self.input_scaler.transform(inputs)
+        mean_scaled = self._member_outputs(scaled).mean(axis=0)
+        output = self.target_scaler.inverse_transform(mean_scaled)
+        return output.ravel() if self._num_outputs == 1 else output
+
     def predict_std(self, inputs: np.ndarray) -> np.ndarray:
         """Standard deviation of member predictions (a confidence signal)."""
         if not self.trained:
-            raise RuntimeError("ensemble must be fitted before prediction")
+            raise NotFittedError(
+                "CrossValidationEnsemble is not fitted; call fit(inputs, targets) "
+                "before predict_std"
+            )
         batch = np.atleast_2d(np.asarray(inputs, dtype=float))
         scaled = self.input_scaler.transform(batch)
         stacked = np.stack([m.predict(scaled) for m in self.members], axis=0)
@@ -174,5 +243,5 @@ class CrossValidationEnsemble:
     def generalization_estimate(self) -> float:
         """Mean held-out-fold MSE (in scaled target units)."""
         if not self.fold_results:
-            raise RuntimeError("ensemble must be fitted first")
+            raise NotFittedError("ensemble must be fitted first")
         return float(np.mean([fr.holdout_mse for fr in self.fold_results]))

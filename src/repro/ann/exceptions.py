@@ -1,0 +1,14 @@
+"""Exceptions shared by the ANN library and the predictor layer."""
+
+from __future__ import annotations
+
+__all__ = ["NotFittedError"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when a model is used for prediction before it was fitted.
+
+    Subclasses :class:`RuntimeError` so existing callers that catch the
+    generic error keep working; new code should catch ``NotFittedError`` to
+    distinguish "model not trained yet" from other runtime failures.
+    """

@@ -25,7 +25,23 @@ import numpy as np
 
 from .activations import Activation, Identity, Sigmoid, get_activation
 
-__all__ = ["LayerGradients", "NeuralNetwork"]
+__all__ = ["LayerGradients", "NeuralNetwork", "require_batch_matrix"]
+
+
+def require_batch_matrix(inputs: np.ndarray) -> np.ndarray:
+    """Validate the strict ``(batch, features)`` contract of predict_batch.
+
+    Shared by every batched path — network, ensemble and the predictor
+    layer — so the interchangeable model kinds all catch a stray 1-D vector
+    the same way.
+    """
+    inputs = np.asarray(inputs, dtype=float)
+    if inputs.ndim != 2:
+        raise ValueError(
+            f"predict_batch expects a 2-D (batch, features) array, "
+            f"got ndim={inputs.ndim}"
+        )
+    return inputs
 
 
 @dataclass
@@ -148,6 +164,15 @@ class NeuralNetwork:
         output = self.forward(inputs)[-1]
         return output[0] if single else output
 
+    def predict_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Batched network output: ``(batch, features)`` in, ``(batch, outputs)`` out.
+
+        The whole batch flows through the layers as ``(batch, features)``
+        matrices in single NumPy operations — no per-sample Python loop.
+        Row ``i`` of the result equals ``predict(inputs[i])``.
+        """
+        return self.forward(require_batch_matrix(inputs))[-1]
+
     def backward(
         self, activations: List[np.ndarray], targets: np.ndarray
     ) -> List[LayerGradients]:
@@ -200,6 +225,26 @@ class NeuralNetwork:
         for w, b in zip(self.weights, self.biases):
             parts.append(w.ravel())
             parts.append(b.ravel())
+        return np.concatenate(parts)
+
+    def gradients_to_vector(self, gradients: Sequence[LayerGradients]) -> np.ndarray:
+        """Flatten per-layer gradients into one vector (get_parameters layout)."""
+        parts = []
+        for grad in gradients:
+            parts.append(grad.weights.ravel())
+            parts.append(grad.biases.ravel())
+        return np.concatenate(parts)
+
+    def parameter_mask(self, weights_value: float = 1.0, biases_value: float = 0.0) -> np.ndarray:
+        """Flat vector marking weight entries vs bias entries.
+
+        Used by the trainer to apply L2 decay to weights only in a single
+        vectorized update over the flattened parameter vector.
+        """
+        parts = []
+        for w, b in zip(self.weights, self.biases):
+            parts.append(np.full(w.size, weights_value))
+            parts.append(np.full(b.size, biases_value))
         return np.concatenate(parts)
 
     def set_parameters(self, vector: np.ndarray) -> None:

@@ -16,6 +16,8 @@ from typing import Optional
 
 import numpy as np
 
+from .exceptions import NotFittedError
+
 __all__ = ["StandardScaler", "MinMaxScaler"]
 
 
@@ -51,7 +53,7 @@ class StandardScaler:
     def transform(self, data: np.ndarray) -> np.ndarray:
         """Scale ``data`` with the fitted statistics."""
         if not self.fitted:
-            raise RuntimeError("scaler must be fitted before transform")
+            raise NotFittedError("scaler must be fitted before transform")
         data = np.asarray(data, dtype=float)
         return (data - self.mean_) / self.std_
 
@@ -62,7 +64,7 @@ class StandardScaler:
     def inverse_transform(self, data: np.ndarray) -> np.ndarray:
         """Undo the scaling."""
         if not self.fitted:
-            raise RuntimeError("scaler must be fitted before inverse_transform")
+            raise NotFittedError("scaler must be fitted before inverse_transform")
         data = np.asarray(data, dtype=float)
         return data * self.std_ + self.mean_
 
@@ -111,7 +113,7 @@ class MinMaxScaler:
     def transform(self, data: np.ndarray) -> np.ndarray:
         """Scale ``data`` onto the configured range."""
         if not self.fitted:
-            raise RuntimeError("scaler must be fitted before transform")
+            raise NotFittedError("scaler must be fitted before transform")
         data = np.asarray(data, dtype=float)
         unit = (data - self.min_) / (self.max_ - self.min_)
         return self.low + (self.high - self.low) * self.margin + unit * self._span()
@@ -123,7 +125,7 @@ class MinMaxScaler:
     def inverse_transform(self, data: np.ndarray) -> np.ndarray:
         """Undo the scaling."""
         if not self.fitted:
-            raise RuntimeError("scaler must be fitted before inverse_transform")
+            raise NotFittedError("scaler must be fitted before inverse_transform")
         data = np.asarray(data, dtype=float)
         unit = (data - self.low - (self.high - self.low) * self.margin) / self._span()
         return self.min_ + unit * (self.max_ - self.min_)

@@ -94,6 +94,15 @@ class TrainingHistory:
         return len(self.train_errors)
 
 
+@dataclass
+class _UpdateState:
+    """Flattened optimizer state shared across mini-batch updates."""
+
+    parameters: np.ndarray
+    velocity: np.ndarray
+    l2_mask: np.ndarray
+
+
 class BackpropTrainer:
     """Trains a :class:`~repro.ann.network.NeuralNetwork` by backpropagation.
 
@@ -126,20 +135,22 @@ class BackpropTrainer:
         self,
         network: NeuralNetwork,
         gradients,
-        velocity_w: List[np.ndarray],
-        velocity_b: List[np.ndarray],
+        state: "_UpdateState",
     ) -> None:
+        """One momentum update over the flattened parameter vector.
+
+        The per-layer weight and bias updates are performed as a single
+        vectorized operation on the concatenated parameter vector; L2 decay
+        is applied to weight entries only (via the precomputed mask), exactly
+        as the classic per-layer update rule does.
+        """
         cfg = self.config
-        for layer, grad in enumerate(gradients):
-            grad_w = grad.weights + cfg.l2 * network.weights[layer]
-            velocity_w[layer] = (
-                cfg.momentum * velocity_w[layer] - cfg.learning_rate * grad_w
-            )
-            velocity_b[layer] = (
-                cfg.momentum * velocity_b[layer] - cfg.learning_rate * grad.biases
-            )
-            network.weights[layer] = network.weights[layer] + velocity_w[layer]
-            network.biases[layer] = network.biases[layer] + velocity_b[layer]
+        grad = network.gradients_to_vector(gradients)
+        if cfg.l2 > 0:
+            grad = grad + cfg.l2 * state.l2_mask * state.parameters
+        state.velocity = cfg.momentum * state.velocity - cfg.learning_rate * grad
+        state.parameters = state.parameters + state.velocity
+        network.set_parameters(state.parameters)
 
     # ------------------------------------------------------------------
     def train(
@@ -179,9 +190,12 @@ class BackpropTrainer:
 
         cfg = self.config
         history = TrainingHistory()
-        velocity_w = [np.zeros_like(w) for w in network.weights]
-        velocity_b = [np.zeros_like(b) for b in network.biases]
-        best_parameters = network.get_parameters()
+        state = _UpdateState(
+            parameters=network.get_parameters(),
+            velocity=np.zeros(network.num_parameters()),
+            l2_mask=network.parameter_mask(),
+        )
+        best_parameters = state.parameters
         epochs_since_best = 0
 
         n_train = train_x.shape[0]
@@ -197,7 +211,7 @@ class BackpropTrainer:
                 idx = order[start : start + batch]
                 activations = network.forward(train_x[idx])
                 gradients = network.backward(activations, train_y[idx])
-                self._apply_gradients(network, gradients, velocity_w, velocity_b)
+                self._apply_gradients(network, gradients, state)
 
             train_error = mean_squared_error(train_y, network.predict(train_x))
             val_error = mean_squared_error(val_y, network.predict(val_x))

@@ -27,9 +27,12 @@ from .policies import (
     StaticPolicy,
 )
 from .predictor import (
+    CacheInfo,
     ConfigurationModel,
     IPCPredictor,
     LinearIPCModel,
+    NotFittedError,
+    PredictionCache,
     PredictorBundle,
 )
 from .sampler import PhaseSampler, SampleAggregate
@@ -48,6 +51,7 @@ __all__ = [
     "ACTOR",
     "ANNTrainingOptions",
     "AdaptationPolicy",
+    "CacheInfo",
     "ConfigurationModel",
     "ConfigurationSelector",
     "DEFAULT_SAMPLING_FRACTION",
@@ -58,9 +62,11 @@ __all__ = [
     "LinearIPCModel",
     "OracleGlobalPolicy",
     "OraclePhasePolicy",
+    "NotFittedError",
     "OracleTable",
     "PhaseConfigMeasurement",
     "PhaseSampler",
+    "PredictionCache",
     "PolicyComparison",
     "PredictionDataset",
     "PredictionPolicy",

@@ -118,6 +118,12 @@ class PredictionPolicy(AdaptationPolicy):
         Number of simultaneously measurable events.
     selector:
         Ranking/selection strategy (defaults to highest predicted IPC).
+    use_cache:
+        Route predictions through the bundle's quantized LRU cache
+        (:meth:`repro.core.predictor.PredictorBundle.predict_from_rates`),
+        so phases whose samples quantize to the same feature vector share
+        one model evaluation.  Off by default to keep the raw prediction
+        path bit-identical.
     """
 
     name = "prediction"
@@ -129,6 +135,7 @@ class PredictionPolicy(AdaptationPolicy):
         sampling_fraction: float = DEFAULT_SAMPLING_FRACTION,
         counter_registers: int = 2,
         selector: Optional[ConfigurationSelector] = None,
+        use_cache: bool = False,
     ) -> None:
         self.bundle = bundle
         self.sample_configuration = sample_configuration or configuration_by_name(
@@ -137,6 +144,7 @@ class PredictionPolicy(AdaptationPolicy):
         self.sampling_fraction = sampling_fraction
         self.counter_registers = counter_registers
         self.selector = selector or ConfigurationSelector()
+        self.use_cache = use_cache
         self._states: Dict[str, _PredictionPhaseState] = {}
         self._timesteps: int = 20
         if bundle.full.kind == "linear":
@@ -190,9 +198,16 @@ class PredictionPolicy(AdaptationPolicy):
         if not state.sampler.complete:
             return
         aggregate = state.sampler.aggregate()
-        predictions = state.predictor.predict_from_rates(
-            aggregate.ipc_sample, aggregate.rates
-        )
+        if self.use_cache:
+            predictions = self.bundle.predict_from_rates(
+                aggregate.ipc_sample,
+                aggregate.rates,
+                event_set=state.predictor.event_set.name,
+            )
+        else:
+            predictions = state.predictor.predict_from_rates(
+                aggregate.ipc_sample, aggregate.rates
+            )
         ranking = self.selector.rank(
             predictions,
             measured_sample=(self.sample_configuration.name, aggregate.ipc_sample),

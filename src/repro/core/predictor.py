@@ -12,19 +12,37 @@ Each ``F_T`` is a cross-validation ensemble of feed-forward networks
 variant with the identical interface backs the paper's prior-work baseline
 [Curtis-Maury et al., ICS'06]; both are interchangeable inside the
 prediction-based policy.
+
+Every model exposes the batched hot path ``predict_batch``: a
+``(batch, features)`` matrix in, one vector of predictions per target
+configuration out, so a single call scores *all* target configurations for
+*all* pending phases.  :class:`PredictorBundle` adds an LRU cache keyed on
+quantized counter rates in front of that path — repeated phases with
+near-identical samples skip model evaluation entirely.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..ann.ensemble import CrossValidationEnsemble
+from ..ann.exceptions import NotFittedError
+from ..ann.network import require_batch_matrix
 from .events import EventSet
 
-__all__ = ["ConfigurationModel", "IPCPredictor", "PredictorBundle", "LinearIPCModel"]
+__all__ = [
+    "ConfigurationModel",
+    "IPCPredictor",
+    "PredictorBundle",
+    "LinearIPCModel",
+    "NotFittedError",
+    "PredictionCache",
+    "CacheInfo",
+]
 
 
 class ConfigurationModel:
@@ -33,6 +51,16 @@ class ConfigurationModel:
     def predict_one(self, features: np.ndarray) -> float:
         """Predict the IPC for one feature vector."""
         raise NotImplementedError
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Predict the IPC of every row of a ``(batch, features)`` matrix.
+
+        The base implementation falls back to a Python loop over
+        :meth:`predict_one` so custom models remain correct; the built-in
+        models override it with fully vectorized paths.
+        """
+        features = require_batch_matrix(features)
+        return np.array([self.predict_one(row) for row in features])
 
 
 @dataclass
@@ -60,11 +88,23 @@ class LinearIPCModel(ConfigurationModel):
         self.coefficients = solution[1:]
         return self
 
-    def predict_one(self, features: np.ndarray) -> float:
+    def _require_fitted(self, method: str) -> None:
         if self.coefficients is None:
-            raise RuntimeError("linear model must be fitted before prediction")
+            raise NotFittedError(
+                f"LinearIPCModel is not fitted; call fit(features, targets) "
+                f"before {method}"
+            )
+
+    def predict_one(self, features: np.ndarray) -> float:
+        self._require_fitted("predict_one")
         features = np.asarray(features, dtype=float).ravel()
         return float(self.intercept + features @ self.coefficients)
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Vectorized prediction: ``intercept + X @ coefficients`` in one op."""
+        self._require_fitted("predict_batch")
+        features = require_batch_matrix(features)
+        return self.intercept + features @ self.coefficients
 
 
 class _EnsembleModel(ConfigurationModel):
@@ -75,6 +115,10 @@ class _EnsembleModel(ConfigurationModel):
 
     def predict_one(self, features: np.ndarray) -> float:
         return float(self.ensemble.predict(np.asarray(features, dtype=float)))
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        # the ensemble itself enforces the 2-D contract
+        return np.asarray(self.ensemble.predict_batch(features), dtype=float).ravel()
 
 
 @dataclass
@@ -144,11 +188,146 @@ class IPCPredictor:
             )
         return {name: model.predict_one(features) for name, model in self.models.items()}
 
+    def predict_batch(self, features: np.ndarray) -> Dict[str, np.ndarray]:
+        """Score every target configuration for every pending feature row.
+
+        Parameters
+        ----------
+        features:
+            ``(batch, num_features)`` matrix — one row per pending phase
+            sample.
+
+        Returns
+        -------
+        dict
+            Configuration name to ``(batch,)`` vector of predicted IPCs.
+            ``predict_batch(F)[cfg][i]`` equals ``predict(F[i])[cfg]`` up to
+            floating-point accumulation order.
+        """
+        features = require_batch_matrix(features)
+        if features.shape[1] != self.event_set.num_features:
+            raise ValueError(
+                f"expected {self.event_set.num_features} features, "
+                f"got {features.shape[1]}"
+            )
+        return {
+            name: model.predict_batch(features) for name, model in self.models.items()
+        }
+
     def predict_from_rates(
         self, ipc_sample: float, rates: Mapping[str, float]
     ) -> Dict[str, float]:
         """Predict per-configuration IPCs directly from sampled quantities."""
         return self.predict(self.feature_vector(ipc_sample, rates))
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of a :class:`PredictionCache`'s counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PredictionCache:
+    """LRU cache of per-configuration predictions keyed on quantized features.
+
+    Online counter samples are noisy, so exact floating-point feature vectors
+    almost never repeat — but samples of the same phase cluster tightly.
+    Quantizing the sampled IPC and every event rate to a fixed number of
+    significant digits collapses each cluster onto one key, turning repeated
+    phases into cache hits that skip ensemble evaluation entirely.  The
+    quantization step (default six significant digits) is far below
+    measurement noise, so it never changes which configuration is selected.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached entries; the least recently used entry is
+        evicted when the cache is full.
+    significant_digits:
+        Significant digits kept by :meth:`quantize`.
+    """
+
+    def __init__(self, capacity: int = 4096, significant_digits: int = 6) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if significant_digits < 1:
+            raise ValueError("significant_digits must be >= 1")
+        self.capacity = capacity
+        self.significant_digits = significant_digits
+        self._entries: "OrderedDict[Tuple, Dict[str, float]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def quantize(self, value: float) -> float:
+        """Round ``value`` to the cache's number of significant digits."""
+        if value == 0.0 or not np.isfinite(value):
+            return float(value)
+        return float(f"{value:.{self.significant_digits - 1}e}")
+
+    def key(
+        self, event_set_name: str, ipc_sample: float, rates: Mapping[str, float],
+        events: Sequence[str],
+    ) -> Tuple:
+        """Cache key: event-set name plus the quantized feature values."""
+        return (
+            event_set_name,
+            self.quantize(float(ipc_sample)),
+            tuple(self.quantize(float(rates.get(e, 0.0))) for e in events),
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, key: Tuple) -> Optional[Dict[str, float]]:
+        """Look up ``key``, refreshing its recency; counts a hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return dict(entry)
+
+    def put(self, key: Tuple, predictions: Mapping[str, float]) -> None:
+        """Insert ``key``, evicting the least recently used entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = dict(predictions)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def info(self) -> CacheInfo:
+        """Current counters as an immutable snapshot."""
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )
 
 
 @dataclass
@@ -159,10 +338,18 @@ class PredictorBundle:
     allows and a reduced-event model for applications with very few
     iterations; :class:`~repro.core.policies.PredictionPolicy` picks the
     right member per phase via :meth:`for_event_set`.
+
+    The bundle also fronts both members with a shared
+    :class:`PredictionCache`: :meth:`predict_from_rates` and
+    :meth:`predict_batch_from_rates` quantize the sampled rates, serve
+    repeats from the cache, and evaluate only the distinct misses — the
+    batched variant scores all missing rows for all target configurations
+    in a single :meth:`IPCPredictor.predict_batch` call.
     """
 
     full: IPCPredictor
     reduced: Optional[IPCPredictor] = None
+    cache: PredictionCache = field(default_factory=PredictionCache, repr=False)
 
     def for_event_set(self, name: str) -> IPCPredictor:
         """Return the member trained for the event set called ``name``."""
@@ -181,3 +368,82 @@ class PredictorBundle:
     def target_configurations(self) -> List[str]:
         """Target configurations scored by the bundle."""
         return self.full.target_configurations
+
+    # ------------------------------------------------------------------
+    # cached prediction paths
+    # ------------------------------------------------------------------
+    def _resolve(self, event_set: Optional[str]) -> IPCPredictor:
+        return self.full if event_set is None else self.for_event_set(event_set)
+
+    def predict_from_rates(
+        self,
+        ipc_sample: float,
+        rates: Mapping[str, float],
+        event_set: Optional[str] = None,
+    ) -> Dict[str, float]:
+        """Cached per-configuration prediction from one sampled phase.
+
+        The feature vector is quantized (see :class:`PredictionCache`), so
+        repeated samples of the same phase hit the cache; predictions are
+        computed from the quantized values so the cached entry is identical
+        no matter which raw sample populated it first.
+        """
+        predictor = self._resolve(event_set)
+        events = predictor.event_set.events
+        key = self.cache.key(predictor.event_set.name, ipc_sample, rates, events)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        _, q_ipc, q_rates = key
+        predictions = predictor.predict_from_rates(q_ipc, dict(zip(events, q_rates)))
+        self.cache.put(key, predictions)
+        return dict(predictions)
+
+    def predict_batch_from_rates(
+        self,
+        samples: Sequence[Tuple[float, Mapping[str, float]]],
+        event_set: Optional[str] = None,
+    ) -> List[Dict[str, float]]:
+        """Score all target configurations for all pending phases at once.
+
+        Parameters
+        ----------
+        samples:
+            One ``(ipc_sample, rates)`` pair per pending phase.
+
+        Returns
+        -------
+        list of dict
+            Per-sample predictions, in input order.  Cache hits (including
+            duplicates within the batch) are served without model
+            evaluation; all remaining distinct rows go through one batched
+            forward pass.
+        """
+        predictor = self._resolve(event_set)
+        events = predictor.event_set.events
+        keys = [
+            self.cache.key(predictor.event_set.name, ipc, rates, events)
+            for ipc, rates in samples
+        ]
+        results: List[Optional[Dict[str, float]]] = [self.cache.get(k) for k in keys]
+        pending: Dict[Tuple, List[int]] = {}
+        for index, (key, hit) in enumerate(zip(keys, results)):
+            if hit is None:
+                pending.setdefault(key, []).append(index)
+        if pending:
+            matrix = np.array(
+                [(key[1], *key[2]) for key in pending], dtype=float
+            )
+            batched = predictor.predict_batch(matrix)
+            names = list(batched)
+            columns = np.column_stack([batched[name] for name in names])
+            for row, (key, indices) in enumerate(pending.items()):
+                predictions = dict(zip(names, columns[row].tolist()))
+                self.cache.put(key, predictions)
+                for index in indices:
+                    results[index] = dict(predictions)
+        return results  # type: ignore[return-value]
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/eviction counters of the shared prediction cache."""
+        return self.cache.info()

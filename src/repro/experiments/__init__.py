@@ -7,7 +7,15 @@ from .ablations import (
     run_ablation_policies,
     run_ablation_sampling_fraction,
 )
-from .common import ExperimentContext, PhasePredictionRecord
+from .common import (
+    ExperimentContext,
+    PhasePredictionRecord,
+    POLICY_BUILDERS,
+    RunCell,
+    build_cell_policy,
+    execute_cell,
+    run_cells,
+)
 from .fig1_execution_times import run_fig1
 from .fig2_phase_ipc import run_fig2
 from .fig3_power_energy import run_fig3
@@ -23,7 +31,12 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentContext",
     "PhasePredictionRecord",
+    "POLICY_BUILDERS",
+    "RunCell",
     "STRATEGY_NAMES",
+    "build_cell_policy",
+    "execute_cell",
+    "run_cells",
     "run_ablation_event_sets",
     "run_ablation_folds",
     "run_ablation_hidden_width",

@@ -4,6 +4,12 @@
 figure of the paper (plus the Section III in-text statistics and, optionally,
 the ablations) and prints the rendered tables.  The same entry point is used
 by ``EXPERIMENTS.md`` to record paper-versus-measured comparisons.
+
+``--parallel N`` fans the selected experiments out over a process pool of
+``N`` workers.  Each worker task gets its own pickled snapshot of the
+shared :class:`~repro.experiments.common.ExperimentContext`, so every
+experiment's numbers are exactly what it would produce when run alone
+against that context; figures are still printed in the requested order.
 """
 
 from __future__ import annotations
@@ -11,7 +17,8 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import Figure
 from .ablations import (
@@ -55,11 +62,50 @@ ABLATIONS: Dict[str, Callable[[ExperimentContext], Figure]] = {
 }
 
 
+#: Experiments whose cost is dominated by artefacts cached on the context
+#: (oracle tables, leave-one-out predictor bundles, prediction records).
+_BUNDLE_HUNGRY = frozenset({"fig6", "fig7", "fig8"})
+
+
+def _warm_shared_artefacts(ctx: ExperimentContext, names: Sequence[str]) -> None:
+    """Train shared artefacts once in the parent before fanning out.
+
+    Worker tasks receive pickled snapshots of ``ctx``, so anything cached
+    here ships warm to every worker — without it, each bundle-hungry
+    experiment would retrain the same leave-one-out ensembles in its own
+    process.  (Ablations build their own differently-parameterized models
+    and cannot be warmed this way.)
+    """
+    hungry = _BUNDLE_HUNGRY.intersection(names)
+    if not hungry:
+        return
+    ctx.oracles()
+    for workload in ctx.suite:
+        ctx.bundle_for_held_out(workload.name)
+    if hungry & {"fig6", "fig7"}:
+        ctx.prediction_records()
+
+
+def _experiment_worker(args: Tuple[str, ExperimentContext]) -> Tuple[str, Figure]:
+    """Pool worker: run one experiment against its own snapshot of the context.
+
+    Each task receives the caller's context pickled at fan-out time, so
+    custom machines/suites (and any already-warm caches) are honoured, and
+    every experiment sees the context exactly as if it were the only one
+    running against it.
+    """
+    name, ctx = args
+    available = dict(EXPERIMENTS)
+    available.update(ABLATIONS)
+    return name, available[name](ctx)
+
+
 def run_all(
     ctx: Optional[ExperimentContext] = None,
     names: Optional[Sequence[str]] = None,
     include_ablations: bool = False,
     verbose: bool = True,
+    processes: int = 1,
 ) -> Dict[str, Figure]:
     """Run the selected experiments and return their Figures.
 
@@ -74,6 +120,14 @@ def run_all(
         Whether to append the ablation studies to the default selection.
     verbose:
         Print each figure as it completes.
+    processes:
+        ``1`` (default) runs serially against the shared ``ctx``; larger
+        values fan the experiments out over a process pool.  Every worker
+        task receives its own pickled snapshot of ``ctx`` (custom machine,
+        suite and warm caches included), so each experiment's numbers are
+        exactly what it would produce running alone against that context —
+        whereas a serial sweep threads one mutating context (and its
+        machine's noise RNG) through the experiments in order.
     """
     ctx = ctx or ExperimentContext()
     available = dict(EXPERIMENTS)
@@ -82,12 +136,32 @@ def run_all(
         names = list(EXPERIMENTS)
         if include_ablations:
             names += list(ABLATIONS)
-    figures: Dict[str, Figure] = {}
     for name in names:
         if name not in available:
             raise KeyError(
                 f"unknown experiment {name!r}; available: {sorted(available)}"
             )
+    figures: Dict[str, Figure] = {}
+    if processes > 1 and len(names) > 1:
+        started = time.time()
+        _warm_shared_artefacts(ctx, names)
+        with ProcessPoolExecutor(max_workers=min(processes, len(names))) as pool:
+            for name, figure in pool.map(
+                _experiment_worker, [(name, ctx) for name in names]
+            ):
+                figures[name] = figure
+        # Preserve the requested order and print once everything is in.
+        figures = {name: figures[name] for name in names}
+        if verbose:
+            for name in names:
+                print(figures[name].render())
+                print()
+            print(
+                f"[{len(names)} experiments completed in "
+                f"{time.time() - started:.1f} s on {min(processes, len(names))} workers]\n"
+            )
+        return figures
+    for name in names:
         started = time.time()
         figure = available[name](ctx)
         figures[name] = figure
@@ -117,13 +191,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="also run the ablation studies",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the experiments out over N worker processes "
+        "(each in an isolated context); default: run serially",
+    )
     args = parser.parse_args(argv)
+    if args.parallel < 1:
+        parser.error("--parallel must be >= 1")
     ctx = ExperimentContext(fast=args.fast)
     run_all(
         ctx,
         names=args.experiments or None,
         include_ablations=args.ablations,
         verbose=True,
+        processes=args.parallel,
     )
     return 0
 

@@ -1,0 +1,242 @@
+"""Regression tests for the PredictorBundle prediction cache.
+
+Covers the LRU mechanics (hit/miss counts, eviction at capacity), the
+quantized keying (sub-quantization jitter collapses onto one entry), the
+batched cache-aware path, the guarantee that quantization never changes the
+selected configuration on the seed scenarios, and the NotFittedError
+behaviour of unfitted models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import CrossValidationEnsemble
+from repro.core import (
+    ConfigurationSelector,
+    LinearIPCModel,
+    NotFittedError,
+    PredictionCache,
+    PredictionPolicy,
+    PredictorBundle,
+)
+from repro.machine import CONFIG_4, Machine
+
+
+def _sample_for(machine, predictor, phase):
+    """Noise-free sampled IPC and event rates for one phase."""
+    result = machine.execute(phase.work, CONFIG_4.placement, apply_noise=False)
+    rates = {
+        event: result.event_counts.get(event, 0.0) / result.cycles
+        for event in predictor.event_set.events
+    }
+    return result.ipc, rates
+
+
+@pytest.fixture()
+def fresh_bundle(trained_bundle):
+    """The session bundle with a private, empty cache per test."""
+    bundle = PredictorBundle(
+        full=trained_bundle.full,
+        reduced=trained_bundle.reduced,
+        cache=PredictionCache(capacity=64),
+    )
+    return bundle
+
+
+class TestCacheHitsAndMisses:
+    def test_first_lookup_misses_second_hits(self, machine, suite, fresh_bundle):
+        phase = suite.get("SP").phases[0]
+        ipc, rates = _sample_for(machine, fresh_bundle.full, phase)
+        first = fresh_bundle.predict_from_rates(ipc, rates)
+        info = fresh_bundle.cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 1, 1)
+        second = fresh_bundle.predict_from_rates(ipc, rates)
+        info = fresh_bundle.cache_info()
+        assert (info.hits, info.misses, info.size) == (1, 1, 1)
+        assert first == second
+        assert info.hit_rate == pytest.approx(0.5)
+
+    def test_jitter_below_quantization_step_still_hits(
+        self, machine, suite, fresh_bundle
+    ):
+        phase = suite.get("SP").phases[0]
+        ipc, rates = _sample_for(machine, fresh_bundle.full, phase)
+        fresh_bundle.predict_from_rates(ipc, rates)
+        # Perturb every feature by ~1e-9 relative — far below the 6
+        # significant digits kept by the cache key.
+        jittered = {e: v * (1.0 + 1e-9) for e, v in rates.items()}
+        fresh_bundle.predict_from_rates(ipc * (1.0 + 1e-9), jittered)
+        info = fresh_bundle.cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+
+    def test_distinct_phases_occupy_distinct_entries(
+        self, machine, suite, fresh_bundle
+    ):
+        for phase in suite.get("SP").phases[:4]:
+            ipc, rates = _sample_for(machine, fresh_bundle.full, phase)
+            fresh_bundle.predict_from_rates(ipc, rates)
+        info = fresh_bundle.cache_info()
+        assert info.misses == 4
+        assert info.size == 4
+
+    def test_event_sets_do_not_collide(self, machine, suite, fresh_bundle):
+        phase = suite.get("SP").phases[0]
+        ipc, rates = _sample_for(machine, fresh_bundle.full, phase)
+        fresh_bundle.predict_from_rates(ipc, rates, event_set="full")
+        fresh_bundle.predict_from_rates(ipc, rates, event_set="reduced")
+        info = fresh_bundle.cache_info()
+        assert (info.misses, info.size) == (2, 2)
+
+
+class TestEviction:
+    def test_lru_eviction_at_capacity(self):
+        cache = PredictionCache(capacity=3)
+        events = ("E1",)
+        keys = [
+            cache.key("full", float(i), {"E1": 0.01 * (i + 1)}, events)
+            for i in range(4)
+        ]
+        for key in keys[:3]:
+            cache.put(key, {"1": 1.0})
+        assert len(cache) == 3 and cache.evictions == 0
+        cache.put(keys[3], {"1": 1.0})
+        assert len(cache) == 3
+        assert cache.evictions == 1
+        assert keys[0] not in cache  # oldest entry went first
+        assert keys[3] in cache
+
+    def test_recently_used_entry_survives_eviction(self):
+        cache = PredictionCache(capacity=2)
+        events = ("E1",)
+        a = cache.key("full", 1.0, {"E1": 0.01}, events)
+        b = cache.key("full", 2.0, {"E1": 0.02}, events)
+        c = cache.key("full", 3.0, {"E1": 0.03}, events)
+        cache.put(a, {"1": 1.0})
+        cache.put(b, {"1": 2.0})
+        assert cache.get(a) is not None  # refresh a: b becomes LRU
+        cache.put(c, {"1": 3.0})
+        assert a in cache and c in cache and b not in cache
+
+    def test_clear_resets_counters(self):
+        cache = PredictionCache(capacity=2)
+        key = cache.key("full", 1.0, {"E1": 0.01}, ("E1",))
+        cache.put(key, {"1": 1.0})
+        cache.get(key)
+        cache.get(cache.key("full", 9.0, {"E1": 0.5}, ("E1",)))
+        cache.clear()
+        info = cache.info()
+        assert (info.hits, info.misses, info.evictions, info.size) == (0, 0, 0, 0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PredictionCache(capacity=0)
+        with pytest.raises(ValueError):
+            PredictionCache(significant_digits=0)
+
+
+class TestBatchedCachePath:
+    def test_batched_path_matches_single_path_and_fills_cache(
+        self, machine, suite, fresh_bundle
+    ):
+        predictor = fresh_bundle.full
+        samples = [
+            _sample_for(machine, predictor, phase)
+            for phase in suite.get("SP").phases[:5]
+        ]
+        batched = fresh_bundle.predict_batch_from_rates(samples)
+        assert fresh_bundle.cache_info().size == 5
+        for (ipc, rates), predictions in zip(samples, batched):
+            single = fresh_bundle.predict_from_rates(ipc, rates)  # now cached
+            assert set(predictions) == set(predictor.target_configurations)
+            for config in predictions:
+                assert predictions[config] == pytest.approx(
+                    single[config], abs=1e-12
+                )
+        info = fresh_bundle.cache_info()
+        assert info.hits == 5  # the follow-up single calls all hit
+
+    def test_duplicate_rows_in_one_batch_share_one_evaluation(
+        self, machine, suite, fresh_bundle
+    ):
+        ipc, rates = _sample_for(
+            machine, fresh_bundle.full, suite.get("SP").phases[0]
+        )
+        batched = fresh_bundle.predict_batch_from_rates([(ipc, rates)] * 3)
+        assert batched[0] == batched[1] == batched[2]
+        assert fresh_bundle.cache_info().size == 1
+
+
+class TestQuantizationNeverChangesSelection:
+    def test_selected_configuration_identical_on_seed_scenarios(
+        self, machine, suite, fresh_bundle
+    ):
+        """Across every phase of the seed suite, ranking raw predictions and
+        ranking quantized/cached predictions selects the same configuration."""
+        selector = ConfigurationSelector()
+        predictor = fresh_bundle.full
+        checked = 0
+        for workload in suite:
+            for phase in workload.phases:
+                ipc, rates = _sample_for(machine, predictor, phase)
+                raw = predictor.predict_from_rates(ipc, rates)
+                cached = fresh_bundle.predict_from_rates(ipc, rates)
+                raw_best = selector.rank(
+                    raw, measured_sample=(CONFIG_4.name, ipc)
+                ).best
+                cached_best = selector.rank(
+                    cached, measured_sample=(CONFIG_4.name, ipc)
+                ).best
+                assert raw_best == cached_best, (
+                    f"{workload.name}:{phase.name} selects {raw_best} raw "
+                    f"but {cached_best} through the quantized cache"
+                )
+                checked += 1
+        assert checked > 20  # the seed suite really was swept
+
+    def test_cached_policy_reaches_same_decisions(self, machine, trained_bundle):
+        """End-to-end: a PredictionPolicy with use_cache=True locks every
+        phase to the same configuration as the uncached policy."""
+        from repro.core import ACTOR
+        from repro.openmp import OpenMPRuntime
+        from repro.workloads import nas_suite
+
+        suite = nas_suite(machine=machine, variability=0.0)
+        workload = suite.get("SP")
+        bundle = PredictorBundle(
+            full=trained_bundle.full,
+            reduced=trained_bundle.reduced,
+            cache=PredictionCache(),
+        )
+        decisions = {}
+        for use_cache in (False, True):
+            runtime = OpenMPRuntime(Machine(noise_sigma=0.0), seed=77)
+            policy = PredictionPolicy(bundle, use_cache=use_cache)
+            ACTOR(runtime).run_with_policy(workload, policy)
+            decisions[use_cache] = policy.decisions()
+        assert decisions[False] == decisions[True]
+        assert bundle.cache_info().misses > 0
+
+
+class TestNotFittedErrors:
+    def test_linear_model_raises_clear_not_fitted_error(self):
+        model = LinearIPCModel()
+        with pytest.raises(NotFittedError, match="not fitted.*fit\\(features"):
+            model.predict_one(np.zeros(3))
+        with pytest.raises(NotFittedError, match="predict_batch"):
+            model.predict_batch(np.zeros((2, 3)))
+
+    def test_ensemble_raises_clear_not_fitted_error(self):
+        ensemble = CrossValidationEnsemble(folds=3)
+        with pytest.raises(NotFittedError, match="not fitted"):
+            ensemble.predict(np.zeros(3))
+        with pytest.raises(NotFittedError, match="not fitted"):
+            ensemble.predict_batch(np.zeros((2, 3)))
+
+    def test_not_fitted_error_is_a_runtime_error(self):
+        # Backwards compatibility: legacy callers catching RuntimeError
+        # continue to work.
+        assert issubclass(NotFittedError, RuntimeError)
+        with pytest.raises(RuntimeError):
+            LinearIPCModel().predict_one(np.zeros(3))

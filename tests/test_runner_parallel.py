@@ -1,0 +1,158 @@
+"""Golden-value tests for the concurrent experiment cell runner.
+
+The parallel runner must be a pure performance feature: for a fixed seed,
+fanning cells out over a process pool must produce bit-identical
+``WorkloadRunReport`` aggregates to running the same cells serially — even
+when a worker process crashes mid-sweep (the runner falls back to serial
+re-execution) or when the cell list is empty.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.experiments import (
+    POLICY_BUILDERS,
+    RunCell,
+    build_cell_policy,
+    execute_cell,
+    run_cells,
+)
+from repro.core import StaticPolicy
+from repro.machine import CONFIG_2B
+from repro.openmp import PhaseDirective
+
+
+CELLS = (
+    RunCell(workload="IS", policy="static-4", seed=1, max_timesteps=3),
+    RunCell(workload="IS", policy="static-2b", seed=2, max_timesteps=3),
+    RunCell(workload="CG", policy="search", seed=3, max_timesteps=6),
+    RunCell(workload="MG", policy="static-1", seed=4, max_timesteps=2),
+)
+
+
+def _aggregates(report):
+    """Everything a WorkloadRunReport accumulates, as comparable values."""
+    return {
+        "workload": report.workload_name,
+        "controller": report.controller_name,
+        "time": report.time_seconds,
+        "energy": report.energy_joules,
+        "overhead": report.sampling_overhead_seconds,
+        "power": report.average_power_watts,
+        "ed2": report.ed2,
+        "phases": {
+            name: (
+                summary.instances,
+                summary.time_seconds,
+                summary.energy_joules,
+                summary.overhead_seconds,
+                dict(summary.configurations),
+            )
+            for name, summary in report.phases.items()
+        },
+    }
+
+
+class TestGoldenSerialVsParallel:
+    def test_parallel_reports_bit_identical_to_serial(self):
+        serial = run_cells(CELLS)
+        parallel = run_cells(CELLS, processes=4)
+        assert len(serial) == len(parallel) == len(CELLS)
+        for s, p in zip(serial, parallel):
+            # Exact equality, not approx: identical seeds must give
+            # identical floating-point aggregates.
+            assert _aggregates(s) == _aggregates(p)
+
+    def test_cells_are_order_independent(self):
+        reversed_reports = run_cells(list(reversed(CELLS)))
+        forward_reports = run_cells(CELLS)
+        for fwd, rev in zip(forward_reports, reversed(reversed_reports)):
+            assert _aggregates(fwd) == _aggregates(rev)
+
+    def test_repeated_execution_is_deterministic(self):
+        cell = CELLS[0]
+        assert _aggregates(execute_cell(cell)) == _aggregates(execute_cell(cell))
+
+    def test_distinct_seeds_differ(self):
+        noisy_a = execute_cell(RunCell("IS", "static-4", seed=10, max_timesteps=3))
+        noisy_b = execute_cell(RunCell("IS", "static-4", seed=11, max_timesteps=3))
+        assert noisy_a.time_seconds != noisy_b.time_seconds
+
+
+class TestEdgeCells:
+    def test_empty_cell_list_is_noop(self):
+        assert run_cells([]) == []
+        assert run_cells([], processes=4) == []
+
+    def test_unknown_policy_spec_raises(self):
+        with pytest.raises(KeyError):
+            build_cell_policy("nonexistent-policy")
+
+    def test_prediction_spec_requires_bundle(self):
+        with pytest.raises(ValueError):
+            build_cell_policy("prediction", bundle=None)
+
+    def test_unknown_policy_in_parallel_surfaces_in_caller(self):
+        bad = [RunCell("IS", "nonexistent-policy", seed=1, max_timesteps=2)]
+        # The pool retries, warns, and the serial fallback then raises the
+        # real error with an ordinary traceback.
+        with pytest.warns(RuntimeWarning, match="re-running them serially"):
+            with pytest.raises(KeyError):
+                run_cells(bad, processes=2)
+
+
+class _CrashInWorkerPolicy(StaticPolicy):
+    """Static policy that kills the process — but only inside pool workers.
+
+    In the parent process it behaves exactly like ``StaticPolicy`` so the
+    serial fallback produces the golden report.
+    """
+
+    def before_phase(self, region, timestep):
+        if multiprocessing.parent_process() is not None:
+            os._exit(13)  # simulate a hard worker crash (no exception, no cleanup)
+        return super().before_phase(region, timestep)
+
+
+class TestWorkerCrashRecovery:
+    @pytest.fixture(autouse=True)
+    def crashy_policy(self):
+        POLICY_BUILDERS["crash-in-worker"] = lambda bundle: _CrashInWorkerPolicy(
+            CONFIG_2B
+        )
+        yield
+        POLICY_BUILDERS.pop("crash-in-worker", None)
+
+    def test_crashed_cells_recovered_serially_with_identical_aggregates(self):
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("crash-policy registration requires fork start method")
+        cells = [
+            RunCell("IS", "static-4", seed=1, max_timesteps=3),
+            RunCell("IS", "crash-in-worker", seed=2, max_timesteps=3),
+            RunCell("IS", "static-2b", seed=3, max_timesteps=3),
+        ]
+        golden = [
+            execute_cell(cells[0]),
+            execute_cell(RunCell("IS", "static-2b", seed=2, max_timesteps=3)),
+            execute_cell(cells[2]),
+        ]
+        with pytest.warns(RuntimeWarning, match="re-running them serially"):
+            reports = run_cells(cells, processes=2)
+        assert len(reports) == 3
+        # The crashing cell was re-run serially (where the policy is benign
+        # and equals static-2b); the healthy cells are unaffected.
+        for report, expected in zip(reports, golden):
+            assert report.time_seconds == expected.time_seconds
+            assert report.energy_joules == expected.energy_joules
+        assert reports[1].controller_name.startswith("static")
+
+    def test_crash_without_retry_raises(self):
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("crash-policy registration requires fork start method")
+        cells = [RunCell("IS", "crash-in-worker", seed=2, max_timesteps=3)]
+        with pytest.raises(RuntimeError, match="failed in worker"):
+            run_cells(cells, processes=2, retry_failed_serially=False)
