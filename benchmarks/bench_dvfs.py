@@ -1,0 +1,38 @@
+"""Benchmark: the DVFS × concurrency extension experiment.
+
+Regenerates the joint placement × frequency comparison — the static
+all-cores default, the time-optimal prediction policy and the energy/ED²
+energy-aware policies — and asserts the qualitative claim of the paper's
+follow-up work: ED²-optimal joint adaptation beats time-optimal placement
+adaptation on ED² for a majority of the suite.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig_dvfs
+
+
+def test_fig_dvfs_energy_aware_adaptation(benchmark, ctx):
+    figure = benchmark.pedantic(
+        run_fig_dvfs, args=(ctx,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    averages = figure.data["averages"]
+    suite_size = len(figure.data["ed2_by_strategy"])
+
+    # The ISSUE's acceptance criterion: with the default P-state table the
+    # ED2 objective beats the time-optimal prediction policy on at least
+    # three NAS-like benchmarks.
+    assert len(figure.data["ed2_wins"]) >= 3, figure.data["ed2_wins"]
+    # The suite-level geomean stays at worst within noise of the
+    # time-optimal policy (compute-bound codes tie, memory-bound codes win).
+    assert (
+        averages["ed2"]["energy-ed2"] <= averages["ed2"]["prediction"] * 1.01
+    )
+    # Both adaptive strategies beat the all-cores default on ED2 on average.
+    assert averages["ed2"]["prediction"] < 1.0
+    assert averages["ed2"]["energy-ed2"] < 1.0
+    # The min-energy objective draws the least average power of the four
+    # strategies (it may trade time away for it).
+    assert averages["power"]["energy-energy"] <= averages["power"]["prediction"]
+    print()
+    print(figure.render())

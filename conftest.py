@@ -1,0 +1,95 @@
+"""Repository-level pytest plugin: the fast-tier wall-clock guard.
+
+The tier-1 suite (``PYTHONPATH=src python -m pytest -x -q``, collecting only
+``tests/``) is the gate every change must keep fast.  This guard fails the
+session when its wall-clock time exceeds a budget, so runtime regressions —
+an accidentally un-marked slow test, a fixture that retrains models per test
+— surface as a red build instead of silently accreting.
+
+The budget applies **only** when every collected item lives under ``tests/``
+(the fast tier); benchmark-tier runs (``pytest benchmarks/``) are never
+time-guarded by default.  Override or disable explicitly::
+
+    python -m pytest --wallclock-budget=60     # tighter budget, any tier
+    python -m pytest --wallclock-budget=0      # disable the guard
+    REPRO_WALLCLOCK_BUDGET=300 python -m pytest
+
+The check runs at every test boundary and aborts the session (exit status
+``TESTS_FAILED``) the moment the budget is exceeded.  The default budget is
+a ~4x margin over the suite's current runtime, which absorbs slow CI
+machines while still catching order-of-magnitude regressions.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+import pytest
+
+#: Default wall-clock budget (seconds) for the fast tier.  The suite
+#: currently completes in well under a minute; 180 s is the alarm line.
+DEFAULT_FAST_TIER_BUDGET = 180.0
+
+_TESTS_DIR = pathlib.Path(__file__).parent.resolve() / "tests"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--wallclock-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "fail the session when it exceeds this wall-clock time; "
+            f"defaults to {DEFAULT_FAST_TIER_BUDGET:.0f}s when only tests/ "
+            "is collected (the fast tier), disabled otherwise; 0 disables"
+        ),
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config._wallclock_start = time.monotonic()  # type: ignore[attr-defined]
+    config._wallclock_budget = 0.0  # type: ignore[attr-defined]
+
+
+def pytest_collection_modifyitems(
+    session: pytest.Session, config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    config._wallclock_budget = _resolve_budget(config, items)  # type: ignore[attr-defined]
+
+
+def _resolve_budget(config: pytest.Config, items: list[pytest.Item]) -> float:
+    explicit = config.getoption("--wallclock-budget")
+    if explicit is not None:
+        return max(0.0, explicit)
+    fast_tier = bool(items) and all(
+        _TESTS_DIR in pathlib.Path(str(item.fspath)).resolve().parents
+        for item in items
+    )
+    env = os.environ.get("REPRO_WALLCLOCK_BUDGET")
+    if env is not None:
+        try:
+            return max(0.0, float(env))
+        except ValueError:
+            # A malformed override must not silently disable the guard:
+            # fall through to the tier-based default.
+            pass
+    return DEFAULT_FAST_TIER_BUDGET if fast_tier else 0.0
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_runtest_teardown(item: pytest.Item) -> None:
+    config = item.config
+    budget = getattr(config, "_wallclock_budget", 0.0)
+    if budget <= 0:
+        return
+    elapsed = time.monotonic() - config._wallclock_start
+    if elapsed > budget:
+        pytest.exit(
+            f"fast-tier wall-clock guard: session exceeded its "
+            f"{budget:.0f}s budget after {elapsed:.1f}s (at {item.nodeid}); "
+            "override with --wallclock-budget or REPRO_WALLCLOCK_BUDGET",
+            returncode=pytest.ExitCode.TESTS_FAILED,
+        )

@@ -8,16 +8,24 @@ default and once under ACTOR's prediction-based concurrency throttling.
 It prints the per-phase configuration decisions and the resulting
 time/power/energy/ED² improvements.
 
-It then demonstrates the two scaling features of the serving path:
+It then demonstrates the three scaling features of the serving path:
 
 * the **batched prediction engine** — one ``predict_batch`` /
   ``predict_batch_from_rates`` call scores every target configuration for
   every pending phase sample at once (with an LRU cache keyed on quantized
   counter rates in front of it);
+* the **frequency axis (DVFS)** — ``Configuration`` is a placement ×
+  frequency pair (``Configuration(name, placement, pstate)``, names like
+  ``"2b@1.6GHz"``); ``train_predictor_bundle(..., pstate_table=...)``
+  trains one model per (placement, P-state) target so a single
+  ``predict_batch`` call scores the whole cross-product, and
+  ``EnergyAwarePolicy(bundle, objective="ed2")`` selects by energy, EDP or
+  ED² instead of raw predicted IPC;
 * the **concurrent experiment runner** — independent workload × policy
   cells fan out over a process pool with seeded, reproducible RNG streams
-  (``run_cells(..., processes=N)``; the full figure sweep accepts the same
-  fan-out via ``python -m repro.experiments.runner --parallel N``).
+  (``run_cells(..., processes=N)``; the full figure sweep — now including
+  the DVFS comparison ``fig-dvfs`` — accepts the same fan-out via
+  ``python -m repro.experiments.runner --parallel N``).
 
 Run with::
 
@@ -32,12 +40,21 @@ from repro.ann import TrainingConfig
 from repro.core import (
     ACTOR,
     ANNTrainingOptions,
+    EnergyAwarePolicy,
     PredictionPolicy,
     StaticPolicy,
     train_default_predictor,
+    train_predictor_bundle,
 )
 from repro.experiments import RunCell, run_cells
-from repro.machine import CONFIG_4, Machine
+from repro.machine import (
+    CONFIG_4,
+    Machine,
+    default_pstate_table,
+    dvfs_power_parameters,
+    quad_core_xeon,
+)
+from repro.machine.power import PowerModel
 from repro.openmp import OpenMPRuntime
 from repro.workloads import nas_suite
 
@@ -118,7 +135,44 @@ def main() -> None:
     per_config = predictor.predict_batch(matrix)
     assert all(len(v) == len(samples) for v in per_config.values())
 
-    # 7. The concurrent experiment runner: independent workload x policy
+    # 7. The frequency axis: expand the target space to the placement x
+    #    P-state cross-product (regression-backed; closed-form training)
+    #    and adapt MG for minimal ED^2 on a CPU-dominated platform.
+    table = default_pstate_table()
+    training = [w for w in suite if w.name != "MG"]
+    dvfs_bundle = train_predictor_bundle(
+        machine, training, linear=True, pstate_table=table
+    )
+    print()
+    print(
+        f"DVFS cross-product: {len(dvfs_bundle.target_configurations)} targets "
+        f"({', '.join(dvfs_bundle.target_configurations[:6])}, ...)"
+    )
+    topology = quad_core_xeon()
+    dvfs_machine = Machine(
+        topology=topology,
+        power_model=PowerModel(
+            topology, dvfs_power_parameters(), pstate_table=table
+        ),
+    )
+    dvfs_runtime = OpenMPRuntime(dvfs_machine)
+    dvfs_actor = ACTOR(dvfs_runtime)
+    energy_policy = EnergyAwarePolicy(
+        dvfs_bundle,
+        objective="ed2",
+        pstate_table=table,
+        power_parameters=dvfs_power_parameters(),
+    )
+    mg_report = dvfs_actor.run_with_policy(suite.get("MG"), energy_policy)
+    print("Energy-aware (min-ED^2) decisions for MG:")
+    for phase, config in sorted(energy_policy.decisions().items()):
+        print(f"  {phase:20s} -> {config}")
+    print(
+        f"  MG under {energy_policy.name}: {mg_report.time_seconds:.2f} s, "
+        f"{mg_report.energy_joules:.0f} J, ED2 {mg_report.ed2:.3e}"
+    )
+
+    # 8. The concurrent experiment runner: independent workload x policy
     #    cells fan out over a process pool, each with its own seeded RNG
     #    streams, so results are bit-identical to a serial run.
     cells = [

@@ -81,6 +81,9 @@ class CrossValidationEnsemble:
     _stacked: Optional[List[Tuple[np.ndarray, np.ndarray]]] = field(
         default=None, repr=False, compare=False
     )
+    #: Incremented by every completed :meth:`fit`; prediction caches keyed
+    #: on this generation detect refits and invalidate themselves.
+    fit_generation: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.folds < 3:
@@ -145,6 +148,7 @@ class CrossValidationEnsemble:
             self.fold_results.append(
                 FoldResult(fold_index=k, history=history, holdout_mse=holdout_mse)
             )
+        self.fit_generation += 1
         return self.fold_results
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ from .events import (
 from .oracle import OracleTable, PhaseConfigMeasurement, measure_oracle
 from .policies import (
     AdaptationPolicy,
+    EnergyAwarePolicy,
     OracleGlobalPolicy,
     OraclePhasePolicy,
     PredictionPolicy,
@@ -36,7 +37,13 @@ from .predictor import (
     PredictorBundle,
 )
 from .sampler import PhaseSampler, SampleAggregate
-from .selector import ConfigurationSelector, RankedPrediction, rank_of_selection
+from .selector import (
+    OBJECTIVES,
+    ConfigurationSelector,
+    EnergyCostModel,
+    RankedPrediction,
+    rank_of_selection,
+)
 from .training import (
     ANNTrainingOptions,
     DEFAULT_TARGET_CONFIGURATIONS,
@@ -56,8 +63,11 @@ __all__ = [
     "ConfigurationSelector",
     "DEFAULT_SAMPLING_FRACTION",
     "DEFAULT_TARGET_CONFIGURATIONS",
+    "EnergyAwarePolicy",
+    "EnergyCostModel",
     "EventSet",
     "FULL_EVENT_SET",
+    "OBJECTIVES",
     "IPCPredictor",
     "LinearIPCModel",
     "OracleGlobalPolicy",

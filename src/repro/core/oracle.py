@@ -217,7 +217,7 @@ def measure_oracle(
     for phase in workload.phases:
         row: Dict[str, PhaseConfigMeasurement] = {}
         for config in configs:
-            result = machine.execute(phase.work, config.placement, apply_noise=False)
+            result = machine.execute(phase.work, config, apply_noise=False)
             row[config.name] = PhaseConfigMeasurement(
                 phase_name=phase.name,
                 configuration=config.name,

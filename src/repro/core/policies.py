@@ -15,6 +15,10 @@ OpenMP phase — and decides, per phase, which threading configuration to use:
 * :class:`SearchPolicy` — the empirical-search baseline [17]: try every
   candidate configuration on successive instances and keep the best measured
   one;
+* :class:`EnergyAwarePolicy` — the DVFS extension: identical sampling flow,
+  but the candidate set is the placement × frequency cross-product and the
+  selection objective is an energy metric (energy, EDP or ED²) instead of
+  raw predicted IPC;
 * :class:`OraclePhasePolicy` / :class:`OracleGlobalPolicy` — the two
   oracle-derived comparison strategies built from exhaustive offline
   measurements.
@@ -25,12 +29,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..machine.dvfs import PStateTable, default_pstate_table
 from ..machine.placement import (
     CONFIG_4,
     Configuration,
     configuration_by_name,
     standard_configurations,
 )
+from ..machine.power import PowerParameters
+from ..machine.topology import Topology
 from ..openmp.region import ParallelRegion
 from ..openmp.runtime import PhaseDirective, PhaseObservation
 from ..workloads.base import Workload
@@ -38,13 +45,14 @@ from .events import DEFAULT_SAMPLING_FRACTION, select_event_set
 from .oracle import OracleTable
 from .predictor import IPCPredictor, PredictorBundle
 from .sampler import PhaseSampler
-from .selector import ConfigurationSelector, RankedPrediction
+from .selector import ConfigurationSelector, EnergyCostModel, RankedPrediction
 
 __all__ = [
     "AdaptationPolicy",
     "StaticPolicy",
     "PredictionPolicy",
     "RegressionPolicy",
+    "EnergyAwarePolicy",
     "SearchPolicy",
     "OraclePhasePolicy",
     "OracleGlobalPolicy",
@@ -179,6 +187,10 @@ class PredictionPolicy(AdaptationPolicy):
         return self._states[key]
 
     # ------------------------------------------------------------------
+    def _decision_configuration(self, name: str) -> Configuration:
+        """Resolve a ranked configuration name into a configuration."""
+        return configuration_by_name(name)
+
     def before_phase(self, region: ParallelRegion, timestep: int) -> PhaseDirective:
         state = self._state_for(region)
         if state.decision is not None:
@@ -213,7 +225,7 @@ class PredictionPolicy(AdaptationPolicy):
             measured_sample=(self.sample_configuration.name, aggregate.ipc_sample),
         )
         state.ranking = ranking
-        state.decision = configuration_by_name(ranking.best)
+        state.decision = self._decision_configuration(ranking.best)
 
     # ------------------------------------------------------------------
     def decisions(self) -> Dict[str, str]:
@@ -236,6 +248,98 @@ class RegressionPolicy(PredictionPolicy):
     """Prediction policy backed by linear-regression models (baseline [3])."""
 
     name = "regression"
+
+
+class EnergyAwarePolicy(PredictionPolicy):
+    """Joint DVFS × concurrency adaptation minimizing an energy objective.
+
+    The sampling flow is identical to :class:`PredictionPolicy` — counters
+    are sampled at maximal concurrency and nominal frequency — but the
+    predictor bundle scores the full placement × frequency cross-product
+    (one model per (placement, P-state) target, evaluated in a single
+    ``predict_batch``), and the selector minimizes an energy objective
+    using the analytic :class:`~repro.core.selector.EnergyCostModel`
+    instead of maximizing raw predicted IPC (which, being a per-cycle
+    quantity, would wrongly favour low clocks).
+
+    Parameters
+    ----------
+    bundle:
+        Predictors whose target configurations span the placement ×
+        frequency cross-product (see
+        ``train_predictor_bundle(..., pstate_table=...)``).
+    objective:
+        ``"energy"``, ``"edp"``, ``"ed2"`` (the paper line's headline
+        metric, default) or ``"time"``.
+    topology:
+        Platform structure used by the power estimates; the paper's
+        quad-core Xeon by default.
+    pstate_table:
+        DVFS table the bundle's frequency-suffixed target names resolve
+        against; the default three-point ladder when omitted.
+    power_parameters:
+        Wall-power coefficients of the cost model.
+    guard_band:
+        Hysteresis of the selection (see
+        :class:`~repro.core.selector.ConfigurationSelector`): a candidate
+        only displaces the time-optimal choice when its estimated
+        objective score is at least this fraction better.
+    two_stage:
+        Staged adaptation (default, as in the DVFS follow-up work): fix
+        the placement by highest predicted nominal-frequency IPC, then
+        optimize the energy objective across that placement's P-states.
+        ``False`` selects jointly over the whole cross-product.
+    """
+
+    name = "energy-aware"
+
+    def __init__(
+        self,
+        bundle: PredictorBundle,
+        objective: str = "ed2",
+        topology: Optional[Topology] = None,
+        pstate_table: Optional[PStateTable] = None,
+        power_parameters: Optional[PowerParameters] = None,
+        guard_band: float = 0.0,
+        two_stage: bool = True,
+        sample_configuration: Optional[Configuration] = None,
+        sampling_fraction: float = DEFAULT_SAMPLING_FRACTION,
+        counter_registers: int = 2,
+        use_cache: bool = False,
+    ) -> None:
+        self.pstate_table = pstate_table or default_pstate_table()
+        candidate_names = list(bundle.target_configurations)
+        if bundle.sample_configuration not in candidate_names:
+            candidate_names.append(bundle.sample_configuration)
+        candidates = [
+            configuration_by_name(name, self.pstate_table) for name in candidate_names
+        ]
+        cost_model = EnergyCostModel(
+            candidates,
+            topology=topology,
+            power_parameters=power_parameters,
+            pstate_table=self.pstate_table,
+        )
+        selector = ConfigurationSelector(
+            objective=objective,
+            cost_model=cost_model,
+            guard_band=guard_band,
+            two_stage=two_stage,
+        )
+        super().__init__(
+            bundle,
+            sample_configuration=sample_configuration,
+            sampling_fraction=sampling_fraction,
+            counter_registers=counter_registers,
+            selector=selector,
+            use_cache=use_cache,
+        )
+        self.objective = objective
+        self.cost_model = cost_model
+        self.name = f"energy-{objective}"
+
+    def _decision_configuration(self, name: str) -> Configuration:
+        return configuration_by_name(name, self.pstate_table)
 
 
 @dataclass

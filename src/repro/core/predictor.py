@@ -39,6 +39,7 @@ __all__ = [
     "IPCPredictor",
     "PredictorBundle",
     "LinearIPCModel",
+    "FrequencyRatioModel",
     "NotFittedError",
     "PredictionCache",
     "CacheInfo",
@@ -47,6 +48,12 @@ __all__ = [
 
 class ConfigurationModel:
     """Interface of a single-target-configuration IPC model."""
+
+    #: Incremented by every refit.  :class:`PredictorBundle` fingerprints
+    #: its members' generations so the shared prediction cache is
+    #: invalidated when any underlying model is retrained (custom models
+    #: that never refit may leave this at 0).
+    fit_generation: int = 0
 
     def predict_one(self, features: np.ndarray) -> float:
         """Predict the IPC for one feature vector."""
@@ -75,6 +82,7 @@ class LinearIPCModel(ConfigurationModel):
 
     coefficients: Optional[np.ndarray] = None
     intercept: float = 0.0
+    fit_generation: int = 0
 
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearIPCModel":
         """Fit the model by least squares (with an intercept column)."""
@@ -86,6 +94,7 @@ class LinearIPCModel(ConfigurationModel):
         solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
         self.intercept = float(solution[0])
         self.coefficients = solution[1:]
+        self.fit_generation += 1
         return self
 
     def _require_fitted(self, method: str) -> None:
@@ -107,11 +116,47 @@ class LinearIPCModel(ConfigurationModel):
         return self.intercept + features @ self.coefficients
 
 
+class FrequencyRatioModel(ConfigurationModel):
+    """IPC at a lower P-state as base-placement IPC × a learned ratio.
+
+    Learning an independent absolute model per (placement, P-state) target
+    wastes the strong structure of the frequency axis: the IPC at a lower
+    clock is the nominal IPC inflated by a bounded factor (between 1 and
+    the frequency ratio) that tracks the phase's memory-boundedness.  This
+    model composes the base placement's predictor with a model of that
+    ratio, so cross-frequency orderings inherit the base's placement
+    accuracy instead of accumulating two independent extrapolation errors.
+    """
+
+    def __init__(self, base: ConfigurationModel, ratio: ConfigurationModel) -> None:
+        self.base = base
+        self.ratio = ratio
+
+    @property
+    def fit_generation(self) -> int:
+        return int(getattr(self.base, "fit_generation", 0)) + int(
+            getattr(self.ratio, "fit_generation", 0)
+        )
+
+    def predict_one(self, features: np.ndarray) -> float:
+        return float(self.base.predict_one(features) * self.ratio.predict_one(features))
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        features = require_batch_matrix(features)
+        base = np.asarray(self.base.predict_batch(features), dtype=float)
+        ratio = np.asarray(self.ratio.predict_batch(features), dtype=float)
+        return base * ratio
+
+
 class _EnsembleModel(ConfigurationModel):
     """Adapter exposing a cross-validation ensemble as a ConfigurationModel."""
 
     def __init__(self, ensemble: CrossValidationEnsemble) -> None:
         self.ensemble = ensemble
+
+    @property
+    def fit_generation(self) -> int:
+        return self.ensemble.fit_generation
 
     def predict_one(self, features: np.ndarray) -> float:
         return float(self.ensemble.predict(np.asarray(features, dtype=float)))
@@ -163,6 +208,18 @@ class IPCPredictor:
     def target_configurations(self) -> List[str]:
         """Names of the configurations this predictor can score."""
         return sorted(self.models)
+
+    def fit_fingerprint(self) -> Tuple[Tuple[str, int, int], ...]:
+        """Identity and fit generation of every model, in stable order.
+
+        The fingerprint changes whenever any underlying model is refit
+        *or replaced by a different model object*, so caches of this
+        predictor's outputs can detect staleness either way.
+        """
+        return tuple(
+            (name, id(self.models[name]), int(getattr(self.models[name], "fit_generation", 0)))
+            for name in sorted(self.models)
+        )
 
     def feature_vector(
         self, ipc_sample: float, rates: Mapping[str, float]
@@ -345,11 +402,19 @@ class PredictorBundle:
     repeats from the cache, and evaluate only the distinct misses — the
     batched variant scores all missing rows for all target configurations
     in a single :meth:`IPCPredictor.predict_batch` call.
+
+    Cached entries are only valid for the models that produced them: both
+    cached paths fingerprint the members' fit generations and drop the
+    whole cache when any underlying model has been refit since the entries
+    were stored (see :meth:`IPCPredictor.fit_fingerprint`).
     """
 
     full: IPCPredictor
     reduced: Optional[IPCPredictor] = None
     cache: PredictionCache = field(default_factory=PredictionCache, repr=False)
+    _cache_fingerprint: Optional[Tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     def for_event_set(self, name: str) -> IPCPredictor:
         """Return the member trained for the event set called ``name``."""
@@ -375,6 +440,20 @@ class PredictorBundle:
     def _resolve(self, event_set: Optional[str]) -> IPCPredictor:
         return self.full if event_set is None else self.for_event_set(event_set)
 
+    def _current_fingerprint(self) -> Tuple:
+        members = [("full", self.full.fit_fingerprint())]
+        if self.reduced is not None:
+            members.append(("reduced", self.reduced.fit_fingerprint()))
+        return tuple(members)
+
+    def _ensure_cache_valid(self) -> None:
+        """Drop cached predictions if any underlying model was refit."""
+        fingerprint = self._current_fingerprint()
+        if self._cache_fingerprint != fingerprint:
+            if self._cache_fingerprint is not None and len(self.cache):
+                self.cache.clear()
+            self._cache_fingerprint = fingerprint
+
     def predict_from_rates(
         self,
         ipc_sample: float,
@@ -389,6 +468,7 @@ class PredictorBundle:
         no matter which raw sample populated it first.
         """
         predictor = self._resolve(event_set)
+        self._ensure_cache_valid()
         events = predictor.event_set.events
         key = self.cache.key(predictor.event_set.name, ipc_sample, rates, events)
         cached = self.cache.get(key)
@@ -420,6 +500,7 @@ class PredictorBundle:
             forward pass.
         """
         predictor = self._resolve(event_set)
+        self._ensure_cache_valid()
         events = predictor.event_set.events
         keys = [
             self.cache.key(predictor.event_set.name, ipc, rates, events)

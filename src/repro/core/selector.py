@@ -6,14 +6,38 @@ also provides the rank-accuracy analysis behind the paper's Figure 7: given
 the *true* per-configuration performance of a phase, at which rank does the
 selected configuration sit (1 = the true optimum, worst = never, per the
 paper's results)?
+
+With the DVFS extension the candidate set becomes the placement × frequency
+cross-product and "highest predicted IPC" stops being the right criterion:
+IPC is a per-cycle quantity, so a lower clock *raises* IPC (memory stalls
+cost fewer cycles) while slowing the wall clock.  The selector therefore
+supports explicit objective functions — ``ipc`` (the paper's criterion,
+valid at a single frequency), ``time``, ``energy``, ``edp`` and ``ed2`` —
+with an :class:`EnergyCostModel` translating predicted IPCs into relative
+time/power/energy estimates per candidate configuration.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["RankedPrediction", "ConfigurationSelector", "rank_of_selection"]
+from ..machine.dvfs import PStateTable
+from ..machine.placement import Configuration
+from ..machine.power import PowerModel, PowerParameters
+from ..machine.topology import Topology, quad_core_xeon
+
+__all__ = [
+    "OBJECTIVES",
+    "RankedPrediction",
+    "EnergyCostModel",
+    "ConfigurationSelector",
+    "rank_of_selection",
+]
+
+#: Supported selection objectives.  ``ipc`` is maximized; the others are
+#: minimized estimates derived from the predictions via a cost model.
+OBJECTIVES: Tuple[str, ...] = ("ipc", "time", "energy", "edp", "ed2")
 
 
 @dataclass(frozen=True)
@@ -23,20 +47,144 @@ class RankedPrediction:
     Attributes
     ----------
     best:
-        Name of the configuration with the highest predicted IPC.
+        Name of the configuration ranked first under the objective.
     ranking:
-        Configuration names in decreasing order of predicted IPC.
+        Configuration names in decreasing order of preference.
     predictions:
         The predicted IPC of every configuration.
+    objective:
+        Objective the ranking was computed under.
+    scores:
+        Per-configuration objective scores (lower is better; for the
+        ``ipc`` objective the score is the negated predicted IPC).
     """
 
     best: str
     ranking: Tuple[str, ...]
     predictions: Mapping[str, float]
+    objective: str = "ipc"
+    scores: Mapping[str, float] = field(default_factory=dict)
 
     def predicted_ipc(self, configuration: str) -> float:
         """Predicted IPC of ``configuration``."""
         return float(self.predictions[configuration])
+
+
+class EnergyCostModel:
+    """Relative time/power/energy estimates for candidate configurations.
+
+    The online policy may only observe what the runtime exposes (time, IPC,
+    counter rates) — never measured power.  Energy-aware selection therefore
+    estimates power analytically from *static platform knowledge*: the
+    machine's calibrated :class:`~repro.machine.power.PowerModel`
+    coefficients, each candidate's placement (cores, caches occupied) and
+    its P-state (``f·V²`` dynamic scaling).  Combined with the predicted
+    IPC, which fixes relative execution time via ``time ∝ 1 / (IPC · f)``,
+    this yields relative energy, EDP and ED² scores — relative because the
+    phase's instruction count cancels when candidates are compared.
+
+    Parameters
+    ----------
+    candidates:
+        The configurations that may be selected (typically the placement ×
+        frequency cross-product).
+    topology:
+        Platform structure; the paper's quad-core Xeon by default.
+    power_parameters:
+        Wall-power coefficients; platform defaults when omitted.
+    pstate_table:
+        DVFS table defining the nominal operating point.
+    assumed_stall_fraction:
+        Memory-stall fraction assumed when estimating core activity (the
+        online policy does not know the per-candidate stall profile).
+    assumed_bus_utilization:
+        Bus utilization assumed for the DRAM/bus power component.
+    """
+
+    def __init__(
+        self,
+        candidates: Iterable[Configuration],
+        topology: Optional[Topology] = None,
+        power_parameters: Optional[PowerParameters] = None,
+        pstate_table: Optional[PStateTable] = None,
+        assumed_stall_fraction: float = 0.5,
+        assumed_bus_utilization: float = 0.25,
+    ) -> None:
+        self.topology = topology or quad_core_xeon()
+        self.candidates: Dict[str, Configuration] = {c.name: c for c in candidates}
+        if not self.candidates:
+            raise ValueError("cost model needs at least one candidate configuration")
+        self.power_model = PowerModel(
+            self.topology, power_parameters, pstate_table=pstate_table
+        )
+        self.nominal_frequency_ghz = self.topology.cores[0].frequency_ghz
+        if not 0.0 <= assumed_stall_fraction <= 1.0:
+            raise ValueError("assumed_stall_fraction must be in [0, 1]")
+        if not 0.0 <= assumed_bus_utilization <= 1.0:
+            raise ValueError("assumed_bus_utilization must be in [0, 1]")
+        self.assumed_stall_fraction = assumed_stall_fraction
+        self.assumed_bus_utilization = assumed_bus_utilization
+
+    # ------------------------------------------------------------------
+    def configuration(self, name: str) -> Configuration:
+        """The candidate configuration called ``name``."""
+        try:
+            return self.candidates[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"configuration {name!r} is not a candidate of this cost model"
+            ) from exc
+
+    def frequency_ghz(self, name: str) -> float:
+        """Clock frequency of a candidate (nominal when not pinned)."""
+        pinned = self.configuration(name).frequency_ghz
+        return pinned if pinned is not None else self.nominal_frequency_ghz
+
+    def relative_time(self, name: str, predicted_ipc: float) -> float:
+        """Execution time per instruction, in arbitrary (comparable) units.
+
+        ``time = instructions · CPI / f = instructions / (IPC · f)``; the
+        instruction count is common to all candidates and cancels.
+        """
+        ipc = max(float(predicted_ipc), 1e-9)
+        return 1.0 / (ipc * self.frequency_ghz(name))
+
+    def power_watts(self, name: str, predicted_ipc: float) -> float:
+        """Estimated wall power of a candidate at the predicted IPC."""
+        config = self.configuration(name)
+        n = config.num_threads
+        per_thread_ipc = max(float(predicted_ipc), 0.0) / n
+        breakdown = self.power_model.evaluate(
+            occupied_cores=config.cores,
+            thread_ipcs=[per_thread_ipc] * n,
+            stall_fractions=[self.assumed_stall_fraction] * n,
+            bus_utilization=self.assumed_bus_utilization,
+            pstate=config.pstate,
+        )
+        return breakdown.total_watts
+
+    def is_nominal(self, name: str) -> bool:
+        """Whether a candidate runs at the nominal (highest) frequency."""
+        config = self.configuration(name)
+        if config.pstate is None:
+            return True
+        return config.pstate == self.power_model.pstate_table.nominal
+
+    def score(self, name: str, predicted_ipc: float, objective: str) -> float:
+        """Objective score of a candidate (lower is better)."""
+        if objective == "ipc":
+            return -float(predicted_ipc)
+        time = self.relative_time(name, predicted_ipc)
+        if objective == "time":
+            return time
+        power = self.power_watts(name, predicted_ipc)
+        if objective == "energy":
+            return power * time
+        if objective == "edp":
+            return power * time ** 2
+        if objective == "ed2":
+            return power * time ** 3
+        raise ValueError(f"unknown objective {objective!r}; expected one of {OBJECTIVES}")
 
 
 class ConfigurationSelector:
@@ -44,17 +192,70 @@ class ConfigurationSelector:
 
     Parameters
     ----------
-    include_sample_configuration:
-        Name and assumed IPC source of the sample configuration.  The paper
-        predicts IPC for the four *other* configurations and already knows
-        the sampled IPC of the fifth (it was measured directly), so the
-        selector can fold the measured value into the ranking.
+    tie_breaker:
+        Preference order applied between configurations with exactly equal
+        scores (default: the paper's order, preferring fewer threads —
+        cheaper in power).  Names outside the list fall back to
+        lexicographic order, so ties are always broken deterministically.
+    objective:
+        Selection criterion (see :data:`OBJECTIVES`).  The default ``ipc``
+        reproduces the paper: highest predicted IPC wins.
+    cost_model:
+        Required for every objective except ``ipc``: translates predicted
+        IPCs into per-candidate time/power estimates.
+    guard_band:
+        Governor-style hysteresis for the energy objectives: the
+        objective's winner only displaces the max-IPC (time-optimal)
+        choice when its estimated score is at least this fraction better
+        than the max-IPC choice's score.  Both the predictions and the
+        analytic power estimates carry error, so small predicted gains are
+        more often noise than opportunity; the guard band keeps the
+        selection conservative.  ``0`` (default) disables it.
+    two_stage:
+        Staged adaptation, as in the paper line's DVFS follow-up work:
+        first fix the placement by the paper's criterion (highest
+        predicted IPC at nominal frequency), then optimize the objective
+        only across that placement's P-states.  Cross-frequency
+        predictions are structurally bounded
+        (:class:`~repro.core.predictor.FrequencyRatioModel`), so staging
+        confines the energy objective to the axis where prediction error
+        is smallest; joint selection (``False``) searches the whole
+        cross-product at once.
     """
 
-    def __init__(self, tie_breaker: Sequence[str] | None = None) -> None:
+    def __init__(
+        self,
+        tie_breaker: Sequence[str] | None = None,
+        objective: str = "ipc",
+        cost_model: Optional[EnergyCostModel] = None,
+        guard_band: float = 0.0,
+        two_stage: bool = False,
+    ) -> None:
         # Deterministic tie-break order: prefer fewer threads (cheaper in
         # power) when predictions are exactly equal.
         self.tie_breaker = tuple(tie_breaker or ("1", "2a", "2b", "3", "4"))
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
+            )
+        if objective != "ipc" and cost_model is None:
+            raise ValueError(
+                f"objective {objective!r} requires a cost model translating "
+                "predicted IPCs into time/power estimates"
+            )
+        if not 0.0 <= guard_band < 1.0:
+            raise ValueError("guard_band must be in [0, 1)")
+        if two_stage and cost_model is None:
+            raise ValueError("two_stage selection requires a cost model")
+        if objective == "ipc" and (two_stage or guard_band > 0.0):
+            raise ValueError(
+                "two_stage and guard_band only apply to the energy "
+                "objectives; the ipc objective ranks purely by predicted IPC"
+            )
+        self.objective = objective
+        self.cost_model = cost_model
+        self.guard_band = guard_band
+        self.two_stage = two_stage
 
     def _tie_rank(self, name: str) -> int:
         try:
@@ -62,12 +263,17 @@ class ConfigurationSelector:
         except ValueError:
             return len(self.tie_breaker)
 
+    def _score(self, name: str, predicted_ipc: float) -> float:
+        if self.cost_model is not None:
+            return self.cost_model.score(name, predicted_ipc, self.objective)
+        return -float(predicted_ipc)
+
     def rank(
         self,
         predictions: Mapping[str, float],
         measured_sample: Tuple[str, float] | None = None,
     ) -> RankedPrediction:
-        """Rank configurations by predicted IPC (highest first).
+        """Rank configurations under the selector's objective (best first).
 
         Parameters
         ----------
@@ -84,12 +290,43 @@ class ConfigurationSelector:
             combined[name] = float(ipc)
         if not combined:
             raise ValueError("cannot rank an empty set of predictions")
+        scores = {name: self._score(name, ipc) for name, ipc in combined.items()}
         ordering = sorted(
             combined.keys(),
-            key=lambda name: (-combined[name], self._tie_rank(name)),
+            key=lambda name: (scores[name], self._tie_rank(name), name),
         )
+        if self.objective != "ipc" and (self.two_stage or self.guard_band > 0.0):
+            # The time-optimal reference is the paper's criterion: highest
+            # predicted IPC *at nominal frequency* (raw IPC comparisons
+            # across frequencies are meaningless — a lower clock inflates
+            # IPC while slowing the wall clock).
+            reference_pool = [
+                name for name in combined if self.cost_model.is_nominal(name)
+            ] or list(combined)
+            ipc_best = min(
+                reference_pool,
+                key=lambda name: (-combined[name], self._tie_rank(name), name),
+            )
+            if self.two_stage:
+                # Stage 2: optimize the objective only across the chosen
+                # placement's P-states.
+                base = ipc_best.split("@", 1)[0]
+                pool = [n for n in ordering if n.split("@", 1)[0] == base]
+                challenger = pool[0] if pool else ipc_best
+            else:
+                challenger = ordering[0]
+            # Energy scores are positive (power · timeᵏ): the challenger
+            # must undercut the time-optimal score by the guard fraction.
+            if scores[challenger] > scores[ipc_best] * (1.0 - self.guard_band):
+                challenger = ipc_best
+            if ordering[0] != challenger:
+                ordering = [challenger] + [n for n in ordering if n != challenger]
         return RankedPrediction(
-            best=ordering[0], ranking=tuple(ordering), predictions=combined
+            best=ordering[0],
+            ranking=tuple(ordering),
+            predictions=combined,
+            objective=self.objective,
+            scores=scores,
         )
 
     def select(
@@ -97,7 +334,7 @@ class ConfigurationSelector:
         predictions: Mapping[str, float],
         measured_sample: Tuple[str, float] | None = None,
     ) -> str:
-        """Name of the configuration with the highest predicted IPC."""
+        """Name of the configuration ranked first under the objective."""
         return self.rank(predictions, measured_sample).best
 
 

@@ -29,12 +29,24 @@ import numpy as np
 
 from ..ann.ensemble import CrossValidationEnsemble
 from ..ann.training import TrainingConfig
+from ..machine.dvfs import PStateTable
 from ..machine.machine import Machine
-from ..machine.placement import CONFIG_4, Configuration, standard_configurations
+from ..machine.placement import (
+    CONFIG_4,
+    Configuration,
+    dvfs_configurations,
+    standard_configurations,
+)
 from ..workloads.base import Workload, WorkloadSuite
 from .dataset import PredictionDataset, TrainingSample
 from .events import FULL_EVENT_SET, REDUCED_EVENT_SET, EventSet
-from .predictor import IPCPredictor, LinearIPCModel, PredictorBundle
+from .predictor import (
+    ConfigurationModel,
+    FrequencyRatioModel,
+    IPCPredictor,
+    LinearIPCModel,
+    PredictorBundle,
+)
 
 __all__ = [
     "ANNTrainingOptions",
@@ -115,6 +127,7 @@ def collect_training_dataset(
     samples_per_phase: int = 4,
     measurement_noise: float = 0.10,
     seed: int = 7,
+    pstate_table: Optional[PStateTable] = None,
 ) -> PredictionDataset:
     """Collect a training dataset from the phases of ``workloads``.
 
@@ -123,12 +136,31 @@ def collect_training_dataset(
     vectors are generated from the phase's behaviour on the sample
     configuration, mimicking the short, multiplexed counter sampling ACTOR
     performs online.
+
+    When a ``pstate_table`` is supplied the frequency axis joins the target
+    space: the candidate configurations become the placement × P-state
+    cross-product (``dvfs_configurations``), the default targets become
+    every cross-product member except the sample configuration, and the
+    ground-truth IPCs are measured at each configuration's pinned frequency.
     """
     if samples_per_phase < 1:
         raise ValueError("samples_per_phase must be >= 1")
     rng = np.random.default_rng(seed)
-    target_names = tuple(target_configurations or DEFAULT_TARGET_CONFIGURATIONS)
-    all_configs = {c.name: c for c in standard_configurations(machine.topology)}
+    base_configs = standard_configurations(machine.topology)
+    if pstate_table is not None:
+        candidates = dvfs_configurations(base_configs, pstate_table)
+    else:
+        candidates = base_configs
+    all_configs = {c.name: c for c in candidates}
+    if target_configurations is not None:
+        target_names = tuple(target_configurations)
+    elif pstate_table is not None:
+        # The whole cross-product, including the sample configuration: its
+        # nominal point is measured directly online, but the lower P-states
+        # of the sample placement are modelled as ratios on top of it.
+        target_names = tuple(all_configs)
+    else:
+        target_names = DEFAULT_TARGET_CONFIGURATIONS
     for name in target_names:
         if name not in all_configs:
             raise KeyError(f"unknown target configuration {name!r}")
@@ -142,7 +174,7 @@ def collect_training_dataset(
         for phase in workload.phases:
             targets = {
                 name: machine.execute(
-                    phase.work, all_configs[name].placement, apply_noise=False
+                    phase.work, all_configs[name], apply_noise=False
                 ).ipc
                 for name in target_names
             }
@@ -208,12 +240,36 @@ def train_ipc_predictor(
 
 
 def train_linear_predictor(dataset: PredictionDataset) -> IPCPredictor:
-    """Fit one least-squares model per target configuration (baseline [3])."""
+    """Fit one least-squares model per target configuration (baseline [3]).
+
+    Frequency-suffixed targets (``"2b@1.6GHz"``) whose base placement is
+    also a target are fitted as :class:`FrequencyRatioModel`: the base
+    placement's absolute model times a least-squares model of the
+    cross-frequency IPC *ratio*.  The ratio is bounded and tracks the
+    phase's memory-boundedness, so this structure generalizes far better
+    across frequencies than independent absolute models.
+    """
     features = dataset.feature_matrix()
-    models = {}
-    for config_name in dataset.target_configurations:
-        targets = dataset.target_vector(config_name)
-        models[config_name] = LinearIPCModel().fit(features, targets)
+    models: Dict[str, "ConfigurationModel"] = {}
+    names = list(dataset.target_configurations)
+    # Nominal placements first: they serve as bases for the ratio models.
+    for config_name in names:
+        if "@" not in config_name:
+            targets = dataset.target_vector(config_name)
+            models[config_name] = LinearIPCModel().fit(features, targets)
+    for config_name in names:
+        if "@" in config_name:
+            base_name = config_name.split("@", 1)[0]
+            targets = dataset.target_vector(config_name)
+            if base_name in models:
+                base_targets = dataset.target_vector(base_name)
+                ratios = targets / np.maximum(base_targets, 1e-9)
+                ratio_model = LinearIPCModel().fit(features, ratios)
+                models[config_name] = FrequencyRatioModel(
+                    models[base_name], ratio_model
+                )
+            else:
+                models[config_name] = LinearIPCModel().fit(features, targets)
     return IPCPredictor(
         event_set=dataset.event_set,
         sample_configuration=dataset.sample_configuration,
@@ -229,6 +285,7 @@ def train_predictor_bundle(
     include_reduced: bool = True,
     linear: bool = False,
     target_configurations: Optional[Sequence[str]] = None,
+    pstate_table: Optional[PStateTable] = None,
 ) -> PredictorBundle:
     """Train the full-event (and optionally reduced-event) predictors.
 
@@ -246,6 +303,10 @@ def train_predictor_bundle(
     linear:
         Train least-squares models instead of ANN ensembles (the paper's
         regression baseline).
+    pstate_table:
+        When supplied, the targets span the placement × frequency
+        cross-product so one ``predict_batch`` call scores the whole DVFS
+        space (used by :class:`~repro.core.policies.EnergyAwarePolicy`).
     """
     options = options or ANNTrainingOptions()
 
@@ -258,6 +319,7 @@ def train_predictor_bundle(
             samples_per_phase=options.samples_per_phase,
             measurement_noise=options.measurement_noise,
             seed=options.seed + seed_offset,
+            pstate_table=pstate_table,
         )
         if linear:
             return train_linear_predictor(dataset)

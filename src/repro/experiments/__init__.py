@@ -22,12 +22,14 @@ from .fig3_power_energy import run_fig3
 from .fig6_prediction_cdf import run_fig6
 from .fig7_rank_selection import run_fig7
 from .fig8_throttling import STRATEGY_NAMES, run_fig8
+from .fig_dvfs import DVFS_STRATEGY_NAMES, run_fig_dvfs
 from .manycore_extension import run_manycore_extension
 from .runner import ABLATIONS, EXPERIMENTS, run_all
 from .scaling_summary import run_scaling_summary
 
 __all__ = [
     "ABLATIONS",
+    "DVFS_STRATEGY_NAMES",
     "EXPERIMENTS",
     "ExperimentContext",
     "PhasePredictionRecord",
@@ -49,6 +51,7 @@ __all__ = [
     "run_fig6",
     "run_fig7",
     "run_fig8",
+    "run_fig_dvfs",
     "run_manycore_extension",
     "run_scaling_summary",
 ]

@@ -35,12 +35,14 @@ from .fig3_power_energy import run_fig3
 from .fig6_prediction_cdf import run_fig6
 from .fig7_rank_selection import run_fig7
 from .fig8_throttling import run_fig8
+from .fig_dvfs import run_fig_dvfs
 from .manycore_extension import run_manycore_extension
 from .scaling_summary import run_scaling_summary
 
 __all__ = ["EXPERIMENTS", "ABLATIONS", "run_all", "main"]
 
-#: Figure experiments in paper order.
+#: Figure experiments in paper order, followed by this reproduction's
+#: extension figures (the DVFS × concurrency comparison).
 EXPERIMENTS: Dict[str, Callable[[ExperimentContext], Figure]] = {
     "fig1": run_fig1,
     "fig2": run_fig2,
@@ -49,6 +51,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], Figure]] = {
     "fig6": run_fig6,
     "fig7": run_fig7,
     "fig8": run_fig8,
+    "fig-dvfs": run_fig_dvfs,
 }
 
 #: Ablation experiments (design-choice studies beyond the paper's figures).
@@ -66,6 +69,10 @@ ABLATIONS: Dict[str, Callable[[ExperimentContext], Figure]] = {
 #: (oracle tables, leave-one-out predictor bundles, prediction records).
 _BUNDLE_HUNGRY = frozenset({"fig6", "fig7", "fig8"})
 
+#: Experiments backed by the (cheap, closed-form) regression bundles over
+#: the placement × frequency cross-product.
+_DVFS_HUNGRY = frozenset({"fig-dvfs"})
+
 
 def _warm_shared_artefacts(ctx: ExperimentContext, names: Sequence[str]) -> None:
     """Train shared artefacts once in the parent before fanning out.
@@ -77,6 +84,10 @@ def _warm_shared_artefacts(ctx: ExperimentContext, names: Sequence[str]) -> None
     and cannot be warmed this way.)
     """
     hungry = _BUNDLE_HUNGRY.intersection(names)
+    if _DVFS_HUNGRY.intersection(names):
+        for workload in ctx.suite:
+            ctx.linear_bundle_for_held_out(workload.name)
+            ctx.dvfs_bundle_for_held_out(workload.name)
     if not hungry:
         return
     ctx.oracles()

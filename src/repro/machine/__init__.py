@@ -30,6 +30,7 @@ from .counters import (
     event_pairs,
 )
 from .cpu import CPIBreakdown, CPUModel
+from .dvfs import PState, PStateTable, default_pstate_table, format_frequency
 from .machine import ExecutionResult, Machine
 from .memory import BusState, MemoryModel
 from .placement import (
@@ -42,11 +43,12 @@ from .placement import (
     Configuration,
     ThreadPlacement,
     configuration_by_name,
+    dvfs_configurations,
     enumerate_configurations,
     placements_equivalent,
     standard_configurations,
 )
-from .power import PowerBreakdown, PowerModel, PowerParameters
+from .power import PowerBreakdown, PowerModel, PowerParameters, dvfs_power_parameters
 from .topology import (
     CacheDescriptor,
     CoreDescriptor,
@@ -82,6 +84,8 @@ __all__ = [
     "ExecutionResult",
     "Machine",
     "MemoryModel",
+    "PState",
+    "PStateTable",
     "PerformanceCounterFile",
     "PowerBreakdown",
     "PowerModel",
@@ -94,10 +98,14 @@ __all__ = [
     "Topology",
     "WorkRequest",
     "configuration_by_name",
+    "default_pstate_table",
     "dual_socket_xeon",
+    "dvfs_configurations",
+    "dvfs_power_parameters",
     "enumerate_configurations",
     "event_by_name",
     "event_pairs",
+    "format_frequency",
     "many_core",
     "placements_equivalent",
     "quad_core_xeon",

@@ -1,0 +1,165 @@
+"""Per-core frequency states (DVFS) for the simulated platform.
+
+The paper's ACTOR runtime adapts only the concurrency/placement dimension;
+its direct follow-up line of work combines concurrency throttling with
+dynamic voltage and frequency scaling (DVFS) to optimize energy-delay
+products rather than raw time.  This module adds the frequency axis to the
+machine model:
+
+* :class:`PState` — one operating point: a frequency and the minimum stable
+  supply voltage at that frequency (the classic P-state pair);
+* :class:`PStateTable` — the ordered set of P-states a core may run at,
+  with the nominal (highest-frequency) state first;
+* :func:`default_pstate_table` — a three-point table shaped like the
+  frequency ladder of the paper's Xeon era (2.4 / 2.0 / 1.6 GHz with
+  voltage scaling typical of 65 nm parts).
+
+The physics the rest of the machine model derives from a P-state:
+
+* **cycle time** scales inversely with frequency, so wall-clock time of a
+  compute-bound phase grows as frequency drops;
+* **memory latency in cycles** scales proportionally with frequency (DRAM
+  latency in nanoseconds is fixed), so memory-bound phases lose much less
+  wall-clock time at lower frequency — the asymmetry DVFS policies exploit;
+* **dynamic power** scales as ``f·V²`` and **static power** roughly with
+  ``V``, so a lower P-state cuts CPU power superlinearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["PState", "PStateTable", "default_pstate_table", "format_frequency"]
+
+
+def format_frequency(frequency_ghz: float) -> str:
+    """Canonical frequency label used in DVFS configuration names."""
+    return f"{frequency_ghz:g}GHz"
+
+
+@dataclass(frozen=True)
+class PState:
+    """One DVFS operating point of a core.
+
+    Attributes
+    ----------
+    name:
+        ACPI-style label (``"P0"`` is the nominal, highest-frequency state).
+    frequency_ghz:
+        Core clock frequency in GHz at this state.
+    voltage:
+        Minimum stable supply voltage (Volts) at this frequency.
+    """
+
+    name: str
+    frequency_ghz: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency_ghz must be positive")
+        if self.voltage <= 0:
+            raise ValueError("voltage must be positive")
+
+    @property
+    def frequency_hz(self) -> float:
+        """Clock frequency in Hertz."""
+        return self.frequency_ghz * 1e9
+
+    @property
+    def label(self) -> str:
+        """Frequency label used in configuration names (e.g. ``"2GHz"``)."""
+        return format_frequency(self.frequency_ghz)
+
+    def frequency_scale(self, nominal: "PState") -> float:
+        """Clock frequency relative to ``nominal`` (1.0 at the top state)."""
+        return self.frequency_ghz / nominal.frequency_ghz
+
+    def voltage_scale(self, nominal: "PState") -> float:
+        """Supply voltage relative to ``nominal`` (1.0 at the top state)."""
+        return self.voltage / nominal.voltage
+
+    def dynamic_power_scale(self, nominal: "PState") -> float:
+        """Dynamic-power factor ``(f/f0)·(V/V0)²`` relative to ``nominal``."""
+        return self.frequency_scale(nominal) * self.voltage_scale(nominal) ** 2
+
+
+@dataclass(frozen=True)
+class PStateTable:
+    """The ordered P-states available to the cores of a machine.
+
+    States are kept sorted by descending frequency; the first entry is the
+    nominal state the rest of the machine model treats as the baseline.
+    """
+
+    states: Tuple[PState, ...]
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise ValueError("a P-state table needs at least one state")
+        frequencies = [s.frequency_ghz for s in self.states]
+        if sorted(frequencies, reverse=True) != frequencies:
+            raise ValueError("P-states must be ordered by descending frequency")
+        if len(set(frequencies)) != len(frequencies):
+            raise ValueError("P-state frequencies must be distinct")
+        if len({s.name for s in self.states}) != len(self.states):
+            raise ValueError("P-state names must be distinct")
+        voltages = [s.voltage for s in self.states]
+        if sorted(voltages, reverse=True) != voltages:
+            raise ValueError("voltage must not increase as frequency drops")
+
+    # ------------------------------------------------------------------
+    @property
+    def nominal(self) -> PState:
+        """The highest-frequency (baseline) state."""
+        return self.states[0]
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self) -> Iterator[PState]:
+        return iter(self.states)
+
+    def by_name(self, name: str) -> PState:
+        """Look up a state by its ACPI-style label."""
+        for state in self.states:
+            if state.name == name:
+                return state
+        raise KeyError(
+            f"unknown P-state {name!r}; expected one of "
+            f"{[s.name for s in self.states]}"
+        )
+
+    def by_frequency_label(self, label: str) -> PState:
+        """Look up a state by its frequency label (e.g. ``"1.6GHz"``)."""
+        for state in self.states:
+            if state.label == label:
+                return state
+        raise KeyError(
+            f"unknown frequency label {label!r}; expected one of "
+            f"{[s.label for s in self.states]}"
+        )
+
+    def frequencies_ghz(self) -> List[float]:
+        """All frequencies in table order (descending)."""
+        return [s.frequency_ghz for s in self.states]
+
+
+def default_pstate_table(nominal_frequency_ghz: float = 2.4) -> PStateTable:
+    """The default three-point frequency ladder of the simulated platform.
+
+    The ladder mirrors the DVFS range of the paper's Xeon era: the nominal
+    clock plus two lower states at 5/6 and 2/3 of nominal, with the voltage
+    scaling typical of 65 nm desktop parts (~1.30 V down to ~1.05 V).
+    """
+    if nominal_frequency_ghz <= 0:
+        raise ValueError("nominal_frequency_ghz must be positive")
+    scale = nominal_frequency_ghz / 2.4
+    return PStateTable(
+        states=(
+            PState(name="P0", frequency_ghz=2.4 * scale, voltage=1.300),
+            PState(name="P1", frequency_ghz=2.0 * scale, voltage=1.175),
+            PState(name="P2", frequency_ghz=1.6 * scale, voltage=1.050),
+        )
+    )

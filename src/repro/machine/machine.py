@@ -35,6 +35,7 @@ import numpy as np
 
 from .caches import CacheModel
 from .cpu import CPIBreakdown, CPUModel
+from .dvfs import PState, PStateTable, default_pstate_table
 from .memory import BusState, MemoryModel
 from .placement import Configuration, ThreadPlacement
 from .power import PowerBreakdown, PowerModel
@@ -80,6 +81,10 @@ class ExecutionResult:
     event_counts:
         Complete hardware event counts for the execution (the measurement
         layer decides which of these are actually visible).
+    pstate:
+        DVFS operating point the phase ran at (``None`` = nominal).
+    frequency_ghz:
+        Clock frequency the cores actually ran at.
     """
 
     work: WorkRequest
@@ -93,6 +98,8 @@ class ExecutionResult:
     bus: BusState
     power: PowerBreakdown
     event_counts: Dict[str, float] = field(default_factory=dict)
+    pstate: Optional[PState] = None
+    frequency_ghz: float = 0.0
 
     @property
     def power_watts(self) -> float:
@@ -130,6 +137,9 @@ class Machine:
     cache_model, memory_model, cpu_model, power_model:
         Component models; sensible defaults are constructed from the
         topology when omitted.
+    pstate_table:
+        DVFS operating points available to the cores (the default table's
+        nominal state matches the topology's nominal clock).
     noise_sigma:
         Relative standard deviation of the multiplicative execution-time
         jitter applied per execution (models OS noise and run-to-run
@@ -148,16 +158,22 @@ class Machine:
         memory_model: Optional[MemoryModel] = None,
         cpu_model: Optional[CPUModel] = None,
         power_model: Optional[PowerModel] = None,
+        pstate_table: Optional[PStateTable] = None,
         noise_sigma: float = 0.004,
         seed: int = 20070917,
         fixed_point_iterations: int = 48,
         fixed_point_tolerance: float = 1e-6,
     ) -> None:
         self.topology = topology or quad_core_xeon()
+        self.pstate_table = pstate_table or default_pstate_table(
+            self.topology.cores[0].frequency_ghz
+        )
         self.cache_model = cache_model or CacheModel(self.topology)
         self.memory_model = memory_model or MemoryModel(self.topology)
         self.cpu_model = cpu_model or CPUModel()
-        self.power_model = power_model or PowerModel(self.topology)
+        self.power_model = power_model or PowerModel(
+            self.topology, pstate_table=self.pstate_table
+        )
         if noise_sigma < 0:
             raise ValueError("noise_sigma must be non-negative")
         self.noise_sigma = noise_sigma
@@ -175,8 +191,10 @@ class Machine:
     def _line_bytes(self) -> int:
         return self.topology.caches[0].line_bytes
 
-    def _frequency_hz(self, placement: ThreadPlacement) -> float:
-        return self.topology.core(placement.cores[0]).frequency_ghz * 1e9
+    def _frequency_ghz(self, placement: ThreadPlacement, pstate: Optional[PState]) -> float:
+        if pstate is not None:
+            return pstate.frequency_ghz
+        return self.topology.core(placement.cores[0]).frequency_ghz
 
     # ------------------------------------------------------------------
     # fixed point between CPU throughput and bus latency
@@ -187,6 +205,7 @@ class Machine:
         placement: ThreadPlacement,
         miss_ratios: Sequence[float],
         assumed_utilization: float,
+        frequency_ghz: Optional[float] = None,
     ) -> tuple[List[CPIBreakdown], float]:
         """Per-thread CPI and aggregate traffic assuming a bus utilization."""
         line_bytes = self._line_bytes()
@@ -194,6 +213,7 @@ class Machine:
         latency = self.memory_model.effective_latency_cycles(
             assumed_utilization,
             prefetch_friendliness=work.prefetch_friendliness,
+            frequency_ghz=frequency_ghz,
             active_requestors=placement.num_threads,
         )
         breakdowns: List[CPIBreakdown] = []
@@ -215,7 +235,10 @@ class Machine:
         return breakdowns, demand_bytes_per_cycle
 
     def _resolve_parallel(
-        self, work: WorkRequest, placement: ThreadPlacement
+        self,
+        work: WorkRequest,
+        placement: ThreadPlacement,
+        frequency_ghz: Optional[float] = None,
     ) -> tuple[List[CPIBreakdown], BusState]:
         """Resolve self-consistent per-thread CPI and bus state.
 
@@ -225,15 +248,22 @@ class Machine:
         traffic demand.  The map from assumed to implied utilization is
         therefore monotonically decreasing, so the fixed point is unique and
         is found robustly by bisection on ``implied(u) - u``.
+
+        At a reduced clock (``frequency_ghz`` below nominal) the same DRAM
+        nanoseconds cost fewer core cycles and the bus delivers more bytes
+        per cycle, so both the latency and the capacity side of the fixed
+        point shift in the memory system's favour.
         """
         miss_ratios = self.cache_model.per_thread_miss_ratios(work, placement)
         line_bytes = self._line_bytes()
         n_requestors = placement.num_threads
-        capacity = self.memory_model.effective_capacity_bytes_per_cycle(n_requestors)
+        capacity = self.memory_model.effective_capacity_bytes_per_cycle(
+            n_requestors, frequency_ghz
+        )
 
         def implied_utilization(assumed: float) -> tuple[List[CPIBreakdown], float, float]:
             breakdowns, demand = self._demand_at(
-                work, placement, miss_ratios, assumed
+                work, placement, miss_ratios, assumed, frequency_ghz
             )
             implied = demand / capacity if capacity > 0 else 0.0
             return breakdowns, demand, implied
@@ -242,7 +272,10 @@ class Machine:
         breakdowns, demand, implied0 = implied_utilization(0.0)
         if implied0 <= self.fixed_point_tolerance:
             bus_state = self.memory_model.resolve(
-                demand, line_bytes=line_bytes, active_requestors=n_requestors
+                demand,
+                frequency_ghz=frequency_ghz,
+                line_bytes=line_bytes,
+                active_requestors=n_requestors,
             )
             return breakdowns, bus_state
 
@@ -257,16 +290,23 @@ class Machine:
             else:
                 high = mid
         bus_state = self.memory_model.resolve(
-            demand, line_bytes=line_bytes, active_requestors=n_requestors
+            demand,
+            frequency_ghz=frequency_ghz,
+            line_bytes=line_bytes,
+            active_requestors=n_requestors,
         )
         return breakdowns, bus_state
 
-    def _resolve_serial(self, work: WorkRequest, core_id: int) -> CPIBreakdown:
+    def _resolve_serial(
+        self, work: WorkRequest, core_id: int, frequency_ghz: Optional[float] = None
+    ) -> CPIBreakdown:
         """CPI of the serial portion: one thread with a whole L2 to itself."""
         solo_placement = ThreadPlacement((core_id,))
         miss_ratio = self.cache_model.per_thread_miss_ratios(work, solo_placement)[0]
         latency = self.memory_model.effective_latency_cycles(
-            0.0, prefetch_friendliness=work.prefetch_friendliness
+            0.0,
+            prefetch_friendliness=work.prefetch_friendliness,
+            frequency_ghz=frequency_ghz,
         )
         core = self.topology.core(core_id)
         cache = self.topology.cache_of(core_id)
@@ -330,6 +370,7 @@ class Machine:
         work: WorkRequest,
         placement: ThreadPlacement | Configuration,
         apply_noise: bool = True,
+        pstate: Optional[PState] = None,
     ) -> ExecutionResult:
         """Execute one invocation of a phase under a placement.
 
@@ -339,20 +380,28 @@ class Machine:
             Phase characterization (see :class:`repro.machine.work.WorkRequest`).
         placement:
             Either a raw :class:`ThreadPlacement` or a named
-            :class:`Configuration`.
+            :class:`Configuration` (whose pinned P-state, if any, is
+            honoured).
         apply_noise:
             Whether to apply the machine's run-to-run noise term to the
             execution time (the oracle measurement pipeline disables it).
+        pstate:
+            DVFS operating point to run at; overrides the configuration's
+            pinned state.  ``None`` with a plain placement runs at the
+            nominal clock.
         """
         if isinstance(placement, Configuration):
+            if pstate is None:
+                pstate = placement.pstate
             placement = placement.placement
         self._validate_placement(placement)
 
         n = placement.num_threads
-        freq_hz = self._frequency_hz(placement)
+        frequency_ghz = self._frequency_ghz(placement, pstate)
+        freq_hz = frequency_ghz * 1e9
 
         # --- parallel portion -----------------------------------------
-        breakdowns, bus_state = self._resolve_parallel(work, placement)
+        breakdowns, bus_state = self._resolve_parallel(work, placement, frequency_ghz)
         miss_ratios = self.cache_model.per_thread_miss_ratios(work, placement)
         parallel_instructions = work.instructions * (1.0 - work.serial_fraction)
         per_thread_instr = parallel_instructions / n
@@ -365,7 +414,7 @@ class Machine:
         serial_instructions = work.instructions * work.serial_fraction
         serial_cycles = 0.0
         if serial_instructions > 0:
-            serial_bd = self._resolve_serial(work, placement.cores[0])
+            serial_bd = self._resolve_serial(work, placement.cores[0], frequency_ghz)
             serial_cycles = serial_instructions * serial_bd.total
 
         # --- synchronization --------------------------------------------
@@ -393,6 +442,7 @@ class Machine:
             thread_ipcs=[bd.ipc for bd in breakdowns],
             stall_fractions=[bd.stall_fraction for bd in breakdowns],
             bus_utilization=bus_state.utilization,
+            pstate=pstate,
         )
 
         events = self._event_counts(
@@ -416,13 +466,15 @@ class Machine:
             bus=bus_state,
             power=power,
             event_counts=events,
+            pstate=pstate,
+            frequency_ghz=frequency_ghz,
         )
 
     def execute_config(
         self, work: WorkRequest, configuration: Configuration, apply_noise: bool = True
     ) -> ExecutionResult:
         """Execute a phase under a named configuration (thin wrapper)."""
-        return self.execute(work, configuration.placement, apply_noise=apply_noise)
+        return self.execute(work, configuration, apply_noise=apply_noise)
 
     def idle_power_watts(self) -> float:
         """Wall power of the idle platform."""

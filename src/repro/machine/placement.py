@@ -19,13 +19,20 @@ cache (the paper's IS benchmark runs 2.04x faster on ``2b`` than ``2a``).
 :func:`standard_configurations` enumerates the paper's five for any topology
 shaped like the QX6600.  :func:`enumerate_configurations` generalizes the
 enumeration to arbitrary topologies for the many-core extension experiments.
+
+A configuration may additionally pin a DVFS operating point
+(:class:`~repro.machine.dvfs.PState`): :func:`dvfs_configurations` expands a
+set of placements into the full placement × frequency cross-product, naming
+non-nominal points ``<placement>@<frequency>`` (e.g. ``"2b@1.6GHz"``), and
+:func:`configuration_by_name` resolves those names back to configurations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .dvfs import PState, PStateTable, default_pstate_table
 from .topology import Topology
 
 __all__ = [
@@ -34,6 +41,7 @@ __all__ = [
     "standard_configurations",
     "configuration_by_name",
     "enumerate_configurations",
+    "dvfs_configurations",
     "CONFIG_1",
     "CONFIG_2A",
     "CONFIG_2B",
@@ -89,10 +97,17 @@ class ThreadPlacement:
 
 @dataclass(frozen=True)
 class Configuration:
-    """A named threading configuration: a placement with the paper's label."""
+    """A named threading configuration: a placement, optionally with a P-state.
+
+    A plain configuration (``pstate is None``) runs at the machine's nominal
+    frequency, exactly as in the paper.  A DVFS configuration additionally
+    pins the cores' operating point; such configurations are conventionally
+    named ``<placement>@<frequency>`` (see :func:`dvfs_configurations`).
+    """
 
     name: str
     placement: ThreadPlacement
+    pstate: Optional[PState] = None
 
     @property
     def num_threads(self) -> int:
@@ -104,13 +119,37 @@ class Configuration:
         """Cores occupied by the configuration."""
         return self.placement.cores
 
+    @property
+    def base_name(self) -> str:
+        """Placement label without the frequency suffix (``"2b@1.6GHz"`` → ``"2b"``)."""
+        return self.name.split("@", 1)[0]
+
+    @property
+    def frequency_ghz(self) -> Optional[float]:
+        """Pinned clock frequency, or ``None`` for the nominal frequency."""
+        return self.pstate.frequency_ghz if self.pstate is not None else None
+
+    def with_pstate(self, pstate: PState, nominal: bool = False) -> "Configuration":
+        """This placement pinned to ``pstate``.
+
+        The nominal state keeps the plain placement name (so the paper's
+        configuration labels stay valid keys); any other state gets the
+        ``@<frequency>`` suffix.
+        """
+        name = self.base_name if nominal else f"{self.base_name}@{pstate.label}"
+        return Configuration(name=name, placement=self.placement, pstate=pstate)
+
     def describe(self, topology: Topology) -> str:
         """One-line description including cache coupling."""
         groups = self.placement.sharers_by_cache(topology)
         shared = ", ".join(
             f"L2#{cache}:{sorted(cores)}" for cache, cores in sorted(groups.items())
         )
-        return f"config {self.name}: {self.num_threads} thread(s) on cores {list(self.cores)} ({shared})"
+        freq = f" @ {self.pstate.label}" if self.pstate is not None else ""
+        return (
+            f"config {self.name}: {self.num_threads} thread(s) on cores "
+            f"{list(self.cores)}{freq} ({shared})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"Configuration({self.name}, cores={list(self.cores)})"
@@ -150,14 +189,50 @@ def standard_configurations(topology: Topology | None = None) -> List[Configurat
     return configs
 
 
-def configuration_by_name(name: str) -> Configuration:
-    """Look up one of the paper's standard configurations by its label."""
+def configuration_by_name(
+    name: str, pstate_table: Optional[PStateTable] = None
+) -> Configuration:
+    """Look up a standard configuration, optionally with a frequency suffix.
+
+    Plain labels (``"2b"``) resolve to the paper's placement-only
+    configurations.  DVFS labels (``"2b@1.6GHz"``) additionally resolve the
+    frequency against ``pstate_table`` (the default table when omitted).
+    """
+    base_name, sep, freq_label = name.partition("@")
     try:
-        return _STANDARD[name]
+        base = _STANDARD[base_name]
     except KeyError as exc:
         raise KeyError(
             f"unknown configuration {name!r}; expected one of {STANDARD_CONFIG_NAMES}"
+            " (optionally suffixed with @<frequency>)"
         ) from exc
+    if not sep:
+        return base
+    table = pstate_table or default_pstate_table()
+    pstate = table.by_frequency_label(freq_label)
+    return base.with_pstate(pstate, nominal=pstate == table.nominal)
+
+
+def dvfs_configurations(
+    configurations: Optional[Sequence[Configuration]] = None,
+    pstate_table: Optional[PStateTable] = None,
+) -> List[Configuration]:
+    """Expand placements into the full placement × frequency cross-product.
+
+    Every placement is paired with every P-state of the table.  The nominal
+    state keeps the plain placement name (``"4"``), so the cross-product is
+    a strict superset of the paper's configuration set; lower states are
+    suffixed (``"4@1.6GHz"``).  The result is ordered placement-major,
+    frequency-minor (descending frequency), which keeps the paper's
+    configuration order as the leading subsequence of tie-break preferences.
+    """
+    configs = list(configurations or standard_configurations())
+    table = pstate_table or default_pstate_table()
+    expanded: List[Configuration] = []
+    for config in configs:
+        for pstate in table:
+            expanded.append(config.with_pstate(pstate, nominal=pstate == table.nominal))
+    return expanded
 
 
 def _compact_placement(topology: Topology, num_threads: int) -> ThreadPlacement:

@@ -17,16 +17,27 @@ memory traffic.  The key qualitative observations the model must reproduce:
 The model is a linear composition of those components.  Default coefficients
 are calibrated so the simulated platform idles near 105 W and peaks in the
 150-165 W band, matching the ranges visible in the paper's Figure 3.
+
+When a :class:`~repro.machine.dvfs.PState` accompanies an execution, the CPU
+package components scale with the operating point: dynamic power as
+``f·V²``, static (leakage) power with ``V``, while the platform floor and the
+DRAM/bus power are unaffected (they live in their own clock/voltage domains).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
+from .dvfs import PState, PStateTable, default_pstate_table
 from .topology import Topology
 
-__all__ = ["PowerParameters", "PowerBreakdown", "PowerModel"]
+__all__ = [
+    "PowerParameters",
+    "PowerBreakdown",
+    "PowerModel",
+    "dvfs_power_parameters",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +74,31 @@ class PowerParameters:
     memory_dynamic_watts: float = 16.0
 
 
+def dvfs_power_parameters() -> PowerParameters:
+    """A CPU-dominated power profile for the DVFS-extension experiments.
+
+    The paper-era wall measurement hides the CPU behind a ~105 W platform
+    floor (disks, fans, PSU losses), which makes system-level ED² a pure
+    race-to-idle: no P-state below nominal can ever pay for its extra
+    seconds.  The DVFS follow-up line of work evaluates on platforms where
+    the processor package dominates the controllable power (and reports
+    processor-attributable power), so the frequency axis has real
+    energy-delay leverage.  This profile models such a platform: a small
+    platform floor and a package whose dynamic share is large enough that
+    memory-bound phases profit from lower P-states while compute-bound
+    phases still race to idle.
+    """
+    return PowerParameters(
+        platform_idle_watts=45.0,
+        core_idle_watts=1.0,
+        core_static_watts=3.0,
+        core_dynamic_watts=25.0,
+        l2_active_watts=3.0,
+        uncore_active_watts=5.0,
+        memory_dynamic_watts=18.0,
+    )
+
+
 @dataclass(frozen=True)
 class PowerBreakdown:
     """Per-component decomposition of system power for one phase execution."""
@@ -96,15 +132,30 @@ class PowerModel:
     parameters:
         Power coefficients; defaults are calibrated for the QX6600-like
         platform of the paper.
+    pstate_table:
+        DVFS operating points of the cores; the table's nominal state is
+        the baseline the coefficients were calibrated at.
     """
 
     def __init__(
         self,
         topology: Topology,
         parameters: PowerParameters | None = None,
+        pstate_table: PStateTable | None = None,
     ) -> None:
         self.topology = topology
         self.parameters = parameters or PowerParameters()
+        self.pstate_table = pstate_table or default_pstate_table(
+            topology.cores[0].frequency_ghz if topology.cores else 2.4
+        )
+
+    # ------------------------------------------------------------------
+    def dvfs_scales(self, pstate: Optional[PState]) -> tuple[float, float]:
+        """``(frequency_scale, voltage_scale)`` of a P-state vs nominal."""
+        if pstate is None:
+            return 1.0, 1.0
+        nominal = self.pstate_table.nominal
+        return pstate.frequency_scale(nominal), pstate.voltage_scale(nominal)
 
     # ------------------------------------------------------------------
     def core_activity_factor(self, thread_ipc: float, stall_fraction: float) -> float:
@@ -131,6 +182,7 @@ class PowerModel:
         thread_ipcs: Sequence[float],
         stall_fractions: Sequence[float],
         bus_utilization: float,
+        pstate: Optional[PState] = None,
     ) -> PowerBreakdown:
         """Compute the power draw during a phase execution.
 
@@ -145,6 +197,11 @@ class PowerModel:
             ``occupied_cores``.
         bus_utilization:
             Delivered front-side-bus utilization in [0, 1].
+        pstate:
+            DVFS operating point of the occupied cores; ``None`` means the
+            nominal state.  Dynamic CPU-package power scales as ``f·V²``
+            and static power with ``V``; platform and DRAM power do not
+            scale (they sit in separate clock/voltage domains).
         """
         if len(occupied_cores) != len(thread_ipcs) or len(occupied_cores) != len(
             stall_fractions
@@ -153,6 +210,8 @@ class PowerModel:
         if not 0.0 <= bus_utilization <= 1.0:
             raise ValueError("bus_utilization must be in [0, 1]")
         p = self.parameters
+        f_scale, v_scale = self.dvfs_scales(pstate)
+        dynamic_scale = f_scale * v_scale ** 2
 
         occupied = set(occupied_cores)
         idle_cores = [c for c in self.topology.core_ids() if c not in occupied]
@@ -161,15 +220,18 @@ class PowerModel:
         per_core: Dict[str, float] = {}
         for core_id, ipc, stall in zip(occupied_cores, thread_ipcs, stall_fractions):
             activity = self.core_activity_factor(ipc, stall)
-            watts = p.core_static_watts + p.core_dynamic_watts * activity
+            watts = (
+                p.core_static_watts * v_scale
+                + p.core_dynamic_watts * activity * dynamic_scale
+            )
             per_core[f"core{core_id}"] = watts
             cores_watts += watts
 
         active_caches = {
             self.topology.core(c).l2_cache_id for c in occupied_cores
         }
-        caches_watts = p.l2_active_watts * len(active_caches)
-        uncore_watts = p.uncore_active_watts if occupied_cores else 0.0
+        caches_watts = p.l2_active_watts * len(active_caches) * dynamic_scale
+        uncore_watts = p.uncore_active_watts * dynamic_scale if occupied_cores else 0.0
         memory_watts = p.memory_dynamic_watts * bus_utilization
 
         return PowerBreakdown(

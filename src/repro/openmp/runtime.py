@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 import numpy as np
 
 from ..machine.counters import CounterReading, PerformanceCounterFile
+from ..machine.dvfs import PState
 from ..machine.machine import ExecutionResult, Machine
 from ..machine.placement import CONFIG_4, Configuration
 from ..workloads.base import PhaseSpec, Workload
@@ -51,15 +52,23 @@ class PhaseDirective:
     Attributes
     ----------
     configuration:
-        Threading configuration to execute the instance under.
+        Threading configuration to execute the instance under.  A DVFS
+        configuration (one carrying a pinned
+        :class:`~repro.machine.dvfs.PState`) also selects the cores'
+        operating point.
     sample_events:
         Programmable hardware events to collect during the instance
         (at most the runtime's register count), or ``None``/empty for no
         sampling beyond the fixed counters.
+    pstate:
+        Optional per-phase frequency directive; overrides the P-state
+        pinned by ``configuration`` for this instance only (the DVFS
+        analogue of the paper's per-phase concurrency directive).
     """
 
     configuration: Configuration
     sample_events: Tuple[str, ...] = ()
+    pstate: Optional[PState] = None
 
 
 @dataclass(frozen=True)
@@ -306,11 +315,10 @@ class OpenMPRuntime:
         configuration = directive.configuration or self.default_configuration
         team = ThreadTeam(configuration=configuration, schedule=self.schedule)
         work = self._instantiate_work(region.phase, team)
-        result = self.machine.execute(work, configuration.placement)
+        result = self.machine.execute(work, configuration, pstate=directive.pstate)
 
-        frequency_hz = (
-            self.machine.topology.core(configuration.cores[0]).frequency_ghz * 1e9
-        )
+        # Runtime overhead cycles are paid at the clock the phase ran at.
+        frequency_hz = result.frequency_ghz * 1e9
         overhead_seconds = (
             team.schedule.overhead_cycles(work, team.num_threads) / frequency_hz
         )

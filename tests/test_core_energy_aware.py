@@ -1,0 +1,256 @@
+"""Tests for energy-aware selection over the placement × frequency space.
+
+Covers the DVFS-aware training pipeline (targets spanning the cross-product),
+the objective functions of :class:`ConfigurationSelector` with the analytic
+:class:`EnergyCostModel`, the :class:`EnergyAwarePolicy` end to end, and the
+acceptance property that a single batched ``predict_batch`` call scores the
+entire placement × frequency cross-product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ACTOR,
+    ConfigurationSelector,
+    EnergyAwarePolicy,
+    EnergyCostModel,
+    OBJECTIVES,
+    PredictionPolicy,
+    train_predictor_bundle,
+)
+from repro.machine import (
+    Machine,
+    configuration_by_name,
+    default_pstate_table,
+    dvfs_configurations,
+    quad_core_xeon,
+    standard_configurations,
+)
+from repro.openmp import OpenMPRuntime
+
+
+@pytest.fixture(scope="module")
+def table():
+    return default_pstate_table()
+
+
+@pytest.fixture(scope="module")
+def dvfs_bundle(machine, mini_training_workloads, table):
+    """A regression bundle over the placement × frequency cross-product."""
+    return train_predictor_bundle(
+        machine,
+        mini_training_workloads,
+        linear=True,
+        pstate_table=table,
+    )
+
+
+@pytest.fixture(scope="module")
+def cost_model(table):
+    candidates = dvfs_configurations(standard_configurations(), table)
+    return EnergyCostModel(candidates, topology=quad_core_xeon(), pstate_table=table)
+
+
+class TestDVFSTraining:
+    def test_targets_span_the_cross_product(self, dvfs_bundle, table):
+        expected = {
+            c.name for c in dvfs_configurations(standard_configurations(), table)
+        }
+        # The whole cross-product is modelled, including the sample
+        # placement's lower P-states (its nominal point is measured online).
+        assert set(dvfs_bundle.target_configurations) == expected
+        assert len(dvfs_bundle.target_configurations) == 5 * len(table)
+
+    def test_one_predict_batch_call_scores_the_whole_cross_product(
+        self, dvfs_bundle, table
+    ):
+        predictor = dvfs_bundle.full
+        batch = np.tile(
+            np.linspace(0.5, 1.5, predictor.event_set.num_features), (6, 1)
+        ) * np.linspace(0.9, 1.1, 6)[:, None]
+        predictions = predictor.predict_batch(batch)
+        # One call returns one score vector per (placement, P-state) target.
+        assert set(predictions) == set(dvfs_bundle.target_configurations)
+        for vector in predictions.values():
+            assert vector.shape == (6,)
+            assert np.all(np.isfinite(vector))
+
+    def test_batched_cached_path_issues_exactly_one_model_call(
+        self, machine, mini_training_workloads, table, suite
+    ):
+        bundle = train_predictor_bundle(
+            machine, mini_training_workloads, linear=True, pstate_table=table
+        )
+        calls = []
+        original = bundle.full.predict_batch
+
+        def counting(features):
+            calls.append(np.atleast_2d(features).shape[0])
+            return original(features)
+
+        bundle.full.predict_batch = counting  # type: ignore[method-assign]
+        samples = []
+        for workload in mini_training_workloads[:3]:
+            for phase in workload.phases[:2]:
+                result = machine.execute(phase.work, configuration_by_name("4"))
+                rates = {
+                    e: result.event_counts.get(e, 0.0) / result.cycles
+                    for e in bundle.full.event_set.events
+                }
+                samples.append((result.ipc, rates))
+        predictions = bundle.predict_batch_from_rates(samples)
+        assert len(calls) == 1 and calls[0] == len(samples)
+        assert all(
+            set(p) == set(bundle.target_configurations) for p in predictions
+        )
+
+    def test_lower_frequency_targets_predict_higher_ipc(self, dvfs_bundle, machine):
+        # Ground truth: IPC (per-cycle) rises as the clock drops.  The
+        # trained cross-product models must reproduce that ordering for a
+        # feature vector drawn from the training distribution.
+        from repro.workloads import nas_suite
+
+        suite = nas_suite(machine=Machine(noise_sigma=0.0))
+        phase = suite.get("MG").phases[0]
+        result = machine.execute(phase.work, configuration_by_name("4"))
+        rates = {
+            e: result.event_counts.get(e, 0.0) / result.cycles
+            for e in dvfs_bundle.full.event_set.events
+        }
+        predictions = dvfs_bundle.full.predict_from_rates(result.ipc, rates)
+        assert predictions["4@1.6GHz"] > predictions["4@2GHz"]
+
+
+class TestEnergyCostModel:
+    def test_relative_time_uses_ipc_and_frequency(self, cost_model):
+        # Same predicted IPC: the higher clock finishes first.
+        assert cost_model.relative_time("4", 2.0) < cost_model.relative_time(
+            "4@1.6GHz", 2.0
+        )
+        # Same configuration: higher IPC finishes first.
+        assert cost_model.relative_time("4", 2.0) < cost_model.relative_time("4", 1.0)
+
+    def test_power_estimate_orders_pstates_and_thread_counts(self, cost_model):
+        assert cost_model.power_watts("4@1.6GHz", 2.0) < cost_model.power_watts(
+            "4", 2.0
+        )
+        assert cost_model.power_watts("1", 1.0) < cost_model.power_watts("4", 1.0)
+
+    def test_scores_cover_all_objectives(self, cost_model):
+        for objective in OBJECTIVES:
+            value = cost_model.score("2b@2GHz", 1.5, objective)
+            assert np.isfinite(value)
+        assert cost_model.score("4", 2.0, "ipc") == -2.0
+        with pytest.raises(ValueError):
+            cost_model.score("4", 2.0, "speed")
+        with pytest.raises(KeyError):
+            cost_model.score("nope", 2.0, "ed2")
+
+    def test_validation(self, table):
+        with pytest.raises(ValueError):
+            EnergyCostModel([])
+        candidates = standard_configurations()
+        with pytest.raises(ValueError):
+            EnergyCostModel(candidates, assumed_stall_fraction=2.0)
+        with pytest.raises(ValueError):
+            EnergyCostModel(candidates, assumed_bus_utilization=-0.1)
+
+
+class TestObjectiveSelector:
+    def test_non_ipc_objective_requires_cost_model(self):
+        with pytest.raises(ValueError):
+            ConfigurationSelector(objective="ed2")
+        with pytest.raises(ValueError):
+            ConfigurationSelector(objective="speed")
+
+    def test_staging_and_guard_rejected_for_ipc_objective(self, cost_model):
+        # Silently ignoring these would hide a caller's mistake.
+        with pytest.raises(ValueError):
+            ConfigurationSelector(
+                objective="ipc", cost_model=cost_model, two_stage=True
+            )
+        with pytest.raises(ValueError):
+            ConfigurationSelector(
+                objective="ipc", cost_model=cost_model, guard_band=0.1
+            )
+        with pytest.raises(ValueError):
+            ConfigurationSelector(
+                objective="ed2", cost_model=cost_model, guard_band=1.5
+            )
+
+    def test_time_objective_prefers_high_frequency_at_equal_ipc(self, cost_model):
+        selector = ConfigurationSelector(objective="time", cost_model=cost_model)
+        predictions = {"4": 2.0, "4@2GHz": 2.0, "4@1.6GHz": 2.0}
+        ranked = selector.rank(predictions)
+        assert ranked.best == "4"
+        assert ranked.ranking == ("4", "4@2GHz", "4@1.6GHz")
+        assert ranked.objective == "time"
+        assert set(ranked.scores) == set(predictions)
+
+    def test_ipc_objective_unchanged_from_paper(self, cost_model):
+        selector = ConfigurationSelector(objective="ipc", cost_model=cost_model)
+        ranked = selector.rank({"1": 1.2, "2b": 2.2, "4": 1.9})
+        assert ranked.best == "2b"
+
+    def test_ed2_objective_can_prefer_lower_frequency(self, cost_model):
+        # If the predicted IPC gain at the low P-state is large enough
+        # (memory-bound phase), the ED² score favours the lower clock.
+        selector = ConfigurationSelector(objective="ed2", cost_model=cost_model)
+        predictions = {"4": 1.0, "4@1.6GHz": 1.55}
+        assert selector.select(predictions) == "4@1.6GHz"
+        # A compute-bound phase (IPC barely moves) stays at nominal.
+        predictions = {"4": 1.0, "4@1.6GHz": 1.02}
+        assert selector.select(predictions) == "4"
+
+
+class TestEnergyAwarePolicy:
+    def test_policy_selects_over_the_cross_product(
+        self, machine, dvfs_bundle, suite, table
+    ):
+        runtime = OpenMPRuntime(Machine(), seed=99)
+        actor = ACTOR(runtime)
+        workload = suite.get("MG")
+        policy = EnergyAwarePolicy(dvfs_bundle, objective="ed2", pstate_table=table)
+        report = actor.run_with_policy(workload, policy)
+        decisions = policy.decisions()
+        assert set(decisions) == {p.name for p in workload.phases}
+        # Every decision resolves to a real cross-product configuration.
+        for name in decisions.values():
+            config = configuration_by_name(name, table)
+            assert config.pstate is not None or "@" not in name
+        # Rankings cover the full cross-product plus the measured sample.
+        for ranking in policy.rankings().values():
+            assert len(ranking.ranking) == 5 * len(table)
+            assert ranking.objective == "ed2"
+        assert report.time_seconds > 0 and report.energy_joules > 0
+
+    def test_objective_is_reflected_in_policy_name(self, dvfs_bundle, table):
+        assert (
+            EnergyAwarePolicy(dvfs_bundle, objective="energy", pstate_table=table).name
+            == "energy-energy"
+        )
+
+    def test_ed2_policy_not_worse_than_time_policy_on_memory_bound_suite(
+        self, machine, dvfs_bundle, mini_training_workloads, suite, table
+    ):
+        # Deterministic machine so the comparison is noise-free.
+        flat_bundle = train_predictor_bundle(
+            machine, mini_training_workloads, linear=True
+        )
+        wins = 0
+        names = ["CG", "IS", "MG"]
+        for index, name in enumerate(names):
+            workload = suite.get(name)
+            runtime = OpenMPRuntime(Machine(noise_sigma=0.0), seed=7 + index)
+            actor = ACTOR(runtime)
+            r_time = actor.run_with_policy(workload, PredictionPolicy(flat_bundle))
+            r_ed2 = actor.run_with_policy(
+                workload,
+                EnergyAwarePolicy(dvfs_bundle, objective="ed2", pstate_table=table),
+            )
+            if r_ed2.ed2 <= r_time.ed2 * 1.001:
+                wins += 1
+        assert wins >= 2, f"ED² policy beat time policy on only {wins} of {names}"

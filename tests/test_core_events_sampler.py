@@ -66,6 +66,88 @@ class TestSamplingBudget:
         assert select_event_set(20).name == "reduced"
 
 
+class TestSamplingBudgetEdgeCases:
+    """Satellite coverage: budget boundaries, fallback, schedule coverage."""
+
+    def test_single_timestep_still_grants_one_sample(self):
+        assert sampling_budget(1) == 1
+        assert sampling_budget(1, fraction=0.01) == 1
+        # Even a 100% fraction of one timestep is one sample.
+        assert sampling_budget(1, fraction=1.0) == 1
+
+    def test_budget_at_the_exact_twenty_percent_boundary(self):
+        # floor semantics: budget steps up exactly when timesteps*fraction
+        # crosses an integer.
+        assert sampling_budget(4) == 1    # 0.8 -> floored, min 1
+        assert sampling_budget(5) == 1    # 1.0 exactly
+        assert sampling_budget(9) == 1    # 1.8
+        assert sampling_budget(10) == 2   # 2.0 exactly
+        assert sampling_budget(14) == 2   # 2.8
+        assert sampling_budget(15) == 3   # 3.0 exactly
+
+    def test_budget_never_exceeds_timesteps(self):
+        for timesteps in (1, 2, 3, 7, 50):
+            assert sampling_budget(timesteps, fraction=1.0) == timesteps
+
+    def test_zero_and_negative_timesteps_rejected(self):
+        with pytest.raises(ValueError):
+            sampling_budget(0)
+        with pytest.raises(ValueError):
+            sampling_budget(-5)
+
+    def test_fraction_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            sampling_budget(10, fraction=0.0)
+        with pytest.raises(ValueError):
+            sampling_budget(10, fraction=-0.2)
+        with pytest.raises(ValueError):
+            sampling_budget(10, fraction=1.0001)
+        # fraction == 1.0 is the inclusive upper bound.
+        assert sampling_budget(10, fraction=1.0) == 10
+
+    def test_reduced_fallback_boundary_is_exact(self):
+        # The full set needs ceil(12/2) = 6 sampled timesteps; the budget
+        # reaches 6 exactly at 30 timesteps (30 * 0.2 = 6).
+        assert select_event_set(30).name == "full"
+        assert select_event_set(29).name == "reduced"
+        # With more registers the schedule shortens and the boundary moves:
+        # ceil(12/4) = 3 groups need only 15 timesteps.
+        assert select_event_set(15, registers=4).name == "full"
+        assert select_event_set(14, registers=4).name == "reduced"
+
+    def test_reduced_fallback_selected_even_when_budget_cannot_cover_it(self):
+        # One timestep cannot cover the reduced schedule either; the paper
+        # accepts the accuracy loss and samples what it can.
+        chosen = select_event_set(1)
+        assert chosen.name == "reduced"
+        sampler = PhaseSampler(event_set=chosen, timesteps=1)
+        groups = []
+        while not sampler.complete:
+            groups.append(sampler.next_events())
+            sampler.record(_reading(groups[-1]))
+        assert len(groups) == 1
+        assert sampler.coverage() < 1.0
+
+    @pytest.mark.parametrize("registers", [1, 2, 3, 5, 12, 20])
+    def test_multiplexing_schedule_covers_every_event_exactly_once(
+        self, registers
+    ):
+        event_set = EventSet(
+            name=f"full-r{registers}",
+            events=FULL_EVENT_SET.events,
+            registers=registers,
+        )
+        schedule = event_set.schedule()
+        flattened = [e for group in schedule for e in group]
+        # Every event appears exactly once, in the set's canonical order.
+        assert flattened == list(event_set.events)
+        assert len(schedule) == event_set.timesteps_required
+        # No group exceeds the register width, and only the tail group may
+        # be narrower.
+        assert all(len(group) <= registers for group in schedule)
+        assert all(len(group) == registers for group in schedule[:-1])
+
+
 def _reading(events, cycles=1000.0, instructions=500.0, value=10.0):
     return CounterReading(
         values={e: value for e in events},

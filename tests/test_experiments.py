@@ -20,6 +20,7 @@ from repro.experiments import (
     run_fig6,
     run_fig7,
     run_fig8,
+    run_fig_dvfs,
     run_scaling_summary,
 )
 from repro.experiments.runner import run_all
@@ -129,6 +130,57 @@ class TestFig8(object):
         assert ed2["IS"]["phase-optimal"] < 0.7
 
 
+@pytest.fixture(scope="module")
+def dvfs_ctx(machine):
+    """Full-suite context for the DVFS experiment (noise-free machine).
+
+    The DVFS drivers train closed-form regression bundles, so the full
+    eight-benchmark suite stays cheap; the noise-free machine makes the
+    acceptance comparison deterministic.
+    """
+    suite = nas_suite(machine=machine, variability=0.0)
+    return ExperimentContext(
+        machine=Machine(noise_sigma=0.0), suite=suite, fast=True, seed=11
+    )
+
+
+class TestFigDVFS(object):
+    def test_energy_aware_beats_time_optimal_on_ed2(self, dvfs_ctx):
+        figure = run_fig_dvfs(dvfs_ctx)
+        suite_names = [w.name for w in dvfs_ctx.suite]
+        # Acceptance criterion: with the default P-state table the ED²
+        # objective achieves lower ED² than the time-optimal prediction
+        # policy on at least three NAS-like workloads.
+        assert len(figure.data["ed2_wins"]) >= 3, figure.data["ed2_wins"]
+        assert set(figure.data["ed2_wins"]) <= set(suite_names)
+        averages = figure.data["averages"]
+        assert (
+            averages["ed2"]["energy-ed2"] <= averages["ed2"]["prediction"] * 1.005
+        )
+        assert averages["ed2"]["energy-ed2"] < 1.0
+
+    def test_tables_cover_every_strategy_and_benchmark(self, dvfs_ctx):
+        from repro.experiments import DVFS_STRATEGY_NAMES
+
+        figure = run_fig_dvfs(dvfs_ctx)
+        normalized = figure.data["normalized"]
+        for metric in ("time", "power", "energy", "ed2"):
+            rows = normalized[metric]
+            assert set(rows) == {w.name for w in dvfs_ctx.suite} | {"AVG"}
+            for row in rows.values():
+                assert set(row) == set(DVFS_STRATEGY_NAMES)
+        # The energy-aware decisions resolve inside the cross-product space.
+        from repro.machine import configuration_by_name
+
+        for decisions in figure.data["energy_ed2_decisions"].values():
+            for name in decisions.values():
+                configuration_by_name(name, dvfs_ctx.pstate_table)
+
+    def test_dvfs_bundles_are_cached_on_the_context(self, dvfs_ctx):
+        first = dvfs_ctx.dvfs_bundle_for_held_out("SP")
+        assert dvfs_ctx.dvfs_bundle_for_held_out("SP") is first
+
+
 class TestRunner(object):
     def test_registry_contains_all_figures(self):
         assert set(EXPERIMENTS) == {
@@ -139,6 +191,7 @@ class TestRunner(object):
             "fig6",
             "fig7",
             "fig8",
+            "fig-dvfs",
         }
         assert len(ABLATIONS) == 6
 

@@ -45,6 +45,120 @@ def fresh_bundle(trained_bundle):
     return bundle
 
 
+class TestRefitInvalidation:
+    """The cache must never serve predictions of a superseded model."""
+
+    def _linear_bundle(self, trained_bundle, machine, suite):
+        """A linear-model bundle sharing the session bundle's event set."""
+        from repro.core import IPCPredictor
+
+        event_set = trained_bundle.full.event_set
+        rng = np.random.default_rng(3)
+        features = rng.uniform(0.1, 2.0, size=(32, event_set.num_features))
+        targets = features[:, 0] * 1.5 + 0.1
+        models = {
+            name: LinearIPCModel().fit(features, targets + i)
+            for i, name in enumerate(("1", "2a", "2b", "3"))
+        }
+        predictor = IPCPredictor(
+            event_set=event_set,
+            sample_configuration="4",
+            models=models,
+            kind="linear",
+        )
+        return PredictorBundle(full=predictor, cache=PredictionCache(capacity=16))
+
+    def test_refit_invalidates_cached_predictions(
+        self, trained_bundle, machine, suite
+    ):
+        bundle = self._linear_bundle(trained_bundle, machine, suite)
+        phase = suite.get("SP").phases[0]
+        ipc, rates = _sample_for(machine, bundle.full, phase)
+        stale = bundle.predict_from_rates(ipc, rates)
+        assert bundle.predict_from_rates(ipc, rates) == stale
+        assert bundle.cache_info().hits == 1
+
+        # Refit one underlying model with different targets: the cached
+        # entry is now stale and must not be served.
+        rng = np.random.default_rng(9)
+        features = rng.uniform(0.1, 2.0, size=(32, bundle.full.event_set.num_features))
+        bundle.full.models["2b"].fit(features, features[:, 1] * 40.0 + 5.0)
+        fresh = bundle.predict_from_rates(ipc, rates)
+        assert fresh["2b"] != pytest.approx(stale["2b"])
+        assert fresh["2b"] == pytest.approx(
+            bundle.full.predict_from_rates(*_quantized(bundle, ipc, rates))["2b"]
+        )
+        # The other models were not refit, so their predictions agree.
+        assert fresh["1"] == pytest.approx(stale["1"])
+
+    def test_refit_invalidates_the_batched_path_too(
+        self, trained_bundle, machine, suite
+    ):
+        bundle = self._linear_bundle(trained_bundle, machine, suite)
+        phases = suite.get("SP").phases[:3]
+        samples = [_sample_for(machine, bundle.full, p) for p in phases]
+        stale = bundle.predict_batch_from_rates(samples)
+        rng = np.random.default_rng(5)
+        features = rng.uniform(0.1, 2.0, size=(32, bundle.full.event_set.num_features))
+        bundle.full.models["3"].fit(features, features[:, 2] * -7.0)
+        fresh = bundle.predict_batch_from_rates(samples)
+        for stale_row, fresh_row in zip(stale, fresh):
+            assert fresh_row["3"] != pytest.approx(stale_row["3"])
+            assert fresh_row["1"] == pytest.approx(stale_row["1"])
+
+    def test_replacing_a_model_object_invalidates_the_cache(
+        self, trained_bundle, machine, suite
+    ):
+        # A freshly trained replacement model can carry the same
+        # fit_generation as its predecessor; the fingerprint must still
+        # change (it tracks object identity, not just generations).
+        bundle = self._linear_bundle(trained_bundle, machine, suite)
+        phase = suite.get("SP").phases[0]
+        ipc, rates = _sample_for(machine, bundle.full, phase)
+        stale = bundle.predict_from_rates(ipc, rates)
+        rng = np.random.default_rng(21)
+        features = rng.uniform(0.1, 2.0, size=(32, bundle.full.event_set.num_features))
+        replacement = LinearIPCModel().fit(features, features[:, 3] * 11.0)
+        assert replacement.fit_generation == bundle.full.models["2a"].fit_generation
+        bundle.full.models["2a"] = replacement
+        fresh = bundle.predict_from_rates(ipc, rates)
+        assert fresh["2a"] != pytest.approx(stale["2a"])
+
+    def test_fit_generations_are_tracked(self, trained_bundle):
+        model = LinearIPCModel()
+        assert model.fit_generation == 0
+        features = np.random.default_rng(0).uniform(size=(8, 3))
+        model.fit(features, features[:, 0])
+        model.fit(features, features[:, 1])
+        assert model.fit_generation == 2
+        # Ensemble-backed models expose the ensemble's generation; the
+        # fingerprint also carries each model's object identity.
+        fingerprint = trained_bundle.full.fit_fingerprint()
+        assert all(generation >= 1 for _, _, generation in fingerprint)
+
+    def test_unrelated_lookups_keep_the_cache_warm(
+        self, trained_bundle, machine, suite
+    ):
+        # No refit: the fingerprint check must not clear the cache between
+        # calls (the hit counter keeps growing).
+        bundle = self._linear_bundle(trained_bundle, machine, suite)
+        phase = suite.get("SP").phases[0]
+        ipc, rates = _sample_for(machine, bundle.full, phase)
+        bundle.predict_from_rates(ipc, rates)
+        for _ in range(3):
+            bundle.predict_from_rates(ipc, rates)
+        assert bundle.cache_info().hits == 3
+        assert bundle.cache_info().size == 1
+
+
+def _quantized(bundle, ipc, rates):
+    """The quantized (ipc, rates) pair the cache keys and evaluates with."""
+    events = bundle.full.event_set.events
+    key = bundle.cache.key(bundle.full.event_set.name, ipc, rates, events)
+    _, q_ipc, q_rates = key
+    return q_ipc, dict(zip(events, q_rates))
+
+
 class TestCacheHitsAndMisses:
     def test_first_lookup_misses_second_hits(self, machine, suite, fresh_bundle):
         phase = suite.get("SP").phases[0]

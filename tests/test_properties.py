@@ -200,6 +200,112 @@ class TestAnnProperties:
             assert rank_of_selection(best, values) == 1
 
 
+#: Name pool for ranking properties: the paper's configurations plus DVFS
+#: cross-product labels (unknown to the default tie-breaker on purpose).
+_RANK_NAMES = ("1", "2a", "2b", "3", "4", "2b@2GHz", "2b@1.6GHz", "4@1.6GHz")
+
+
+@st.composite
+def prediction_maps(draw, min_size=2):
+    """Random per-configuration prediction dictionaries."""
+    names = draw(
+        st.lists(
+            st.sampled_from(_RANK_NAMES),
+            min_size=min_size,
+            max_size=len(_RANK_NAMES),
+            unique=True,
+        )
+    )
+    return {
+        name: draw(st.floats(0.01, 10.0, allow_nan=False, allow_infinity=False))
+        for name in names
+    }
+
+
+class TestRankingProperties:
+    """Satellite invariants of ConfigurationSelector / rank_of_selection."""
+
+    @given(values=prediction_maps())
+    @_SETTINGS
+    def test_ranking_is_a_permutation_of_the_candidates(self, values):
+        ranked = ConfigurationSelector().rank(values)
+        assert sorted(ranked.ranking) == sorted(values)
+        assert len(set(ranked.ranking)) == len(values)
+
+    @given(values=prediction_maps())
+    @_SETTINGS
+    def test_best_is_the_argmax(self, values):
+        ranked = ConfigurationSelector().rank(values)
+        maximum = max(values.values())
+        assert values[ranked.best] == pytest.approx(maximum)
+        # The ranking is weakly decreasing in predicted IPC.
+        ipcs = [values[name] for name in ranked.ranking]
+        assert all(a >= b for a, b in zip(ipcs, ipcs[1:]))
+
+    @given(values=prediction_maps(), seed=st.integers(0, 2**16))
+    @_SETTINGS
+    def test_tie_breaking_is_deterministic(self, values, seed):
+        # The same predictions presented in any insertion order (and with
+        # arbitrary exact ties injected) produce the identical ranking.
+        selector = ConfigurationSelector()
+        rng = np.random.default_rng(seed)
+        names = list(values)
+        tied_value = float(min(values.values()))
+        tied = dict(values)
+        for name in names[: len(names) // 2]:
+            tied[name] = tied_value
+        shuffled = {n: tied[n] for n in rng.permutation(list(tied))}
+        assert selector.rank(tied).ranking == selector.rank(shuffled).ranking
+        assert selector.rank(tied).best == selector.rank(shuffled).best
+
+    @given(
+        values=prediction_maps(),
+        scale=st.floats(0.1, 50.0),
+        shift=st.floats(0.0, 100.0),
+    )
+    @_SETTINGS
+    def test_rank_invariant_under_monotone_transforms(self, values, scale, shift):
+        # Any strictly increasing transform of the predictions leaves the
+        # ranking unchanged (the ipc objective is purely ordinal).
+        selector = ConfigurationSelector()
+        base = selector.rank(values).ranking
+        affine = {n: scale * v + shift for n, v in values.items()}
+        exponential = {n: float(np.expm1(v / 10.0)) for n, v in values.items()}
+        assert selector.rank(affine).ranking == base
+        assert selector.rank(exponential).ranking == base
+
+    @given(values=prediction_maps())
+    @_SETTINGS
+    def test_rank_of_selection_bounds_and_argmax(self, values):
+        ranked = ConfigurationSelector().rank(values)
+        for name in values:
+            rank = rank_of_selection(name, values)
+            assert 1 <= rank <= len(values)
+        if len({round(v, 12) for v in values.values()}) == len(values):
+            assert rank_of_selection(ranked.best, values) == 1
+            worst = min(values, key=values.get)
+            assert rank_of_selection(worst, values) == len(values)
+
+    @given(
+        values=prediction_maps(),
+        scale=st.floats(0.1, 50.0),
+    )
+    @_SETTINGS
+    def test_rank_of_selection_invariant_under_monotone_transform(
+        self, values, scale
+    ):
+        selected = next(iter(values))
+        transformed = {n: scale * v for n, v in values.items()}
+        assert rank_of_selection(selected, values) == rank_of_selection(
+            selected, transformed
+        )
+        # Flipping the metric direction mirrors the rank.
+        negated = {n: -v for n, v in values.items()}
+        assert rank_of_selection(
+            selected, negated, higher_is_better=False
+        ) == rank_of_selection(selected, values, higher_is_better=True)
+
+
 class TestBudgetProperties:
     @given(timesteps=st.integers(1, 10_000), fraction=st.floats(0.01, 1.0))
     @_SETTINGS
