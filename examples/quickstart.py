@@ -8,12 +8,18 @@ default and once under ACTOR's prediction-based concurrency throttling.
 It prints the per-phase configuration decisions and the resulting
 time/power/energy/ED² improvements.
 
-It then demonstrates the three scaling features of the serving path:
+It then demonstrates the four scaling features of the serving path:
 
 * the **batched prediction engine** — one ``predict_batch`` /
   ``predict_batch_from_rates`` call scores every target configuration for
   every pending phase sample at once (with an LRU cache keyed on quantized
   counter rates in front of it);
+* the **batched simulation engine** — one ``Machine.execute_batch`` call
+  evaluates a phase across the whole placement × P-state cross-product in
+  a single NumPy pass (>= 10x over looped ``execute``), with a
+  deterministic execution memo keyed on
+  ``(work fingerprint, placement, P-state)`` so oracle building and
+  training collection never simulate the same cell twice;
 * the **frequency axis (DVFS)** — ``Configuration`` is a placement ×
   frequency pair (``Configuration(name, placement, pstate)``, names like
   ``"2b@1.6GHz"``); ``train_predictor_bundle(..., pstate_table=...)``
@@ -134,6 +140,26 @@ def main() -> None:
     )
     per_config = predictor.predict_batch(matrix)
     assert all(len(v) == len(samples) for v in per_config.values())
+
+    # 6b. The batched *simulation* engine: one vectorized pass evaluates a
+    #     phase across the machine's whole placement x P-state cross-product
+    #     (noise-free results match looped `execute` to floating-point
+    #     accuracy).  A deterministic execution memo keyed on
+    #     (work fingerprint, placement, P-state) serves repeated cells —
+    #     oracle building and training collection share it automatically.
+    phase0 = target.phases[0].work
+    sweep = machine.execute_batch(phase0)  # default: full cross-product
+    print()
+    print(f"Batched simulation over {len(sweep)} configurations:")
+    for metric in ("time_seconds", "energy_joules", "ed2"):
+        best = sweep.best(metric)
+        print(f"  min {metric:14s} -> {best.name}")
+    sweep = machine.execute_batch(phase0)  # repeat: served from the memo
+    memo = machine.execution_memo_info()
+    print(
+        f"  execution memo: {memo.hits} hits / {memo.misses} misses "
+        f"({memo.size} cells cached)"
+    )
 
     # 7. The frequency axis: expand the target space to the placement x
     #    P-state cross-product (regression-backed; closed-form training)

@@ -16,7 +16,12 @@ from .events import (
     sampling_budget,
     select_event_set,
 )
-from .oracle import OracleTable, PhaseConfigMeasurement, measure_oracle
+from .oracle import (
+    OracleTable,
+    PhaseConfigMeasurement,
+    build_oracle_table,
+    measure_oracle,
+)
 from .policies import (
     AdaptationPolicy,
     EnergyAwarePolicy,
@@ -89,6 +94,7 @@ __all__ = [
     "StaticPolicy",
     "TrainingSample",
     "collect_training_dataset",
+    "build_oracle_table",
     "measure_oracle",
     "rank_of_selection",
     "sampling_budget",

@@ -22,7 +22,12 @@ from ..machine.machine import Machine
 from ..machine.placement import Configuration, standard_configurations
 from ..workloads.base import PhaseSpec, Workload
 
-__all__ = ["PhaseConfigMeasurement", "OracleTable", "measure_oracle"]
+__all__ = [
+    "PhaseConfigMeasurement",
+    "OracleTable",
+    "build_oracle_table",
+    "measure_oracle",
+]
 
 
 @dataclass(frozen=True)
@@ -201,7 +206,7 @@ class OracleTable:
         }
 
 
-def measure_oracle(
+def build_oracle_table(
     machine: Machine,
     workload: Workload,
     configurations: Optional[Sequence[Configuration]] = None,
@@ -211,19 +216,33 @@ def measure_oracle(
     Measurements are noise-free single invocations of each phase — the
     deterministic ground truth against which sampling-based policies and the
     ANN predictor are evaluated.
+
+    Each phase row is produced by one vectorized
+    :meth:`~repro.machine.Machine.execute_batch` pass over the whole
+    configuration list, and the machine's execution memo guarantees cells
+    shared with other sweeps (training-data collection, repeated oracle
+    builds) are never simulated twice.
     """
     configs = list(configurations or standard_configurations(machine.topology))
     table = OracleTable(workload=workload, configurations=configs)
     for phase in workload.phases:
+        batch = machine.execute_batch(phase.work, configs)
         row: Dict[str, PhaseConfigMeasurement] = {}
-        for config in configs:
-            result = machine.execute(phase.work, config, apply_noise=False)
+        times = batch.time_seconds
+        ipcs = batch.ipc
+        watts = batch.power_watts
+        for index, config in enumerate(configs):
             row[config.name] = PhaseConfigMeasurement(
                 phase_name=phase.name,
                 configuration=config.name,
-                time_seconds=result.time_seconds,
-                ipc=result.ipc,
-                power_watts=result.power_watts,
+                time_seconds=float(times[index]),
+                ipc=float(ipcs[index]),
+                power_watts=float(watts[index]),
             )
         table.measurements[phase.name] = row
     return table
+
+
+#: Backward-compatible name: the oracle "measurement" entry point of the
+#: original pipeline is the same exhaustive table construction.
+measure_oracle = build_oracle_table

@@ -137,6 +137,13 @@ def collect_training_dataset(
     configuration, mimicking the short, multiplexed counter sampling ACTOR
     performs online.
 
+    All ground-truth measurements run through the machine's vectorized
+    batch engine (:meth:`~repro.machine.Machine.execute_batch`): one array
+    pass per phase covers every target configuration, and the execution
+    memo shares cells with oracle construction and with the second
+    (reduced-event-set) collection pass of
+    :func:`train_predictor_bundle`.
+
     When a ``pstate_table`` is supplied the frequency axis joins the target
     space: the candidate configurations become the placement × P-state
     cross-product (``dvfs_configurations``), the default targets become
@@ -170,17 +177,17 @@ def collect_training_dataset(
         sample_configuration=sample_configuration.name,
         target_configurations=target_names,
     )
+    target_configs = [all_configs[name] for name in target_names]
     for workload in workloads:
         for phase in workload.phases:
+            target_batch = machine.execute_batch(phase.work, target_configs)
             targets = {
-                name: machine.execute(
-                    phase.work, all_configs[name], apply_noise=False
-                ).ipc
-                for name in target_names
+                name: float(ipc)
+                for name, ipc in zip(target_names, target_batch.ipc)
             }
-            sample_result = machine.execute(
-                phase.work, sample_configuration.placement, apply_noise=False
-            )
+            sample_result = machine.execute_batch(
+                phase.work, [sample_configuration.placement]
+            ).result(0)
             for _ in range(samples_per_phase):
                 rates = _noisy_rates(
                     sample_result.event_counts,

@@ -66,7 +66,8 @@ def _heldout_error(ctx: ExperimentContext, predictor, held_out: str) -> float:
     actual: List[float] = []
     predicted: List[float] = []
     for phase in workload.phases:
-        result = ctx.machine.execute(phase.work, CONFIG_4.placement, apply_noise=False)
+        # Batch path: typically a pure memo hit after oracle construction.
+        result = ctx.machine.execute_batch(phase.work, [CONFIG_4.placement]).result(0)
         rates = {}
         for event in predictor.event_set.events:
             count = float(result.event_counts.get(event, 0.0))

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..analysis.metrics import geometric_mean
 from ..analysis.reporting import Figure, format_nested_table, format_table
 from ..machine.machine import Machine
@@ -36,13 +38,16 @@ def _throttling_opportunity(
     all_cores = max(configs, key=lambda c: c.num_threads)
     results: Dict[str, Dict[str, float]] = {}
     for workload in suite:
-        per_config: Dict[str, float] = {}
-        for config in configs:
-            total = 0.0
-            for phase in workload.phases:
-                result = machine.execute(phase.work, config, apply_noise=False)
-                total += result.time_seconds * phase.invocations_per_timestep
-            per_config[config.name] = total * workload.timesteps
+        # One vectorized pass per phase covers every candidate placement;
+        # per-configuration whole-run times accumulate as arrays.
+        totals = np.zeros(len(configs))
+        for phase in workload.phases:
+            batch = machine.execute_batch(phase.work, configs)
+            totals += batch.time_seconds * phase.invocations_per_timestep
+        per_config: Dict[str, float] = {
+            config.name: float(total * workload.timesteps)
+            for config, total in zip(configs, totals)
+        }
         best_name = min(per_config, key=per_config.get)  # type: ignore[arg-type]
         results[workload.name] = {
             "all_cores_time": per_config[all_cores.name],

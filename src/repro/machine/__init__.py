@@ -29,10 +29,15 @@ from .counters import (
     event_by_name,
     event_pairs,
 )
-from .cpu import CPIBreakdown, CPUModel
+from .cpu import CPIBreakdown, CPIBreakdownBatch, CPUModel
 from .dvfs import PState, PStateTable, default_pstate_table, format_frequency
-from .machine import ExecutionResult, Machine
-from .memory import BusState, MemoryModel
+from .machine import (
+    BatchExecutionResult,
+    ExecutionMemoInfo,
+    ExecutionResult,
+    Machine,
+)
+from .memory import BusState, BusStateBatch, MemoryModel
 from .placement import (
     CONFIG_1,
     CONFIG_2A,
@@ -48,7 +53,13 @@ from .placement import (
     placements_equivalent,
     standard_configurations,
 )
-from .power import PowerBreakdown, PowerModel, PowerParameters, dvfs_power_parameters
+from .power import (
+    PowerBreakdown,
+    PowerBreakdownBatch,
+    PowerModel,
+    PowerParameters,
+    dvfs_power_parameters,
+)
 from .topology import (
     CacheDescriptor,
     CoreDescriptor,
@@ -64,13 +75,16 @@ STANDARD_CONFIGURATIONS = standard_configurations()
 
 __all__ = [
     "ALWAYS_AVAILABLE",
+    "BatchExecutionResult",
     "BusState",
+    "BusStateBatch",
     "CONFIG_1",
     "CONFIG_2A",
     "CONFIG_2B",
     "CONFIG_3",
     "CONFIG_4",
     "CPIBreakdown",
+    "CPIBreakdownBatch",
     "CPUModel",
     "CacheDescriptor",
     "CacheDomainLoad",
@@ -81,6 +95,7 @@ __all__ = [
     "EVENTS",
     "EVENT_NAMES",
     "EventDef",
+    "ExecutionMemoInfo",
     "ExecutionResult",
     "Machine",
     "MemoryModel",
@@ -88,6 +103,7 @@ __all__ = [
     "PStateTable",
     "PerformanceCounterFile",
     "PowerBreakdown",
+    "PowerBreakdownBatch",
     "PowerModel",
     "PowerParameters",
     "PREDICTION_EVENTS",

@@ -27,6 +27,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List
 
+import numpy as np
+
 from .placement import ThreadPlacement
 from .topology import Topology
 from .work import WorkRequest
@@ -125,6 +127,35 @@ class CacheModel:
         growth = 1.0 - math.exp(-work.locality_exponent * overflow)
         ratio = solo + (self.max_miss_ratio - solo) * growth
         return min(self.max_miss_ratio, max(self.min_miss_ratio, ratio))
+
+    def miss_ratio_batch(
+        self, work: WorkRequest, capacity_mb: np.ndarray, occupants: np.ndarray
+    ) -> np.ndarray:
+        """Array-shaped :meth:`miss_ratio`: one evaluation per array element.
+
+        ``capacity_mb`` and ``occupants`` broadcast against each other; the
+        result has the broadcast shape.  The formulas mirror the scalar path
+        operation for operation so a one-element array reproduces
+        :meth:`miss_ratio` to floating-point accuracy.
+        """
+        capacity_mb = np.asarray(capacity_mb, dtype=np.float64)
+        occupants = np.asarray(occupants, dtype=np.float64)
+        shared = work.working_set_mb * work.sharing_fraction
+        private = work.working_set_mb * (1.0 - work.sharing_fraction)
+        footprint = shared + private * occupants
+        pressure = footprint / capacity_mb
+        solo = min(max(work.l2_miss_rate_solo, self.min_miss_ratio), self.max_miss_ratio)
+        relief = 1.0 - 0.15 * work.sharing_fraction * np.maximum(
+            0.0, occupants - 1.0
+        ) * (1.0 - pressure)
+        fits = np.maximum(self.min_miss_ratio, solo * np.maximum(relief, 0.5))
+        overflow = pressure - 1.0
+        growth = 1.0 - np.exp(-work.locality_exponent * overflow)
+        ratio = solo + (self.max_miss_ratio - solo) * growth
+        spills = np.minimum(
+            self.max_miss_ratio, np.maximum(self.min_miss_ratio, ratio)
+        )
+        return np.where(pressure <= 1.0, fits, spills)
 
     # ------------------------------------------------------------------
     # per-placement resolution

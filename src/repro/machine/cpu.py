@@ -14,10 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .topology import CoreDescriptor
 from .work import WorkRequest
 
-__all__ = ["CPIBreakdown", "CPUModel"]
+__all__ = ["CPIBreakdown", "CPIBreakdownBatch", "CPUModel"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,42 @@ class CPIBreakdown:
 
     @property
     def memory_cpi(self) -> float:
+        """CPI contributed by the memory hierarchy (L1 + L2 misses)."""
+        return self.l1_miss + self.l2_miss
+
+
+@dataclass(frozen=True)
+class CPIBreakdownBatch:
+    """Array-shaped :class:`CPIBreakdown`: one CPI stack per array element.
+
+    All components are NumPy arrays of a common broadcast shape (``base`` and
+    ``branch`` may be scalars when the phase properties are uniform across
+    the batch).  The derived quantities mirror the scalar properties
+    operation for operation.
+    """
+
+    base: np.ndarray | float
+    l1_miss: np.ndarray
+    l2_miss: np.ndarray
+    branch: np.ndarray | float
+
+    @property
+    def total(self) -> np.ndarray:
+        """Total cycles per instruction."""
+        return self.base + self.l1_miss + self.l2_miss + self.branch
+
+    @property
+    def ipc(self) -> np.ndarray:
+        """Instructions per cycle of each thread."""
+        return 1.0 / self.total
+
+    @property
+    def stall_fraction(self) -> np.ndarray:
+        """Fraction of cycles spent stalled on the memory system."""
+        return (self.l1_miss + self.l2_miss) / self.total
+
+    @property
+    def memory_cpi(self) -> np.ndarray:
         """CPI contributed by the memory hierarchy (L1 + L2 misses)."""
         return self.l1_miss + self.l2_miss
 
@@ -140,6 +178,46 @@ class CPUModel:
             * self.branch_penalty_cycles
         )
         return CPIBreakdown(
+            base=work.base_cpi,
+            l1_miss=l1_component,
+            l2_miss=l2_component,
+            branch=branch_component,
+        )
+
+    def breakdown_batch(
+        self,
+        work: WorkRequest,
+        l2_miss_ratio: np.ndarray,
+        memory_latency_cycles: np.ndarray,
+        l2_hit_latency_cycles: np.ndarray,
+        l1_hit_latency_cycles: np.ndarray,
+    ) -> CPIBreakdownBatch:
+        """Array-shaped :meth:`breakdown`: one CPI stack per array element.
+
+        All array arguments broadcast against each other (the machine layer
+        passes per-(configuration, thread) miss ratios and cache latencies
+        against a per-configuration memory latency column).  Inputs are
+        assumed valid — the batch path is fed by the machine model itself,
+        which already range-checked the work request and the topology.
+        """
+        l1_misses_per_instr = work.mem_fraction * work.l1_miss_rate
+        l2_misses_per_instr = l1_misses_per_instr * l2_miss_ratio
+        l2_hits_per_instr = l1_misses_per_instr * (1.0 - l2_miss_ratio)
+
+        l1_component = (
+            l2_hits_per_instr
+            * np.maximum(0.0, l2_hit_latency_cycles - l1_hit_latency_cycles)
+            * self.l2_hit_exposed_fraction
+        )
+        l2_component = (
+            l2_misses_per_instr * memory_latency_cycles * work.bandwidth_sensitivity
+        )
+        branch_component = (
+            work.branch_fraction
+            * self.branch_misprediction_rate
+            * self.branch_penalty_cycles
+        )
+        return CPIBreakdownBatch(
             base=work.base_cpi,
             l1_miss=l1_component,
             l2_miss=l2_component,

@@ -7,6 +7,19 @@ into a single entry point::
     result = machine.execute(work, CONFIG_2B.placement)
     result.time_seconds, result.ipc, result.power_watts, result.event_counts
 
+For configuration sweeps, :meth:`Machine.execute_batch` evaluates one phase
+under a whole list of configurations (the full placement × P-state
+cross-product by default) in a single vectorized pass::
+
+    batch = machine.execute_batch(work)               # one NumPy pass
+    batch.time_seconds, batch.ipc, batch.ed2          # arrays, config order
+    batch.best("ed2"), batch.result_for("2b@1.6GHz")  # lazy full results
+
+Noise-free batch results match looped ``execute`` calls to floating-point
+accuracy, and a per-machine LRU memo (keyed by work fingerprint, placement
+and P-state) serves repeated cells without re-simulation — oracle
+construction and training-data collection share it automatically.
+
 Executing a phase under a placement proceeds in four steps:
 
 1. the cache model resolves the per-thread L2 miss ratio from the placement's
@@ -28,8 +41,9 @@ matters for the empirical-search baseline and for counter-sampling error.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,12 +51,23 @@ from .caches import CacheModel
 from .cpu import CPIBreakdown, CPUModel
 from .dvfs import PState, PStateTable, default_pstate_table
 from .memory import BusState, MemoryModel
-from .placement import Configuration, ThreadPlacement
+from .placement import (
+    Configuration,
+    ThreadPlacement,
+    dvfs_configurations,
+    enumerate_configurations,
+    standard_configurations,
+)
 from .power import PowerBreakdown, PowerModel
 from .topology import Topology, quad_core_xeon
 from .work import WorkRequest
 
-__all__ = ["ExecutionResult", "Machine"]
+__all__ = [
+    "BatchExecutionResult",
+    "ExecutionMemoInfo",
+    "ExecutionResult",
+    "Machine",
+]
 
 #: Instructions charged per thread per barrier for the synchronization code
 #: itself (spin loops, flag updates); small but keeps counters consistent.
@@ -127,6 +152,189 @@ class ExecutionResult:
         return self.placement.num_threads
 
 
+class ExecutionMemoInfo(NamedTuple):
+    """Hit/miss accounting of a machine's noise-free execution memo."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+class _CellEntry(NamedTuple):
+    """Compact record of one noise-free execution cell.
+
+    Everything a full :class:`ExecutionResult` needs that is not derivable
+    from ``(work, configuration)`` alone — kept as plain floats and tuples
+    so memoized cells are cheap to store and to assemble into batch arrays.
+    """
+
+    time_seconds: float
+    cycles: float
+    instructions: float
+    ipc: float
+    frequency_ghz: float
+    miss_ratios: Tuple[float, ...]
+    l1_cpi: Tuple[float, ...]
+    l2_cpi: Tuple[float, ...]
+    thread_watts: Tuple[float, ...]
+    bus: Tuple[float, float, float, float, float]
+    power: Tuple[float, float, float, float, float]
+
+
+class _PlacementStatic(NamedTuple):
+    """Topology-derived per-placement constants, cached per machine."""
+
+    cores: Tuple[int, ...]
+    n: int
+    l1_hit: np.ndarray
+    l2_hit: np.ndarray
+    capacity_mb: np.ndarray
+    occupants: np.ndarray
+    active_caches: int
+    serial_capacity_mb: float
+    serial_l1_hit: float
+    serial_l2_hit: float
+    nominal_frequency_ghz: float
+
+
+class BatchExecutionResult:
+    """Vectorized outcome of executing one phase under many configurations.
+
+    Produced by :meth:`Machine.execute_batch`.  The headline metrics are
+    exposed as NumPy arrays aligned with :attr:`configurations` (one entry
+    per configuration, in input order); full :class:`ExecutionResult`
+    objects — including hardware event counts — are materialized lazily via
+    :meth:`result` so sweeps that only consume time/IPC/power never pay for
+    per-cell Python object construction.
+
+    Attributes
+    ----------
+    work:
+        The phase that was executed.
+    configurations:
+        The evaluated configurations, in input order.
+    time_seconds, cycles, instructions, ipc, power_watts, frequency_ghz,
+    bus_utilization:
+        Per-configuration metric arrays.
+    memo_hits, memo_misses:
+        How many cells of *this call* were served from the machine's
+        execution memo versus actually simulated.
+    """
+
+    _METRICS = (
+        "time_seconds",
+        "cycles",
+        "instructions",
+        "ipc",
+        "power_watts",
+        "energy_joules",
+        "edp",
+        "ed2",
+        "frequency_ghz",
+        "bus_utilization",
+    )
+
+    def __init__(
+        self,
+        work: WorkRequest,
+        configurations: List[Configuration],
+        machine: "Machine",
+        entries: List[_CellEntry],
+        memo_hits: int = 0,
+        memo_misses: int = 0,
+    ) -> None:
+        self.work = work
+        self.configurations = configurations
+        self.memo_hits = memo_hits
+        self.memo_misses = memo_misses
+        self._machine = machine
+        self._entries = entries
+        self._results: List[Optional[ExecutionResult]] = [None] * len(entries)
+        self._index: Dict[str, int] = {}
+        for i, config in enumerate(configurations):
+            self._index.setdefault(config.name, i)
+        self.time_seconds = np.array([e.time_seconds for e in entries])
+        self.cycles = np.array([e.cycles for e in entries])
+        self.instructions = np.array([e.instructions for e in entries])
+        self.ipc = np.array([e.ipc for e in entries])
+        self.power_watts = np.array(
+            [e.power[0] + e.power[1] + e.power[2] + e.power[3] + e.power[4] for e in entries]
+        )
+        self.frequency_ghz = np.array([e.frequency_ghz for e in entries])
+        self.bus_utilization = np.array([e.bus[2] for e in entries])
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def energy_joules(self) -> np.ndarray:
+        """Per-configuration wall energy."""
+        return self.power_watts * self.time_seconds
+
+    @property
+    def edp(self) -> np.ndarray:
+        """Per-configuration energy-delay product."""
+        return self.energy_joules * self.time_seconds
+
+    @property
+    def ed2(self) -> np.ndarray:
+        """Per-configuration energy-delay-squared product."""
+        return self.energy_joules * self.time_seconds ** 2
+
+    def names(self) -> List[str]:
+        """Configuration names in input order."""
+        return [c.name for c in self.configurations]
+
+    def index_of(self, name: str) -> int:
+        """Position of configuration ``name`` in the batch."""
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"configuration {name!r} is not part of this batch; "
+                f"evaluated: {self.names()}"
+            ) from exc
+
+    def metric(self, metric: str) -> np.ndarray:
+        """Metric array by name (``time_seconds``, ``ipc``, ``ed2``, ...)."""
+        if metric not in self._METRICS:
+            raise KeyError(
+                f"unknown metric {metric!r}; expected one of {self._METRICS}"
+            )
+        return getattr(self, metric)
+
+    def metric_by_name(self, metric: str) -> Dict[str, float]:
+        """``{configuration name: metric value}`` for one metric."""
+        values = self.metric(metric)
+        return {c.name: float(values[i]) for i, c in enumerate(self.configurations)}
+
+    def best(self, metric: str = "time_seconds", minimize: bool = True) -> Configuration:
+        """The best configuration of the batch under ``metric``."""
+        values = self.metric(metric)
+        index = int(np.argmin(values) if minimize else np.argmax(values))
+        return self.configurations[index]
+
+    def result(self, index: int) -> ExecutionResult:
+        """Materialize the full :class:`ExecutionResult` of one cell."""
+        cached = self._results[index]
+        if cached is None:
+            cached = self._machine._materialize_result(
+                self.work, self.configurations[index], self._entries[index]
+            )
+            self._results[index] = cached
+        return cached
+
+    def result_for(self, name: str) -> ExecutionResult:
+        """Materialize the full result of the configuration named ``name``."""
+        return self.result(self.index_of(name))
+
+    def results(self) -> List[ExecutionResult]:
+        """Materialize every cell (input order)."""
+        return [self.result(i) for i in range(len(self._entries))]
+
+
 class Machine:
     """The simulated multicore platform.
 
@@ -149,6 +357,12 @@ class Machine:
         noise term).
     fixed_point_iterations:
         Maximum iterations of the throughput/bus-latency fixed point.
+    memo_size:
+        Capacity (in cells) of the machine's noise-free execution memo,
+        used by :meth:`execute_batch`; ``0`` disables memoization.  The
+        memo is private to the machine instance, so two machines built
+        with different noise/power/CPU parameters never share cached
+        cells.
     """
 
     def __init__(
@@ -163,6 +377,7 @@ class Machine:
         seed: int = 20070917,
         fixed_point_iterations: int = 48,
         fixed_point_tolerance: float = 1e-6,
+        memo_size: int = 4096,
     ) -> None:
         self.topology = topology or quad_core_xeon()
         self.pstate_table = pstate_table or default_pstate_table(
@@ -176,17 +391,37 @@ class Machine:
         )
         if noise_sigma < 0:
             raise ValueError("noise_sigma must be non-negative")
+        if memo_size < 0:
+            raise ValueError("memo_size must be non-negative")
         self.noise_sigma = noise_sigma
         self._rng = np.random.default_rng(seed)
         self.fixed_point_iterations = fixed_point_iterations
         self.fixed_point_tolerance = fixed_point_tolerance
+        self.memo_size = memo_size
+        self._memo: "OrderedDict[tuple, _CellEntry]" = OrderedDict()
+        self._memo_hits = 0
+        self._memo_misses = 0
+        self._validated_placements: set = set()
+        self._placement_statics: Dict[Tuple[int, ...], _PlacementStatic] = {}
+        #: Number of :meth:`execute_batch` calls / cells served / cells that
+        #: were actually simulated (the remainder came from the memo).
+        self.batch_calls = 0
+        self.batch_cells = 0
+        self.batch_cells_computed = 0
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     def _validate_placement(self, placement: ThreadPlacement) -> None:
-        for core in placement.cores:
+        # Memoized: a placement that validated once against this topology
+        # never pays the per-core lookups again (the scalar execution path
+        # revalidates on every call).
+        cores = placement.cores
+        if cores in self._validated_placements:
+            return
+        for core in cores:
             self.topology.core(core)  # raises KeyError for unknown cores
+        self._validated_placements.add(cores)
 
     def _line_bytes(self) -> int:
         return self.topology.caches[0].line_bytes
@@ -475,6 +710,482 @@ class Machine:
     ) -> ExecutionResult:
         """Execute a phase under a named configuration (thin wrapper)."""
         return self.execute(work, configuration, apply_noise=apply_noise)
+
+    # ------------------------------------------------------------------
+    # batched execution
+    # ------------------------------------------------------------------
+    def default_configurations(self) -> List[Configuration]:
+        """The full placement × P-state cross-product for this machine.
+
+        The paper's five placements when the topology is QX6600-shaped,
+        otherwise the generalized compact/scattered enumeration — each
+        expanded over the machine's P-state ladder.
+        """
+        try:
+            bases = standard_configurations(self.topology)
+        except ValueError:
+            bases = enumerate_configurations(self.topology)
+        return dvfs_configurations(bases, self.pstate_table)
+
+    def _pstate_key(self, config: Configuration) -> Tuple[float, float, float]:
+        """Physical operating point of a configuration, for memo keying.
+
+        A cell's outcome depends on the clock the cores run at plus the
+        power model's frequency/voltage scales — not on the ``PState``
+        object identity — so ``pstate=None`` (run at the placement's
+        nominal clock) and an explicitly pinned nominal state collapse to
+        the same key and share their memoized cell.
+        """
+        pstate = config.pstate
+        if pstate is None:
+            nominal = self._placement_static(config.placement).nominal_frequency_ghz
+            return (nominal, 1.0, 1.0)
+        f_scale, v_scale = self.power_model.dvfs_scales(pstate)
+        return (pstate.frequency_ghz, f_scale, v_scale)
+
+    def _placement_static(self, placement: ThreadPlacement) -> _PlacementStatic:
+        static = self._placement_statics.get(placement.cores)
+        if static is None:
+            self._validate_placement(placement)
+            cores = placement.cores
+            caches = [self.topology.cache_of(c) for c in cores]
+            sharers = placement.sharers_by_cache(self.topology)
+            occupants_by_cache = {cid: len(cs) for cid, cs in sharers.items()}
+            core0 = self.topology.core(cores[0])
+            static = _PlacementStatic(
+                cores=cores,
+                n=len(cores),
+                l1_hit=np.array(
+                    [self.topology.core(c).l1_hit_latency_cycles for c in cores],
+                    dtype=np.float64,
+                ),
+                l2_hit=np.array(
+                    [cache.hit_latency_cycles for cache in caches], dtype=np.float64
+                ),
+                capacity_mb=np.array(
+                    [cache.size_mb for cache in caches], dtype=np.float64
+                ),
+                occupants=np.array(
+                    [
+                        occupants_by_cache[self.topology.core(c).l2_cache_id]
+                        for c in cores
+                    ],
+                    dtype=np.float64,
+                ),
+                active_caches=len(sharers),
+                serial_capacity_mb=caches[0].size_mb,
+                serial_l1_hit=float(core0.l1_hit_latency_cycles),
+                serial_l2_hit=float(caches[0].hit_latency_cycles),
+                nominal_frequency_ghz=core0.frequency_ghz,
+            )
+            self._placement_statics[placement.cores] = static
+        return static
+
+    def _execute_batch_kernel(
+        self,
+        work: WorkRequest,
+        configs: Sequence[Configuration],
+        apply_noise: bool = False,
+    ) -> List[_CellEntry]:
+        """Simulate every configuration against ``work`` in one NumPy pass.
+
+        The arithmetic mirrors :meth:`execute` operation for operation —
+        including the bisection trajectory of the throughput/bus fixed
+        point, run simultaneously for all configurations with a per-row
+        convergence mask — so a one-cell batch reproduces the scalar path
+        to floating-point accuracy.
+        """
+        n_configs = len(configs)
+        statics = [self._placement_static(c.placement) for c in configs]
+        width = max(s.n for s in statics)
+        n = np.array([s.n for s in statics], dtype=np.float64)
+        mask = np.zeros((n_configs, width), dtype=bool)
+        l1_hit = np.zeros((n_configs, width))
+        l2_hit = np.zeros((n_configs, width))
+        capacity_mb = np.ones((n_configs, width))
+        occupants = np.ones((n_configs, width))
+        for i, s in enumerate(statics):
+            mask[i, : s.n] = True
+            l1_hit[i, : s.n] = s.l1_hit
+            l2_hit[i, : s.n] = s.l2_hit
+            capacity_mb[i, : s.n] = s.capacity_mb
+            occupants[i, : s.n] = s.occupants
+        maskf = mask.astype(np.float64)
+        freq = np.array(
+            [
+                c.pstate.frequency_ghz if c.pstate is not None else s.nominal_frequency_ghz
+                for c, s in zip(configs, statics)
+            ],
+            dtype=np.float64,
+        )
+
+        # --- parallel portion: vectorized fixed point ------------------
+        # The inner bisection is the hot loop of the whole batch engine, so
+        # the per-iteration quantities are inlined from the component batch
+        # APIs with every latency-independent term hoisted out of the loop.
+        # The operation order deliberately mirrors the scalar path
+        # (`MemoryModel.latency_stretch` / `CPUModel.breakdown`) term for
+        # term so both paths agree to floating-point accuracy.
+        miss_ratios = self.cache_model.miss_ratio_batch(work, capacity_mb, occupants)
+        line_bytes = self._line_bytes()
+        l1_misses_per_instr = work.mem_fraction * work.l1_miss_rate
+        l2_misses_per_instr = l1_misses_per_instr * miss_ratios
+        l2_hits_per_instr = l1_misses_per_instr * (1.0 - miss_ratios)
+        capacity = self.memory_model.effective_capacity_bytes_per_cycle_batch(n, freq)
+        capacity_positive = capacity > 0
+        safe_capacity = np.where(capacity_positive, capacity, 1.0)
+
+        memory = self.memory_model
+        onset = memory.contention_onset
+        onset_span = 1.0 - onset
+        max_stretch = memory.max_stretch
+        conflict_coeff = memory.row_conflict_penalty * np.maximum(0.0, n - 1.0)
+        base_latency = self.topology.memory_latency_ns * freq
+        exposed = max(0.0, 1.0 - work.prefetch_friendliness)
+        hidden_latency = base_latency * (1.0 - exposed) * 0.05
+        branch_component = (
+            work.branch_fraction
+            * self.cpu_model.branch_misprediction_rate
+            * self.cpu_model.branch_penalty_cycles
+        )
+        l1_component = (
+            l2_hits_per_instr
+            * np.maximum(0.0, l2_hit - l1_hit)
+            * self.cpu_model.l2_hit_exposed_fraction
+        )
+        head_cpi = work.base_cpi + l1_component
+        bandwidth = work.bandwidth_sensitivity
+        # line_bytes is a power of two on every shipped topology, so folding
+        # it into the constant factor is exact (a pure exponent shift).
+        traffic_coeff = (l2_misses_per_instr * line_bytes) * maskf
+
+        def sweep(assumed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            """Latency and aggregate demand at an assumed bus utilization."""
+            rho = np.minimum(np.maximum(assumed, 0.0), 0.999)
+            conflict = 1.0 + conflict_coeff * rho
+            effective = (rho - onset) / onset_span
+            stretch = (
+                np.minimum(max_stretch, 1.0 / np.maximum(1e-3, 1.0 - effective))
+                * conflict
+            )
+            stretch = np.where(rho <= onset, conflict, stretch)
+            latency = base_latency * stretch * exposed + hidden_latency
+            total = (head_cpi + l2_misses_per_instr * latency[:, None] * bandwidth) + branch_component
+            thread_ipc = 1.0 / total
+            demand = np.sum(traffic_coeff * thread_ipc, axis=1)
+            return latency, demand
+
+        tolerance = self.fixed_point_tolerance
+        final_latency, final_demand = sweep(np.zeros(n_configs))
+        implied0 = np.where(capacity_positive, final_demand / safe_capacity, 0.0)
+        active = implied0 > tolerance
+        low = np.zeros(n_configs)
+        # Inactive rows keep low == high == 0, so recomputing them inside the
+        # loop reproduces their u = 0 state bit for bit; converged rows stop
+        # moving their bracket, so their mid — and therefore their latency
+        # and demand — freezes at the value the scalar path breaks with.
+        high = np.where(active, implied0, 0.0)
+        for _ in range(self.fixed_point_iterations):
+            if not active.any():
+                break
+            mid = 0.5 * (low + high)
+            final_latency, final_demand = sweep(mid)
+            implied = np.where(capacity_positive, final_demand / safe_capacity, 0.0)
+            active = active & ~(np.abs(implied - mid) < tolerance)
+            go_low = active & (implied > mid)
+            low = np.where(go_low, mid, low)
+            high = np.where(active & ~go_low, mid, high)
+
+        breakdowns = self.cpu_model.breakdown_batch(
+            work, miss_ratios, final_latency[:, None], l2_hit, l1_hit
+        )
+        total_cpi = breakdowns.total
+        bus = self.memory_model.resolve_batch(final_demand, freq, line_bytes, n)
+
+        parallel_instructions = work.instructions * (1.0 - work.serial_fraction)
+        per_thread_instr = parallel_instructions / n
+        critical_instr = per_thread_instr * np.where(n > 1, work.load_imbalance, 1.0)
+        critical_cpi = np.max(np.where(mask, total_cpi, -np.inf), axis=1)
+        parallel_cycles = critical_instr * critical_cpi
+
+        # --- serial portion -------------------------------------------
+        serial_instructions = work.instructions * work.serial_fraction
+        if serial_instructions > 0:
+            serial_miss = self.cache_model.miss_ratio_batch(
+                work,
+                np.array([s.serial_capacity_mb for s in statics], dtype=np.float64),
+                np.ones(n_configs),
+            )
+            serial_latency = self.memory_model.effective_latency_cycles_batch(
+                np.zeros(n_configs),
+                work.prefetch_friendliness,
+                freq,
+                np.ones(n_configs),
+            )
+            serial_breakdown = self.cpu_model.breakdown_batch(
+                work,
+                serial_miss,
+                serial_latency,
+                np.array([s.serial_l2_hit for s in statics], dtype=np.float64),
+                np.array([s.serial_l1_hit for s in statics], dtype=np.float64),
+            )
+            serial_cycles = serial_instructions * serial_breakdown.total
+        else:
+            serial_cycles = np.zeros(n_configs)
+
+        # --- synchronization ------------------------------------------
+        if work.barriers > 0:
+            per_barrier = work.sync_cycles_per_barrier + 450.0 * n
+            sync_cycles = np.where(n > 1, work.barriers * per_barrier, 0.0)
+            sync_instructions = np.where(
+                n > 1, work.barriers * _SYNC_INSTRUCTIONS_PER_BARRIER * n, 0.0
+            )
+        else:
+            sync_cycles = np.zeros(n_configs)
+            sync_instructions = np.zeros(n_configs)
+
+        total_cycles = parallel_cycles + serial_cycles + sync_cycles
+        if apply_noise and self.noise_sigma > 0:
+            jitter = np.clip(
+                1.0 + self._rng.normal(0.0, self.noise_sigma, size=n_configs),
+                0.9,
+                1.1,
+            )
+            total_cycles = total_cycles * jitter
+
+        total_instructions = work.instructions + sync_instructions
+        freq_hz = freq * 1e9
+        time_seconds = total_cycles / freq_hz
+        safe_cycles = np.where(total_cycles > 0, total_cycles, 1.0)
+        aggregate_ipc = np.where(
+            total_cycles > 0, total_instructions / safe_cycles, 0.0
+        )
+
+        # --- power -----------------------------------------------------
+        power = self.power_model.evaluate_batch(
+            thread_mask=mask,
+            thread_ipcs=breakdowns.ipc,
+            stall_fractions=breakdowns.stall_fraction,
+            bus_utilization=bus.utilization,
+            active_cache_counts=np.array(
+                [s.active_caches for s in statics], dtype=np.float64
+            ),
+            num_threads=n,
+            pstates=[c.pstate for c in configs],
+        )
+
+        # --- assemble compact per-cell entries -------------------------
+        miss_rows = miss_ratios.tolist()
+        l1_rows = np.asarray(breakdowns.l1_miss).tolist()
+        l2_rows = np.asarray(breakdowns.l2_miss).tolist()
+        watts_rows = power.per_thread_watts.tolist()
+        times = time_seconds.tolist()
+        cycles = total_cycles.tolist()
+        instructions = total_instructions.tolist()
+        ipcs = aggregate_ipc.tolist()
+        freqs = freq.tolist()
+        bus_rows = zip(
+            bus.demand_bytes_per_cycle.tolist(),
+            bus.capacity_bytes_per_cycle.tolist(),
+            bus.utilization.tolist(),
+            bus.latency_stretch.tolist(),
+            bus.transactions_per_cycle.tolist(),
+        )
+        power_rows = zip(
+            power.platform_watts.tolist(),
+            power.cores_watts.tolist(),
+            power.caches_watts.tolist(),
+            power.uncore_watts.tolist(),
+            power.memory_watts.tolist(),
+        )
+        entries: List[_CellEntry] = []
+        for i, (s, bus_row, power_row) in enumerate(zip(statics, bus_rows, power_rows)):
+            k = s.n
+            entries.append(
+                _CellEntry(
+                    time_seconds=times[i],
+                    cycles=cycles[i],
+                    instructions=instructions[i],
+                    ipc=ipcs[i],
+                    frequency_ghz=freqs[i],
+                    miss_ratios=tuple(miss_rows[i][:k]),
+                    l1_cpi=tuple(l1_rows[i][:k]),
+                    l2_cpi=tuple(l2_rows[i][:k]),
+                    thread_watts=tuple(watts_rows[i][:k]),
+                    bus=bus_row,
+                    power=power_row,
+                )
+            )
+        return entries
+
+    def _materialize_result(
+        self, work: WorkRequest, config: Configuration, entry: _CellEntry
+    ) -> ExecutionResult:
+        """Rebuild a full :class:`ExecutionResult` from a compact cell entry."""
+        branch_component = (
+            work.branch_fraction
+            * self.cpu_model.branch_misprediction_rate
+            * self.cpu_model.branch_penalty_cycles
+        )
+        breakdowns = tuple(
+            CPIBreakdown(
+                base=work.base_cpi,
+                l1_miss=l1,
+                l2_miss=l2,
+                branch=branch_component,
+            )
+            for l1, l2 in zip(entry.l1_cpi, entry.l2_cpi)
+        )
+        bus = BusState(*entry.bus)
+        power = PowerBreakdown(
+            platform_watts=entry.power[0],
+            cores_watts=entry.power[1],
+            caches_watts=entry.power[2],
+            uncore_watts=entry.power[3],
+            memory_watts=entry.power[4],
+            components={
+                f"core{core_id}": watts
+                for core_id, watts in zip(config.placement.cores, entry.thread_watts)
+            },
+        )
+        events = self._event_counts(
+            work,
+            config.placement,
+            entry.instructions,
+            entry.cycles,
+            breakdowns,
+            entry.miss_ratios,
+            bus,
+        )
+        return ExecutionResult(
+            work=work,
+            placement=config.placement,
+            time_seconds=entry.time_seconds,
+            cycles=entry.cycles,
+            instructions=entry.instructions,
+            ipc=entry.ipc,
+            thread_ipcs=tuple(bd.ipc for bd in breakdowns),
+            thread_cpi=breakdowns,
+            bus=bus,
+            power=power,
+            event_counts=events,
+            pstate=config.pstate,
+            frequency_ghz=entry.frequency_ghz,
+        )
+
+    def execute_batch(
+        self,
+        work: WorkRequest,
+        configurations: Optional[Sequence[Configuration | ThreadPlacement]] = None,
+        apply_noise: bool = False,
+        use_memo: bool = True,
+    ) -> BatchExecutionResult:
+        """Execute one phase under many configurations in one NumPy pass.
+
+        The batched engine vectorizes everything :meth:`execute` composes —
+        cache miss-ratio evaluation, the per-thread CPI stacks, the
+        throughput/bus fixed point (bisected simultaneously for every
+        configuration with a per-row convergence mask) and the power model —
+        so evaluating a whole configuration space costs one array pass
+        instead of one Python traversal per configuration.  Noise-free
+        results match looped :meth:`execute` calls to floating-point
+        accuracy.
+
+        Parameters
+        ----------
+        work:
+            Phase characterization.
+        configurations:
+            Configurations (or raw placements) to evaluate; defaults to the
+            machine's full placement × P-state cross-product
+            (:meth:`default_configurations`).
+        apply_noise:
+            Apply the machine's run-to-run noise term, drawing one jitter
+            per cell from the machine RNG in input order (the same stream a
+            sequence of noisy :meth:`execute` calls would consume).  Noisy
+            cells are never memoized.
+        use_memo:
+            Serve noise-free cells from (and record them into) the
+            machine's execution memo, keyed by
+            ``(work fingerprint, placement cores, P-state)``, so repeated
+            sweeps — oracle construction, training collection — never
+            simulate the same cell twice.  ``False`` bypasses the memo
+            entirely (neither reads nor writes).
+        """
+        if configurations is None:
+            configurations = self.default_configurations()
+        configs: List[Configuration] = [
+            c
+            if isinstance(c, Configuration)
+            else Configuration("p" + "+".join(map(str, c.cores)), c)
+            for c in configurations
+        ]
+        if not configs:
+            raise ValueError("execute_batch needs at least one configuration")
+        for config in configs:
+            self._validate_placement(config.placement)
+        self.batch_calls += 1
+        self.batch_cells += len(configs)
+
+        memo_enabled = use_memo and not apply_noise and self.memo_size > 0
+        entries: List[Optional[_CellEntry]] = [None] * len(configs)
+        keys: List[tuple] = []
+        hits = 0
+        if memo_enabled:
+            fingerprint = work.fingerprint()
+            keys = [
+                (fingerprint, c.placement.cores, self._pstate_key(c)) for c in configs
+            ]
+            for i, key in enumerate(keys):
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self._memo.move_to_end(key)
+                    entries[i] = cached
+                    hits += 1
+            self._memo_hits += hits
+
+        miss_indices = [i for i, entry in enumerate(entries) if entry is None]
+        if miss_indices:
+            computed = self._execute_batch_kernel(
+                work, [configs[i] for i in miss_indices], apply_noise
+            )
+            self.batch_cells_computed += len(miss_indices)
+            if memo_enabled:
+                self._memo_misses += len(miss_indices)
+                for i, entry in zip(miss_indices, computed):
+                    entries[i] = entry
+                    self._memo[keys[i]] = entry
+                    if len(self._memo) > self.memo_size:
+                        self._memo.popitem(last=False)
+            else:
+                for i, entry in zip(miss_indices, computed):
+                    entries[i] = entry
+        return BatchExecutionResult(
+            work=work,
+            configurations=configs,
+            machine=self,
+            entries=entries,  # type: ignore[arg-type]
+            memo_hits=hits,
+            memo_misses=len(miss_indices),
+        )
+
+    # ------------------------------------------------------------------
+    # execution memo introspection
+    # ------------------------------------------------------------------
+    def execution_memo_info(self) -> ExecutionMemoInfo:
+        """Hit/miss accounting of the noise-free execution memo."""
+        return ExecutionMemoInfo(
+            hits=self._memo_hits,
+            misses=self._memo_misses,
+            size=len(self._memo),
+            maxsize=self.memo_size,
+        )
+
+    def clear_execution_memo(self) -> None:
+        """Drop every memoized cell and reset the hit/miss counters."""
+        self._memo.clear()
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     def idle_power_watts(self) -> float:
         """Wall power of the idle platform."""

@@ -27,9 +27,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .topology import Topology
 
-__all__ = ["BusState", "MemoryModel"]
+__all__ = ["BusState", "BusStateBatch", "MemoryModel"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +58,32 @@ class BusState:
     utilization: float
     latency_stretch: float
     transactions_per_cycle: float
+
+
+@dataclass(frozen=True)
+class BusStateBatch:
+    """Array-shaped :class:`BusState`: one resolved bus state per element.
+
+    Every attribute is a NumPy array of a common shape (one entry per
+    configuration of a batched execution).  ``state(i)`` materializes the
+    scalar :class:`BusState` of one element.
+    """
+
+    demand_bytes_per_cycle: np.ndarray
+    capacity_bytes_per_cycle: np.ndarray
+    utilization: np.ndarray
+    latency_stretch: np.ndarray
+    transactions_per_cycle: np.ndarray
+
+    def state(self, index: int) -> BusState:
+        """The scalar :class:`BusState` of element ``index``."""
+        return BusState(
+            demand_bytes_per_cycle=float(self.demand_bytes_per_cycle[index]),
+            capacity_bytes_per_cycle=float(self.capacity_bytes_per_cycle[index]),
+            utilization=float(self.utilization[index]),
+            latency_stretch=float(self.latency_stretch[index]),
+            transactions_per_cycle=float(self.transactions_per_cycle[index]),
+        )
 
 
 class MemoryModel:
@@ -139,6 +167,25 @@ class MemoryModel:
         stretch = 1.0 / max(1e-3, (1.0 - effective))
         return min(self.max_stretch, stretch) * conflict
 
+    def latency_stretch_batch(
+        self, utilization: np.ndarray, active_requestors: np.ndarray
+    ) -> np.ndarray:
+        """Array-shaped :meth:`latency_stretch`, broadcasting both inputs.
+
+        Mirrors the scalar formula operation for operation; inputs are
+        assumed valid (the machine layer produces them).
+        """
+        rho = np.minimum(np.maximum(utilization, 0.0), 0.999)
+        extra = np.maximum(0.0, np.asarray(active_requestors, dtype=np.float64) - 1.0)
+        conflict = 1.0 + self.row_conflict_penalty * extra * rho
+        effective = (rho - self.contention_onset) / (1.0 - self.contention_onset)
+        stretch = 1.0 / np.maximum(1e-3, 1.0 - effective)
+        return np.where(
+            rho <= self.contention_onset,
+            conflict,
+            np.minimum(self.max_stretch, stretch) * conflict,
+        )
+
     def effective_capacity_bytes_per_cycle(
         self, active_requestors: int = 1, frequency_ghz: float | None = None
     ) -> float:
@@ -152,6 +199,44 @@ class MemoryModel:
         extra = max(0, active_requestors - 1)
         factor = max(0.5, 1.0 - self.snoop_penalty_per_requestor * extra)
         return raw * factor
+
+    def effective_capacity_bytes_per_cycle_batch(
+        self, active_requestors: np.ndarray, frequency_ghz: np.ndarray
+    ) -> np.ndarray:
+        """Array-shaped :meth:`effective_capacity_bytes_per_cycle`."""
+        raw = self.topology.bus_bandwidth_gbs / np.asarray(
+            frequency_ghz, dtype=np.float64
+        )
+        extra = np.maximum(0.0, np.asarray(active_requestors, dtype=np.float64) - 1.0)
+        factor = np.maximum(0.5, 1.0 - self.snoop_penalty_per_requestor * extra)
+        return raw * factor
+
+    def resolve_batch(
+        self,
+        demand_bytes_per_cycle: np.ndarray,
+        frequency_ghz: np.ndarray,
+        line_bytes: int,
+        active_requestors: np.ndarray,
+    ) -> BusStateBatch:
+        """Array-shaped :meth:`resolve`: one bus state per array element."""
+        capacity = self.effective_capacity_bytes_per_cycle_batch(
+            active_requestors, frequency_ghz
+        )
+        demanded_util = np.where(
+            capacity > 0,
+            demand_bytes_per_cycle / np.where(capacity > 0, capacity, 1.0),
+            0.0,
+        )
+        delivered_util = np.minimum(1.0, demanded_util)
+        stretch = self.latency_stretch_batch(demanded_util, active_requestors)
+        delivered_bytes = delivered_util * capacity
+        return BusStateBatch(
+            demand_bytes_per_cycle=np.asarray(demand_bytes_per_cycle, dtype=np.float64),
+            capacity_bytes_per_cycle=capacity,
+            utilization=delivered_util,
+            latency_stretch=stretch,
+            transactions_per_cycle=delivered_bytes / line_bytes,
+        )
 
     def resolve(
         self,
@@ -213,4 +298,19 @@ class MemoryModel:
         # per-miss occupancy; keeping this term small lets a single core with
         # a streaming access pattern approach the peak bus bandwidth, which
         # matches the behaviour of the hardware prefetchers on the platform.
+        return base * stretch * exposed + base * (1.0 - exposed) * 0.05
+
+    def effective_latency_cycles_batch(
+        self,
+        utilization: np.ndarray,
+        prefetch_friendliness: float,
+        frequency_ghz: np.ndarray,
+        active_requestors: np.ndarray,
+    ) -> np.ndarray:
+        """Array-shaped :meth:`effective_latency_cycles` (utilization form)."""
+        stretch = self.latency_stretch_batch(utilization, active_requestors)
+        base = self.topology.memory_latency_ns * np.asarray(
+            frequency_ghz, dtype=np.float64
+        )
+        exposed = max(0.0, 1.0 - prefetch_friendliness)
         return base * stretch * exposed + base * (1.0 - exposed) * 0.05

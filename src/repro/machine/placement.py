@@ -30,6 +30,7 @@ non-nominal points ``<placement>@<frequency>`` (e.g. ``"2b@1.6GHz"``), and
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .dvfs import PState, PStateTable, default_pstate_table
@@ -189,6 +190,7 @@ def standard_configurations(topology: Topology | None = None) -> List[Configurat
     return configs
 
 
+@lru_cache(maxsize=512)
 def configuration_by_name(
     name: str, pstate_table: Optional[PStateTable] = None
 ) -> Configuration:
@@ -197,6 +199,12 @@ def configuration_by_name(
     Plain labels (``"2b"``) resolve to the paper's placement-only
     configurations.  DVFS labels (``"2b@1.6GHz"``) additionally resolve the
     frequency against ``pstate_table`` (the default table when omitted).
+
+    Results are memoized (``functools.lru_cache``): name parsing and
+    P-state resolution run once per distinct ``(name, table)`` pair, and
+    repeated lookups — the scalar execution path resolves configuration
+    names on every policy decision — return the same immutable
+    :class:`Configuration` instance.
     """
     base_name, sep, freq_label = name.partition("@")
     try:

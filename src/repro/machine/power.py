@@ -29,12 +29,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from .dvfs import PState, PStateTable, default_pstate_table
 from .topology import Topology
 
 __all__ = [
     "PowerParameters",
     "PowerBreakdown",
+    "PowerBreakdownBatch",
     "PowerModel",
     "dvfs_power_parameters",
 ]
@@ -113,6 +116,34 @@ class PowerBreakdown:
     @property
     def total_watts(self) -> float:
         """Total wall power in Watts."""
+        return (
+            self.platform_watts
+            + self.cores_watts
+            + self.caches_watts
+            + self.uncore_watts
+            + self.memory_watts
+        )
+
+
+@dataclass(frozen=True)
+class PowerBreakdownBatch:
+    """Array-shaped :class:`PowerBreakdown`: one decomposition per element.
+
+    ``per_thread_watts`` keeps the per-core component resolution of the
+    scalar path: entry ``[i, t]`` is the power of the core carrying thread
+    ``t`` of configuration ``i`` (masked threads are zero).
+    """
+
+    platform_watts: np.ndarray
+    cores_watts: np.ndarray
+    caches_watts: np.ndarray
+    uncore_watts: np.ndarray
+    memory_watts: np.ndarray
+    per_thread_watts: np.ndarray
+
+    @property
+    def total_watts(self) -> np.ndarray:
+        """Total wall power in Watts, per element."""
         return (
             self.platform_watts
             + self.cores_watts
@@ -241,6 +272,71 @@ class PowerModel:
             uncore_watts=uncore_watts,
             memory_watts=memory_watts,
             components=per_core,
+        )
+
+    def evaluate_batch(
+        self,
+        thread_mask: np.ndarray,
+        thread_ipcs: np.ndarray,
+        stall_fractions: np.ndarray,
+        bus_utilization: np.ndarray,
+        active_cache_counts: np.ndarray,
+        num_threads: np.ndarray,
+        pstates: Sequence[Optional[PState]],
+    ) -> PowerBreakdownBatch:
+        """Array-shaped :meth:`evaluate`: one power decomposition per row.
+
+        Parameters
+        ----------
+        thread_mask:
+            ``(batch, max_threads)`` boolean array marking real threads
+            (rows are padded to the widest configuration of the batch).
+        thread_ipcs, stall_fractions:
+            Per-thread IPC and memory stall fraction, same shape as
+            ``thread_mask``; padded entries are ignored.
+        bus_utilization:
+            Delivered front-side-bus utilization per configuration.
+        active_cache_counts:
+            Number of L2 domains with at least one occupied core, per
+            configuration.
+        num_threads:
+            Occupied core count per configuration.
+        pstates:
+            DVFS operating point per configuration (``None`` = nominal).
+        """
+        p = self.parameters
+        scales = [self.dvfs_scales(pstate) for pstate in pstates]
+        f_scale = np.array([s[0] for s in scales], dtype=np.float64)
+        v_scale = np.array([s[1] for s in scales], dtype=np.float64)
+        dynamic_scale = f_scale * v_scale ** 2
+
+        throughput_term = np.minimum(1.0, thread_ipcs / 1.8)
+        busy_term = np.maximum(0.0, 1.0 - stall_fractions)
+        activity = np.minimum(
+            1.0, 0.08 + 0.92 * (0.60 * throughput_term + 0.40 * busy_term)
+        )
+        per_thread = (
+            p.core_static_watts * v_scale[:, None]
+            + p.core_dynamic_watts * activity * dynamic_scale[:, None]
+        ) * thread_mask
+        n = np.asarray(num_threads, dtype=np.float64)
+        cores_watts = p.core_idle_watts * (self.topology.num_cores - n) + np.sum(
+            per_thread, axis=1
+        )
+        caches_watts = (
+            p.l2_active_watts * np.asarray(active_cache_counts, dtype=np.float64)
+        ) * dynamic_scale
+        uncore_watts = np.where(n > 0, p.uncore_active_watts * dynamic_scale, 0.0)
+        memory_watts = p.memory_dynamic_watts * np.asarray(
+            bus_utilization, dtype=np.float64
+        )
+        return PowerBreakdownBatch(
+            platform_watts=np.full_like(cores_watts, p.platform_idle_watts),
+            cores_watts=cores_watts,
+            caches_watts=caches_watts,
+            uncore_watts=uncore_watts,
+            memory_watts=memory_watts,
+            per_thread_watts=per_thread,
         )
 
     def energy_joules(self, power_watts: float, time_seconds: float) -> float:

@@ -21,7 +21,7 @@ for multicore scaling behaviour on the quad-core Xeon:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict
 
 __all__ = ["WorkRequest"]
@@ -162,6 +162,21 @@ class WorkRequest:
             return self
         jitter = float(max(0.2, 1.0 + rng.normal(0.0, relative_sigma)))
         return replace(self, instructions=self.instructions * jitter)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> tuple:
+        """Stable value identity of the characterization.
+
+        Two requests built independently with equal field values share
+        cached noise-free executions in the machine's execution memo (see
+        :meth:`repro.machine.Machine.execute_batch`).  Derived from the
+        dataclass schema so a future field automatically becomes part of
+        the identity — hand-listing fields here would silently alias memo
+        cells across works that differ only in the new field.
+        """
+        return tuple(getattr(self, f.name) for f in fields(self))
 
     # ------------------------------------------------------------------
     # derived quantities

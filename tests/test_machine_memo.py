@@ -1,0 +1,236 @@
+"""Tests for the deterministic execution memo and scalar-path memoization.
+
+The memo caches noise-free execution cells keyed by
+``(work fingerprint, placement cores, P-state)`` so oracle construction and
+training collection never simulate the same cell twice.  These tests pin its
+accounting, its LRU bound, its noise-gating, and its isolation between
+machines built with different model parameters — plus the satellite
+memoizations of the scalar path (``configuration_by_name`` and placement
+validation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_oracle_table, collect_training_dataset, measure_oracle
+from repro.machine import (
+    CONFIG_4,
+    CPUModel,
+    Machine,
+    PowerModel,
+    PowerParameters,
+    WorkRequest,
+    configuration_by_name,
+    quad_core_xeon,
+    standard_configurations,
+)
+from repro.workloads import nas_suite
+
+
+@pytest.fixture()
+def fresh_machine():
+    """A private machine so memo accounting is not shared across tests."""
+    return Machine(noise_sigma=0.0)
+
+
+@pytest.fixture(scope="module")
+def phase_work():
+    return WorkRequest(instructions=2.5e8, working_set_mb=6.0)
+
+
+class TestMemoAccounting:
+    def test_second_batch_is_all_hits(self, fresh_machine, phase_work):
+        configs = standard_configurations(fresh_machine.topology)
+        first = fresh_machine.execute_batch(phase_work, configs)
+        assert (first.memo_hits, first.memo_misses) == (0, len(configs))
+        second = fresh_machine.execute_batch(phase_work, configs)
+        assert (second.memo_hits, second.memo_misses) == (len(configs), 0)
+        info = fresh_machine.execution_memo_info()
+        assert info.hits == len(configs)
+        assert info.misses == len(configs)
+        assert info.size == len(configs)
+
+    def test_memoized_cells_are_bit_identical(self, fresh_machine, phase_work):
+        configs = standard_configurations(fresh_machine.topology)
+        first = fresh_machine.execute_batch(phase_work, configs)
+        second = fresh_machine.execute_batch(phase_work, configs)
+        assert list(first.time_seconds) == list(second.time_seconds)
+        assert first.result(0).event_counts == second.result(0).event_counts
+
+    def test_equal_value_works_share_cells(self, fresh_machine, phase_work):
+        """Two WorkRequests with equal fields hit the same memo entries."""
+        clone = WorkRequest(instructions=2.5e8, working_set_mb=6.0)
+        assert clone is not phase_work
+        assert clone.fingerprint() == phase_work.fingerprint()
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        batch = fresh_machine.execute_batch(clone, [CONFIG_4])
+        assert batch.memo_hits == 1
+
+    def test_nominal_pstate_and_plain_placement_share_cells(
+        self, fresh_machine, phase_work
+    ):
+        """pstate=None and an explicitly pinned nominal state are one cell."""
+        plain = CONFIG_4  # no pinned P-state: runs at the nominal clock
+        pinned = CONFIG_4.with_pstate(
+            fresh_machine.pstate_table.nominal, nominal=True
+        )
+        assert pinned.pstate is not None
+        fresh_machine.execute_batch(phase_work, [plain])
+        batch = fresh_machine.execute_batch(phase_work, [pinned])
+        assert batch.memo_hits == 1
+        # The materialized result still reflects the *requested* view.
+        assert batch.result(0).pstate == fresh_machine.pstate_table.nominal
+
+    def test_use_memo_false_bypasses_entirely(self, fresh_machine, phase_work):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4], use_memo=False)
+        assert fresh_machine.execution_memo_info().size == 0
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        again = fresh_machine.execute_batch(phase_work, [CONFIG_4], use_memo=False)
+        assert (again.memo_hits, again.memo_misses) == (0, 1)
+
+    def test_clear_resets_cells_and_counters(self, fresh_machine, phase_work):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        fresh_machine.clear_execution_memo()
+        info = fresh_machine.execution_memo_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+        batch = fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        assert batch.memo_misses == 1
+
+
+class TestMemoGating:
+    def test_noisy_executions_are_never_cached(self, phase_work):
+        machine = Machine(noise_sigma=0.01, seed=5)
+        machine.execute_batch(phase_work, [CONFIG_4], apply_noise=True)
+        assert machine.execution_memo_info().size == 0
+        # Two noisy batches must see different jitter, not a cached cell.
+        a = machine.execute_batch(phase_work, [CONFIG_4], apply_noise=True)
+        b = machine.execute_batch(phase_work, [CONFIG_4], apply_noise=True)
+        assert float(a.time_seconds[0]) != float(b.time_seconds[0])
+
+    def test_memo_size_zero_disables(self, phase_work):
+        machine = Machine(noise_sigma=0.0, memo_size=0)
+        machine.execute_batch(phase_work, [CONFIG_4])
+        batch = machine.execute_batch(phase_work, [CONFIG_4])
+        assert batch.memo_hits == 0
+        assert machine.execution_memo_info().size == 0
+
+    def test_memo_is_lru_bounded(self, phase_work):
+        machine = Machine(noise_sigma=0.0, memo_size=3)
+        configs = standard_configurations(machine.topology)
+        machine.execute_batch(phase_work, configs)  # 5 cells through a 3-slot memo
+        info = machine.execution_memo_info()
+        assert info.size == 3
+        assert info.maxsize == 3
+        # The oldest cells were evicted: re-running misses on the first two.
+        again = machine.execute_batch(phase_work, configs)
+        assert again.memo_hits < len(configs)
+
+    def test_negative_memo_size_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(memo_size=-1)
+
+
+class TestMemoIsolation:
+    """Machines built with different model parameters never share cells."""
+
+    def test_different_power_model_changes_results(self, phase_work):
+        base = Machine(noise_sigma=0.0)
+        topology = quad_core_xeon()
+        heavy = Machine(
+            topology=topology,
+            power_model=PowerModel(
+                topology, PowerParameters(core_dynamic_watts=40.0)
+            ),
+            noise_sigma=0.0,
+        )
+        a = base.execute_batch(phase_work, [CONFIG_4])
+        b = heavy.execute_batch(phase_work, [CONFIG_4])
+        assert float(a.power_watts[0]) != float(b.power_watts[0])
+        # Both simulated their own cell — no cross-machine cache leak.
+        assert a.memo_misses == 1 and b.memo_misses == 1
+
+    def test_different_cpu_model_changes_results(self, phase_work):
+        base = Machine(noise_sigma=0.0)
+        slow = Machine(
+            cpu_model=CPUModel(branch_misprediction_rate=0.08), noise_sigma=0.0
+        )
+        a = base.execute_batch(phase_work, [CONFIG_4])
+        b = slow.execute_batch(phase_work, [CONFIG_4])
+        assert float(a.time_seconds[0]) < float(b.time_seconds[0])
+        assert b.memo_misses == 1
+
+    def test_different_noise_parameters_have_private_memos(self, phase_work):
+        a = Machine(noise_sigma=0.0)
+        b = Machine(noise_sigma=0.02, seed=11)
+        a.execute_batch(phase_work, [CONFIG_4])
+        batch = b.execute_batch(phase_work, [CONFIG_4])  # noise-free call
+        assert batch.memo_misses == 1  # not served by machine a's memo
+
+
+class TestWorkFingerprint:
+    def test_fingerprint_tracks_field_values(self):
+        a = WorkRequest(instructions=1e8)
+        b = WorkRequest(instructions=1e8)
+        c = WorkRequest(instructions=1e8, mem_fraction=0.4)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_work_requests_are_hashable_dict_keys(self):
+        a = WorkRequest(instructions=1e8)
+        b = WorkRequest(instructions=1e8)
+        assert {a: 1}[b] == 1
+
+
+class TestScalarPathMemoization:
+    def test_configuration_by_name_returns_cached_instances(self):
+        assert configuration_by_name("2b@1.6GHz") is configuration_by_name(
+            "2b@1.6GHz"
+        )
+        assert configuration_by_name("4") is configuration_by_name("4")
+
+    def test_unknown_names_still_raise(self):
+        with pytest.raises(KeyError):
+            configuration_by_name("9z")
+
+    def test_placement_validation_is_cached(self, fresh_machine, phase_work):
+        fresh_machine.execute(phase_work, CONFIG_4, apply_noise=False)
+        assert CONFIG_4.placement.cores in fresh_machine._validated_placements
+
+
+class TestHotConsumersUseTheBatchPath:
+    """Oracle building and training collection run through execute_batch."""
+
+    def test_oracle_table_goes_through_batch_calls(self, phase_work):
+        machine = Machine(noise_sigma=0.0)
+        suite = nas_suite(machine=Machine(noise_sigma=0.0), names=["CG"])
+        workload = suite.get("CG")
+        assert machine.batch_calls == 0
+        table = build_oracle_table(machine, workload)
+        assert machine.batch_calls == len(workload.phases)
+        assert machine.batch_cells_computed > 0
+        # A rebuild is served entirely from the memo.
+        computed_before = machine.batch_cells_computed
+        rebuilt = measure_oracle(machine, workload)
+        assert machine.batch_cells_computed == computed_before
+        for phase in workload.phases:
+            for config in table.configuration_names():
+                assert rebuilt.measurement(phase.name, config) == table.measurement(
+                    phase.name, config
+                )
+
+    def test_training_collection_reuses_oracle_cells(self):
+        machine = Machine(noise_sigma=0.0)
+        suite = nas_suite(machine=Machine(noise_sigma=0.0), names=["CG"])
+        workload = suite.get("CG")
+        build_oracle_table(machine, workload)
+        hits_before = machine.execution_memo_info().hits
+        collect_training_dataset(
+            machine, [workload], samples_per_phase=2, seed=3
+        )
+        # Ground-truth target cells were already measured by the oracle.
+        assert machine.execution_memo_info().hits > hits_before
+
+    def test_measure_oracle_is_build_oracle_table(self):
+        assert measure_oracle is build_oracle_table
