@@ -10,11 +10,13 @@ The budget applies **only** when every collected item lives under ``tests/``
 (the fast tier); benchmark-tier runs (``pytest benchmarks/``) are never
 time-guarded by default.  That exemption covers the whole bench harness,
 including the ``perf_smoke`` assertions (``bench_machine_batch.py``,
-``bench_runtime_overhead.py``): their loop-vs-batch baselines deliberately
-execute the slow scalar path hundreds of times, which is measurement, not
-regression.  Note the batch-equivalence tests in
-``tests/test_machine_batch.py`` *are* fast-tier and therefore budgeted —
-they stay cheap because ``execute_batch`` vectorizes the sweep.  Override
+``bench_machine_grid.py``, ``bench_runtime_overhead.py``): their
+loop-vs-batch / per-phase-vs-grid baselines deliberately execute the slow
+paths hundreds of times, which is measurement, not regression.  Note the
+batch- and grid-equivalence tests in ``tests/test_machine_batch.py`` /
+``tests/test_machine_grid.py`` *are* fast-tier and therefore budgeted —
+they stay cheap because ``execute_batch`` / ``execute_grid`` vectorize the
+sweeps (their scalar reference loops run each cell once).  Override
 or disable explicitly::
 
     python -m pytest --wallclock-budget=60     # tighter budget, any tier

@@ -161,6 +161,30 @@ def main() -> None:
         f"({memo.size} cells cached)"
     )
 
+    # 6c. The 2-D grid engine and the shareable memo: stack *all* phases of
+    #     a benchmark (or several benchmarks) against a configuration space
+    #     in one kernel launch — this is what oracle construction and
+    #     training collection run on — and ship the resulting memo cells to
+    #     other processes as a picklable snapshot.  `run_cells(...,
+    #     memo_machine=...)` does the seed/merge round-trip automatically;
+    #     worker activity shows up as merged_hits / merged_misses.
+    grid = machine.execute_grid([p.work for p in target.phases])
+    print()
+    print(
+        f"Grid simulation over {grid.shape[0]} phases x {grid.shape[1]} "
+        f"configurations ({grid.memo_hits} cells straight from the memo):"
+    )
+    for index, best in enumerate(grid.best("time_seconds")):
+        print(f"  {target.phases[index].name:20s} -> fastest on {best.name}")
+    snapshot = machine.export_execution_memo()
+    worker_machine = Machine(noise_sigma=0.0)
+    worker_machine.merge_execution_memo(snapshot)  # e.g. in a pool worker
+    reheated = worker_machine.execute_grid([p.work for p in target.phases])
+    print(
+        f"  snapshot: {len(snapshot)} cells -> seeded machine re-simulated "
+        f"{reheated.memo_misses} cells"
+    )
+
     # 7. The frequency axis: expand the target space to the placement x
     #    P-state cross-product (regression-backed; closed-form training)
     #    and adapt MG for minimal ED^2 on a CPU-dominated platform.

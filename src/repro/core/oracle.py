@@ -217,27 +217,28 @@ def build_oracle_table(
     deterministic ground truth against which sampling-based policies and the
     ANN predictor are evaluated.
 
-    Each phase row is produced by one vectorized
-    :meth:`~repro.machine.Machine.execute_batch` pass over the whole
-    configuration list, and the machine's execution memo guarantees cells
-    shared with other sweeps (training-data collection, repeated oracle
-    builds) are never simulated twice.
+    The whole table is produced by a single vectorized
+    :meth:`~repro.machine.Machine.execute_grid` pass — every phase of the
+    workload against every configuration in one kernel launch — and the
+    machine's execution memo guarantees cells shared with other sweeps
+    (training-data collection, repeated oracle builds) are never simulated
+    twice.
     """
     configs = list(configurations or standard_configurations(machine.topology))
     table = OracleTable(workload=workload, configurations=configs)
-    for phase in workload.phases:
-        batch = machine.execute_batch(phase.work, configs)
+    grid = machine.execute_grid([phase.work for phase in workload.phases], configs)
+    times = grid.time_seconds
+    ipcs = grid.ipc
+    watts = grid.power_watts
+    for phase_index, phase in enumerate(workload.phases):
         row: Dict[str, PhaseConfigMeasurement] = {}
-        times = batch.time_seconds
-        ipcs = batch.ipc
-        watts = batch.power_watts
         for index, config in enumerate(configs):
             row[config.name] = PhaseConfigMeasurement(
                 phase_name=phase.name,
                 configuration=config.name,
-                time_seconds=float(times[index]),
-                ipc=float(ipcs[index]),
-                power_watts=float(watts[index]),
+                time_seconds=float(times[phase_index, index]),
+                ipc=float(ipcs[phase_index, index]),
+                power_watts=float(watts[phase_index, index]),
             )
         table.measurements[phase.name] = row
     return table

@@ -138,11 +138,11 @@ def collect_training_dataset(
     performs online.
 
     All ground-truth measurements run through the machine's vectorized
-    batch engine (:meth:`~repro.machine.Machine.execute_batch`): one array
-    pass per phase covers every target configuration, and the execution
-    memo shares cells with oracle construction and with the second
-    (reduced-event-set) collection pass of
-    :func:`train_predictor_bundle`.
+    grid engine (:meth:`~repro.machine.Machine.execute_grid`): one kernel
+    pass per workload covers every phase under every target configuration
+    *and* the sample configuration, and the execution memo shares cells
+    with oracle construction and with the second (reduced-event-set)
+    collection pass of :func:`train_predictor_bundle`.
 
     When a ``pstate_table`` is supplied the frequency axis joins the target
     space: the candidate configurations become the placement × P-state
@@ -178,16 +178,40 @@ def collect_training_dataset(
         target_configurations=target_names,
     )
     target_configs = [all_configs[name] for name in target_names]
+
+    # The sample configuration rides along as a grid column.  When a target
+    # already covers it — same placement at the same *physical* operating
+    # point the bare placement runs at, as in the DVFS cross-product built
+    # from the machine's own ladder — reuse that column instead of
+    # appending a duplicate cell.  Physical equivalence is the machine's
+    # own memo-key rule (a supplied table whose "nominal" differs from the
+    # topology clock does NOT cover the sample).
+    bare_sample = Configuration(
+        sample_configuration.name, sample_configuration.placement
+    )
+    sample_column = next(
+        (
+            i
+            for i, c in enumerate(target_configs)
+            if machine.shares_memo_cell(c, bare_sample)
+        ),
+        None,
+    )
+    if sample_column is None:
+        grid_configs = target_configs + [bare_sample]
+        sample_column = len(target_configs)
+    else:
+        grid_configs = target_configs
     for workload in workloads:
-        for phase in workload.phases:
-            target_batch = machine.execute_batch(phase.work, target_configs)
+        grid = machine.execute_grid(
+            [phase.work for phase in workload.phases], grid_configs
+        )
+        for phase_index, phase in enumerate(workload.phases):
             targets = {
                 name: float(ipc)
-                for name, ipc in zip(target_names, target_batch.ipc)
+                for name, ipc in zip(target_names, grid.ipc[phase_index])
             }
-            sample_result = machine.execute_batch(
-                phase.work, [sample_configuration.placement]
-            ).result(0)
+            sample_result = grid.result(phase_index, sample_column)
             for _ in range(samples_per_phase):
                 rates = _noisy_rates(
                     sample_result.event_counts,

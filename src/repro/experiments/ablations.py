@@ -65,9 +65,13 @@ def _heldout_error(ctx: ExperimentContext, predictor, held_out: str) -> float:
     noise = ctx.training_options().measurement_noise
     actual: List[float] = []
     predicted: List[float] = []
-    for phase in workload.phases:
-        # Batch path: typically a pure memo hit after oracle construction.
-        result = ctx.machine.execute_batch(phase.work, [CONFIG_4.placement]).result(0)
+    # One grid pass covers every phase's sample cell — typically a pure
+    # memo hit after oracle construction.
+    sample_grid = ctx.machine.execute_grid(
+        [phase.work for phase in workload.phases], [CONFIG_4.placement]
+    )
+    for phase_index, phase in enumerate(workload.phases):
+        result = sample_grid.result(phase_index, 0)
         rates = {}
         for event in predictor.event_set.events:
             count = float(result.event_counts.get(event, 0.0))

@@ -38,12 +38,15 @@ def _throttling_opportunity(
     all_cores = max(configs, key=lambda c: c.num_threads)
     results: Dict[str, Dict[str, float]] = {}
     for workload in suite:
-        # One vectorized pass per phase covers every candidate placement;
-        # per-configuration whole-run times accumulate as arrays.
+        # One vectorized grid pass per workload covers every phase under
+        # every candidate placement; per-configuration whole-run times
+        # accumulate as arrays.
+        grid = machine.execute_grid(
+            [phase.work for phase in workload.phases], configs
+        )
         totals = np.zeros(len(configs))
-        for phase in workload.phases:
-            batch = machine.execute_batch(phase.work, configs)
-            totals += batch.time_seconds * phase.invocations_per_timestep
+        for phase_index, phase in enumerate(workload.phases):
+            totals += grid.time_seconds[phase_index] * phase.invocations_per_timestep
         per_config: Dict[str, float] = {
             config.name: float(total * workload.timesteps)
             for config, total in zip(configs, totals)

@@ -34,7 +34,9 @@ from .dvfs import PState, PStateTable, default_pstate_table, format_frequency
 from .machine import (
     BatchExecutionResult,
     ExecutionMemoInfo,
+    ExecutionMemoSnapshot,
     ExecutionResult,
+    GridExecutionResult,
     Machine,
 )
 from .memory import BusState, BusStateBatch, MemoryModel
@@ -96,7 +98,9 @@ __all__ = [
     "EVENT_NAMES",
     "EventDef",
     "ExecutionMemoInfo",
+    "ExecutionMemoSnapshot",
     "ExecutionResult",
+    "GridExecutionResult",
     "Machine",
     "MemoryModel",
     "PState",

@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from .placement import ThreadPlacement
 from .topology import Topology
-from .work import WorkRequest
+from .work import WorkRequest, work_field_rows
 
 __all__ = ["CacheDomainLoad", "CacheModel"]
 
@@ -134,23 +134,57 @@ class CacheModel:
         """Array-shaped :meth:`miss_ratio`: one evaluation per array element.
 
         ``capacity_mb`` and ``occupants`` broadcast against each other; the
-        result has the broadcast shape.  The formulas mirror the scalar path
-        operation for operation so a one-element array reproduces
-        :meth:`miss_ratio` to floating-point accuracy.
+        result has the broadcast shape.  A thin one-work view of
+        :meth:`miss_ratio_grid` (whose single shared row broadcasts across
+        every element), so both forms stay a single implementation.
+        """
+        return self.miss_ratio_grid(
+            [work],
+            np.zeros(1, dtype=np.intp),
+            np.asarray(capacity_mb, dtype=np.float64),
+            np.asarray(occupants, dtype=np.float64),
+        )
+
+    def miss_ratio_grid(
+        self,
+        works: Sequence["WorkRequest"],
+        work_rows: np.ndarray,
+        capacity_mb: np.ndarray,
+        occupants: np.ndarray,
+    ) -> np.ndarray:
+        """Row-wise :meth:`miss_ratio_batch` over heterogeneous works.
+
+        ``works[work_rows[i]]`` characterizes row ``i`` of ``capacity_mb`` /
+        ``occupants`` (whose leading axis is the row axis; a trailing thread
+        axis is allowed).  Per-work scalars become per-row columns, mirroring
+        the one-work batch formula operation for operation so a grid row
+        reproduces :meth:`miss_ratio_batch` to floating-point accuracy.
         """
         capacity_mb = np.asarray(capacity_mb, dtype=np.float64)
         occupants = np.asarray(occupants, dtype=np.float64)
-        shared = work.working_set_mb * work.sharing_fraction
-        private = work.working_set_mb * (1.0 - work.sharing_fraction)
+        rows = np.asarray(work_rows)
+        column_shape = (len(rows),) + (1,) * max(0, capacity_mb.ndim - 1)
+
+        def col(attr: str) -> np.ndarray:
+            return work_field_rows(works, rows, attr).reshape(column_shape)
+
+        working_set = col("working_set_mb")
+        sharing = col("sharing_fraction")
+        locality = col("locality_exponent")
+        shared = working_set * sharing
+        private = working_set * (1.0 - sharing)
         footprint = shared + private * occupants
         pressure = footprint / capacity_mb
-        solo = min(max(work.l2_miss_rate_solo, self.min_miss_ratio), self.max_miss_ratio)
-        relief = 1.0 - 0.15 * work.sharing_fraction * np.maximum(
+        solo = np.minimum(
+            np.maximum(col("l2_miss_rate_solo"), self.min_miss_ratio),
+            self.max_miss_ratio,
+        )
+        relief = 1.0 - 0.15 * sharing * np.maximum(
             0.0, occupants - 1.0
         ) * (1.0 - pressure)
         fits = np.maximum(self.min_miss_ratio, solo * np.maximum(relief, 0.5))
         overflow = pressure - 1.0
-        growth = 1.0 - np.exp(-work.locality_exponent * overflow)
+        growth = 1.0 - np.exp(-locality * overflow)
         ratio = solo + (self.max_miss_ratio - solo) * growth
         spills = np.minimum(
             self.max_miss_ratio, np.maximum(self.min_miss_ratio, ratio)

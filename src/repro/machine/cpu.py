@@ -13,11 +13,12 @@ between this module and those two until the penalties are self-consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from .topology import CoreDescriptor
-from .work import WorkRequest
+from .work import WorkRequest, work_field_rows
 
 __all__ = ["CPIBreakdown", "CPIBreakdownBatch", "CPUModel"]
 
@@ -198,9 +199,45 @@ class CPUModel:
         passes per-(configuration, thread) miss ratios and cache latencies
         against a per-configuration memory latency column).  Inputs are
         assumed valid — the batch path is fed by the machine model itself,
-        which already range-checked the work request and the topology.
+        which already range-checked the work request and the topology.  A
+        thin one-work view of :meth:`breakdown_grid` (whose single shared
+        row broadcasts across every element), so both forms stay a single
+        implementation.
         """
-        l1_misses_per_instr = work.mem_fraction * work.l1_miss_rate
+        return self.breakdown_grid(
+            [work],
+            np.zeros(1, dtype=np.intp),
+            np.asarray(l2_miss_ratio, dtype=np.float64),
+            memory_latency_cycles,
+            l2_hit_latency_cycles,
+            l1_hit_latency_cycles,
+        )
+
+    def breakdown_grid(
+        self,
+        works: Sequence[WorkRequest],
+        work_rows: np.ndarray,
+        l2_miss_ratio: np.ndarray,
+        memory_latency_cycles: np.ndarray,
+        l2_hit_latency_cycles: np.ndarray,
+        l1_hit_latency_cycles: np.ndarray,
+    ) -> CPIBreakdownBatch:
+        """Row-wise :meth:`breakdown_batch` over heterogeneous works.
+
+        ``works[work_rows[i]]`` characterizes row ``i`` of the array
+        arguments (leading row axis, optional trailing thread axis).
+        Per-work scalars become per-row columns; the arithmetic mirrors the
+        one-work batch formula operation for operation so a grid row
+        reproduces :meth:`breakdown_batch` to floating-point accuracy.
+        """
+        l2_miss_ratio = np.asarray(l2_miss_ratio, dtype=np.float64)
+        rows = np.asarray(work_rows)
+        column_shape = (len(rows),) + (1,) * max(0, l2_miss_ratio.ndim - 1)
+
+        def col(attr: str) -> np.ndarray:
+            return work_field_rows(works, rows, attr).reshape(column_shape)
+
+        l1_misses_per_instr = col("mem_fraction") * col("l1_miss_rate")
         l2_misses_per_instr = l1_misses_per_instr * l2_miss_ratio
         l2_hits_per_instr = l1_misses_per_instr * (1.0 - l2_miss_ratio)
 
@@ -210,15 +247,15 @@ class CPUModel:
             * self.l2_hit_exposed_fraction
         )
         l2_component = (
-            l2_misses_per_instr * memory_latency_cycles * work.bandwidth_sensitivity
+            l2_misses_per_instr * memory_latency_cycles * col("bandwidth_sensitivity")
         )
         branch_component = (
-            work.branch_fraction
+            col("branch_fraction")
             * self.branch_misprediction_rate
             * self.branch_penalty_cycles
         )
         return CPIBreakdownBatch(
-            base=work.base_cpi,
+            base=col("base_cpi"),
             l1_miss=l1_component,
             l2_miss=l2_component,
             branch=branch_component,

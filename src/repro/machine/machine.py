@@ -15,10 +15,23 @@ cross-product by default) in a single vectorized pass::
     batch.time_seconds, batch.ipc, batch.ed2          # arrays, config order
     batch.best("ed2"), batch.result_for("2b@1.6GHz")  # lazy full results
 
-Noise-free batch results match looped ``execute`` calls to floating-point
-accuracy, and a per-machine LRU memo (keyed by work fingerprint, placement
-and P-state) serves repeated cells without re-simulation — oracle
-construction and training-data collection share it automatically.
+:meth:`Machine.execute_grid` generalizes the sweep across the phase axis:
+all phases of a benchmark (or several benchmarks) × a configuration space
+in one kernel launch, returning ``(W, C)`` metric arrays::
+
+    grid = machine.execute_grid([p.work for p in workload.phases])
+    grid.time_seconds[w, c], grid.best("time_seconds")[w]
+    grid.result(w, c), grid.row(w)                    # lazy full results
+
+Noise-free batch and grid results match looped ``execute`` calls to
+floating-point accuracy, and a per-machine LRU memo (keyed by work
+fingerprint, placement and P-state) serves repeated cells without
+re-simulation — oracle construction and training-data collection share it
+automatically.  The memo travels across processes as a picklable snapshot
+(:meth:`Machine.export_execution_memo` /
+:meth:`Machine.merge_execution_memo`), and calls with only a handful of
+cold cells skip the kernel's fixed setup cost through the memoized scalar
+path (``small_batch_cutoff``).
 
 Executing a phase under a placement proceeds in four steps:
 
@@ -42,7 +55,7 @@ matters for the empirical-search baseline and for counter-sampling error.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
@@ -60,18 +73,30 @@ from .placement import (
 )
 from .power import PowerBreakdown, PowerModel
 from .topology import Topology, quad_core_xeon
-from .work import WorkRequest
+from .work import WorkRequest, work_field_rows
 
 __all__ = [
     "BatchExecutionResult",
     "ExecutionMemoInfo",
+    "ExecutionMemoSnapshot",
     "ExecutionResult",
+    "GridExecutionResult",
     "Machine",
 ]
 
 #: Instructions charged per thread per barrier for the synchronization code
 #: itself (spin loops, flag updates); small but keeps counters consistent.
 _SYNC_INSTRUCTIONS_PER_BARRIER = 400.0
+
+#: Below this many cold (not-yet-memoized) cells, ``execute_batch`` /
+#: ``execute_grid`` serve the cells through the memoized scalar path instead
+#: of launching the vectorized kernel.  The kernel's fixed setup cost is
+#: ~0.6 ms against ~0.15 ms per scalar cell (see
+#: ``BENCH_machine_grid.json``), putting the measured crossover near six
+#: cells — so 1-cell sample probes skip the setup cost while the paper's
+#: 15-cell cross-product stays on the kernel.  The memo makes the scalar
+#: detour a one-time cost per cell either way.
+DEFAULT_SMALL_BATCH_CUTOFF = 6
 
 
 @dataclass(frozen=True)
@@ -110,6 +135,9 @@ class ExecutionResult:
         DVFS operating point the phase ran at (``None`` = nominal).
     frequency_ghz:
         Clock frequency the cores actually ran at.
+    miss_ratios:
+        Per-thread L2 miss ratios (misses per L1 miss) resolved by the
+        cache model for this placement, aligned with ``thread_cpi``.
     """
 
     work: WorkRequest
@@ -125,6 +153,7 @@ class ExecutionResult:
     event_counts: Dict[str, float] = field(default_factory=dict)
     pstate: Optional[PState] = None
     frequency_ghz: float = 0.0
+    miss_ratios: Tuple[float, ...] = ()
 
     @property
     def power_watts(self) -> float:
@@ -153,12 +182,21 @@ class ExecutionResult:
 
 
 class ExecutionMemoInfo(NamedTuple):
-    """Hit/miss accounting of a machine's noise-free execution memo."""
+    """Hit/miss accounting of a machine's noise-free execution memo.
+
+    ``merged_hits`` / ``merged_misses`` accumulate the accounting carried by
+    every :class:`ExecutionMemoSnapshot` merged into this machine — the
+    activity of worker machines whose memo deltas were absorbed (see
+    :meth:`Machine.merge_execution_memo`) — kept separate from the machine's
+    own ``hits`` / ``misses``.
+    """
 
     hits: int
     misses: int
     size: int
     maxsize: int
+    merged_hits: int = 0
+    merged_misses: int = 0
 
 
 class _CellEntry(NamedTuple):
@@ -181,6 +219,96 @@ class _CellEntry(NamedTuple):
     bus: Tuple[float, float, float, float, float]
     power: Tuple[float, float, float, float, float]
 
+    @classmethod
+    def from_result(cls, result: "ExecutionResult") -> "_CellEntry":
+        """Compact a scalar-path :class:`ExecutionResult` into a cell.
+
+        The single counterpart of the array-assembly block at the end of
+        :meth:`Machine._execute_cells_kernel`: both memo-cell producers
+        (vectorized kernel and scalar short-circuit) feed one entry layout,
+        so a new field only needs wiring in these two places.
+        """
+        return cls(
+            time_seconds=result.time_seconds,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            ipc=result.ipc,
+            frequency_ghz=result.frequency_ghz,
+            miss_ratios=result.miss_ratios,
+            l1_cpi=tuple(bd.l1_miss for bd in result.thread_cpi),
+            l2_cpi=tuple(bd.l2_miss for bd in result.thread_cpi),
+            thread_watts=tuple(
+                result.power.components[f"core{core_id}"]
+                for core_id in result.placement.cores
+            ),
+            bus=(
+                result.bus.demand_bytes_per_cycle,
+                result.bus.capacity_bytes_per_cycle,
+                result.bus.utilization,
+                result.bus.latency_stretch,
+                result.bus.transactions_per_cycle,
+            ),
+            power=(
+                result.power.platform_watts,
+                result.power.cores_watts,
+                result.power.caches_watts,
+                result.power.uncore_watts,
+                result.power.memory_watts,
+            ),
+        )
+
+
+def _memo_schema() -> Tuple[str, ...]:
+    """Fingerprint schema of the memo: work fields plus the cell layout.
+
+    Snapshots record this so a snapshot pickled by an older (or newer) code
+    revision — whose :class:`~repro.machine.work.WorkRequest` fields or
+    :class:`_CellEntry` layout differ — is rejected at merge time instead of
+    silently aliasing cells across incompatible key spaces.
+    """
+    return (
+        "memo-v1",
+        *(f.name for f in dataclass_fields(WorkRequest)),
+        "|",
+        *_CellEntry._fields,
+    )
+
+
+@dataclass(frozen=True)
+class ExecutionMemoSnapshot:
+    """Picklable snapshot of (part of) a machine's noise-free execution memo.
+
+    Produced by :meth:`Machine.export_execution_memo` and absorbed by
+    :meth:`Machine.merge_execution_memo`, so ``run_cells`` workers (or any
+    other process) can seed their machines from a parent's memo and hand
+    freshly simulated cells back as deltas.  Only deterministic, noise-free
+    cells ever live in the memo, so snapshots never carry noisy executions.
+
+    Attributes
+    ----------
+    schema:
+        Fingerprint schema the keys were built under (work-request fields
+        plus cell layout); merge rejects snapshots with a different schema.
+    cells:
+        ``(key, entry)`` pairs in the exporting memo's LRU order.
+    hits, misses:
+        The exporting machine's own memo accounting at export time; carried
+        so the merging side can attribute cross-process activity (see
+        :class:`ExecutionMemoInfo`).
+    """
+
+    schema: Tuple[str, ...]
+    cells: Tuple[Tuple[tuple, _CellEntry], ...]
+    hits: int = 0
+    misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def keys(self) -> frozenset:
+        """The memo keys contained in this snapshot."""
+        return frozenset(key for key, _ in self.cells)
+
 
 class _PlacementStatic(NamedTuple):
     """Topology-derived per-placement constants, cached per machine."""
@@ -198,7 +326,92 @@ class _PlacementStatic(NamedTuple):
     nominal_frequency_ghz: float
 
 
-class BatchExecutionResult:
+class _ExecutionArrays:
+    """Shared metric-array surface of batch and grid execution results.
+
+    Subclasses call :meth:`_assign_metric_arrays` with their compact cell
+    entries (and an optional reshape) so the entry-to-array assembly, the
+    derived energy metrics and the name/metric lookups live in exactly one
+    place; a new metric only needs wiring here.
+    """
+
+    _METRICS = (
+        "time_seconds",
+        "cycles",
+        "instructions",
+        "ipc",
+        "power_watts",
+        "energy_joules",
+        "edp",
+        "ed2",
+        "frequency_ghz",
+        "bus_utilization",
+    )
+
+    configurations: List[Configuration]
+
+    def _assign_metric_arrays(
+        self, entries: Sequence[_CellEntry], shape: Optional[Tuple[int, ...]] = None
+    ) -> None:
+        arrays = {
+            "time_seconds": np.array([e.time_seconds for e in entries]),
+            "cycles": np.array([e.cycles for e in entries]),
+            "instructions": np.array([e.instructions for e in entries]),
+            "ipc": np.array([e.ipc for e in entries]),
+            "power_watts": np.array(
+                [
+                    e.power[0] + e.power[1] + e.power[2] + e.power[3] + e.power[4]
+                    for e in entries
+                ]
+            ),
+            "frequency_ghz": np.array([e.frequency_ghz for e in entries]),
+            "bus_utilization": np.array([e.bus[2] for e in entries]),
+        }
+        for name, values in arrays.items():
+            setattr(self, name, values if shape is None else values.reshape(shape))
+        self._index: Dict[str, int] = {}
+        for i, config in enumerate(self.configurations):
+            self._index.setdefault(config.name, i)
+
+    @property
+    def energy_joules(self) -> np.ndarray:
+        """Per-cell wall energy."""
+        return self.power_watts * self.time_seconds
+
+    @property
+    def edp(self) -> np.ndarray:
+        """Per-cell energy-delay product."""
+        return self.energy_joules * self.time_seconds
+
+    @property
+    def ed2(self) -> np.ndarray:
+        """Per-cell energy-delay-squared product (the paper's metric)."""
+        return self.energy_joules * self.time_seconds ** 2
+
+    def names(self) -> List[str]:
+        """Configuration names in input order."""
+        return [c.name for c in self.configurations]
+
+    def index_of(self, name: str) -> int:
+        """Configuration position of ``name`` (first occurrence on ties)."""
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"configuration {name!r} is not part of this result; "
+                f"evaluated: {self.names()}"
+            ) from exc
+
+    def metric(self, metric: str) -> np.ndarray:
+        """Metric array by name (``time_seconds``, ``ipc``, ``ed2``, ...)."""
+        if metric not in self._METRICS:
+            raise KeyError(
+                f"unknown metric {metric!r}; expected one of {self._METRICS}"
+            )
+        return getattr(self, metric)
+
+
+class BatchExecutionResult(_ExecutionArrays):
     """Vectorized outcome of executing one phase under many configurations.
 
     Produced by :meth:`Machine.execute_batch`.  The headline metrics are
@@ -222,19 +435,6 @@ class BatchExecutionResult:
         execution memo versus actually simulated.
     """
 
-    _METRICS = (
-        "time_seconds",
-        "cycles",
-        "instructions",
-        "ipc",
-        "power_watts",
-        "energy_joules",
-        "edp",
-        "ed2",
-        "frequency_ghz",
-        "bus_utilization",
-    )
-
     def __init__(
         self,
         work: WorkRequest,
@@ -251,64 +451,23 @@ class BatchExecutionResult:
         self._machine = machine
         self._entries = entries
         self._results: List[Optional[ExecutionResult]] = [None] * len(entries)
-        self._index: Dict[str, int] = {}
-        for i, config in enumerate(configurations):
-            self._index.setdefault(config.name, i)
-        self.time_seconds = np.array([e.time_seconds for e in entries])
-        self.cycles = np.array([e.cycles for e in entries])
-        self.instructions = np.array([e.instructions for e in entries])
-        self.ipc = np.array([e.ipc for e in entries])
-        self.power_watts = np.array(
-            [e.power[0] + e.power[1] + e.power[2] + e.power[3] + e.power[4] for e in entries]
-        )
-        self.frequency_ghz = np.array([e.frequency_ghz for e in entries])
-        self.bus_utilization = np.array([e.bus[2] for e in entries])
+        self._assign_metric_arrays(entries)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._entries)
 
-    @property
-    def energy_joules(self) -> np.ndarray:
-        """Per-configuration wall energy."""
-        return self.power_watts * self.time_seconds
-
-    @property
-    def edp(self) -> np.ndarray:
-        """Per-configuration energy-delay product."""
-        return self.energy_joules * self.time_seconds
-
-    @property
-    def ed2(self) -> np.ndarray:
-        """Per-configuration energy-delay-squared product."""
-        return self.energy_joules * self.time_seconds ** 2
-
-    def names(self) -> List[str]:
-        """Configuration names in input order."""
-        return [c.name for c in self.configurations]
-
-    def index_of(self, name: str) -> int:
-        """Position of configuration ``name`` in the batch."""
-        try:
-            return self._index[name]
-        except KeyError as exc:
-            raise KeyError(
-                f"configuration {name!r} is not part of this batch; "
-                f"evaluated: {self.names()}"
-            ) from exc
-
-    def metric(self, metric: str) -> np.ndarray:
-        """Metric array by name (``time_seconds``, ``ipc``, ``ed2``, ...)."""
-        if metric not in self._METRICS:
-            raise KeyError(
-                f"unknown metric {metric!r}; expected one of {self._METRICS}"
-            )
-        return getattr(self, metric)
-
     def metric_by_name(self, metric: str) -> Dict[str, float]:
-        """``{configuration name: metric value}`` for one metric."""
+        """``{configuration name: metric value}`` for one metric.
+
+        Duplicate configuration names resolve to their *first* occurrence,
+        consistently with :meth:`index_of` / :meth:`result_for`.
+        """
         values = self.metric(metric)
-        return {c.name: float(values[i]) for i, c in enumerate(self.configurations)}
+        by_name: Dict[str, float] = {}
+        for i, c in enumerate(self.configurations):
+            by_name.setdefault(c.name, float(values[i]))
+        return by_name
 
     def best(self, metric: str = "time_seconds", minimize: bool = True) -> Configuration:
         """The best configuration of the batch under ``metric``."""
@@ -335,6 +494,110 @@ class BatchExecutionResult:
         return [self.result(i) for i in range(len(self._entries))]
 
 
+class GridExecutionResult(_ExecutionArrays):
+    """Vectorized outcome of executing many phases under many configurations.
+
+    Produced by :meth:`Machine.execute_grid`.  Metric arrays have shape
+    ``(W, C)`` — row ``w`` is work (phase) ``w``, column ``c`` is
+    configuration ``c`` — so a whole benchmark's oracle table, or the phases
+    of several benchmarks at once, come out of one kernel pass.  Full
+    :class:`ExecutionResult` objects are materialized lazily per cell via
+    :meth:`result`, and :meth:`row` adapts one work row into the familiar
+    :class:`BatchExecutionResult` interface.
+
+    Attributes
+    ----------
+    works:
+        The executed phase characterizations, in input (row) order.
+    configurations:
+        The evaluated configurations, in input (column) order.
+    time_seconds, cycles, instructions, ipc, power_watts, frequency_ghz,
+    bus_utilization:
+        ``(W, C)`` metric arrays.
+    memo_hits, memo_misses:
+        How many cells of *this call* were served from the machine's
+        execution memo versus actually simulated.
+    """
+
+    def __init__(
+        self,
+        works: List[WorkRequest],
+        configurations: List[Configuration],
+        machine: "Machine",
+        entries: List[_CellEntry],
+        memo_hits: int = 0,
+        memo_misses: int = 0,
+        hit_flags: Optional[List[bool]] = None,
+    ) -> None:
+        self.works = works
+        self.configurations = configurations
+        self.memo_hits = memo_hits
+        self.memo_misses = memo_misses
+        self._machine = machine
+        self._entries = entries  # flat, row-major: entry of (w, c) at w * C + c
+        self._hit_flags = hit_flags  # aligned with entries; None = all computed
+        self._results: Dict[Tuple[int, int], ExecutionResult] = {}
+        self._assign_metric_arrays(entries, shape=(len(works), len(configurations)))
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(num works, num configurations)``."""
+        return (len(self.works), len(self.configurations))
+
+    def __len__(self) -> int:
+        """Total number of grid cells (works × configurations)."""
+        return len(self._entries)
+
+    def best(
+        self, metric: str = "time_seconds", minimize: bool = True
+    ) -> List[Configuration]:
+        """The best configuration of every work row under ``metric``."""
+        values = self.metric(metric)
+        indices = np.argmin(values, axis=1) if minimize else np.argmax(values, axis=1)
+        return [self.configurations[int(i)] for i in indices]
+
+    def result(self, work_index: int, config_index: int) -> ExecutionResult:
+        """Materialize the full :class:`ExecutionResult` of one grid cell."""
+        key = (work_index, config_index)
+        cached = self._results.get(key)
+        if cached is None:
+            flat = work_index * len(self.configurations) + config_index
+            cached = self._machine._materialize_result(
+                self.works[work_index],
+                self.configurations[config_index],
+                self._entries[flat],
+            )
+            self._results[key] = cached
+        return cached
+
+    def result_for(self, work_index: int, name: str) -> ExecutionResult:
+        """Materialize one cell addressed by configuration name."""
+        return self.result(work_index, self.index_of(name))
+
+    def row(self, work_index: int) -> BatchExecutionResult:
+        """One work row as a :class:`BatchExecutionResult` (shares entries).
+
+        The row view carries this call's per-cell memo accounting sliced to
+        the row, so ``row(w).memo_hits + row(w).memo_misses == C``.
+        """
+        num_configs = len(self.configurations)
+        start = work_index * num_configs
+        row_hits = (
+            sum(self._hit_flags[start : start + num_configs])
+            if self._hit_flags is not None
+            else 0
+        )
+        return BatchExecutionResult(
+            work=self.works[work_index],
+            configurations=self.configurations,
+            machine=self._machine,
+            entries=self._entries[start : start + num_configs],
+            memo_hits=row_hits,
+            memo_misses=num_configs - row_hits,
+        )
+
+
 class Machine:
     """The simulated multicore platform.
 
@@ -359,10 +622,19 @@ class Machine:
         Maximum iterations of the throughput/bus-latency fixed point.
     memo_size:
         Capacity (in cells) of the machine's noise-free execution memo,
-        used by :meth:`execute_batch`; ``0`` disables memoization.  The
-        memo is private to the machine instance, so two machines built
-        with different noise/power/CPU parameters never share cached
-        cells.
+        used by :meth:`execute_batch` and :meth:`execute_grid`; ``0``
+        disables memoization.  The memo is private to the machine instance
+        (two machines built with different noise/power/CPU parameters never
+        share cached cells) unless snapshots are exchanged explicitly via
+        :meth:`export_execution_memo` / :meth:`merge_execution_memo`.
+    small_batch_cutoff:
+        When a batched/grid call has fewer cold cells than this, the cells
+        are served through the memoized scalar path instead of the
+        vectorized kernel — the kernel's fixed setup cost only amortizes
+        across enough cells, and the dominant small-batch use (one sample
+        cell per phase) is ~5x faster scalar.  ``0`` disables the
+        short-circuit.  Only applies when the memo is active (noise-free,
+        ``use_memo=True``); memo-bypassing calls always use the kernel.
     """
 
     def __init__(
@@ -378,6 +650,7 @@ class Machine:
         fixed_point_iterations: int = 48,
         fixed_point_tolerance: float = 1e-6,
         memo_size: int = 4096,
+        small_batch_cutoff: int = DEFAULT_SMALL_BATCH_CUTOFF,
     ) -> None:
         self.topology = topology or quad_core_xeon()
         self.pstate_table = pstate_table or default_pstate_table(
@@ -393,21 +666,33 @@ class Machine:
             raise ValueError("noise_sigma must be non-negative")
         if memo_size < 0:
             raise ValueError("memo_size must be non-negative")
+        if small_batch_cutoff < 0:
+            raise ValueError("small_batch_cutoff must be non-negative")
         self.noise_sigma = noise_sigma
         self._rng = np.random.default_rng(seed)
         self.fixed_point_iterations = fixed_point_iterations
         self.fixed_point_tolerance = fixed_point_tolerance
         self.memo_size = memo_size
+        self.small_batch_cutoff = small_batch_cutoff
         self._memo: "OrderedDict[tuple, _CellEntry]" = OrderedDict()
         self._memo_hits = 0
         self._memo_misses = 0
+        self._merged_hits = 0
+        self._merged_misses = 0
         self._validated_placements: set = set()
         self._placement_statics: Dict[Tuple[int, ...], _PlacementStatic] = {}
         #: Number of :meth:`execute_batch` calls / cells served / cells that
-        #: were actually simulated (the remainder came from the memo).
+        #: were actually simulated (by either vectorized kernel or the
+        #: small-batch scalar short-circuit; the remainder came from the memo).
         self.batch_calls = 0
         self.batch_cells = 0
         self.batch_cells_computed = 0
+        #: Number of :meth:`execute_grid` calls / grid cells served.
+        self.grid_calls = 0
+        self.grid_cells = 0
+        #: Number of batched/grid calls whose cold cells were served through
+        #: the memoized scalar path (see ``small_batch_cutoff``).
+        self.small_batch_shortcircuits = 0
 
     # ------------------------------------------------------------------
     # helpers
@@ -474,6 +759,7 @@ class Machine:
         work: WorkRequest,
         placement: ThreadPlacement,
         frequency_ghz: Optional[float] = None,
+        miss_ratios: Optional[List[float]] = None,
     ) -> tuple[List[CPIBreakdown], BusState]:
         """Resolve self-consistent per-thread CPI and bus state.
 
@@ -489,7 +775,8 @@ class Machine:
         per cycle, so both the latency and the capacity side of the fixed
         point shift in the memory system's favour.
         """
-        miss_ratios = self.cache_model.per_thread_miss_ratios(work, placement)
+        if miss_ratios is None:
+            miss_ratios = self.cache_model.per_thread_miss_ratios(work, placement)
         line_bytes = self._line_bytes()
         n_requestors = placement.num_threads
         capacity = self.memory_model.effective_capacity_bytes_per_cycle(
@@ -636,8 +923,10 @@ class Machine:
         freq_hz = frequency_ghz * 1e9
 
         # --- parallel portion -----------------------------------------
-        breakdowns, bus_state = self._resolve_parallel(work, placement, frequency_ghz)
         miss_ratios = self.cache_model.per_thread_miss_ratios(work, placement)
+        breakdowns, bus_state = self._resolve_parallel(
+            work, placement, frequency_ghz, miss_ratios
+        )
         parallel_instructions = work.instructions * (1.0 - work.serial_fraction)
         per_thread_instr = parallel_instructions / n
         critical_instr = per_thread_instr * (work.load_imbalance if n > 1 else 1.0)
@@ -703,6 +992,7 @@ class Machine:
             event_counts=events,
             pstate=pstate,
             frequency_ghz=frequency_ghz,
+            miss_ratios=tuple(miss_ratios),
         )
 
     def execute_config(
@@ -743,6 +1033,20 @@ class Machine:
         f_scale, v_scale = self.power_model.dvfs_scales(pstate)
         return (pstate.frequency_ghz, f_scale, v_scale)
 
+    def shares_memo_cell(self, a: Configuration, b: Configuration) -> bool:
+        """Whether two configurations resolve to the same execution cell.
+
+        True when both pin the same cores at the same physical operating
+        point — the memo-key equivalence, under which ``pstate=None`` (run
+        at the placement's nominal clock) and an explicitly pinned nominal
+        state are one cell.  Callers that reuse measurement columns across
+        nominally different configurations (e.g. training's sample column)
+        should ask this instead of re-deriving the rule.
+        """
+        return a.placement.cores == b.placement.cores and self._pstate_key(
+            a
+        ) == self._pstate_key(b)
+
     def _placement_static(self, placement: ThreadPlacement) -> _PlacementStatic:
         static = self._placement_statics.get(placement.cores)
         if static is None:
@@ -781,54 +1085,110 @@ class Machine:
             self._placement_statics[placement.cores] = static
         return static
 
-    def _execute_batch_kernel(
+    def _execute_cells_kernel(
         self,
-        work: WorkRequest,
+        works: Sequence[WorkRequest],
+        work_rows: np.ndarray,
         configs: Sequence[Configuration],
+        config_rows: np.ndarray,
         apply_noise: bool = False,
     ) -> List[_CellEntry]:
-        """Simulate every configuration against ``work`` in one NumPy pass.
+        """Simulate a flat list of (work, configuration) cells in one pass.
+
+        Row ``i`` of the kernel is the pair ``(works[work_rows[i]],
+        configs[config_rows[i]])``, so one kernel launch serves both a
+        one-phase configuration batch (``work_rows`` all zero) and a full
+        phase × configuration grid (row-major cell order), including the
+        ragged miss sets a partially warm memo leaves behind.
 
         The arithmetic mirrors :meth:`execute` operation for operation —
         including the bisection trajectory of the throughput/bus fixed
-        point, run simultaneously for all configurations with a per-row
-        convergence mask — so a one-cell batch reproduces the scalar path
-        to floating-point accuracy.
+        point, run simultaneously for all cells with a per-row convergence
+        mask — so a one-cell batch reproduces the scalar path to
+        floating-point accuracy.  Per-work scalars simply become per-row
+        columns; IEEE elementwise arithmetic keeps the results identical to
+        the former one-work batch kernel.
         """
-        n_configs = len(configs)
+        work_rows = np.asarray(work_rows)
+        config_rows = np.asarray(config_rows)
+        n_rows = len(work_rows)
+        # Compact to the works/configs actually referenced: a partially-warm
+        # call may leave cold cells in only a few columns, and the setup
+        # loops below (statics, scatter arrays, DVFS scales, field gathers)
+        # should scale with the cold set, not the full space.  Padded-lane
+        # width may shrink too; padded lanes are masked to exact zeros /
+        # -inf, so row values are unaffected.
+        used_configs = sorted({int(c) for c in config_rows})
+        if len(used_configs) < len(configs):
+            remap = {old: new for new, old in enumerate(used_configs)}
+            configs = [configs[i] for i in used_configs]
+            config_rows = np.array([remap[int(c)] for c in config_rows], dtype=np.intp)
+        used_works = sorted({int(w) for w in work_rows})
+        if len(used_works) < len(works):
+            remap = {old: new for new, old in enumerate(used_works)}
+            works = [works[i] for i in used_works]
+            work_rows = np.array([remap[int(w)] for w in work_rows], dtype=np.intp)
         statics = [self._placement_static(c.placement) for c in configs]
         width = max(s.n for s in statics)
-        n = np.array([s.n for s in statics], dtype=np.float64)
-        mask = np.zeros((n_configs, width), dtype=bool)
-        l1_hit = np.zeros((n_configs, width))
-        l2_hit = np.zeros((n_configs, width))
-        capacity_mb = np.ones((n_configs, width))
-        occupants = np.ones((n_configs, width))
+        n_configs = len(configs)
+        n_c = np.array([s.n for s in statics], dtype=np.float64)
+        mask_c = np.zeros((n_configs, width), dtype=bool)
+        l1_hit_c = np.zeros((n_configs, width))
+        l2_hit_c = np.zeros((n_configs, width))
+        capacity_mb_c = np.ones((n_configs, width))
+        occupants_c = np.ones((n_configs, width))
         for i, s in enumerate(statics):
-            mask[i, : s.n] = True
-            l1_hit[i, : s.n] = s.l1_hit
-            l2_hit[i, : s.n] = s.l2_hit
-            capacity_mb[i, : s.n] = s.capacity_mb
-            occupants[i, : s.n] = s.occupants
-        maskf = mask.astype(np.float64)
-        freq = np.array(
+            mask_c[i, : s.n] = True
+            l1_hit_c[i, : s.n] = s.l1_hit
+            l2_hit_c[i, : s.n] = s.l2_hit
+            capacity_mb_c[i, : s.n] = s.capacity_mb
+            occupants_c[i, : s.n] = s.occupants
+        freq_c = np.array(
             [
                 c.pstate.frequency_ghz if c.pstate is not None else s.nominal_frequency_ghz
                 for c, s in zip(configs, statics)
             ],
             dtype=np.float64,
         )
+        scales_c = [self.power_model.dvfs_scales(c.pstate) for c in configs]
+        # Gather the per-config constants out to one row per cell.
+        n = n_c[config_rows]
+        mask = mask_c[config_rows]
+        l1_hit = l1_hit_c[config_rows]
+        l2_hit = l2_hit_c[config_rows]
+        capacity_mb = capacity_mb_c[config_rows]
+        occupants = occupants_c[config_rows]
+        freq = freq_c[config_rows]
+        maskf = mask.astype(np.float64)
+
+        def wcol(attr: str) -> np.ndarray:
+            """Per-row column of one work-request field."""
+            return work_field_rows(works, work_rows, attr)
+
+        instructions = wcol("instructions")
+        mem_fraction = wcol("mem_fraction")
+        l1_miss_rate = wcol("l1_miss_rate")
+        prefetch = wcol("prefetch_friendliness")
+        branch_fraction = wcol("branch_fraction")
+        bandwidth = wcol("bandwidth_sensitivity")[:, None]
+        base_cpi = wcol("base_cpi")[:, None]
+        serial_fraction = wcol("serial_fraction")
+        load_imbalance = wcol("load_imbalance")
+        barriers = wcol("barriers")
+        sync_cycles_per_barrier = wcol("sync_cycles_per_barrier")
 
         # --- parallel portion: vectorized fixed point ------------------
         # The inner bisection is the hot loop of the whole batch engine, so
-        # the per-iteration quantities are inlined from the component batch
+        # the per-iteration quantities are inlined from the component grid
         # APIs with every latency-independent term hoisted out of the loop.
         # The operation order deliberately mirrors the scalar path
         # (`MemoryModel.latency_stretch` / `CPUModel.breakdown`) term for
         # term so both paths agree to floating-point accuracy.
-        miss_ratios = self.cache_model.miss_ratio_batch(work, capacity_mb, occupants)
+        miss_ratios = self.cache_model.miss_ratio_grid(
+            works, work_rows, capacity_mb, occupants
+        )
         line_bytes = self._line_bytes()
-        l1_misses_per_instr = work.mem_fraction * work.l1_miss_rate
+        l1_misses_per_instr = (mem_fraction * l1_miss_rate)[:, None]
         l2_misses_per_instr = l1_misses_per_instr * miss_ratios
         l2_hits_per_instr = l1_misses_per_instr * (1.0 - miss_ratios)
         capacity = self.memory_model.effective_capacity_bytes_per_cycle_batch(n, freq)
@@ -841,20 +1201,19 @@ class Machine:
         max_stretch = memory.max_stretch
         conflict_coeff = memory.row_conflict_penalty * np.maximum(0.0, n - 1.0)
         base_latency = self.topology.memory_latency_ns * freq
-        exposed = max(0.0, 1.0 - work.prefetch_friendliness)
+        exposed = np.maximum(0.0, 1.0 - prefetch)
         hidden_latency = base_latency * (1.0 - exposed) * 0.05
         branch_component = (
-            work.branch_fraction
+            branch_fraction
             * self.cpu_model.branch_misprediction_rate
             * self.cpu_model.branch_penalty_cycles
-        )
+        )[:, None]
         l1_component = (
             l2_hits_per_instr
             * np.maximum(0.0, l2_hit - l1_hit)
             * self.cpu_model.l2_hit_exposed_fraction
         )
-        head_cpi = work.base_cpi + l1_component
-        bandwidth = work.bandwidth_sensitivity
+        head_cpi = base_cpi + l1_component
         # line_bytes is a power of two on every shipped topology, so folding
         # it into the constant factor is exact (a pure exponent shift).
         traffic_coeff = (l2_misses_per_instr * line_bytes) * maskf
@@ -876,10 +1235,10 @@ class Machine:
             return latency, demand
 
         tolerance = self.fixed_point_tolerance
-        final_latency, final_demand = sweep(np.zeros(n_configs))
+        final_latency, final_demand = sweep(np.zeros(n_rows))
         implied0 = np.where(capacity_positive, final_demand / safe_capacity, 0.0)
         active = implied0 > tolerance
-        low = np.zeros(n_configs)
+        low = np.zeros(n_rows)
         # Inactive rows keep low == high == 0, so recomputing them inside the
         # loop reproduces their u = 0 state bit for bit; converged rows stop
         # moving their bracket, so their mid — and therefore their latency
@@ -896,64 +1255,65 @@ class Machine:
             low = np.where(go_low, mid, low)
             high = np.where(active & ~go_low, mid, high)
 
-        breakdowns = self.cpu_model.breakdown_batch(
-            work, miss_ratios, final_latency[:, None], l2_hit, l1_hit
+        breakdowns = self.cpu_model.breakdown_grid(
+            works, work_rows, miss_ratios, final_latency[:, None], l2_hit, l1_hit
         )
         total_cpi = breakdowns.total
         bus = self.memory_model.resolve_batch(final_demand, freq, line_bytes, n)
 
-        parallel_instructions = work.instructions * (1.0 - work.serial_fraction)
+        parallel_instructions = instructions * (1.0 - serial_fraction)
         per_thread_instr = parallel_instructions / n
-        critical_instr = per_thread_instr * np.where(n > 1, work.load_imbalance, 1.0)
+        critical_instr = per_thread_instr * np.where(n > 1, load_imbalance, 1.0)
         critical_cpi = np.max(np.where(mask, total_cpi, -np.inf), axis=1)
         parallel_cycles = critical_instr * critical_cpi
 
         # --- serial portion -------------------------------------------
-        serial_instructions = work.instructions * work.serial_fraction
-        if serial_instructions > 0:
-            serial_miss = self.cache_model.miss_ratio_batch(
-                work,
-                np.array([s.serial_capacity_mb for s in statics], dtype=np.float64),
-                np.ones(n_configs),
-            )
-            serial_latency = self.memory_model.effective_latency_cycles_batch(
-                np.zeros(n_configs),
-                work.prefetch_friendliness,
-                freq,
-                np.ones(n_configs),
-            )
-            serial_breakdown = self.cpu_model.breakdown_batch(
-                work,
-                serial_miss,
-                serial_latency,
-                np.array([s.serial_l2_hit for s in statics], dtype=np.float64),
-                np.array([s.serial_l1_hit for s in statics], dtype=np.float64),
-            )
-            serial_cycles = serial_instructions * serial_breakdown.total
-        else:
-            serial_cycles = np.zeros(n_configs)
+        # Rows with no serial fraction contribute exactly 0.0 cycles (the
+        # multiplication by zero instructions is exact), matching the scalar
+        # path's skip.
+        serial_instructions = instructions * serial_fraction
+        serial_miss = self.cache_model.miss_ratio_grid(
+            works,
+            work_rows,
+            np.array([s.serial_capacity_mb for s in statics], dtype=np.float64)[
+                config_rows
+            ],
+            np.ones(n_rows),
+        )
+        serial_latency = self.memory_model.effective_latency_cycles_grid(
+            np.zeros(n_rows),
+            prefetch,
+            freq,
+            np.ones(n_rows),
+        )
+        serial_breakdown = self.cpu_model.breakdown_grid(
+            works,
+            work_rows,
+            serial_miss,
+            serial_latency,
+            np.array([s.serial_l2_hit for s in statics], dtype=np.float64)[config_rows],
+            np.array([s.serial_l1_hit for s in statics], dtype=np.float64)[config_rows],
+        )
+        serial_cycles = serial_instructions * serial_breakdown.total
 
         # --- synchronization ------------------------------------------
-        if work.barriers > 0:
-            per_barrier = work.sync_cycles_per_barrier + 450.0 * n
-            sync_cycles = np.where(n > 1, work.barriers * per_barrier, 0.0)
-            sync_instructions = np.where(
-                n > 1, work.barriers * _SYNC_INSTRUCTIONS_PER_BARRIER * n, 0.0
-            )
-        else:
-            sync_cycles = np.zeros(n_configs)
-            sync_instructions = np.zeros(n_configs)
+        sync_active = (n > 1) & (barriers > 0)
+        per_barrier = sync_cycles_per_barrier + 450.0 * n
+        sync_cycles = np.where(sync_active, barriers * per_barrier, 0.0)
+        sync_instructions = np.where(
+            sync_active, barriers * _SYNC_INSTRUCTIONS_PER_BARRIER * n, 0.0
+        )
 
         total_cycles = parallel_cycles + serial_cycles + sync_cycles
         if apply_noise and self.noise_sigma > 0:
             jitter = np.clip(
-                1.0 + self._rng.normal(0.0, self.noise_sigma, size=n_configs),
+                1.0 + self._rng.normal(0.0, self.noise_sigma, size=n_rows),
                 0.9,
                 1.1,
             )
             total_cycles = total_cycles * jitter
 
-        total_instructions = work.instructions + sync_instructions
+        total_instructions = instructions + sync_instructions
         freq_hz = freq * 1e9
         time_seconds = total_cycles / freq_hz
         safe_cycles = np.where(total_cycles > 0, total_cycles, 1.0)
@@ -962,19 +1322,21 @@ class Machine:
         )
 
         # --- power -----------------------------------------------------
-        power = self.power_model.evaluate_batch(
+        power = self.power_model.evaluate_grid(
             thread_mask=mask,
             thread_ipcs=breakdowns.ipc,
             stall_fractions=breakdowns.stall_fraction,
             bus_utilization=bus.utilization,
             active_cache_counts=np.array(
                 [s.active_caches for s in statics], dtype=np.float64
-            ),
+            )[config_rows],
             num_threads=n,
-            pstates=[c.pstate for c in configs],
+            f_scale=np.array([s[0] for s in scales_c], dtype=np.float64)[config_rows],
+            v_scale=np.array([s[1] for s in scales_c], dtype=np.float64)[config_rows],
         )
 
         # --- assemble compact per-cell entries -------------------------
+        statics_rows = [statics[int(ci)] for ci in config_rows]
         miss_rows = miss_ratios.tolist()
         l1_rows = np.asarray(breakdowns.l1_miss).tolist()
         l2_rows = np.asarray(breakdowns.l2_miss).tolist()
@@ -999,7 +1361,7 @@ class Machine:
             power.memory_watts.tolist(),
         )
         entries: List[_CellEntry] = []
-        for i, (s, bus_row, power_row) in enumerate(zip(statics, bus_rows, power_rows)):
+        for i, (s, bus_row, power_row) in enumerate(zip(statics_rows, bus_rows, power_rows)):
             k = s.n
             entries.append(
                 _CellEntry(
@@ -1071,6 +1433,7 @@ class Machine:
             event_counts=events,
             pstate=config.pstate,
             frequency_ghz=entry.frequency_ghz,
+            miss_ratios=entry.miss_ratios,
         )
 
     def execute_batch(
@@ -1112,6 +1475,85 @@ class Machine:
             simulate the same cell twice.  ``False`` bypasses the memo
             entirely (neither reads nor writes).
         """
+        configs = self._normalize_configurations(configurations, "execute_batch")
+        self.batch_calls += 1
+        self.batch_cells += len(configs)
+        entries, hits, misses, _ = self._serve_cells(
+            [work], configs, apply_noise, use_memo
+        )
+        return BatchExecutionResult(
+            work=work,
+            configurations=configs,
+            machine=self,
+            entries=entries,
+            memo_hits=hits,
+            memo_misses=misses,
+        )
+
+    def execute_grid(
+        self,
+        works: Sequence[WorkRequest],
+        configurations: Optional[Sequence[Configuration | ThreadPlacement]] = None,
+        apply_noise: bool = False,
+        use_memo: bool = True,
+    ) -> GridExecutionResult:
+        """Execute many phases under many configurations in one NumPy pass.
+
+        The 2-D grid generalizes :meth:`execute_batch` across the phase
+        axis: all of a benchmark's phases (or the phases of several
+        benchmarks stacked together) and a whole configuration space are
+        simulated in a single kernel launch, with the throughput/bus fixed
+        point bisected simultaneously for every (work, configuration) cell.
+        Oracle-table construction and training-data collection therefore
+        pay one kernel launch per benchmark instead of one per phase.
+        Noise-free results match looped :meth:`execute` calls to
+        floating-point accuracy, cell for cell.
+
+        Parameters
+        ----------
+        works:
+            Phase characterizations, one grid row each.
+        configurations:
+            Configurations (or raw placements), one grid column each;
+            defaults to the machine's full placement × P-state
+            cross-product (:meth:`default_configurations`).
+        apply_noise:
+            Apply the machine's run-to-run noise term, drawing one jitter
+            per cell in row-major order (work-major — the same stream a
+            nested ``for work: for config:`` loop of noisy :meth:`execute`
+            calls would consume).  Noisy cells are never memoized.
+        use_memo:
+            Serve noise-free cells from (and record them into) the
+            machine's execution memo; only the cells still missing are
+            simulated.  ``False`` bypasses the memo entirely.
+        """
+        works = list(works)
+        if not works:
+            raise ValueError("execute_grid needs at least one work request")
+        configs = self._normalize_configurations(configurations, "execute_grid")
+        self.grid_calls += 1
+        self.grid_cells += len(works) * len(configs)
+        entries, hits, misses, hit_flags = self._serve_cells(
+            works, configs, apply_noise, use_memo
+        )
+        return GridExecutionResult(
+            works=works,
+            configurations=configs,
+            machine=self,
+            entries=entries,
+            memo_hits=hits,
+            memo_misses=misses,
+            hit_flags=hit_flags,
+        )
+
+    # ------------------------------------------------------------------
+    # shared cell-serving machinery (memo, short-circuit, kernel dispatch)
+    # ------------------------------------------------------------------
+    def _normalize_configurations(
+        self,
+        configurations: Optional[Sequence[Configuration | ThreadPlacement]],
+        caller: str,
+    ) -> List[Configuration]:
         if configurations is None:
             configurations = self.default_configurations()
         configs: List[Configuration] = [
@@ -1121,56 +1563,121 @@ class Machine:
             for c in configurations
         ]
         if not configs:
-            raise ValueError("execute_batch needs at least one configuration")
+            raise ValueError(f"{caller} needs at least one configuration")
         for config in configs:
             self._validate_placement(config.placement)
-        self.batch_calls += 1
-        self.batch_cells += len(configs)
+        return configs
 
+    def _serve_cells(
+        self,
+        works: List[WorkRequest],
+        configs: List[Configuration],
+        apply_noise: bool,
+        use_memo: bool,
+    ) -> Tuple[List[_CellEntry], int, int, Optional[List[bool]]]:
+        """Serve the row-major (work × configuration) cell list.
+
+        Cells already in the memo are returned directly; the remainder are
+        simulated — through the vectorized kernel, or through the memoized
+        scalar path when fewer than ``small_batch_cutoff`` cells are cold —
+        and recorded into the memo.  Cold cells with identical memo keys
+        (duplicate configurations, or equal-valued works) are simulated
+        once and shared — the copies count as hits (they are served from
+        the just-recorded cell), so ``misses`` always equals the number of
+        cells actually simulated.  Returns ``(entries, hits, misses,
+        hit_flags)`` where ``hit_flags[i]`` marks cells served from the
+        memo (``None`` when the memo was bypassed).
+        """
+        num_configs = len(configs)
+        total = len(works) * num_configs
         memo_enabled = use_memo and not apply_noise and self.memo_size > 0
-        entries: List[Optional[_CellEntry]] = [None] * len(configs)
+        entries: List[Optional[_CellEntry]] = [None] * total
         keys: List[tuple] = []
+        hit_flags: Optional[List[bool]] = None
         hits = 0
         if memo_enabled:
-            fingerprint = work.fingerprint()
+            hit_flags = [False] * total
+            config_keys = [
+                (c.placement.cores, self._pstate_key(c)) for c in configs
+            ]
             keys = [
-                (fingerprint, c.placement.cores, self._pstate_key(c)) for c in configs
+                (fingerprint, cores, pstate_key)
+                for fingerprint in (w.fingerprint() for w in works)
+                for cores, pstate_key in config_keys
             ]
             for i, key in enumerate(keys):
                 cached = self._memo.get(key)
                 if cached is not None:
                     self._memo.move_to_end(key)
                     entries[i] = cached
+                    hit_flags[i] = True
                     hits += 1
             self._memo_hits += hits
 
         miss_indices = [i for i, entry in enumerate(entries) if entry is None]
         if miss_indices:
-            computed = self._execute_batch_kernel(
-                work, [configs[i] for i in miss_indices], apply_noise
-            )
-            self.batch_cells_computed += len(miss_indices)
+            # Simulate each distinct memo key once; duplicate cold cells
+            # (the memo can only dedup across calls) share the computed
+            # entry.  Without the memo there are no keys to compare by.
+            duplicate_of: Dict[int, int] = {}
             if memo_enabled:
-                self._memo_misses += len(miss_indices)
-                for i, entry in zip(miss_indices, computed):
+                first_by_key: Dict[tuple, int] = {}
+                unique_indices: List[int] = []
+                for i in miss_indices:
+                    first = first_by_key.setdefault(keys[i], i)
+                    if first is i:
+                        unique_indices.append(i)
+                    else:
+                        duplicate_of[i] = first
+            else:
+                unique_indices = miss_indices
+            if memo_enabled and 0 < len(unique_indices) < self.small_batch_cutoff:
+                # Small-batch short-circuit: below the cutoff the vectorized
+                # kernel's fixed setup cost dominates, so cold cells go
+                # through the scalar path and land in the memo like any
+                # other cell.
+                self.small_batch_shortcircuits += 1
+                computed = [
+                    self._execute_scalar_cell(
+                        works[i // num_configs], configs[i % num_configs]
+                    )
+                    for i in unique_indices
+                ]
+            else:
+                computed = self._execute_cells_kernel(
+                    works,
+                    np.array([i // num_configs for i in unique_indices], dtype=np.intp),
+                    configs,
+                    np.array([i % num_configs for i in unique_indices], dtype=np.intp),
+                    apply_noise,
+                )
+            self.batch_cells_computed += len(unique_indices)
+            if memo_enabled:
+                self._memo_misses += len(unique_indices)
+                for i, entry in zip(unique_indices, computed):
                     entries[i] = entry
                     self._memo[keys[i]] = entry
                     if len(self._memo) > self.memo_size:
                         self._memo.popitem(last=False)
+                for i, first in duplicate_of.items():
+                    entries[i] = entries[first]
+                    hit_flags[i] = True
+                hits += len(duplicate_of)
+                self._memo_hits += len(duplicate_of)
             else:
-                for i, entry in zip(miss_indices, computed):
+                for i, entry in zip(unique_indices, computed):
                     entries[i] = entry
-        return BatchExecutionResult(
-            work=work,
-            configurations=configs,
-            machine=self,
-            entries=entries,  # type: ignore[arg-type]
-            memo_hits=hits,
-            memo_misses=len(miss_indices),
-        )
+        misses = len(miss_indices) - (len(duplicate_of) if miss_indices else 0)
+        return entries, hits, misses, hit_flags  # type: ignore[return-value]
+
+    def _execute_scalar_cell(
+        self, work: WorkRequest, config: Configuration
+    ) -> _CellEntry:
+        """One noise-free cell through the scalar path, as a compact entry."""
+        return _CellEntry.from_result(self.execute(work, config, apply_noise=False))
 
     # ------------------------------------------------------------------
-    # execution memo introspection
+    # execution memo introspection and cross-process sharing
     # ------------------------------------------------------------------
     def execution_memo_info(self) -> ExecutionMemoInfo:
         """Hit/miss accounting of the noise-free execution memo."""
@@ -1179,13 +1686,78 @@ class Machine:
             misses=self._memo_misses,
             size=len(self._memo),
             maxsize=self.memo_size,
+            merged_hits=self._merged_hits,
+            merged_misses=self._merged_misses,
         )
+
+    def export_execution_memo(
+        self, since: Optional[ExecutionMemoSnapshot] = None
+    ) -> ExecutionMemoSnapshot:
+        """Export the memo as a picklable :class:`ExecutionMemoSnapshot`.
+
+        Parameters
+        ----------
+        since:
+            When given, export only the *delta*: cells whose key is not in
+            ``since`` — typically the snapshot this machine was seeded from
+            — so a ``run_cells`` worker hands back exactly the cells it
+            simulated itself.  The snapshot always carries this machine's
+            own hit/miss counters so the merging side can attribute the
+            exporter's memo activity.
+        """
+        exclude = since.keys() if since is not None else frozenset()
+        cells = tuple(
+            (key, entry) for key, entry in self._memo.items() if key not in exclude
+        )
+        return ExecutionMemoSnapshot(
+            schema=_memo_schema(),
+            cells=cells,
+            hits=self._memo_hits,
+            misses=self._memo_misses,
+        )
+
+    def merge_execution_memo(self, snapshot: ExecutionMemoSnapshot) -> int:
+        """Absorb a snapshot's cells; returns how many were actually new.
+
+        Cells already present locally are kept (never overwritten); merged
+        cells respect the memo's LRU capacity.  The snapshot's hit/miss
+        counters accumulate into the machine's ``merged_hits`` /
+        ``merged_misses`` accounting (see :class:`ExecutionMemoInfo`).
+        Snapshots whose fingerprint schema differs from this code revision's
+        — e.g. pickled before a :class:`~repro.machine.work.WorkRequest`
+        field was added — are rejected, because their keys would silently
+        alias cells of incompatible characterizations.
+
+        Merging is the caller's assertion that the exporting machine was
+        built with equivalent model parameters; machines that never
+        exchange snapshots keep fully private memos.
+        """
+        expected = _memo_schema()
+        if snapshot.schema != expected:
+            raise ValueError(
+                "stale execution-memo snapshot: fingerprint schema "
+                f"{snapshot.schema!r} does not match this revision's "
+                f"{expected!r}"
+            )
+        added = 0
+        if self.memo_size > 0:
+            for key, entry in snapshot.cells:
+                if key not in self._memo:
+                    self._memo[key] = entry
+                    added += 1
+                    if len(self._memo) > self.memo_size:
+                        self._memo.popitem(last=False)
+        self._merged_hits += snapshot.hits
+        self._merged_misses += snapshot.misses
+        return added
 
     def clear_execution_memo(self) -> None:
         """Drop every memoized cell and reset the hit/miss counters."""
         self._memo.clear()
         self._memo_hits = 0
         self._memo_misses = 0
+        self._merged_hits = 0
+        self._merged_misses = 0
 
     def idle_power_watts(self) -> float:
         """Wall power of the idle platform."""

@@ -307,10 +307,37 @@ class MemoryModel:
         frequency_ghz: np.ndarray,
         active_requestors: np.ndarray,
     ) -> np.ndarray:
-        """Array-shaped :meth:`effective_latency_cycles` (utilization form)."""
+        """Array-shaped :meth:`effective_latency_cycles` (utilization form).
+
+        A thin one-work view of :meth:`effective_latency_cycles_grid` (the
+        scalar ``prefetch_friendliness`` broadcasts across every element).
+        """
+        return self.effective_latency_cycles_grid(
+            utilization, prefetch_friendliness, frequency_ghz, active_requestors
+        )
+
+    def effective_latency_cycles_grid(
+        self,
+        utilization: np.ndarray,
+        prefetch_friendliness: np.ndarray,
+        frequency_ghz: np.ndarray,
+        active_requestors: np.ndarray,
+    ) -> np.ndarray:
+        """Row-wise :meth:`effective_latency_cycles_batch` over many works.
+
+        Identical to the batch form except that ``prefetch_friendliness``
+        is itself an array (one value per grid row, broadcast against the
+        other arguments), so a single call serves a phase × configuration
+        grid of heterogeneous phases.  The remaining bus primitives
+        (:meth:`latency_stretch_batch`, :meth:`resolve_batch`,
+        :meth:`effective_capacity_bytes_per_cycle_batch`) are work-agnostic
+        and broadcast over grid rows unchanged.
+        """
         stretch = self.latency_stretch_batch(utilization, active_requestors)
         base = self.topology.memory_latency_ns * np.asarray(
             frequency_ghz, dtype=np.float64
         )
-        exposed = max(0.0, 1.0 - prefetch_friendliness)
+        exposed = np.maximum(
+            0.0, 1.0 - np.asarray(prefetch_friendliness, dtype=np.float64)
+        )
         return base * stretch * exposed + base * (1.0 - exposed) * 0.05

@@ -304,10 +304,42 @@ class PowerModel:
         pstates:
             DVFS operating point per configuration (``None`` = nominal).
         """
-        p = self.parameters
         scales = [self.dvfs_scales(pstate) for pstate in pstates]
-        f_scale = np.array([s[0] for s in scales], dtype=np.float64)
-        v_scale = np.array([s[1] for s in scales], dtype=np.float64)
+        return self.evaluate_grid(
+            thread_mask=thread_mask,
+            thread_ipcs=thread_ipcs,
+            stall_fractions=stall_fractions,
+            bus_utilization=bus_utilization,
+            active_cache_counts=active_cache_counts,
+            num_threads=num_threads,
+            f_scale=np.array([s[0] for s in scales], dtype=np.float64),
+            v_scale=np.array([s[1] for s in scales], dtype=np.float64),
+        )
+
+    def evaluate_grid(
+        self,
+        thread_mask: np.ndarray,
+        thread_ipcs: np.ndarray,
+        stall_fractions: np.ndarray,
+        bus_utilization: np.ndarray,
+        active_cache_counts: np.ndarray,
+        num_threads: np.ndarray,
+        f_scale: np.ndarray,
+        v_scale: np.ndarray,
+    ) -> PowerBreakdownBatch:
+        """Row-wise :meth:`evaluate_batch` with precomputed DVFS scales.
+
+        Grid callers evaluate many (work, configuration) rows that reuse a
+        handful of distinct P-states, so instead of a per-row ``pstates``
+        list (whose scales :meth:`evaluate_batch` derives one Python call at
+        a time) this form takes the ``(frequency_scale, voltage_scale)``
+        arrays directly — computed once per distinct configuration via
+        :meth:`dvfs_scales` and gathered out to rows.  The arithmetic is
+        identical to :meth:`evaluate_batch`.
+        """
+        p = self.parameters
+        f_scale = np.asarray(f_scale, dtype=np.float64)
+        v_scale = np.asarray(v_scale, dtype=np.float64)
         dynamic_scale = f_scale * v_scale ** 2
 
         throughput_term = np.minimum(1.0, thread_ipcs / 1.8)

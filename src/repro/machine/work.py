@@ -22,9 +22,11 @@ for multicore scaling behaviour on the quad-core Xeon:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict
+from typing import Dict, Sequence
 
-__all__ = ["WorkRequest"]
+import numpy as np
+
+__all__ = ["WorkRequest", "work_field_rows"]
 
 
 @dataclass(frozen=True)
@@ -216,3 +218,19 @@ class WorkRequest:
             "prefetch_friendliness": self.prefetch_friendliness,
             "base_cpi": self.base_cpi,
         }
+
+
+def work_field_rows(
+    works: Sequence[WorkRequest], work_rows: np.ndarray, attr: str
+) -> np.ndarray:
+    """One field of ``works`` gathered out to per-grid-row values.
+
+    Returns ``[getattr(works[work_rows[i]], attr) for i]`` as a float64
+    array — the canonical per-work-scalar → per-row gather shared by every
+    grid kernel path (the machine kernel and the component ``*_grid``
+    methods), so the convention lives in exactly one place.  Callers
+    reshape with trailing singleton axes when broadcasting against
+    thread-shaped arrays.
+    """
+    values = np.array([getattr(work, attr) for work in works], dtype=np.float64)
+    return values[np.asarray(work_rows)]

@@ -46,8 +46,13 @@ def seconds_per_instruction(
     """
     machine = machine or calibration_machine()
     probe = replace(work, instructions=_PROBE_INSTRUCTIONS)
-    result = machine.execute(probe, CONFIG_1, apply_noise=False)
-    return result.time_seconds / probe.instructions
+    # Through the memoized batch path: a one-cell call takes the scalar
+    # short-circuit (bit-identical to `machine.execute`), and the probe cell
+    # lands in the machine's execution memo — so a machine seeded from
+    # another process's memo snapshot recalibrates a suite without
+    # re-simulating a single probe (see `run_cells(..., memo_machine=...)`).
+    batch = machine.execute_batch(probe, [CONFIG_1])
+    return float(batch.time_seconds[0]) / probe.instructions
 
 
 def calibrate_phases(

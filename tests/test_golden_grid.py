@@ -1,0 +1,171 @@
+"""Golden pinned-seed regressions locking the grid-rewired pipelines.
+
+The literal values below were captured from the pre-grid (per-phase
+``execute_batch``) implementations of :func:`build_oracle_table` and
+:func:`collect_training_dataset` at pinned seeds; the grid rewiring (one
+``execute_grid`` kernel launch per benchmark) must reproduce them to
+floating-point accuracy.  Any drift here means the vectorized kernel, the
+small-batch scalar short-circuit or the memo changed *values*, not just
+speed — which silently corrupts oracle tables, training data and every
+experiment built on them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_oracle_table, collect_training_dataset
+from repro.machine import (
+    Machine,
+    dvfs_configurations,
+    standard_configurations,
+)
+from repro.workloads import nas_suite
+
+#: The pre-rewiring reference values are exact captures; 1e-12 absorbs the
+#: last-ulp freedom between the scalar path and the vectorized kernel.
+_RTOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def golden_machine():
+    return Machine(noise_sigma=0.0)
+
+
+@pytest.fixture(scope="module")
+def golden_suite():
+    return nas_suite(machine=Machine(noise_sigma=0.0), variability=0.0)
+
+
+class TestGoldenOracleTable:
+    #: (phase, configuration) -> (time_seconds, ipc, power_watts), captured
+    #: from the per-phase batch implementation on the CG benchmark.
+    GOLDEN_CG = {
+        ("cg.spmv", "1"): (0.992, 0.31389969552784386, 125.88461320651044),
+        ("cg.spmv", "2a"): (0.8125347907458291, 0.383231792874324, 130.87750743600537),
+        ("cg.spmv", "4"): (0.7978194496639797, 0.3903011281914769, 137.35600952223174),
+        ("cg.precond", "1"): (0.19199999999999998, 1.5016679025393505, 127.39926490611947),
+        ("cg.precond", "2a"): (0.09832203158246065, 2.9324140206807376, 138.83450682089614),
+        ("cg.precond", "4"): (0.049820759779610216, 5.787177311151482, 163.67268922320724),
+    }
+
+    def test_cg_oracle_cells_match_pre_grid_capture(
+        self, golden_machine, golden_suite
+    ):
+        table = build_oracle_table(golden_machine, golden_suite.get("CG"))
+        assert table.phase_names() == ["cg.spmv", "cg.axpy", "cg.dot", "cg.precond"]
+        for (phase, config), (time_s, ipc, watts) in self.GOLDEN_CG.items():
+            m = table.measurement(phase, config)
+            assert m.time_seconds == pytest.approx(time_s, rel=_RTOL)
+            assert m.ipc == pytest.approx(ipc, rel=_RTOL)
+            assert m.power_watts == pytest.approx(watts, rel=_RTOL)
+
+    def test_cg_application_metrics_match_pre_grid_capture(
+        self, golden_machine, golden_suite
+    ):
+        table = build_oracle_table(golden_machine, golden_suite.get("CG"))
+        app = table.application_metrics("4")
+        assert app["time_seconds"] == pytest.approx(84.79276802500449, rel=_RTOL)
+        assert app["energy_joules"] == pytest.approx(11839.377699482608, rel=_RTOL)
+        assert app["power_watts"] == pytest.approx(139.6272108488226, rel=_RTOL)
+        assert app["ed2"] == pytest.approx(85122917.72594512, rel=_RTOL)
+
+    def test_dvfs_cross_product_cell_matches_pre_grid_capture(
+        self, golden_machine, golden_suite
+    ):
+        cross = dvfs_configurations(
+            standard_configurations(golden_machine.topology),
+            golden_machine.pstate_table,
+        )
+        table = build_oracle_table(golden_machine, golden_suite.get("IS"), cross)
+        m = table.measurement(table.phase_names()[0], "2b@1.6GHz")
+        assert m.time_seconds == pytest.approx(0.2146131648639229, rel=_RTOL)
+        assert m.ipc == pytest.approx(0.6072911820579916, rel=_RTOL)
+        assert m.power_watts == pytest.approx(123.24459736188626, rel=_RTOL)
+
+
+class TestGoldenTrainingDataset:
+    GOLDEN_FIRST_FEATURES = (
+        0.3919468602039304,
+        0.03591212099185401,
+        0.1849021521033387,
+        0.028619781764229153,
+        0.032709792998905085,
+        0.030531018510620626,
+        0.0302541598690991,
+        3.7756256519333777,
+        0.000977282615983726,
+        0.025976317656946902,
+        0.0005125174919900774,
+        0.114637521228655,
+        0.18594601545647998,
+    )
+    GOLDEN_FIRST_TARGETS = {
+        "1": 0.31389969552784386,
+        "2a": 0.383231792874324,
+        "2b": 0.42294515331953153,
+        "3": 0.4031431681953712,
+    }
+
+    def _dataset(self, machine, suite):
+        return collect_training_dataset(
+            machine,
+            [suite.get("CG"), suite.get("MG")],
+            samples_per_phase=2,
+            measurement_noise=0.10,
+            seed=7,
+        )
+
+    def test_dataset_matches_pre_grid_capture(self, golden_machine, golden_suite):
+        dataset = self._dataset(golden_machine, golden_suite)
+        assert len(dataset) == 18
+        first = dataset.samples[0]
+        assert first.phase_id == "CG:cg.spmv"
+        assert first.features == pytest.approx(
+            self.GOLDEN_FIRST_FEATURES, rel=_RTOL
+        )
+        for config, ipc in self.GOLDEN_FIRST_TARGETS.items():
+            assert first.targets[config] == pytest.approx(ipc, rel=_RTOL)
+        last = dataset.samples[-1]
+        assert last.phase_id == "MG:mg.norm2u3"
+        assert last.targets["3"] == pytest.approx(2.4162469155269823, rel=_RTOL)
+
+    def test_sample_features_ignore_foreign_pstate_tables(self, golden_suite):
+        """Sample cells always run at the placement's true nominal clock.
+
+        A DVFS target space whose "nominal" differs from the topology clock
+        must not alias the sample column onto one of its columns — the
+        pre-grid code measured the sample at the bare placement, and the
+        grid rewiring must preserve that.
+        """
+        from repro.machine.dvfs import PState, PStateTable
+
+        def features(pstate_table):
+            dataset = collect_training_dataset(
+                Machine(noise_sigma=0.0),
+                [golden_suite.get("CG")],
+                samples_per_phase=1,
+                measurement_noise=0.0,
+                seed=7,
+                pstate_table=pstate_table,
+            )
+            return [s.features for s in dataset.samples]
+
+        shifted = PStateTable(
+            states=(
+                PState(name="P0", frequency_ghz=2.0, voltage=1.175),
+                PState(name="P1", frequency_ghz=1.6, voltage=1.050),
+            )
+        )
+        assert features(shifted) == features(None)
+
+    def test_dataset_is_stable_across_warm_and_cold_memo(self, golden_suite):
+        """Cold scalar-short-circuit cells == memo-warm cells, exactly."""
+        cold = self._dataset(Machine(noise_sigma=0.0), golden_suite)
+        warm_machine = Machine(noise_sigma=0.0)
+        build_oracle_table(warm_machine, golden_suite.get("CG"))
+        build_oracle_table(warm_machine, golden_suite.get("MG"))
+        warm = self._dataset(warm_machine, golden_suite)
+        for a, b in zip(cold.samples, warm.samples):
+            assert a.features == b.features
+            assert a.targets == b.targets

@@ -169,6 +169,24 @@ class TestBatchResultInterface:
         with pytest.raises(KeyError):
             batch.metric("not_a_metric")
 
+    def test_duplicate_names_resolve_to_first_occurrence(
+        self, machine, compute_work
+    ):
+        """index_of, result_for and metric_by_name agree on duplicates."""
+        from repro.machine import CONFIG_2B, Configuration
+
+        low = Configuration(
+            "2b", CONFIG_2B.placement, list(machine.pstate_table)[-1]
+        )
+        batch = machine.execute_batch(compute_work, [CONFIG_2B, low], use_memo=False)
+        assert batch.index_of("2b") == 0
+        assert batch.metric_by_name("time_seconds")["2b"] == float(
+            batch.time_seconds[0]
+        )
+        assert batch.result_for("2b").frequency_ghz == float(
+            batch.frequency_ghz[0]
+        )
+
     def test_derived_metric_arrays_are_consistent(
         self, machine, compute_work, cross_product
     ):

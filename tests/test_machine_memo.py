@@ -6,10 +6,19 @@ training collection never simulate the same cell twice.  These tests pin its
 accounting, its LRU bound, its noise-gating, and its isolation between
 machines built with different model parameters — plus the satellite
 memoizations of the scalar path (``configuration_by_name`` and placement
-validation).
+validation) and the cross-process snapshot protocol
+(:meth:`~repro.machine.Machine.export_execution_memo` /
+:meth:`~repro.machine.Machine.merge_execution_memo`): schema-guarded
+export/merge, delta export, noisy executions never exported, and merged
+hit/miss accounting flowing back across a real process pool.
 """
 
 from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Tuple
 
 import pytest
 
@@ -17,6 +26,7 @@ from repro.core import build_oracle_table, collect_training_dataset, measure_ora
 from repro.machine import (
     CONFIG_4,
     CPUModel,
+    ExecutionMemoSnapshot,
     Machine,
     PowerModel,
     PowerParameters,
@@ -169,6 +179,130 @@ class TestMemoIsolation:
         assert batch.memo_misses == 1  # not served by machine a's memo
 
 
+def _snapshot_pool_worker(
+    snapshot: ExecutionMemoSnapshot, warm: bool
+) -> Tuple[ExecutionMemoSnapshot, int, int]:
+    """Pool worker: seed a fresh machine, sweep, return (delta, hits, misses).
+
+    Module-level so it pickles under any multiprocessing start method.
+    """
+    machine = Machine(noise_sigma=0.0)
+    if warm:
+        machine.merge_execution_memo(snapshot)
+    work = WorkRequest(instructions=2.5e8, working_set_mb=6.0)
+    machine.execute_batch(work, standard_configurations(machine.topology))
+    delta = machine.export_execution_memo(since=snapshot if warm else None)
+    info = machine.execution_memo_info()
+    return delta, info.hits, info.misses
+
+
+class TestMemoSnapshot:
+    def test_export_merge_roundtrip_serves_hits(self, fresh_machine, phase_work):
+        configs = standard_configurations(fresh_machine.topology)
+        fresh_machine.execute_batch(phase_work, configs)
+        snapshot = fresh_machine.export_execution_memo()
+        assert len(snapshot) == len(configs)
+        other = Machine(noise_sigma=0.0)
+        assert other.merge_execution_memo(snapshot) == len(configs)
+        batch = other.execute_batch(phase_work, configs)
+        assert (batch.memo_hits, batch.memo_misses) == (len(configs), 0)
+
+    def test_snapshot_survives_pickling(self, fresh_machine, phase_work):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        snapshot = pickle.loads(pickle.dumps(fresh_machine.export_execution_memo()))
+        other = Machine(noise_sigma=0.0)
+        assert other.merge_execution_memo(snapshot) == 1
+        assert other.execute_batch(phase_work, [CONFIG_4]).memo_hits == 1
+
+    def test_delta_export_excludes_seeded_cells(self, fresh_machine, phase_work):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        seed = fresh_machine.export_execution_memo()
+        worker = Machine(noise_sigma=0.0)
+        worker.merge_execution_memo(seed)
+        configs = standard_configurations(worker.topology)
+        worker.execute_batch(phase_work, configs)  # one hit, the rest cold
+        delta = worker.export_execution_memo(since=seed)
+        assert len(delta) == len(configs) - 1
+        assert seed.keys().isdisjoint(delta.keys())
+        # The delta carries the worker's own accounting.
+        assert (delta.hits, delta.misses) == (1, len(configs) - 1)
+
+    def test_schema_mismatch_rejects_stale_snapshots(self, fresh_machine, phase_work):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        snapshot = fresh_machine.export_execution_memo()
+        stale = replace(snapshot, schema=("memo-v0",) + snapshot.schema[1:])
+        with pytest.raises(ValueError, match="stale execution-memo snapshot"):
+            Machine(noise_sigma=0.0).merge_execution_memo(stale)
+
+    def test_noisy_executions_are_never_exported(self, phase_work):
+        machine = Machine(noise_sigma=0.01, seed=5)
+        machine.execute_batch(phase_work, [CONFIG_4], apply_noise=True)
+        machine.execute(phase_work, CONFIG_4, apply_noise=True)
+        assert len(machine.export_execution_memo()) == 0
+
+    def test_merge_keeps_existing_cells_and_respects_lru_bound(self, phase_work):
+        donor = Machine(noise_sigma=0.0)
+        configs = standard_configurations(donor.topology)
+        donor.execute_batch(phase_work, configs)
+        snapshot = donor.export_execution_memo()
+        small = Machine(noise_sigma=0.0, memo_size=3)
+        assert small.merge_execution_memo(snapshot) <= len(configs)
+        assert small.execution_memo_info().size == 3
+        # Re-merging adds nothing new for cells already present.
+        already = Machine(noise_sigma=0.0)
+        already.execute_batch(phase_work, configs)
+        assert already.merge_execution_memo(snapshot) == 0
+
+    def test_merged_accounting_in_info_and_clear(self, fresh_machine, phase_work):
+        donor = Machine(noise_sigma=0.0)
+        donor.execute_batch(phase_work, [CONFIG_4])
+        donor.execute_batch(phase_work, [CONFIG_4])
+        fresh_machine.merge_execution_memo(donor.export_execution_memo())
+        info = fresh_machine.execution_memo_info()
+        assert (info.merged_hits, info.merged_misses) == (1, 1)
+        assert (info.hits, info.misses) == (0, 0)  # own activity untouched
+        fresh_machine.clear_execution_memo()
+        info = fresh_machine.execution_memo_info()
+        assert (info.merged_hits, info.merged_misses) == (0, 0)
+
+    def test_memo_disabled_machine_merges_no_cells(self, fresh_machine, phase_work):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        snapshot = fresh_machine.export_execution_memo()
+        disabled = Machine(noise_sigma=0.0, memo_size=0)
+        assert disabled.merge_execution_memo(snapshot) == 0
+        assert disabled.execution_memo_info().size == 0
+
+    def test_cross_process_hit_accounting(self, phase_work):
+        """Workers seed from a parent snapshot and return attributable deltas."""
+        parent = Machine(noise_sigma=0.0)
+        configs = standard_configurations(parent.topology)
+        parent.execute_batch(phase_work, configs[:2])  # partial warm state
+        seed = parent.export_execution_memo()
+        work = WorkRequest(instructions=2.5e8, working_set_mb=6.0)
+        assert work.fingerprint() == phase_work.fingerprint()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            cold_delta, cold_hits, cold_misses = pool.submit(
+                _snapshot_pool_worker, seed, True
+            ).result()
+            assert (cold_hits, cold_misses) == (2, len(configs) - 2)
+            assert len(cold_delta) == len(configs) - 2
+            parent.merge_execution_memo(cold_delta)
+            info = parent.execution_memo_info()
+            assert info.size == len(configs)
+            assert (info.merged_hits, info.merged_misses) == (2, len(configs) - 2)
+            # A second worker seeded with the merged state is all hits and
+            # hands back an empty delta.
+            warm_seed = parent.export_execution_memo()
+            warm_delta, warm_hits, warm_misses = pool.submit(
+                _snapshot_pool_worker, warm_seed, True
+            ).result()
+            assert (warm_hits, warm_misses) == (len(configs), 0)
+            assert len(warm_delta) == 0
+            parent.merge_execution_memo(warm_delta)
+        info = parent.execution_memo_info()
+        assert info.merged_hits == 2 + len(configs)
+
+
 class TestWorkFingerprint:
     def test_fingerprint_tracks_field_values(self):
         a = WorkRequest(instructions=1e8)
@@ -200,15 +334,18 @@ class TestScalarPathMemoization:
 
 
 class TestHotConsumersUseTheBatchPath:
-    """Oracle building and training collection run through execute_batch."""
+    """Oracle building and training collection run through execute_grid."""
 
-    def test_oracle_table_goes_through_batch_calls(self, phase_work):
+    def test_oracle_table_goes_through_one_grid_call(self, phase_work):
         machine = Machine(noise_sigma=0.0)
         suite = nas_suite(machine=Machine(noise_sigma=0.0), names=["CG"])
         workload = suite.get("CG")
-        assert machine.batch_calls == 0
+        assert machine.grid_calls == 0
         table = build_oracle_table(machine, workload)
-        assert machine.batch_calls == len(workload.phases)
+        assert machine.grid_calls == 1
+        assert machine.grid_cells == len(workload.phases) * len(
+            table.configurations
+        )
         assert machine.batch_cells_computed > 0
         # A rebuild is served entirely from the memo.
         computed_before = machine.batch_cells_computed

@@ -67,6 +67,50 @@ class TestGoldenSerialVsParallel:
             # identical floating-point aggregates.
             assert _aggregates(s) == _aggregates(p)
 
+    def test_shared_memo_keeps_serial_and_parallel_bit_identical(self):
+        """A memo host seeds every cell without perturbing any report.
+
+        Memoized cells are deterministic and noise-free, so sharing them
+        across the pool is a pure performance feature: reports must equal
+        the no-memo golden run exactly, serially and in parallel.  What the
+        host memo actually carries are the suite-calibration probe cells
+        every cell execution otherwise re-simulates from scratch.
+        """
+        from repro.machine import Machine
+
+        host = Machine(noise_sigma=0.0)
+        golden = run_cells(CELLS)
+
+        # Cold host: the first sweep's workers simulate the calibration
+        # probes themselves and hand them back as deltas.
+        serial = run_cells(CELLS, memo_machine=host)
+        info = host.execution_memo_info()
+        assert info.size > 0  # calibration probe cells flowed back
+        assert info.merged_misses > 0
+        seeded_cells = info.size
+
+        # Warm host: the next sweep's workers recalibrate entirely from the
+        # seeded snapshot — pure cross-process hits, nothing re-simulated.
+        parallel = run_cells(CELLS, processes=4, memo_machine=host)
+        info = host.execution_memo_info()
+        assert info.size == seeded_cells
+        assert info.merged_hits > 0
+
+        for g, s, p in zip(golden, serial, parallel):
+            assert _aggregates(g) == _aggregates(s) == _aggregates(p)
+
+    def test_incompatible_memo_host_rejected(self):
+        """A host with divergent model parameters must not seed workers —
+        memo keys carry no model information, so its cells would silently
+        corrupt every worker's suite calibration."""
+        from repro.machine import CPUModel, Machine
+
+        host = Machine(
+            noise_sigma=0.0, cpu_model=CPUModel(branch_misprediction_rate=0.08)
+        )
+        with pytest.raises(ValueError, match="not compatible"):
+            run_cells(CELLS[:1], memo_machine=host)
+
     def test_cells_are_order_independent(self):
         reversed_reports = run_cells(list(reversed(CELLS)))
         forward_reports = run_cells(CELLS)
