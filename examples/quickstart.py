@@ -22,11 +22,14 @@ It then demonstrates the four scaling features of the serving path:
   training collection never simulate the same cell twice;
 * the **frequency axis (DVFS)** — ``Configuration`` is a placement ×
   frequency pair (``Configuration(name, placement, pstate)``, names like
-  ``"2b@1.6GHz"``); ``train_predictor_bundle(..., pstate_table=...)``
-  trains one model per (placement, P-state) target so a single
-  ``predict_batch`` call scores the whole cross-product, and
-  ``EnergyAwarePolicy(bundle, objective="ed2")`` selects by energy, EDP or
-  ED² instead of raw predicted IPC;
+  ``"2b@1.6GHz"``) or, for heterogeneous per-core P-states, a placement ×
+  frequency *vector* (``pstate_vector``, names like
+  ``"4@2.4/2.4/1.6/1.6GHz"``; all-equal vectors collapse to the
+  homogeneous form); ``train_predictor_bundle(..., pstate_table=...,
+  include_heterogeneous=True)`` trains one model per target so a single
+  ``predict_batch`` call scores the whole (optionally ladder-enlarged)
+  cross-product, and ``EnergyAwarePolicy(bundle, objective="ed2")``
+  selects by energy, EDP or ED² instead of raw predicted IPC;
 * the **concurrent experiment runner** — independent workload × policy
   cells fan out over a process pool with seeded, reproducible RNG streams
   (``run_cells(..., processes=N)``; the full figure sweep — now including
@@ -183,6 +186,50 @@ def main() -> None:
     print(
         f"  snapshot: {len(snapshot)} cells -> seeded machine re-simulated "
         f"{reheated.memo_misses} cells"
+    )
+
+    # 6d. Heterogeneous per-core P-states: real DVFS hardware clocks each
+    #     core independently.  A Configuration may pin one PState per
+    #     active core (names like "4@2.4/2.4/1.6/1.6GHz"; an all-equal
+    #     vector collapses to the homogeneous form), dvfs_configurations(
+    #     include_heterogeneous=True) appends the bounded two-level ladders
+    #     — fast master block, slow trailing block — and the grid kernel
+    #     evaluates the enlarged space in the same vectorized pass.  The
+    #     staged EnergyAwarePolicy selection (and train_predictor_bundle(
+    #     include_heterogeneous=True)) rank the ladders alongside the
+    #     homogeneous cross-product; ladders earn their keep on phases
+    #     whose Amdahl (serial) portion rides the boosted master core.
+    from repro.machine import configuration_by_name, dvfs_configurations
+
+    enlarged = dvfs_configurations(
+        None, machine.pstate_table, include_heterogeneous=True
+    )
+    ladder_sweep = machine.execute_grid([phase0], enlarged)
+    ladders = [c.name for c in enlarged if c.is_heterogeneous]
+    print()
+    print(
+        f"Heterogeneous ladders: {len(ladders)} of {len(enlarged)} "
+        f"configurations (e.g. {ladders[-1]})"
+    )
+    boosted = configuration_by_name("4@2.4/1.6/1.6/1.6GHz", machine.pstate_table)
+    boosted_result = machine.execute(phase0, boosted, apply_noise=False)
+    print(
+        f"  {boosted.name}: master core at "
+        f"{boosted_result.frequency_ghz:g} GHz, {boosted_result.power_watts:.1f} W "
+        f"(vs {machine.execute(phase0, configuration_by_name('4'), apply_noise=False).power_watts:.1f} W all-nominal)"
+    )
+    print(f"  best ED2 over the enlarged space: {ladder_sweep.best('ed2')[0].name}")
+    # The memo survives process restarts: persist it to disk and reload.
+    import tempfile, pathlib
+
+    memo_path = pathlib.Path(tempfile.mkdtemp()) / "memo.pkl"
+    saved = machine.save_execution_memo(memo_path)
+    restarted = Machine(noise_sigma=0.0)
+    restarted.load_execution_memo(memo_path)
+    replay = restarted.execute_grid([phase0], enlarged)
+    print(
+        f"  memo persisted to disk ({saved} cells); restarted machine "
+        f"re-simulated {replay.memo_misses} cells"
     )
 
     # 7. The frequency axis: expand the target space to the placement x

@@ -262,12 +262,22 @@ class EnergyAwarePolicy(PredictionPolicy):
     instead of maximizing raw predicted IPC (which, being a per-cycle
     quantity, would wrongly favour low clocks).
 
+    The candidate space may also include heterogeneous per-core P-state
+    ladders (targets like ``"4@2.4/2.4/1.6/1.6GHz"`` from
+    ``train_predictor_bundle(..., include_heterogeneous=True)``): their
+    names resolve through the same ``configuration_by_name`` path, the cost
+    model charges each core its own f·V² scale and converts predicted IPCs
+    to time through the master (thread-0) clock the simulator defines
+    heterogeneous IPC in, and staged selection ranks them within their base
+    placement's frequency pool.
+
     Parameters
     ----------
     bundle:
         Predictors whose target configurations span the placement ×
         frequency cross-product (see
-        ``train_predictor_bundle(..., pstate_table=...)``).
+        ``train_predictor_bundle(..., pstate_table=...)``), optionally
+        enlarged by the bounded heterogeneous ladders.
     objective:
         ``"energy"``, ``"edp"``, ``"ed2"`` (the paper line's headline
         metric, default) or ``"time"``.

@@ -136,9 +136,21 @@ class EnergyCostModel:
             ) from exc
 
     def frequency_ghz(self, name: str) -> float:
-        """Clock frequency of a candidate (nominal when not pinned)."""
-        pinned = self.configuration(name).frequency_ghz
-        return pinned if pinned is not None else self.nominal_frequency_ghz
+        """Clock the candidate's IPC is expressed in (nominal when not pinned).
+
+        IPC is a per-cycle quantity, so turning it into time requires the
+        clock its cycles are counted in.  For a heterogeneous per-core
+        candidate that is the *master* (thread-0) core's clock: the machine
+        model defines a heterogeneous execution's aggregate IPC against
+        master-clock cycles (``ExecutionResult.frequency_ghz``), so the
+        slow trailing cores are already priced into the IPC itself —
+        dividing by any other frequency would double-count them.
+        """
+        config = self.configuration(name)
+        frequencies = config.frequencies_ghz()
+        if frequencies is None:
+            return self.nominal_frequency_ghz
+        return frequencies[0]
 
     def relative_time(self, name: str, predicted_ipc: float) -> float:
         """Execution time per instruction, in arbitrary (comparable) units.
@@ -150,7 +162,12 @@ class EnergyCostModel:
         return 1.0 / (ipc * self.frequency_ghz(name))
 
     def power_watts(self, name: str, predicted_ipc: float) -> float:
-        """Estimated wall power of a candidate at the predicted IPC."""
+        """Estimated wall power of a candidate at the predicted IPC.
+
+        Heterogeneous candidates hand their per-core P-state vector to the
+        power model, so each core's static/dynamic scales reflect its own
+        operating point.
+        """
         config = self.configuration(name)
         n = config.num_threads
         per_thread_ipc = max(float(predicted_ipc), 0.0) / n
@@ -159,13 +176,19 @@ class EnergyCostModel:
             thread_ipcs=[per_thread_ipc] * n,
             stall_fractions=[self.assumed_stall_fraction] * n,
             bus_utilization=self.assumed_bus_utilization,
-            pstate=config.pstate,
+            pstate=(
+                config.pstate_vector
+                if config.pstate_vector is not None
+                else config.pstate
+            ),
         )
         return breakdown.total_watts
 
     def is_nominal(self, name: str) -> bool:
-        """Whether a candidate runs at the nominal (highest) frequency."""
+        """Whether a candidate runs every core at the nominal frequency."""
         config = self.configuration(name)
+        if config.is_heterogeneous:
+            return False
         if config.pstate is None:
             return True
         return config.pstate == self.power_model.pstate_table.nominal

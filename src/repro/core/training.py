@@ -128,6 +128,7 @@ def collect_training_dataset(
     measurement_noise: float = 0.10,
     seed: int = 7,
     pstate_table: Optional[PStateTable] = None,
+    include_heterogeneous: bool = False,
 ) -> PredictionDataset:
     """Collect a training dataset from the phases of ``workloads``.
 
@@ -149,13 +150,26 @@ def collect_training_dataset(
     cross-product (``dvfs_configurations``), the default targets become
     every cross-product member except the sample configuration, and the
     ground-truth IPCs are measured at each configuration's pinned frequency.
+    ``include_heterogeneous=True`` additionally appends the bounded
+    per-core ladders (:func:`~repro.machine.placement.heterogeneous_ladders`)
+    to the candidate space, so the trained models can rank heterogeneous
+    per-core operating points too.
     """
     if samples_per_phase < 1:
         raise ValueError("samples_per_phase must be >= 1")
+    if include_heterogeneous and pstate_table is None:
+        raise ValueError(
+            "include_heterogeneous requires a pstate_table: heterogeneous "
+            "ladders are generated from the frequency ladder"
+        )
     rng = np.random.default_rng(seed)
     base_configs = standard_configurations(machine.topology)
     if pstate_table is not None:
-        candidates = dvfs_configurations(base_configs, pstate_table)
+        candidates = dvfs_configurations(
+            base_configs,
+            pstate_table,
+            include_heterogeneous=include_heterogeneous,
+        )
     else:
         candidates = base_configs
     all_configs = {c.name: c for c in candidates}
@@ -273,12 +287,17 @@ def train_ipc_predictor(
 def train_linear_predictor(dataset: PredictionDataset) -> IPCPredictor:
     """Fit one least-squares model per target configuration (baseline [3]).
 
-    Frequency-suffixed targets (``"2b@1.6GHz"``) whose base placement is
-    also a target are fitted as :class:`FrequencyRatioModel`: the base
-    placement's absolute model times a least-squares model of the
-    cross-frequency IPC *ratio*.  The ratio is bounded and tracks the
-    phase's memory-boundedness, so this structure generalizes far better
-    across frequencies than independent absolute models.
+    Frequency-suffixed targets whose base placement is also a target are
+    fitted as :class:`FrequencyRatioModel`: the base placement's absolute
+    model times a least-squares model of the cross-frequency IPC *ratio*.
+    The ratio is bounded and tracks the phase's memory-boundedness, so this
+    structure generalizes far better across frequencies than independent
+    absolute models.  The rule covers both homogeneous suffixes
+    (``"2b@1.6GHz"``) and heterogeneous per-core vectors
+    (``"4@2.4/2.4/1.6/1.6GHz"``): each heterogeneous ladder gets its own
+    ratio model against the same base placement, so per-core operating
+    points inherit the base's placement accuracy just like the homogeneous
+    P-states do.
     """
     features = dataset.feature_matrix()
     models: Dict[str, "ConfigurationModel"] = {}
@@ -317,6 +336,7 @@ def train_predictor_bundle(
     linear: bool = False,
     target_configurations: Optional[Sequence[str]] = None,
     pstate_table: Optional[PStateTable] = None,
+    include_heterogeneous: bool = False,
 ) -> PredictorBundle:
     """Train the full-event (and optionally reduced-event) predictors.
 
@@ -338,6 +358,12 @@ def train_predictor_bundle(
         When supplied, the targets span the placement × frequency
         cross-product so one ``predict_batch`` call scores the whole DVFS
         space (used by :class:`~repro.core.policies.EnergyAwarePolicy`).
+    include_heterogeneous:
+        With a ``pstate_table``, additionally train targets for the
+        bounded heterogeneous per-core ladders; heterogeneous targets
+        (``"4@2.4/2.4/1.6/1.6GHz"``) are fitted as
+        :class:`~repro.core.predictor.FrequencyRatioModel` on top of their
+        base placement, exactly like the homogeneous frequency suffixes.
     """
     options = options or ANNTrainingOptions()
 
@@ -351,6 +377,7 @@ def train_predictor_bundle(
             measurement_noise=options.measurement_noise,
             seed=options.seed + seed_offset,
             pstate_table=pstate_table,
+            include_heterogeneous=include_heterogeneous,
         )
         if linear:
             return train_linear_predictor(dataset)

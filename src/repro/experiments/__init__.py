@@ -22,7 +22,7 @@ from .fig3_power_energy import run_fig3
 from .fig6_prediction_cdf import run_fig6
 from .fig7_rank_selection import run_fig7
 from .fig8_throttling import STRATEGY_NAMES, run_fig8
-from .fig_dvfs import DVFS_STRATEGY_NAMES, run_fig_dvfs
+from .fig_dvfs import DVFS_STRATEGY_NAMES, run_fig_dvfs, run_heterogeneous_sweep
 from .manycore_extension import run_manycore_extension
 from .runner import ABLATIONS, EXPERIMENTS, run_all
 from .scaling_summary import run_scaling_summary
@@ -52,6 +52,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig_dvfs",
+    "run_heterogeneous_sweep",
     "run_manycore_extension",
     "run_scaling_summary",
 ]

@@ -48,12 +48,12 @@ from ..analysis.reporting import Figure, format_nested_table
 from ..core.actor import ACTOR
 from ..core.policies import PredictionPolicy, StaticPolicy
 from ..machine.machine import Machine
-from ..machine.placement import CONFIG_4
+from ..machine.placement import CONFIG_4, dvfs_configurations
 from ..machine.power import PowerModel, dvfs_power_parameters
 from ..openmp.runtime import OpenMPRuntime
 from .common import ExperimentContext
 
-__all__ = ["run_fig_dvfs", "DVFS_STRATEGY_NAMES"]
+__all__ = ["run_fig_dvfs", "run_heterogeneous_sweep", "DVFS_STRATEGY_NAMES"]
 
 #: Strategy labels in plotting order.
 DVFS_STRATEGY_NAMES = ("4-cores", "prediction", "energy-energy", "energy-ed2")
@@ -64,6 +64,66 @@ _METRICS = {
     "energy": "energy_joules",
     "ed2": "ed2",
 }
+
+
+def run_heterogeneous_sweep(ctx: ExperimentContext) -> Dict[str, Dict[str, object]]:
+    """Offline per-core P-state sweep: ladders versus the homogeneous space.
+
+    For every benchmark, one :meth:`~repro.machine.Machine.execute_grid`
+    launch evaluates all phases against the homogeneous placement ×
+    P-state cross-product *plus* the bounded heterogeneous ladders
+    (:func:`~repro.machine.placement.heterogeneous_ladders`) on the
+    CPU-dominated power profile, and the phase-optimal ED² of the enlarged
+    space is compared against the homogeneous-only optimum.  The machine
+    model charges every thread the critical path's instruction share, so
+    heterogeneous ladders win exactly where their physics says they should
+    — phases whose serial fraction rides the boosted master core while the
+    trailing cores coast — and the sweep quantifies how much of the suite
+    that is.
+    """
+    table = ctx.pstate_table
+    homogeneous = dvfs_configurations(ctx.configurations, table)
+    enlarged = dvfs_configurations(
+        ctx.configurations, table, include_heterogeneous=True
+    )
+    homogeneous_names = {c.name for c in homogeneous}
+    machine = Machine(
+        topology=ctx.machine.topology,
+        power_model=PowerModel(
+            ctx.machine.topology, dvfs_power_parameters(), pstate_table=table
+        ),
+        pstate_table=table,
+        noise_sigma=0.0,
+        seed=ctx.seed,
+    )
+    sweep: Dict[str, Dict[str, object]] = {}
+    for workload in ctx.suite:
+        grid = machine.execute_grid(
+            [phase.work for phase in workload.phases], enlarged
+        )
+        ed2 = grid.ed2
+        homogeneous_columns = [
+            index
+            for index, config in enumerate(enlarged)
+            if config.name in homogeneous_names
+        ]
+        phase_best_all = ed2.min(axis=1)
+        phase_best_homogeneous = ed2[:, homogeneous_columns].min(axis=1)
+        winners = [enlarged[int(column)].name for column in ed2.argmin(axis=1)]
+        sweep[workload.name] = {
+            "phase_optimal_ed2": float(phase_best_all.sum()),
+            "phase_optimal_ed2_homogeneous": float(phase_best_homogeneous.sum()),
+            "ed2_gain": float(
+                1.0 - phase_best_all.sum() / phase_best_homogeneous.sum()
+            ),
+            "phase_winners": dict(
+                zip([phase.name for phase in workload.phases], winners)
+            ),
+            "heterogeneous_wins": sum(
+                1 for name in winners if name not in homogeneous_names
+            ),
+        }
+    return sweep
 
 
 def run_fig_dvfs(ctx: ExperimentContext) -> Figure:
@@ -163,6 +223,19 @@ def run_fig_dvfs(ctx: ExperimentContext) -> Figure:
         f"ED2-optimal beats time-optimal on ED2 for {len(ed2_wins)} of "
         f"{len(list(ctx.suite))} benchmarks: {', '.join(ed2_wins)}"
     )
+
+    heterogeneous_sweep = run_heterogeneous_sweep(ctx)
+    hetero_winners = [
+        name
+        for name, row in heterogeneous_sweep.items()
+        if row["heterogeneous_wins"] > 0
+    ]
+    text_blocks.append(
+        "Per-core ladder sweep: heterogeneous P-states improve the "
+        f"phase-optimal ED2 of {len(hetero_winners)} of "
+        f"{len(heterogeneous_sweep)} benchmarks"
+        + (f" ({', '.join(hetero_winners)})" if hetero_winners else "")
+    )
     return Figure(
         figure_id="fig-dvfs",
         title=(
@@ -176,6 +249,7 @@ def run_fig_dvfs(ctx: ExperimentContext) -> Figure:
             "ed2_wins": ed2_wins,
             "energy_ed2_decisions": decisions,
             "pstates": [s.label for s in ctx.pstate_table],
+            "heterogeneous_sweep": heterogeneous_sweep,
         },
         text="\n".join(text_blocks),
         notes=(

@@ -52,6 +52,8 @@ from .placement import (
     configuration_by_name,
     dvfs_configurations,
     enumerate_configurations,
+    heterogeneous_label,
+    heterogeneous_ladders,
     placements_equivalent,
     standard_configurations,
 )
@@ -126,6 +128,8 @@ __all__ = [
     "event_by_name",
     "event_pairs",
     "format_frequency",
+    "heterogeneous_label",
+    "heterogeneous_ladders",
     "many_core",
     "placements_equivalent",
     "quad_core_xeon",

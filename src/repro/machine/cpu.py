@@ -229,6 +229,10 @@ class CPUModel:
         Per-work scalars become per-row columns; the arithmetic mirrors the
         one-work batch formula operation for operation so a grid row
         reproduces :meth:`breakdown_batch` to floating-point accuracy.
+        ``memory_latency_cycles`` may be a per-row column *or* a full
+        ``(rows, threads)`` matrix — the heterogeneous per-core P-state
+        kernel passes per-thread latencies, since each core converts the
+        same DRAM nanoseconds into its own clock's cycles.
         """
         l2_miss_ratio = np.asarray(l2_miss_ratio, dtype=np.float64)
         rows = np.asarray(work_rows)

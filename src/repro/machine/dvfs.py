@@ -141,6 +141,16 @@ class PStateTable:
             f"{[s.label for s in self.states]}"
         )
 
+    def by_frequency_ghz(self, frequency_ghz: float) -> PState:
+        """Look up a state by its numeric frequency (e.g. ``1.6``).
+
+        Matching goes through the canonical label formatting, so any value
+        that prints to the same ``"<f:g>GHz"`` label resolves to the same
+        state — the rule heterogeneous configuration names
+        (``"4@2.4/2.4/1.6/1.6GHz"``) are parsed under.
+        """
+        return self.by_frequency_label(format_frequency(frequency_ghz))
+
     def frequencies_ghz(self) -> List[float]:
         """All frequencies in table order (descending)."""
         return [s.frequency_ghz for s in self.states]

@@ -25,13 +25,25 @@ in one kernel launch, returning ``(W, C)`` metric arrays::
 
 Noise-free batch and grid results match looped ``execute`` calls to
 floating-point accuracy, and a per-machine LRU memo (keyed by work
-fingerprint, placement and P-state) serves repeated cells without
-re-simulation — oracle construction and training-data collection share it
-automatically.  The memo travels across processes as a picklable snapshot
-(:meth:`Machine.export_execution_memo` /
-:meth:`Machine.merge_execution_memo`), and calls with only a handful of
-cold cells skip the kernel's fixed setup cost through the memoized scalar
-path (``small_batch_cutoff``).
+fingerprint, placement and per-core P-state operating points) serves
+repeated cells without re-simulation — oracle construction and
+training-data collection share it automatically.  The memo travels across
+processes as a picklable snapshot (:meth:`Machine.export_execution_memo` /
+:meth:`Machine.merge_execution_memo`), survives process restarts on disk
+(:meth:`Machine.save_execution_memo` / :meth:`Machine.load_execution_memo`),
+and calls with only a handful of cold cells skip the kernel's fixed setup
+cost through the memoized scalar path (``small_batch_cutoff``).
+
+Configurations may pin **heterogeneous per-core P-states**
+(``Configuration(pstate_vector=...)``, names like
+``"4@2.4/2.4/1.6/1.6GHz"``): each core runs at its own clock, the parallel
+critical path is the slowest thread in wall-clock seconds, serial and
+synchronization portions ride the master (thread-0) core, and bus traffic
+is resolved in per-nanosecond units.  Heterogeneous cells run through their
+own vectorized kernel, dispatched row-by-row next to the homogeneous one,
+and agree with the scalar path to floating-point accuracy; all-equal
+vectors collapse to the homogeneous representation at construction, so the
+degenerate case is *bit-identical* to the paper's configurations.
 
 Executing a phase under a placement proceeds in four steps:
 
@@ -54,9 +66,11 @@ matters for the empirical-search baseline and for counter-sampling error.
 
 from __future__ import annotations
 
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields as dataclass_fields
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -132,12 +146,19 @@ class ExecutionResult:
         Complete hardware event counts for the execution (the measurement
         layer decides which of these are actually visible).
     pstate:
-        DVFS operating point the phase ran at (``None`` = nominal).
+        Homogeneous DVFS operating point the phase ran at (``None`` =
+        nominal clock, or a heterogeneous per-core vector — see
+        ``pstates``).
     frequency_ghz:
-        Clock frequency the cores actually ran at.
+        Clock frequency the cores actually ran at.  Under a heterogeneous
+        P-state vector this is the *master* (thread-0) core's clock — the
+        clock ``cycles`` and therefore ``ipc`` are expressed in.
     miss_ratios:
         Per-thread L2 miss ratios (misses per L1 miss) resolved by the
         cache model for this placement, aligned with ``thread_cpi``.
+    pstates:
+        Heterogeneous per-core operating points in placement order, or
+        ``None`` when all cores shared one state (see ``pstate``).
     """
 
     work: WorkRequest
@@ -154,6 +175,7 @@ class ExecutionResult:
     pstate: Optional[PState] = None
     frequency_ghz: float = 0.0
     miss_ratios: Tuple[float, ...] = ()
+    pstates: Optional[Tuple[PState, ...]] = None
 
     @property
     def power_watts(self) -> float:
@@ -265,9 +287,14 @@ def _memo_schema() -> Tuple[str, ...]:
     revision — whose :class:`~repro.machine.work.WorkRequest` fields or
     :class:`_CellEntry` layout differ — is rejected at merge time instead of
     silently aliasing cells across incompatible key spaces.
+
+    ``memo-v2-percore-pstate`` marks the heterogeneous-P-state key space:
+    configurations may key as per-core ``(frequency, f_scale, v_scale)``
+    triples, so ``memo-v1`` snapshots (single-triple keys only) are
+    rejected rather than merged into a key space they never produced.
     """
     return (
-        "memo-v1",
+        "memo-v2-percore-pstate",
         *(f.name for f in dataclass_fields(WorkRequest)),
         "|",
         *_CellEntry._fields,
@@ -892,7 +919,7 @@ class Machine:
         work: WorkRequest,
         placement: ThreadPlacement | Configuration,
         apply_noise: bool = True,
-        pstate: Optional[PState] = None,
+        pstate: PState | Sequence[PState] | None = None,
     ) -> ExecutionResult:
         """Execute one invocation of a phase under a placement.
 
@@ -902,21 +929,32 @@ class Machine:
             Phase characterization (see :class:`repro.machine.work.WorkRequest`).
         placement:
             Either a raw :class:`ThreadPlacement` or a named
-            :class:`Configuration` (whose pinned P-state, if any, is
-            honoured).
+            :class:`Configuration` (whose pinned P-state — homogeneous or
+            per-core vector — is honoured).
         apply_noise:
             Whether to apply the machine's run-to-run noise term to the
             execution time (the oracle measurement pipeline disables it).
         pstate:
             DVFS operating point to run at; overrides the configuration's
             pinned state.  ``None`` with a plain placement runs at the
-            nominal clock.
+            nominal clock.  A *sequence* of P-states (one per thread slot,
+            in placement order) runs each core at its own clock; an
+            all-equal sequence is exactly the homogeneous execution.
         """
         if isinstance(placement, Configuration):
             if pstate is None:
-                pstate = placement.pstate
+                pstate = (
+                    placement.pstate_vector
+                    if placement.pstate_vector is not None
+                    else placement.pstate
+                )
             placement = placement.placement
         self._validate_placement(placement)
+        pstate, pstate_vector = self._normalize_pstates(placement, pstate)
+        if pstate_vector is not None:
+            return self._execute_heterogeneous(
+                work, placement, pstate_vector, apply_noise
+            )
 
         n = placement.num_threads
         frequency_ghz = self._frequency_ghz(placement, pstate)
@@ -1002,6 +1040,208 @@ class Machine:
         return self.execute(work, configuration, apply_noise=apply_noise)
 
     # ------------------------------------------------------------------
+    # heterogeneous per-core P-states (scalar path)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_pstates(
+        placement: ThreadPlacement, pstate: PState | Sequence[PState] | None
+    ) -> Tuple[Optional[PState], Optional[Tuple[PState, ...]]]:
+        """Split a P-state argument into ``(scalar, vector)`` canonical form.
+
+        An all-equal vector collapses to its scalar state — the degenerate
+        heterogeneous case *is* the homogeneous execution, taken through
+        the homogeneous code path so it reproduces it exactly.
+        """
+        if pstate is None or isinstance(pstate, PState):
+            return pstate, None
+        vector = tuple(pstate)
+        if len(vector) != placement.num_threads:
+            raise ValueError(
+                f"pstate vector has {len(vector)} entries but the placement "
+                f"binds {placement.num_threads} thread(s)"
+            )
+        if len(set(vector)) == 1:
+            return vector[0], None
+        return None, vector
+
+    def _resolve_parallel_heterogeneous(
+        self,
+        work: WorkRequest,
+        placement: ThreadPlacement,
+        frequencies_ghz: Sequence[float],
+        miss_ratios: Sequence[float],
+    ) -> tuple[List[CPIBreakdown], BusState]:
+        """Per-thread CPI and bus state with one clock per core.
+
+        The fixed point is the same one-dimensional bisection as
+        :meth:`_resolve_parallel`, but with per-core clocks there is no
+        common "core cycle" to express bus traffic in, so demand and
+        capacity move to *per-nanosecond* units (bytes/ns == GB/s; a thread
+        at ``f`` GHz retiring ``ipc`` instructions per cycle produces
+        ``bytes/cycle · f`` bytes per nanosecond).  Each thread sees the
+        unloaded DRAM nanoseconds converted into its *own* core cycles, so
+        fast cores pay more latency cycles per miss than slow ones — the
+        asymmetry heterogeneous ladders exploit.  The returned
+        :class:`BusState` is expressed in the same per-nanosecond units
+        (equivalent to resolving at a 1 GHz reference clock).
+        """
+        line_bytes = self._line_bytes()
+        n = placement.num_threads
+        capacity = self.memory_model.effective_capacity_bytes_per_cycle(n, 1.0)
+        l1_misses_per_instr = work.mem_fraction * work.l1_miss_rate
+
+        def implied_utilization(
+            assumed: float,
+        ) -> tuple[List[CPIBreakdown], float, float]:
+            breakdowns: List[CPIBreakdown] = []
+            demand = 0.0
+            for core_id, miss_ratio, f in zip(
+                placement.cores, miss_ratios, frequencies_ghz
+            ):
+                latency = self.memory_model.effective_latency_cycles(
+                    assumed,
+                    prefetch_friendliness=work.prefetch_friendliness,
+                    frequency_ghz=f,
+                    active_requestors=n,
+                )
+                core = self.topology.core(core_id)
+                cache = self.topology.cache_of(core_id)
+                bd = self.cpu_model.breakdown(
+                    work,
+                    core,
+                    l2_miss_ratio=miss_ratio,
+                    memory_latency_cycles=latency,
+                    l2_hit_latency_cycles=cache.hit_latency_cycles,
+                )
+                breakdowns.append(bd)
+                l2_misses_per_instr = l1_misses_per_instr * miss_ratio
+                demand += l2_misses_per_instr * bd.ipc * line_bytes * f
+            implied = demand / capacity if capacity > 0 else 0.0
+            return breakdowns, demand, implied
+
+        breakdowns, demand, implied0 = implied_utilization(0.0)
+        if implied0 > self.fixed_point_tolerance:
+            low, high = 0.0, implied0
+            for _ in range(self.fixed_point_iterations):
+                mid = 0.5 * (low + high)
+                breakdowns, demand, implied = implied_utilization(mid)
+                if abs(implied - mid) < self.fixed_point_tolerance:
+                    break
+                if implied > mid:
+                    low = mid
+                else:
+                    high = mid
+        bus_state = self.memory_model.resolve(
+            demand,
+            frequency_ghz=1.0,
+            line_bytes=line_bytes,
+            active_requestors=n,
+        )
+        return breakdowns, bus_state
+
+    def _execute_heterogeneous(
+        self,
+        work: WorkRequest,
+        placement: ThreadPlacement,
+        pstates: Tuple[PState, ...],
+        apply_noise: bool,
+    ) -> ExecutionResult:
+        """One phase invocation with one P-state per core.
+
+        Structure mirrors the homogeneous :meth:`execute` step for step,
+        with the portions that assumed a single clock generalized:
+
+        * the parallel critical path is the slowest thread in *seconds*
+          (``instructions · CPI / f``), not in cycles — a thread's cycles
+          are no longer comparable across cores;
+        * the serial portion and the barrier synchronization execute on the
+          master (thread-0) core at its clock;
+        * reported ``cycles`` / ``ipc`` are expressed in the master core's
+          clock, and per-core power scales come from each core's own state.
+        """
+        n = placement.num_threads
+        frequencies = [p.frequency_ghz for p in pstates]
+        master_hz = frequencies[0] * 1e9
+
+        # --- parallel portion -----------------------------------------
+        miss_ratios = self.cache_model.per_thread_miss_ratios(work, placement)
+        breakdowns, bus_state = self._resolve_parallel_heterogeneous(
+            work, placement, frequencies, miss_ratios
+        )
+        parallel_instructions = work.instructions * (1.0 - work.serial_fraction)
+        per_thread_instr = parallel_instructions / n
+        critical_instr = per_thread_instr * (work.load_imbalance if n > 1 else 1.0)
+        # Critical-path thread: the slowest wall-clock thread governs time.
+        parallel_seconds = max(
+            critical_instr * bd.total / (f * 1e9)
+            for bd, f in zip(breakdowns, frequencies)
+        )
+
+        # --- serial portion -------------------------------------------
+        serial_instructions = work.instructions * work.serial_fraction
+        serial_seconds = 0.0
+        if serial_instructions > 0:
+            serial_bd = self._resolve_serial(
+                work, placement.cores[0], frequencies[0]
+            )
+            serial_seconds = serial_instructions * serial_bd.total / master_hz
+
+        # --- synchronization ------------------------------------------
+        sync_seconds = 0.0
+        sync_instructions = 0.0
+        if n > 1 and work.barriers > 0:
+            per_barrier = work.sync_cycles_per_barrier + 450.0 * n
+            sync_seconds = work.barriers * per_barrier / master_hz
+            sync_instructions = work.barriers * _SYNC_INSTRUCTIONS_PER_BARRIER * n
+
+        time_seconds = parallel_seconds + serial_seconds + sync_seconds
+        if apply_noise and self.noise_sigma > 0:
+            jitter = float(
+                np.clip(1.0 + self._rng.normal(0.0, self.noise_sigma), 0.9, 1.1)
+            )
+            time_seconds = time_seconds * jitter
+
+        total_instructions = work.instructions + sync_instructions
+        total_cycles = time_seconds * master_hz
+        ipc = total_instructions / total_cycles if total_cycles > 0 else 0.0
+
+        # --- power -----------------------------------------------------
+        power = self.power_model.evaluate(
+            occupied_cores=placement.cores,
+            thread_ipcs=[bd.ipc for bd in breakdowns],
+            stall_fractions=[bd.stall_fraction for bd in breakdowns],
+            bus_utilization=bus_state.utilization,
+            pstate=pstates,
+        )
+
+        events = self._event_counts(
+            work,
+            placement,
+            total_instructions,
+            total_cycles,
+            breakdowns,
+            miss_ratios,
+            bus_state,
+        )
+        return ExecutionResult(
+            work=work,
+            placement=placement,
+            time_seconds=time_seconds,
+            cycles=total_cycles,
+            instructions=total_instructions,
+            ipc=ipc,
+            thread_ipcs=tuple(bd.ipc for bd in breakdowns),
+            thread_cpi=tuple(breakdowns),
+            bus=bus_state,
+            power=power,
+            event_counts=events,
+            pstate=None,
+            frequency_ghz=frequencies[0],
+            miss_ratios=tuple(miss_ratios),
+            pstates=pstates,
+        )
+
+    # ------------------------------------------------------------------
     # batched execution
     # ------------------------------------------------------------------
     def default_configurations(self) -> List[Configuration]:
@@ -1017,7 +1257,7 @@ class Machine:
             bases = enumerate_configurations(self.topology)
         return dvfs_configurations(bases, self.pstate_table)
 
-    def _pstate_key(self, config: Configuration) -> Tuple[float, float, float]:
+    def _pstate_key(self, config: Configuration) -> tuple:
         """Physical operating point of a configuration, for memo keying.
 
         A cell's outcome depends on the clock the cores run at plus the
@@ -1025,7 +1265,19 @@ class Machine:
         object identity — so ``pstate=None`` (run at the placement's
         nominal clock) and an explicitly pinned nominal state collapse to
         the same key and share their memoized cell.
+
+        Homogeneous configurations key as one ``(frequency, f_scale,
+        v_scale)`` triple; heterogeneous configurations as a tuple of one
+        such triple *per core* in placement order.  The two shapes are
+        structurally distinct, so a heterogeneous cell can never alias a
+        homogeneous one (and an all-equal vector cannot occur here — it is
+        canonicalized to the scalar form at construction).
         """
+        if config.pstate_vector is not None:
+            return tuple(
+                (p.frequency_ghz,) + self.power_model.dvfs_scales(p)
+                for p in config.pstate_vector
+            )
         pstate = config.pstate
         if pstate is None:
             nominal = self._placement_static(config.placement).nominal_frequency_ghz
@@ -1101,13 +1353,70 @@ class Machine:
         phase × configuration grid (row-major cell order), including the
         ragged miss sets a partially warm memo leaves behind.
 
+        Dispatches on the P-state shape of each row's configuration: rows
+        with one shared clock go through the homogeneous kernel unchanged
+        (bit-compatible with the pre-heterogeneous engine), rows pinning
+        per-core P-state vectors through the heterogeneous kernel.  Noise
+        jitter is drawn here for *all* rows in row order — one draw per
+        cell from the machine RNG, exactly the stream a loop of noisy
+        :meth:`execute` calls would consume — and handed to the
+        sub-kernels, so partitioning cannot reorder the stream.
+        """
+        work_rows = np.asarray(work_rows)
+        config_rows = np.asarray(config_rows)
+        n_rows = len(work_rows)
+        jitter: Optional[np.ndarray] = None
+        if apply_noise and self.noise_sigma > 0:
+            jitter = np.clip(
+                1.0 + self._rng.normal(0.0, self.noise_sigma, size=n_rows),
+                0.9,
+                1.1,
+            )
+        hetero = np.array(
+            [configs[int(c)].is_heterogeneous for c in config_rows], dtype=bool
+        )
+        if not hetero.any():
+            return self._execute_cells_kernel_homogeneous(
+                works, work_rows, configs, config_rows, jitter
+            )
+        if hetero.all():
+            return self._execute_cells_kernel_heterogeneous(
+                works, work_rows, configs, config_rows, jitter
+            )
+        entries: List[Optional[_CellEntry]] = [None] * n_rows
+        for indices, kernel in (
+            (np.nonzero(~hetero)[0], self._execute_cells_kernel_homogeneous),
+            (np.nonzero(hetero)[0], self._execute_cells_kernel_heterogeneous),
+        ):
+            sub_entries = kernel(
+                works,
+                work_rows[indices],
+                configs,
+                config_rows[indices],
+                None if jitter is None else jitter[indices],
+            )
+            for i, entry in zip(indices, sub_entries):
+                entries[int(i)] = entry
+        return entries  # type: ignore[return-value]
+
+    def _execute_cells_kernel_homogeneous(
+        self,
+        works: Sequence[WorkRequest],
+        work_rows: np.ndarray,
+        configs: Sequence[Configuration],
+        config_rows: np.ndarray,
+        jitter: Optional[np.ndarray] = None,
+    ) -> List[_CellEntry]:
+        """The one-clock-per-configuration cell kernel.
+
         The arithmetic mirrors :meth:`execute` operation for operation —
         including the bisection trajectory of the throughput/bus fixed
         point, run simultaneously for all cells with a per-row convergence
         mask — so a one-cell batch reproduces the scalar path to
         floating-point accuracy.  Per-work scalars simply become per-row
         columns; IEEE elementwise arithmetic keeps the results identical to
-        the former one-work batch kernel.
+        the former one-work batch kernel.  ``jitter`` (drawn by the
+        dispatcher) multiplies the total cycles per row when present.
         """
         work_rows = np.asarray(work_rows)
         config_rows = np.asarray(config_rows)
@@ -1305,12 +1614,7 @@ class Machine:
         )
 
         total_cycles = parallel_cycles + serial_cycles + sync_cycles
-        if apply_noise and self.noise_sigma > 0:
-            jitter = np.clip(
-                1.0 + self._rng.normal(0.0, self.noise_sigma, size=n_rows),
-                0.9,
-                1.1,
-            )
+        if jitter is not None:
             total_cycles = total_cycles * jitter
 
         total_instructions = instructions + sync_instructions
@@ -1362,6 +1666,290 @@ class Machine:
         )
         entries: List[_CellEntry] = []
         for i, (s, bus_row, power_row) in enumerate(zip(statics_rows, bus_rows, power_rows)):
+            k = s.n
+            entries.append(
+                _CellEntry(
+                    time_seconds=times[i],
+                    cycles=cycles[i],
+                    instructions=instructions[i],
+                    ipc=ipcs[i],
+                    frequency_ghz=freqs[i],
+                    miss_ratios=tuple(miss_rows[i][:k]),
+                    l1_cpi=tuple(l1_rows[i][:k]),
+                    l2_cpi=tuple(l2_rows[i][:k]),
+                    thread_watts=tuple(watts_rows[i][:k]),
+                    bus=bus_row,
+                    power=power_row,
+                )
+            )
+        return entries
+
+    def _execute_cells_kernel_heterogeneous(
+        self,
+        works: Sequence[WorkRequest],
+        work_rows: np.ndarray,
+        configs: Sequence[Configuration],
+        config_rows: np.ndarray,
+        jitter: Optional[np.ndarray] = None,
+    ) -> List[_CellEntry]:
+        """The per-core-P-state cell kernel.
+
+        Vectorizes :meth:`_execute_heterogeneous` operation for operation:
+        the frequency column of the homogeneous kernel becomes a
+        ``(rows, threads)`` matrix, bus demand/capacity move to
+        per-nanosecond units (a thread's traffic is scaled by its own
+        clock), the parallel critical path is taken in *seconds* across the
+        thread axis, and serial/synchronization portions run at the master
+        (thread-0) clock.  Every configuration handed here must pin a
+        ``pstate_vector``; homogeneous rows belong to
+        :meth:`_execute_cells_kernel_homogeneous` (the dispatcher
+        partitions).
+        """
+        work_rows = np.asarray(work_rows)
+        config_rows = np.asarray(config_rows)
+        n_rows = len(work_rows)
+        # Compact to the works/configs actually referenced (see the
+        # homogeneous kernel for why).
+        used_configs = sorted({int(c) for c in config_rows})
+        if len(used_configs) < len(configs):
+            remap = {old: new for new, old in enumerate(used_configs)}
+            configs = [configs[i] for i in used_configs]
+            config_rows = np.array([remap[int(c)] for c in config_rows], dtype=np.intp)
+        used_works = sorted({int(w) for w in work_rows})
+        if len(used_works) < len(works):
+            remap = {old: new for new, old in enumerate(used_works)}
+            works = [works[i] for i in used_works]
+            work_rows = np.array([remap[int(w)] for w in work_rows], dtype=np.intp)
+        statics = [self._placement_static(c.placement) for c in configs]
+        width = max(s.n for s in statics)
+        n_configs = len(configs)
+        n_c = np.array([s.n for s in statics], dtype=np.float64)
+        mask_c = np.zeros((n_configs, width), dtype=bool)
+        l1_hit_c = np.zeros((n_configs, width))
+        l2_hit_c = np.zeros((n_configs, width))
+        capacity_mb_c = np.ones((n_configs, width))
+        occupants_c = np.ones((n_configs, width))
+        # Padded thread lanes keep frequency/scale 1.0 so divisions stay
+        # finite; the mask zeroes their contributions exactly.
+        freq_c = np.ones((n_configs, width))
+        f_scale_c = np.ones((n_configs, width))
+        v_scale_c = np.ones((n_configs, width))
+        for i, (c, s) in enumerate(zip(configs, statics)):
+            mask_c[i, : s.n] = True
+            l1_hit_c[i, : s.n] = s.l1_hit
+            l2_hit_c[i, : s.n] = s.l2_hit
+            capacity_mb_c[i, : s.n] = s.capacity_mb
+            occupants_c[i, : s.n] = s.occupants
+            pstates = c.pstate_vector
+            assert pstates is not None  # dispatcher invariant
+            freq_c[i, : s.n] = [p.frequency_ghz for p in pstates]
+            scales = [self.power_model.dvfs_scales(p) for p in pstates]
+            f_scale_c[i, : s.n] = [f for f, _ in scales]
+            v_scale_c[i, : s.n] = [v for _, v in scales]
+        # Gather the per-config constants out to one row per cell.
+        n = n_c[config_rows]
+        mask = mask_c[config_rows]
+        l1_hit = l1_hit_c[config_rows]
+        l2_hit = l2_hit_c[config_rows]
+        capacity_mb = capacity_mb_c[config_rows]
+        occupants = occupants_c[config_rows]
+        freq = freq_c[config_rows]  # (rows, width): one clock per thread
+        maskf = mask.astype(np.float64)
+        master_hz = freq[:, 0] * 1e9
+
+        def wcol(attr: str) -> np.ndarray:
+            return work_field_rows(works, work_rows, attr)
+
+        instructions = wcol("instructions")
+        mem_fraction = wcol("mem_fraction")
+        l1_miss_rate = wcol("l1_miss_rate")
+        prefetch = wcol("prefetch_friendliness")
+        branch_fraction = wcol("branch_fraction")
+        bandwidth = wcol("bandwidth_sensitivity")[:, None]
+        base_cpi = wcol("base_cpi")[:, None]
+        serial_fraction = wcol("serial_fraction")
+        load_imbalance = wcol("load_imbalance")
+        barriers = wcol("barriers")
+        sync_cycles_per_barrier = wcol("sync_cycles_per_barrier")
+
+        # --- parallel portion: vectorized fixed point ------------------
+        # Mirrors _resolve_parallel_heterogeneous term for term; per-thread
+        # latency replaces the homogeneous kernel's per-row latency column.
+        miss_ratios = self.cache_model.miss_ratio_grid(
+            works, work_rows, capacity_mb, occupants
+        )
+        line_bytes = self._line_bytes()
+        l1_misses_per_instr = (mem_fraction * l1_miss_rate)[:, None]
+        l2_misses_per_instr = l1_misses_per_instr * miss_ratios
+        l2_hits_per_instr = l1_misses_per_instr * (1.0 - miss_ratios)
+        # Per-nanosecond bus units: capacity at a 1 GHz reference clock.
+        capacity = self.memory_model.effective_capacity_bytes_per_cycle_batch(
+            n, np.ones(n_rows)
+        )
+        capacity_positive = capacity > 0
+        safe_capacity = np.where(capacity_positive, capacity, 1.0)
+
+        memory = self.memory_model
+        onset = memory.contention_onset
+        onset_span = 1.0 - onset
+        max_stretch = memory.max_stretch
+        conflict_coeff = memory.row_conflict_penalty * np.maximum(0.0, n - 1.0)
+        base_latency = self.topology.memory_latency_ns * freq  # per thread
+        exposed = np.maximum(0.0, 1.0 - prefetch)
+        hidden_latency = base_latency * (1.0 - exposed)[:, None] * 0.05
+        branch_component = (
+            branch_fraction
+            * self.cpu_model.branch_misprediction_rate
+            * self.cpu_model.branch_penalty_cycles
+        )[:, None]
+        l1_component = (
+            l2_hits_per_instr
+            * np.maximum(0.0, l2_hit - l1_hit)
+            * self.cpu_model.l2_hit_exposed_fraction
+        )
+        head_cpi = base_cpi + l1_component
+        traffic_coeff = (l2_misses_per_instr * line_bytes) * maskf
+
+        def sweep(assumed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            """Per-thread latency and per-ns demand at an assumed utilization."""
+            rho = np.minimum(np.maximum(assumed, 0.0), 0.999)
+            conflict = 1.0 + conflict_coeff * rho
+            effective = (rho - onset) / onset_span
+            stretch = (
+                np.minimum(max_stretch, 1.0 / np.maximum(1e-3, 1.0 - effective))
+                * conflict
+            )
+            stretch = np.where(rho <= onset, conflict, stretch)
+            latency = (
+                base_latency * stretch[:, None] * exposed[:, None] + hidden_latency
+            )
+            total = (head_cpi + l2_misses_per_instr * latency * bandwidth) + branch_component
+            thread_ipc = 1.0 / total
+            demand = np.sum(traffic_coeff * thread_ipc * freq, axis=1)
+            return latency, demand
+
+        tolerance = self.fixed_point_tolerance
+        final_latency, final_demand = sweep(np.zeros(n_rows))
+        implied0 = np.where(capacity_positive, final_demand / safe_capacity, 0.0)
+        active = implied0 > tolerance
+        low = np.zeros(n_rows)
+        high = np.where(active, implied0, 0.0)
+        for _ in range(self.fixed_point_iterations):
+            if not active.any():
+                break
+            mid = 0.5 * (low + high)
+            final_latency, final_demand = sweep(mid)
+            implied = np.where(capacity_positive, final_demand / safe_capacity, 0.0)
+            active = active & ~(np.abs(implied - mid) < tolerance)
+            go_low = active & (implied > mid)
+            low = np.where(go_low, mid, low)
+            high = np.where(active & ~go_low, mid, high)
+
+        breakdowns = self.cpu_model.breakdown_grid(
+            works, work_rows, miss_ratios, final_latency, l2_hit, l1_hit
+        )
+        total_cpi = breakdowns.total
+        bus = self.memory_model.resolve_batch(
+            final_demand, np.ones(n_rows), line_bytes, n
+        )
+
+        parallel_instructions = instructions * (1.0 - serial_fraction)
+        per_thread_instr = parallel_instructions / n
+        critical_instr = per_thread_instr * np.where(n > 1, load_imbalance, 1.0)
+        # Critical path in *seconds*: the slowest wall-clock thread.
+        thread_seconds = critical_instr[:, None] * total_cpi / (freq * 1e9)
+        parallel_seconds = np.max(
+            np.where(mask, thread_seconds, -np.inf), axis=1
+        )
+
+        # --- serial portion (master core, master clock) ----------------
+        serial_instructions = instructions * serial_fraction
+        serial_miss = self.cache_model.miss_ratio_grid(
+            works,
+            work_rows,
+            np.array([s.serial_capacity_mb for s in statics], dtype=np.float64)[
+                config_rows
+            ],
+            np.ones(n_rows),
+        )
+        serial_latency = self.memory_model.effective_latency_cycles_grid(
+            np.zeros(n_rows),
+            prefetch,
+            freq[:, 0],
+            np.ones(n_rows),
+        )
+        serial_breakdown = self.cpu_model.breakdown_grid(
+            works,
+            work_rows,
+            serial_miss,
+            serial_latency,
+            np.array([s.serial_l2_hit for s in statics], dtype=np.float64)[config_rows],
+            np.array([s.serial_l1_hit for s in statics], dtype=np.float64)[config_rows],
+        )
+        serial_seconds = serial_instructions * serial_breakdown.total / master_hz
+
+        # --- synchronization (master clock) ----------------------------
+        sync_active = (n > 1) & (barriers > 0)
+        per_barrier = sync_cycles_per_barrier + 450.0 * n
+        sync_seconds = np.where(sync_active, barriers * per_barrier, 0.0) / master_hz
+        sync_instructions = np.where(
+            sync_active, barriers * _SYNC_INSTRUCTIONS_PER_BARRIER * n, 0.0
+        )
+
+        time_seconds = parallel_seconds + serial_seconds + sync_seconds
+        if jitter is not None:
+            time_seconds = time_seconds * jitter
+
+        total_instructions = instructions + sync_instructions
+        total_cycles = time_seconds * master_hz
+        safe_cycles = np.where(total_cycles > 0, total_cycles, 1.0)
+        aggregate_ipc = np.where(
+            total_cycles > 0, total_instructions / safe_cycles, 0.0
+        )
+
+        # --- power (per-core scales) -----------------------------------
+        power = self.power_model.evaluate_grid(
+            thread_mask=mask,
+            thread_ipcs=breakdowns.ipc,
+            stall_fractions=breakdowns.stall_fraction,
+            bus_utilization=bus.utilization,
+            active_cache_counts=np.array(
+                [s.active_caches for s in statics], dtype=np.float64
+            )[config_rows],
+            num_threads=n,
+            f_scale=f_scale_c[config_rows],
+            v_scale=v_scale_c[config_rows],
+        )
+
+        # --- assemble compact per-cell entries -------------------------
+        statics_rows = [statics[int(ci)] for ci in config_rows]
+        miss_rows = miss_ratios.tolist()
+        l1_rows = np.asarray(breakdowns.l1_miss).tolist()
+        l2_rows = np.asarray(breakdowns.l2_miss).tolist()
+        watts_rows = power.per_thread_watts.tolist()
+        times = time_seconds.tolist()
+        cycles = total_cycles.tolist()
+        instructions = total_instructions.tolist()
+        ipcs = aggregate_ipc.tolist()
+        freqs = freq[:, 0].tolist()  # master clock, as in the scalar path
+        bus_rows = zip(
+            bus.demand_bytes_per_cycle.tolist(),
+            bus.capacity_bytes_per_cycle.tolist(),
+            bus.utilization.tolist(),
+            bus.latency_stretch.tolist(),
+            bus.transactions_per_cycle.tolist(),
+        )
+        power_rows = zip(
+            power.platform_watts.tolist(),
+            power.cores_watts.tolist(),
+            power.caches_watts.tolist(),
+            power.uncore_watts.tolist(),
+            power.memory_watts.tolist(),
+        )
+        entries: List[_CellEntry] = []
+        for i, (s, bus_row, power_row) in enumerate(
+            zip(statics_rows, bus_rows, power_rows)
+        ):
             k = s.n
             entries.append(
                 _CellEntry(
@@ -1434,6 +2022,7 @@ class Machine:
             pstate=config.pstate,
             frequency_ghz=entry.frequency_ghz,
             miss_ratios=entry.miss_ratios,
+            pstates=config.pstate_vector,
         )
 
     def execute_batch(
@@ -1750,6 +2339,43 @@ class Machine:
         self._merged_hits += snapshot.hits
         self._merged_misses += snapshot.misses
         return added
+
+    def save_execution_memo(
+        self,
+        path: Union[str, Path],
+        since: Optional[ExecutionMemoSnapshot] = None,
+    ) -> int:
+        """Persist the memo to ``path`` as a pickled snapshot; returns cells.
+
+        The file holds exactly one :class:`ExecutionMemoSnapshot` (schema
+        fingerprint included), so sweeps survive process restarts:
+        :meth:`load_execution_memo` on a fresh machine restores every
+        deterministic cell without re-simulating.  ``since`` restricts the
+        file to a delta, as in :meth:`export_execution_memo`.
+        """
+        snapshot = self.export_execution_memo(since=since)
+        with open(path, "wb") as stream:
+            pickle.dump(snapshot, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        return len(snapshot)
+
+    def load_execution_memo(self, path: Union[str, Path]) -> int:
+        """Merge a snapshot previously saved to ``path``; returns new cells.
+
+        Delegates to :meth:`merge_execution_memo`, so a snapshot written by
+        a different code revision — one whose work-request fields, cell
+        layout or memo-key schema differ — is rejected with
+        :class:`ValueError` instead of silently aliasing cells.  A file
+        that does not hold a snapshot at all also raises
+        :class:`ValueError`.
+        """
+        with open(path, "rb") as stream:
+            snapshot = pickle.load(stream)
+        if not isinstance(snapshot, ExecutionMemoSnapshot):
+            raise ValueError(
+                f"{str(path)!r} does not contain an execution-memo snapshot "
+                f"(found {type(snapshot).__name__})"
+            )
+        return self.merge_execution_memo(snapshot)
 
     def clear_execution_memo(self) -> None:
         """Drop every memoized cell and reset the hit/miss counters."""

@@ -251,6 +251,13 @@ class MemoryModel:
         exceeds 1 — but the latency stretch keeps growing with the *demanded*
         utilization so that over-subscription is penalized.
 
+        Units: demand and the returned state are in bytes per core cycle at
+        ``frequency_ghz``.  When there is no single core clock —
+        heterogeneous per-core P-states — the machine model resolves at a
+        1 GHz reference clock, which makes every quantity bytes (or
+        transactions) *per nanosecond*; utilization and latency stretch are
+        dimensionless either way, so the fixed point is unchanged.
+
         Parameters
         ----------
         active_requestors:

@@ -25,6 +25,18 @@ A configuration may additionally pin a DVFS operating point
 set of placements into the full placement × frequency cross-product, naming
 non-nominal points ``<placement>@<frequency>`` (e.g. ``"2b@1.6GHz"``), and
 :func:`configuration_by_name` resolves those names back to configurations.
+
+Real DVFS hardware sets frequency *per core*, so a configuration may also
+pin a **heterogeneous P-state vector** — one :class:`PState` per active core
+(``pstate_vector``), named ``<placement>@<f0>/<f1>/...GHz`` (e.g.
+``"4@2.4/2.4/1.6/1.6GHz"``, one frequency per thread slot in placement
+order).  An all-equal vector *is* the homogeneous configuration: the
+constructors collapse it to the scalar ``pstate`` form, so the degenerate
+case is represented — and therefore simulated, memoized and named — exactly
+like the paper's one-frequency configurations.
+:func:`heterogeneous_ladders` generates the bounded two-level "ladder"
+vectors (a fast leading block and a slow trailing block) that
+:func:`dvfs_configurations` can append to the cross-product.
 """
 
 from __future__ import annotations
@@ -43,6 +55,8 @@ __all__ = [
     "configuration_by_name",
     "enumerate_configurations",
     "dvfs_configurations",
+    "heterogeneous_label",
+    "heterogeneous_ladders",
     "CONFIG_1",
     "CONFIG_2A",
     "CONFIG_2B",
@@ -96,19 +110,55 @@ class ThreadPlacement:
         return [c for c in topology.core_ids() if c not in used]
 
 
+def heterogeneous_label(pstates: Sequence[PState]) -> str:
+    """Frequency label of a per-core P-state vector (``"2.4/2.4/1.6GHz"``)."""
+    return "/".join(f"{p.frequency_ghz:g}" for p in pstates) + "GHz"
+
+
 @dataclass(frozen=True)
 class Configuration:
-    """A named threading configuration: a placement, optionally with a P-state.
+    """A named threading configuration: a placement, optionally with P-state(s).
 
-    A plain configuration (``pstate is None``) runs at the machine's nominal
+    A plain configuration (no pinned state) runs at the machine's nominal
     frequency, exactly as in the paper.  A DVFS configuration additionally
-    pins the cores' operating point; such configurations are conventionally
-    named ``<placement>@<frequency>`` (see :func:`dvfs_configurations`).
+    pins the cores' operating point — either one shared :class:`PState`
+    (``pstate``, named ``<placement>@<frequency>``) or one per active core
+    (``pstate_vector``, named ``<placement>@<f0>/<f1>/...GHz``, one entry
+    per thread slot in placement order).
+
+    The two forms are mutually exclusive, and the vector form is
+    *canonical*: a vector whose entries are all equal is collapsed to the
+    scalar ``pstate`` at construction, so the degenerate homogeneous case is
+    one representation — the same object shape, name, execution path and
+    memo key as the paper's one-frequency configurations.
     """
 
     name: str
     placement: ThreadPlacement
     pstate: Optional[PState] = None
+    pstate_vector: Optional[Tuple[PState, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.pstate_vector is not None:
+            if self.pstate is not None:
+                raise ValueError(
+                    "a configuration pins either one pstate or a pstate_vector,"
+                    " not both"
+                )
+            vector = tuple(self.pstate_vector)
+            if len(vector) != self.placement.num_threads:
+                raise ValueError(
+                    f"pstate_vector has {len(vector)} entries but the "
+                    f"placement binds {self.placement.num_threads} thread(s); "
+                    "exactly one P-state per active core is required"
+                )
+            if len(set(vector)) == 1:
+                # Canonical degenerate case: an all-equal vector IS the
+                # homogeneous configuration.
+                object.__setattr__(self, "pstate", vector[0])
+                object.__setattr__(self, "pstate_vector", None)
+            else:
+                object.__setattr__(self, "pstate_vector", vector)
 
     @property
     def num_threads(self) -> int:
@@ -126,9 +176,38 @@ class Configuration:
         return self.name.split("@", 1)[0]
 
     @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the configuration pins distinct per-core frequencies."""
+        return self.pstate_vector is not None
+
+    @property
     def frequency_ghz(self) -> Optional[float]:
-        """Pinned clock frequency, or ``None`` for the nominal frequency."""
+        """Pinned homogeneous clock frequency.
+
+        ``None`` when nothing is pinned (nominal frequency) *and* for
+        heterogeneous configurations, which have no single clock — use
+        :meth:`frequencies_ghz` / :meth:`pstates_per_core` for those.
+        """
         return self.pstate.frequency_ghz if self.pstate is not None else None
+
+    def pstates_per_core(self) -> Optional[Tuple[PState, ...]]:
+        """The pinned P-state of every active core, in placement order.
+
+        The scalar form expands to a uniform tuple; ``None`` when nothing
+        is pinned (the placement runs at the machine's nominal clock).
+        """
+        if self.pstate_vector is not None:
+            return self.pstate_vector
+        if self.pstate is not None:
+            return (self.pstate,) * self.placement.num_threads
+        return None
+
+    def frequencies_ghz(self) -> Optional[Tuple[float, ...]]:
+        """Per-core pinned frequencies in placement order (``None`` = nominal)."""
+        pstates = self.pstates_per_core()
+        if pstates is None:
+            return None
+        return tuple(p.frequency_ghz for p in pstates)
 
     def with_pstate(self, pstate: PState, nominal: bool = False) -> "Configuration":
         """This placement pinned to ``pstate``.
@@ -140,13 +219,41 @@ class Configuration:
         name = self.base_name if nominal else f"{self.base_name}@{pstate.label}"
         return Configuration(name=name, placement=self.placement, pstate=pstate)
 
+    def with_pstate_vector(
+        self, pstates: Sequence[PState], nominal: Optional[PState] = None
+    ) -> "Configuration":
+        """This placement pinned to one P-state per active core.
+
+        An all-equal vector collapses to the homogeneous form (and, when it
+        equals ``nominal``, to the plain placement name), so the degenerate
+        case reproduces the paper's configurations exactly.  Heterogeneous
+        vectors are named ``<placement>@<f0>/<f1>/...GHz``.
+        """
+        vector = tuple(pstates)
+        if len(vector) != self.placement.num_threads:
+            raise ValueError(
+                f"pstate vector has {len(vector)} entries but placement "
+                f"{self.base_name!r} binds {self.placement.num_threads} thread(s)"
+            )
+        if len(set(vector)) == 1:
+            return self.with_pstate(vector[0], nominal=vector[0] == nominal)
+        name = f"{self.base_name}@{heterogeneous_label(vector)}"
+        return Configuration(
+            name=name, placement=self.placement, pstate_vector=vector
+        )
+
     def describe(self, topology: Topology) -> str:
         """One-line description including cache coupling."""
         groups = self.placement.sharers_by_cache(topology)
         shared = ", ".join(
             f"L2#{cache}:{sorted(cores)}" for cache, cores in sorted(groups.items())
         )
-        freq = f" @ {self.pstate.label}" if self.pstate is not None else ""
+        if self.pstate_vector is not None:
+            freq = f" @ {heterogeneous_label(self.pstate_vector)}"
+        elif self.pstate is not None:
+            freq = f" @ {self.pstate.label}"
+        else:
+            freq = ""
         return (
             f"config {self.name}: {self.num_threads} thread(s) on cores "
             f"{list(self.cores)}{freq} ({shared})"
@@ -190,6 +297,25 @@ def standard_configurations(topology: Topology | None = None) -> List[Configurat
     return configs
 
 
+def _resolve_frequency_component(
+    component: str, table: PStateTable, name: str
+) -> PState:
+    """One ``<frequency>`` token of a vector suffix, resolved to a P-state."""
+    if not component:
+        raise ValueError(
+            f"malformed frequency vector in configuration name {name!r}: "
+            "empty component (check for doubled or trailing '/' separators)"
+        )
+    try:
+        frequency = float(component)
+    except ValueError as exc:
+        raise ValueError(
+            f"malformed frequency component {component!r} in configuration "
+            f"name {name!r}; expected a number like '2.4'"
+        ) from exc
+    return table.by_frequency_ghz(frequency)
+
+
 @lru_cache(maxsize=512)
 def configuration_by_name(
     name: str, pstate_table: Optional[PStateTable] = None
@@ -197,8 +323,18 @@ def configuration_by_name(
     """Look up a standard configuration, optionally with a frequency suffix.
 
     Plain labels (``"2b"``) resolve to the paper's placement-only
-    configurations.  DVFS labels (``"2b@1.6GHz"``) additionally resolve the
+    configurations.  Homogeneous DVFS labels (``"2b@1.6GHz"``) resolve the
     frequency against ``pstate_table`` (the default table when omitted).
+    Heterogeneous labels (``"4@2.4/2.4/1.6/1.6GHz"``) resolve one frequency
+    per thread slot; the vector length must match the placement's thread
+    count, every component must be a frequency of the table, and an
+    all-equal vector canonicalizes to the homogeneous configuration (so
+    parsing round-trips through :attr:`Configuration.name` for both forms).
+
+    Unknown placements and unknown frequencies raise :class:`KeyError`;
+    structurally malformed names (empty components, doubled or trailing
+    ``/`` separators, non-numeric frequencies, wrong vector length) raise
+    :class:`ValueError`.
 
     Results are memoized (``functools.lru_cache``): name parsing and
     P-state resolution run once per distinct ``(name, table)`` pair, and
@@ -217,6 +353,24 @@ def configuration_by_name(
     if not sep:
         return base
     table = pstate_table or default_pstate_table()
+    if "/" in freq_label:
+        if not freq_label.endswith("GHz"):
+            raise ValueError(
+                f"malformed frequency vector in configuration name {name!r}: "
+                "expected a trailing 'GHz' unit (e.g. '4@2.4/2.4/1.6/1.6GHz')"
+            )
+        components = freq_label[: -len("GHz")].split("/")
+        vector = tuple(
+            _resolve_frequency_component(component, table, name)
+            for component in components
+        )
+        if len(vector) != base.placement.num_threads:
+            raise ValueError(
+                f"configuration name {name!r} pins {len(vector)} frequencies "
+                f"but placement {base_name!r} binds "
+                f"{base.placement.num_threads} thread(s)"
+            )
+        return base.with_pstate_vector(vector, nominal=table.nominal)
     pstate = table.by_frequency_label(freq_label)
     return base.with_pstate(pstate, nominal=pstate == table.nominal)
 
@@ -224,6 +378,7 @@ def configuration_by_name(
 def dvfs_configurations(
     configurations: Optional[Sequence[Configuration]] = None,
     pstate_table: Optional[PStateTable] = None,
+    include_heterogeneous: bool = False,
 ) -> List[Configuration]:
     """Expand placements into the full placement × frequency cross-product.
 
@@ -233,6 +388,11 @@ def dvfs_configurations(
     suffixed (``"4@1.6GHz"``).  The result is ordered placement-major,
     frequency-minor (descending frequency), which keeps the paper's
     configuration order as the leading subsequence of tie-break preferences.
+
+    With ``include_heterogeneous=True`` the bounded per-core ladders of
+    :func:`heterogeneous_ladders` are appended after each placement's
+    homogeneous states, opening the per-core frequency axis without the
+    ``|P|^n`` blow-up of the full per-core cross-product.
     """
     configs = list(configurations or standard_configurations())
     table = pstate_table or default_pstate_table()
@@ -240,7 +400,42 @@ def dvfs_configurations(
     for config in configs:
         for pstate in table:
             expanded.append(config.with_pstate(pstate, nominal=pstate == table.nominal))
+        if include_heterogeneous:
+            expanded.extend(heterogeneous_ladders(config, table))
     return expanded
+
+
+def heterogeneous_ladders(
+    configuration: Configuration,
+    pstate_table: Optional[PStateTable] = None,
+) -> List[Configuration]:
+    """Bounded per-core P-state ladders for one placement.
+
+    The full per-core cross-product is ``|P|^n`` per placement — 81
+    configurations per placement on the default quad-core ladder — which is
+    far more than the adaptation loop can usefully rank.  This generator
+    emits only the *non-increasing two-level ladders*: a leading block of
+    cores at a faster state and a trailing block at a slower one, one
+    configuration per ``(fast, slow, split)`` triple.  Thread 0 (the master
+    thread, which also executes the serial portion) always sits in the fast
+    block, so the ladders express the physically interesting asymmetry —
+    boost the critical core, slow the rest.  A placement with ``n`` threads
+    and a ``|P|``-state table yields ``(n - 1) · C(|P|, 2)`` ladders
+    (9 for the quad placement on the default 3-state ladder); single-thread
+    placements yield none.
+    """
+    table = pstate_table or default_pstate_table()
+    n = configuration.placement.num_threads
+    ladders: List[Configuration] = []
+    states = list(table)
+    for hi_index, fast in enumerate(states):
+        for slow in states[hi_index + 1 :]:
+            for split in range(1, n):
+                vector = (fast,) * split + (slow,) * (n - split)
+                ladders.append(
+                    configuration.with_pstate_vector(vector, nominal=table.nominal)
+                )
+    return ladders
 
 
 def _compact_placement(topology: Topology, num_threads: int) -> ThreadPlacement:

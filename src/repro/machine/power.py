@@ -27,7 +27,7 @@ DRAM/bus power are unaffected (they live in their own clock/voltage domains).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -213,7 +213,7 @@ class PowerModel:
         thread_ipcs: Sequence[float],
         stall_fractions: Sequence[float],
         bus_utilization: float,
-        pstate: Optional[PState] = None,
+        pstate: Union[PState, Sequence[PState], None] = None,
     ) -> PowerBreakdown:
         """Compute the power draw during a phase execution.
 
@@ -232,7 +232,11 @@ class PowerModel:
             DVFS operating point of the occupied cores; ``None`` means the
             nominal state.  Dynamic CPU-package power scales as ``f·V²``
             and static power with ``V``; platform and DRAM power do not
-            scale (they sit in separate clock/voltage domains).
+            scale (they sit in separate clock/voltage domains).  A
+            *sequence* of P-states (one per occupied core, in order) scales
+            each core by its own operating point; the shared cache/uncore
+            domains — which run at a package-wide clock — scale by the
+            arithmetic mean of the per-core dynamic scales.
         """
         if len(occupied_cores) != len(thread_ipcs) or len(occupied_cores) != len(
             stall_fractions
@@ -241,19 +245,35 @@ class PowerModel:
         if not 0.0 <= bus_utilization <= 1.0:
             raise ValueError("bus_utilization must be in [0, 1]")
         p = self.parameters
-        f_scale, v_scale = self.dvfs_scales(pstate)
-        dynamic_scale = f_scale * v_scale ** 2
+        if pstate is not None and not isinstance(pstate, PState):
+            pstates = tuple(pstate)
+            if len(pstates) != len(occupied_cores):
+                raise ValueError(
+                    "per-core pstate sequence must align with occupied_cores"
+                )
+            scales = [self.dvfs_scales(s) for s in pstates]
+            v_scales = [v for _, v in scales]
+            dynamic_scales = [f * v ** 2 for f, v in scales]
+            shared_dynamic_scale = sum(dynamic_scales) / len(dynamic_scales)
+        else:
+            f_scale, v_scale = self.dvfs_scales(pstate)
+            dynamic_scale = f_scale * v_scale ** 2
+            v_scales = [v_scale] * len(occupied_cores)
+            dynamic_scales = [dynamic_scale] * len(occupied_cores)
+            shared_dynamic_scale = dynamic_scale
 
         occupied = set(occupied_cores)
         idle_cores = [c for c in self.topology.core_ids() if c not in occupied]
 
         cores_watts = p.core_idle_watts * len(idle_cores)
         per_core: Dict[str, float] = {}
-        for core_id, ipc, stall in zip(occupied_cores, thread_ipcs, stall_fractions):
+        for core_id, ipc, stall, v_scale_t, dynamic_scale_t in zip(
+            occupied_cores, thread_ipcs, stall_fractions, v_scales, dynamic_scales
+        ):
             activity = self.core_activity_factor(ipc, stall)
             watts = (
-                p.core_static_watts * v_scale
-                + p.core_dynamic_watts * activity * dynamic_scale
+                p.core_static_watts * v_scale_t
+                + p.core_dynamic_watts * activity * dynamic_scale_t
             )
             per_core[f"core{core_id}"] = watts
             cores_watts += watts
@@ -261,8 +281,10 @@ class PowerModel:
         active_caches = {
             self.topology.core(c).l2_cache_id for c in occupied_cores
         }
-        caches_watts = p.l2_active_watts * len(active_caches) * dynamic_scale
-        uncore_watts = p.uncore_active_watts * dynamic_scale if occupied_cores else 0.0
+        caches_watts = p.l2_active_watts * len(active_caches) * shared_dynamic_scale
+        uncore_watts = (
+            p.uncore_active_watts * shared_dynamic_scale if occupied_cores else 0.0
+        )
         memory_watts = p.memory_dynamic_watts * bus_utilization
 
         return PowerBreakdown(
@@ -336,11 +358,30 @@ class PowerModel:
         arrays directly — computed once per distinct configuration via
         :meth:`dvfs_scales` and gathered out to rows.  The arithmetic is
         identical to :meth:`evaluate_batch`.
+
+        ``f_scale`` / ``v_scale`` may also be 2-D ``(rows, max_threads)``
+        arrays carrying one scale per thread slot (heterogeneous per-core
+        P-states; padded slots are ignored through ``thread_mask``).  Each
+        core then scales by its own operating point and the shared
+        cache/uncore domains by the arithmetic mean of the active cores'
+        dynamic scales, mirroring the per-core form of :meth:`evaluate`.
         """
         p = self.parameters
         f_scale = np.asarray(f_scale, dtype=np.float64)
         v_scale = np.asarray(v_scale, dtype=np.float64)
         dynamic_scale = f_scale * v_scale ** 2
+        n = np.asarray(num_threads, dtype=np.float64)
+        if f_scale.ndim == 2:
+            per_thread_v_scale = v_scale
+            per_thread_dynamic_scale = dynamic_scale
+            safe_n = np.where(n > 0, n, 1.0)
+            shared_dynamic_scale = (
+                np.sum(dynamic_scale * thread_mask, axis=1) / safe_n
+            )
+        else:
+            per_thread_v_scale = v_scale[:, None]
+            per_thread_dynamic_scale = dynamic_scale[:, None]
+            shared_dynamic_scale = dynamic_scale
 
         throughput_term = np.minimum(1.0, thread_ipcs / 1.8)
         busy_term = np.maximum(0.0, 1.0 - stall_fractions)
@@ -348,17 +389,18 @@ class PowerModel:
             1.0, 0.08 + 0.92 * (0.60 * throughput_term + 0.40 * busy_term)
         )
         per_thread = (
-            p.core_static_watts * v_scale[:, None]
-            + p.core_dynamic_watts * activity * dynamic_scale[:, None]
+            p.core_static_watts * per_thread_v_scale
+            + p.core_dynamic_watts * activity * per_thread_dynamic_scale
         ) * thread_mask
-        n = np.asarray(num_threads, dtype=np.float64)
         cores_watts = p.core_idle_watts * (self.topology.num_cores - n) + np.sum(
             per_thread, axis=1
         )
         caches_watts = (
             p.l2_active_watts * np.asarray(active_cache_counts, dtype=np.float64)
-        ) * dynamic_scale
-        uncore_watts = np.where(n > 0, p.uncore_active_watts * dynamic_scale, 0.0)
+        ) * shared_dynamic_scale
+        uncore_watts = np.where(
+            n > 0, p.uncore_active_watts * shared_dynamic_scale, 0.0
+        )
         memory_watts = p.memory_dynamic_watts * np.asarray(
             bus_utilization, dtype=np.float64
         )

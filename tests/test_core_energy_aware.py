@@ -149,6 +149,60 @@ class TestEnergyCostModel:
         with pytest.raises(KeyError):
             cost_model.score("nope", 2.0, "ed2")
 
+    def test_heterogeneous_candidates_score_with_per_core_physics(self, table):
+        candidates = dvfs_configurations(
+            standard_configurations(), table, include_heterogeneous=True
+        )
+        model = EnergyCostModel(
+            candidates, topology=quad_core_xeon(), pstate_table=table
+        )
+        ladder = "4@2.4/2.4/1.6/1.6GHz"
+        # IPC-to-time conversion uses the master (thread-0) clock the
+        # simulator defines heterogeneous IPC in, not the slow block.
+        assert model.frequency_ghz(ladder) == pytest.approx(2.4)
+        assert not model.is_nominal(ladder)
+        # Per-core power: the ladder sits strictly between its uniforms.
+        assert (
+            model.power_watts("4@1.6GHz", 2.0)
+            < model.power_watts(ladder, 2.0)
+            < model.power_watts("4", 2.0)
+        )
+
+    def test_relative_time_matches_true_time_when_fed_true_ipcs(self, machine, table):
+        """time = instr / (IPC · f_clock) holds *exactly* per candidate, so
+        feeding ground-truth IPCs must reproduce ground-truth time ratios —
+        heterogeneous ladders included (their IPC is master-clock-based)."""
+        from repro.workloads import nas_suite
+
+        candidates = dvfs_configurations(
+            standard_configurations(), table, include_heterogeneous=True
+        )
+        model = EnergyCostModel(
+            candidates, topology=quad_core_xeon(), pstate_table=table
+        )
+        work = nas_suite(machine=Machine(noise_sigma=0.0)).get("CG").phases[0].work
+        # Exactness holds within a placement family: the aggregate IPC's
+        # instruction count (work + per-barrier sync instructions, which
+        # scale with the thread count) cancels only between candidates of
+        # the same placement.
+        families = [
+            ("4", ["4@1.6GHz", "4@2.4/1.6/1.6/1.6GHz", "4@2.4/2.4/1.6/1.6GHz"]),
+            ("2b", ["2b@1.6GHz", "2b@2.4/1.6GHz"]),
+        ]
+        for reference, others in families:
+            truth = {
+                name: machine.execute(
+                    work, configuration_by_name(name, table), apply_noise=False
+                )
+                for name in [reference] + others
+            }
+            for name in others:
+                true_ratio = truth[name].time_seconds / truth[reference].time_seconds
+                estimated_ratio = model.relative_time(
+                    name, truth[name].ipc
+                ) / model.relative_time(reference, truth[reference].ipc)
+                assert estimated_ratio == pytest.approx(true_ratio, rel=1e-9), name
+
     def test_validation(self, table):
         with pytest.raises(ValueError):
             EnergyCostModel([])

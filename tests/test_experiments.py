@@ -180,6 +180,28 @@ class TestFigDVFS(object):
         first = dvfs_ctx.dvfs_bundle_for_held_out("SP")
         assert dvfs_ctx.dvfs_bundle_for_held_out("SP") is first
 
+    def test_heterogeneous_sweep_covers_the_suite(self, dvfs_ctx):
+        from repro.experiments import run_heterogeneous_sweep
+        from repro.machine import configuration_by_name
+
+        sweep = run_heterogeneous_sweep(dvfs_ctx)
+        assert set(sweep) == {w.name for w in dvfs_ctx.suite}
+        for workload in dvfs_ctx.suite:
+            row = sweep[workload.name]
+            # The enlarged optimum can only improve on the homogeneous one.
+            assert (
+                row["phase_optimal_ed2"]
+                <= row["phase_optimal_ed2_homogeneous"] * (1 + 1e-12)
+            )
+            assert 0.0 <= row["ed2_gain"] < 1.0
+            assert set(row["phase_winners"]) == {
+                p.name for p in workload.phases
+            }
+            # Winners resolve inside the enlarged configuration space.
+            for name in row["phase_winners"].values():
+                configuration_by_name(name, dvfs_ctx.pstate_table)
+            assert 0 <= row["heterogeneous_wins"] <= len(workload.phases)
+
 
 class TestRunner(object):
     def test_registry_contains_all_figures(self):

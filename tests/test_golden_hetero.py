@@ -1,0 +1,212 @@
+"""Golden pinned-seed regressions guarding the heterogeneous-P-state refactor.
+
+The literal values below were captured from the *pre-refactor* machine model
+— the one whose grid kernel, execution memo and power model assume a single
+P-state per configuration — immediately before ``Configuration`` grew its
+per-core ``pstate_vector`` axis.  The homogeneous paths (every configuration
+of the placement × P-state cross-product pins one frequency for all cores)
+are exactly the cells pinned here: the refactor must reproduce them
+bit-for-bit, because opening the per-core axis must not perturb a single
+homogeneous execution, oracle cell or training sample.
+
+Complements ``tests/test_golden_grid.py`` (which pins the grid rewiring of
+PR 4) with a capture taken on different benchmarks (MG / LU / FT+IS), a
+different seed and the full DVFS cross-product, so the two golden nets do
+not share cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_oracle_table, collect_training_dataset
+from repro.machine import (
+    Machine,
+    dvfs_configurations,
+    standard_configurations,
+)
+from repro.workloads import nas_suite
+
+#: The captures are exact; 1e-12 absorbs only last-ulp libm freedom.
+_RTOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def golden_machine():
+    return Machine(noise_sigma=0.0)
+
+
+@pytest.fixture(scope="module")
+def golden_suite():
+    return nas_suite(machine=Machine(noise_sigma=0.0), variability=0.0)
+
+
+@pytest.fixture(scope="module")
+def cross_product(golden_machine):
+    return dvfs_configurations(
+        standard_configurations(golden_machine.topology),
+        golden_machine.pstate_table,
+    )
+
+
+class TestGoldenHomogeneousGrid:
+    """MG phases × the full DVFS cross-product, straight off ``execute_grid``."""
+
+    #: (work row, config column) -> (time_seconds, ipc, power_watts, ed2);
+    #: columns 0/4/7/11/14 = "1", "2a@2GHz", "2b@2GHz", "3@1.6GHz",
+    #: "4@1.6GHz" in cross-product order.
+    GOLDEN_CELLS = {
+        (0, 0): (0.25649999999999995, 0.3331457323085558, 125.24958919913672, 2.113676011099139),
+        (0, 4): (0.27603245531517745, 0.37149202722371016, 127.24397765748606, 2.6761945517846226),
+        (0, 7): (0.18485500705332053, 0.5547258796998406, 128.90791873070617, 0.8142790329789275),
+        (0, 11): (0.2573679547878221, 0.4980449901441342, 127.52158853291928, 2.1739378709254678),
+        (0, 14): (0.26950873257971336, 0.47561286522619123, 128.45022672264105, 2.51451019177996),
+        (1, 0): (0.2025, 0.31023170370529396, 126.86913057200897, 1.053491525317485),
+        (1, 4): (0.17301720912729104, 0.4357202637855703, 128.6947764220165, 0.6665440049676689),
+        (1, 7): (0.15779148446853686, 0.4777640837482482, 130.13816519708487, 0.5112759509901165),
+        (1, 11): (0.16847425320399984, 0.5593399478457862, 128.65806058659822, 0.6152301641151214),
+        (1, 14): (0.1760099040253766, 0.5353953263158222, 129.51566201849118, 0.7062095857236472),
+        (2, 0): (0.10800000000000001, 0.6827142753370287, 123.60394527332383, 0.15570537310814936),
+        (2, 4): (0.10560613089237782, 0.8378355435997236, 124.91526793606411, 0.14712379493893607),
+        (2, 7): (0.06327369152898932, 1.3983785036967677, 127.22155931477782, 0.03222776832791481),
+        (2, 11): (0.08242035428814666, 1.3419162482355995, 126.12113378446814, 0.07061407871283021),
+        (2, 14): (0.08036114859486757, 1.376308260129354, 127.44345549386145, 0.06613874422979653),
+        (3, 0): (0.06750000000000002, 1.4401404885849423, 127.07891442017952, 0.03908272300831868),
+        (3, 4): (0.0406641488580924, 2.868673828203487, 129.63078911240348, 0.00871652187249507),
+        (3, 7): (0.040684235862661795, 2.867257479510353, 130.98861992348444, 0.008820882901162043),
+        (3, 11): (0.033384093901337585, 4.367820342830486, 128.54554672311778, 0.004782729463128764),
+        (3, 14): (0.025205585096624718, 5.785075962737787, 133.44263704853032, 0.0021369037698645245),
+        (4, 0): (0.04049999999999999, 1.1525031330797675, 125.97930473318618, 0.008368820960838642),
+        (4, 4): (0.029737778148300534, 1.8836260055587857, 128.06179257578177, 0.0033677909705539786),
+        (4, 7): (0.029768611477183234, 1.8816750089472738, 129.41421015463004, 0.003413954273886706),
+        (4, 11): (0.027897004174699997, 2.509967195620884, 126.94816367355152, 0.0027561263638580195),
+        (4, 14): (0.02358399934130083, 2.969070865430816, 131.31417668206555, 0.001722518826209641),
+    }
+
+    def test_mg_grid_cells_match_pre_hetero_capture(
+        self, golden_machine, golden_suite, cross_product
+    ):
+        works = [p.work for p in golden_suite.get("MG").phases]
+        grid = golden_machine.execute_grid(works, cross_product, use_memo=False)
+        assert grid.shape == (5, 15)
+        for (wi, ci), (time_s, ipc, watts, ed2) in self.GOLDEN_CELLS.items():
+            assert float(grid.time_seconds[wi, ci]) == pytest.approx(time_s, rel=_RTOL)
+            assert float(grid.ipc[wi, ci]) == pytest.approx(ipc, rel=_RTOL)
+            assert float(grid.power_watts[wi, ci]) == pytest.approx(watts, rel=_RTOL)
+            assert float(grid.ed2[wi, ci]) == pytest.approx(ed2, rel=_RTOL)
+
+
+class TestGoldenHomogeneousOracle:
+    """LU oracle over the DVFS cross-product."""
+
+    GOLDEN_LU = {
+        ("lu.jacld_blts", "1"): (0.8399999999999999, 1.0648630215581945, 125.17647045286823),
+        ("lu.jacld_blts", "2b@2GHz"): (0.6563823539529943, 1.6353241662671658, 128.67447718718236),
+        ("lu.jacld_blts", "4@1.6GHz"): (0.47801820132867284, 2.8069379020167493, 130.9091105463724),
+        ("lu.rhs", "1"): (0.96, 0.3719464174701038, 126.00665380545819),
+        ("lu.rhs", "2b@2GHz"): (0.7081751479753218, 0.605052400032105, 129.4312455321055),
+        ("lu.rhs", "4@1.6GHz"): (0.7736406401719927, 0.6923173542665441, 129.0987271167455),
+        ("lu.l2norm", "1"): (0.11999999999999998, 1.1525031330797675, 125.97930473318618),
+        ("lu.l2norm", "2b@2GHz"): (0.0862067857420038, 1.9251901081218619, 129.41421015463004),
+        ("lu.l2norm", "4@1.6GHz"): (0.06601641124242169, 3.1425604641326723, 131.31417668206555),
+        ("lu.add", "1"): (0.24, 1.5016679025393502, 127.39926490611947),
+        ("lu.add", "2b@2GHz"): (0.1453513723370347, 2.97541845651456, 131.32012931120764),
+        ("lu.add", "4@1.6GHz"): (0.09036005855327116, 5.98275890442742, 133.6903014392972),
+    }
+
+    def test_lu_oracle_cells_match_pre_hetero_capture(
+        self, golden_machine, golden_suite, cross_product
+    ):
+        table = build_oracle_table(
+            golden_machine, golden_suite.get("LU"), cross_product
+        )
+        for (phase, config), (time_s, ipc, watts) in self.GOLDEN_LU.items():
+            m = table.measurement(phase, config)
+            assert m.time_seconds == pytest.approx(time_s, rel=_RTOL)
+            assert m.ipc == pytest.approx(ipc, rel=_RTOL)
+            assert m.power_watts == pytest.approx(watts, rel=_RTOL)
+
+    def test_lu_application_metrics_and_optima_match(
+        self, golden_machine, golden_suite, cross_product
+    ):
+        table = build_oracle_table(
+            golden_machine, golden_suite.get("LU"), cross_product
+        )
+        app = table.application_metrics("4")
+        assert app["time_seconds"] == pytest.approx(236.6367590721739, rel=_RTOL)
+        assert app["energy_joules"] == pytest.approx(34726.11596278148, rel=_RTOL)
+        assert app["ed2"] == pytest.approx(1944556778.7352092, rel=_RTOL)
+        throttled = table.application_metrics("2b@1.6GHz")
+        assert throttled["time_seconds"] == pytest.approx(387.0666839759164, rel=_RTOL)
+        assert throttled["energy_joules"] == pytest.approx(47818.39477155123, rel=_RTOL)
+        assert table.global_optimal_configuration("ed2") == "4"
+        assert table.phase_optimal_configurations("time_seconds") == {
+            "lu.jacld_blts": "4",
+            "lu.jacu_buts": "4",
+            "lu.rhs": "2b",
+            "lu.l2norm": "4",
+            "lu.add": "4",
+        }
+
+
+class TestGoldenHomogeneousTraining:
+    """FT+IS DVFS training collection at seed 11."""
+
+    GOLDEN_FIRST_FEATURES = (
+        5.920484176987755,
+        0.04337500293423923,
+        1.964200187587362,
+        0.003997377289161312,
+        0.041021282721683455,
+        0.003755557280911525,
+        0.0038500908515025074,
+        0.6298723182404655,
+        0.0009628605577658957,
+        0.4955282599025094,
+        0.007518235701334116,
+        3.4665937601283745,
+        1.71241391939206,
+    )
+    GOLDEN_FIRST_TARGETS = {
+        "1": 1.4973216471870736,
+        "1@2GHz": 1.52072766058195,
+        "1@1.6GHz": 1.5448770563665386,
+        "2a": 2.9229105857770765,
+        "2a@1.6GHz": 3.0169542131980376,
+        "2b@2GHz": 2.968160135015798,
+        "3": 4.355069233857484,
+        "4": 5.763626291333839,
+        "4@2GHz": 5.865519944653501,
+        "4@1.6GHz": 5.968945879666398,
+    }
+
+    def test_dvfs_dataset_matches_pre_hetero_capture(
+        self, golden_machine, golden_suite
+    ):
+        dataset = collect_training_dataset(
+            golden_machine,
+            [golden_suite.get("FT"), golden_suite.get("IS")],
+            samples_per_phase=2,
+            measurement_noise=0.10,
+            seed=11,
+            pstate_table=golden_machine.pstate_table,
+        )
+        assert len(dataset) == 18
+        assert dataset.target_configurations == (
+            "1", "1@2GHz", "1@1.6GHz",
+            "2a", "2a@2GHz", "2a@1.6GHz",
+            "2b", "2b@2GHz", "2b@1.6GHz",
+            "3", "3@2GHz", "3@1.6GHz",
+            "4", "4@2GHz", "4@1.6GHz",
+        )
+        first = dataset.samples[0]
+        assert first.phase_id == "FT:ft.fft_x"
+        assert first.features == pytest.approx(self.GOLDEN_FIRST_FEATURES, rel=_RTOL)
+        for config, ipc in self.GOLDEN_FIRST_TARGETS.items():
+            assert first.targets[config] == pytest.approx(ipc, rel=_RTOL)
+        last = dataset.samples[-1]
+        assert last.phase_id == "IS:is.verify"
+        assert last.targets["2a@1.6GHz"] == pytest.approx(
+            1.7479450839041755, rel=_RTOL
+        )
+        assert last.targets["4"] == pytest.approx(2.3220525658388715, rel=_RTOL)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.machine import (
+    CONFIG_1,
     CONFIG_2B,
     CONFIG_4,
     Configuration,
@@ -16,6 +17,8 @@ from repro.machine import (
     configuration_by_name,
     default_pstate_table,
     dvfs_configurations,
+    heterogeneous_label,
+    heterogeneous_ladders,
     standard_configurations,
 )
 
@@ -104,6 +107,152 @@ class TestDVFSConfigurations:
         assert pinned.name == "4@2GHz"
         repinned = pinned.with_pstate(table.nominal, nominal=True)
         assert repinned.name == "4"
+
+
+class TestHeterogeneousConfigurations:
+    """Per-core P-state vectors: naming, parsing round-trips, error paths."""
+
+    def test_vector_names_round_trip(self, table):
+        for name in (
+            "4@2.4/2.4/1.6/1.6GHz",
+            "4@2.4/1.6/1.6/1.6GHz",
+            "2b@2.4/1.6GHz",
+            "3@2/2/1.6GHz",
+        ):
+            config = configuration_by_name(name, table)
+            assert config.is_heterogeneous
+            assert config.name == name
+            assert configuration_by_name(config.name, table) == config
+            assert len(config.pstate_vector) == config.num_threads
+            assert config.frequency_ghz is None  # no single clock
+            assert config.frequencies_ghz() == tuple(
+                p.frequency_ghz for p in config.pstate_vector
+            )
+
+    def test_all_equal_vector_collapses_to_homogeneous(self, table):
+        assert configuration_by_name(
+            "4@1.6/1.6/1.6/1.6GHz", table
+        ) == configuration_by_name("4@1.6GHz", table)
+        # ... and the all-nominal vector collapses to the plain paper label.
+        nominal = configuration_by_name("4@2.4/2.4/2.4/2.4GHz", table)
+        assert nominal.name == "4"
+        assert not nominal.is_heterogeneous
+
+    def test_wrong_vector_length_rejected(self, table):
+        with pytest.raises(ValueError, match="thread"):
+            configuration_by_name("2b@2.4/2.4/1.6GHz", table)
+        with pytest.raises(ValueError, match="thread"):
+            configuration_by_name("4@2.4/1.6GHz", table)
+        with pytest.raises(ValueError, match="thread"):
+            CONFIG_4.with_pstate_vector((table.nominal,) * 3)
+
+    def test_unknown_frequency_rejected(self, table):
+        with pytest.raises(KeyError):
+            configuration_by_name("4@2.4/2.4/2.4/3.1GHz", table)
+
+    def test_malformed_separators_rejected(self, table):
+        for bad in (
+            "4@2.4//1.6/1.6GHz",
+            "4@2.4/2.4/1.6/1.6",
+            "4@2.4/2.4/1.6/GHz",
+            "4@/2.4/2.4/1.6GHz",
+            "4@2.4/2.4/1.6/abcGHz",
+        ):
+            with pytest.raises(ValueError):
+                configuration_by_name(bad, table)
+
+    def test_constructor_invariants(self, table):
+        placement = CONFIG_2B.placement
+        with pytest.raises(ValueError, match="not both"):
+            Configuration(
+                "bad",
+                placement,
+                pstate=table.nominal,
+                pstate_vector=(table.nominal, table.by_name("P2")),
+            )
+        with pytest.raises(ValueError, match="one P-state per active core"):
+            Configuration("bad", placement, pstate_vector=(table.nominal,))
+        # Direct construction canonicalizes the degenerate vector too.
+        degenerate = Configuration(
+            "2b@1.6GHz", placement, pstate_vector=(table.by_name("P2"),) * 2
+        )
+        assert degenerate.pstate_vector is None
+        assert degenerate.pstate == table.by_name("P2")
+
+    def test_heterogeneous_label_formats_vectors(self, table):
+        assert (
+            heterogeneous_label((table.nominal, table.by_name("P2")))
+            == "2.4/1.6GHz"
+        )
+
+    def test_ladder_generator_is_bounded_and_master_boosted(self, table):
+        ladders = heterogeneous_ladders(CONFIG_4, table)
+        # (n - 1) splits x C(|P|, 2) ordered pairs = 3 x 3 on the quad.
+        assert len(ladders) == 9
+        assert len({c.name for c in ladders}) == 9
+        for config in ladders:
+            frequencies = config.frequencies_ghz()
+            # Non-increasing: the master (thread-0) core is never the slow one.
+            assert list(frequencies) == sorted(frequencies, reverse=True)
+            assert len(set(frequencies)) == 2
+        assert heterogeneous_ladders(CONFIG_1, table) == []
+
+    def test_cross_product_with_ladders(self, table):
+        homogeneous = dvfs_configurations(standard_configurations(), table)
+        enlarged = dvfs_configurations(
+            standard_configurations(), table, include_heterogeneous=True
+        )
+        assert {c.name for c in homogeneous} <= {c.name for c in enlarged}
+        hetero = [c for c in enlarged if c.is_heterogeneous]
+        # 2-thread placements contribute 3 ladders each, 3 threads 6, 4
+        # threads 9; the single-thread placement none.
+        assert len(hetero) == 3 + 3 + 6 + 9
+        assert len({c.name for c in enlarged}) == len(enlarged)
+
+
+class TestHeterogeneousExecution:
+    """Execution semantics of per-core P-state vectors."""
+
+    def test_master_clock_is_reported(self, machine, compute_work):
+        table = machine.pstate_table
+        config = configuration_by_name("4@2.4/2.4/1.6/1.6GHz", table)
+        result = machine.execute(compute_work, config, apply_noise=False)
+        assert result.frequency_ghz == pytest.approx(2.4)
+        assert result.pstate is None
+        assert result.pstates == config.pstate_vector
+
+    def test_vector_argument_overrides_configuration(self, machine, compute_work):
+        table = machine.pstate_table
+        vector = (table.nominal, table.nominal, table.by_name("P2"), table.by_name("P2"))
+        result = machine.execute(
+            compute_work, CONFIG_4.placement, apply_noise=False, pstate=vector
+        )
+        assert result.pstates == vector
+        with pytest.raises(ValueError, match="thread"):
+            machine.execute(
+                compute_work, CONFIG_4.placement, apply_noise=False,
+                pstate=(table.nominal,) * 3,
+            )
+
+    def test_ladder_power_sits_between_the_uniform_states(
+        self, machine, compute_work
+    ):
+        table = machine.pstate_table
+        hi = machine.execute(
+            compute_work, configuration_by_name("4", table), apply_noise=False
+        )
+        lo = machine.execute(
+            compute_work, configuration_by_name("4@1.6GHz", table), apply_noise=False
+        )
+        mixed = machine.execute(
+            compute_work,
+            configuration_by_name("4@2.4/2.4/1.6/1.6GHz", table),
+            apply_noise=False,
+        )
+        assert lo.power_watts < mixed.power_watts < hi.power_watts
+        # The slow block bounds the parallel portion: a ladder is never
+        # faster than running everything at the fast state.
+        assert mixed.time_seconds >= hi.time_seconds
 
 
 class TestFrequencyAwareExecution:

@@ -30,7 +30,10 @@ from repro.machine import (
     Machine,
     ThreadPlacement,
     WorkRequest,
+    configuration_by_name,
+    default_pstate_table,
     dvfs_configurations,
+    heterogeneous_ladders,
     standard_configurations,
 )
 from repro.machine.topology import dual_socket_xeon
@@ -204,6 +207,178 @@ class TestGridEquivalence:
             for ci, config in enumerate(configs):
                 reference = machine.execute(work, config, apply_noise=False)
                 _assert_cell_matches(grid, wi, ci, reference, (wi, config.name))
+
+
+#: Index pool for random per-core P-state vectors over the default table.
+_PSTATE_INDICES = st.integers(0, len(default_pstate_table()) - 1)
+
+
+@st.composite
+def pstate_vectors(draw, num_threads: int):
+    """A random per-core P-state vector of the default frequency ladder."""
+    table = default_pstate_table()
+    indices = draw(
+        st.lists(_PSTATE_INDICES, min_size=num_threads, max_size=num_threads)
+    )
+    return tuple(table.states[i] for i in indices)
+
+
+class TestHeterogeneousGrid:
+    """Per-core P-state vectors through the grid kernel vs the scalar path."""
+
+    def test_nas_phases_with_ladders_match_looped_execute(self, machine, suite):
+        """NAS phases × (cross-product + every ladder) == scalar loops."""
+        grid_machine = Machine(noise_sigma=0.0)
+        configs = dvfs_configurations(
+            standard_configurations(grid_machine.topology),
+            grid_machine.pstate_table,
+            include_heterogeneous=True,
+        )
+        assert any(c.is_heterogeneous for c in configs)
+        works = [p.work for p in suite.get("IS").phases] + [
+            p.work for p in suite.get("BT").phases[:2]
+        ]
+        grid = grid_machine.execute_grid(works, configs, use_memo=False)
+        for wi, work in enumerate(works):
+            for ci, config in enumerate(configs):
+                reference = machine.execute(work, config, apply_noise=False)
+                _assert_cell_matches(grid, wi, ci, reference, (wi, config.name))
+
+    @given(
+        work=work_requests(),
+        vectors=st.lists(pstate_vectors(num_threads=4), min_size=1, max_size=3),
+    )
+    @_SETTINGS
+    def test_random_pstate_vectors_match_scalar_execute(self, work, vectors):
+        """Property: any per-core vector — grid kernel == per-cell scalar."""
+        machine = Machine(noise_sigma=0.0)
+        configs = [
+            CONFIG_4.with_pstate_vector(v, nominal=machine.pstate_table.nominal)
+            for v in vectors
+        ]
+        grid = machine.execute_grid([work], configs, use_memo=False)
+        for ci, (config, vector) in enumerate(zip(configs, vectors)):
+            reference = machine.execute(
+                work, CONFIG_4.placement, apply_noise=False, pstate=vector
+            )
+            _assert_cell_matches(grid, 0, ci, reference, (config.name,))
+
+    @given(work=work_requests(), index=_PSTATE_INDICES)
+    @_SETTINGS
+    def test_all_equal_vector_reproduces_homogeneous_exactly(self, work, index):
+        """Invariance: the degenerate vector IS the homogeneous execution."""
+        machine = Machine(noise_sigma=0.0)
+        table = machine.pstate_table
+        state = table.states[index]
+        uniform = machine.execute(
+            work, CONFIG_4.placement, apply_noise=False, pstate=(state,) * 4
+        )
+        homogeneous = machine.execute(
+            work, CONFIG_4.placement, apply_noise=False, pstate=state
+        )
+        # Bit-identity, not tolerance: the vector collapses to the scalar
+        # path before any arithmetic runs.
+        assert uniform.time_seconds == homogeneous.time_seconds
+        assert uniform.cycles == homogeneous.cycles
+        assert uniform.ipc == homogeneous.ipc
+        assert uniform.power_watts == homogeneous.power_watts
+        assert uniform.pstates is None
+        assert uniform.pstate == state
+        # The configuration constructor collapses too.
+        config = CONFIG_4.with_pstate_vector((state,) * 4, nominal=table.nominal)
+        assert not config.is_heterogeneous
+        assert config.pstate == state
+
+    def test_mixed_homogeneous_and_heterogeneous_calls_partition(
+        self, machine, compute_work, bandwidth_work
+    ):
+        """One grid call mixing both kernel paths stays cell-exact."""
+        table = machine.pstate_table
+        configs = [
+            configuration_by_name("4", table),
+            configuration_by_name("4@2.4/2.4/1.6/1.6GHz", table),
+            configuration_by_name("2b@1.6GHz", table),
+            configuration_by_name("2b@2.4/1.6GHz", table),
+        ]
+        grid_machine = Machine(noise_sigma=0.0)
+        grid = grid_machine.execute_grid(
+            [compute_work, bandwidth_work], configs, use_memo=False
+        )
+        for wi, work in enumerate((compute_work, bandwidth_work)):
+            for ci, config in enumerate(configs):
+                reference = machine.execute(work, config, apply_noise=False)
+                _assert_cell_matches(grid, wi, ci, reference, (wi, config.name))
+
+    def test_noisy_mixed_grid_consumes_the_scalar_rng_stream(self, suite):
+        """Partitioned kernels draw one jitter per cell in row-major order."""
+        table = default_pstate_table()
+        configs = [
+            configuration_by_name("4", table),
+            configuration_by_name("4@2.4/2.4/1.6/1.6GHz", table),
+            configuration_by_name("4@1.6GHz", table),
+        ]
+        works = [p.work for p in suite.get("CG").phases[:2]]
+        loop_machine = Machine(seed=913, noise_sigma=0.01)
+        grid_machine = Machine(seed=913, noise_sigma=0.01)
+        looped = [
+            [
+                loop_machine.execute(work, config, apply_noise=True)
+                for config in configs
+            ]
+            for work in works
+        ]
+        grid = grid_machine.execute_grid(works, configs, apply_noise=True)
+        for wi in range(len(works)):
+            for ci in range(len(configs)):
+                assert float(grid.time_seconds[wi, ci]) == pytest.approx(
+                    looped[wi][ci].time_seconds, rel=_RTOL
+                )
+
+    def test_ladder_names_round_trip_through_configuration_by_name(self):
+        table = default_pstate_table()
+        for base in standard_configurations():
+            for ladder in heterogeneous_ladders(base, table):
+                assert ladder.is_heterogeneous
+                resolved = configuration_by_name(ladder.name, table)
+                assert resolved == ladder
+
+    def test_master_boost_ladder_wins_ed2_on_serial_heavy_phases(self):
+        """The physics the ladders exist for: a serial-dominated phase runs
+        its Amdahl portion on the boosted master core while the trailing
+        cores coast, beating *both* uniform states on ED² under the
+        CPU-dominated power profile."""
+        from repro.machine import dvfs_power_parameters, quad_core_xeon
+        from repro.machine.power import PowerModel
+
+        table = default_pstate_table()
+        topology = quad_core_xeon()
+        machine = Machine(
+            topology=topology,
+            power_model=PowerModel(
+                topology, dvfs_power_parameters(), pstate_table=table
+            ),
+            noise_sigma=0.0,
+        )
+        work = WorkRequest(
+            instructions=2e8,
+            serial_fraction=0.6,
+            mem_fraction=0.30,
+            l1_miss_rate=0.02,
+            l2_miss_rate_solo=0.06,
+            working_set_mb=1.0,
+            prefetch_friendliness=0.4,
+            bandwidth_sensitivity=0.8,
+            barriers=2,
+        )
+
+        def ed2(name):
+            return machine.execute(
+                work, configuration_by_name(name, table), apply_noise=False
+            ).ed2
+
+        ladder = ed2("4@2.4/1.6/1.6/1.6GHz")
+        assert ladder < ed2("4")
+        assert ladder < ed2("4@1.6GHz")
 
 
 class TestGridInterface:

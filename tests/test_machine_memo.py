@@ -303,6 +303,122 @@ class TestMemoSnapshot:
         assert info.merged_hits == 2 + len(configs)
 
 
+class TestPerCoreMemoKeys:
+    """The memo key space under heterogeneous per-core P-states."""
+
+    def test_heterogeneous_cells_are_memoized_and_replayed(self, phase_work):
+        machine = Machine(noise_sigma=0.0)
+        ladder = configuration_by_name(
+            "4@2.4/2.4/1.6/1.6GHz", machine.pstate_table
+        )
+        first = machine.execute_batch(phase_work, [ladder])
+        assert first.memo_misses == 1
+        second = machine.execute_batch(phase_work, [ladder])
+        assert second.memo_hits == 1
+        assert float(first.time_seconds[0]) == float(second.time_seconds[0])
+        materialized = second.result(0)
+        assert materialized.pstates == ladder.pstate_vector
+        assert materialized.pstate is None
+
+    def test_heterogeneous_keys_never_alias_homogeneous_cells(self, phase_work):
+        """A ladder and its member frequencies are three distinct cells."""
+        machine = Machine(noise_sigma=0.0)
+        table = machine.pstate_table
+        names = ["4", "4@1.6GHz", "4@2.4/2.4/1.6/1.6GHz"]
+        configs = [configuration_by_name(name, table) for name in names]
+        batch = machine.execute_batch(phase_work, configs)
+        assert batch.memo_misses == len(configs)
+        assert machine.execution_memo_info().size == len(configs)
+        times = {name: float(t) for name, t in zip(names, batch.time_seconds)}
+        assert len(set(times.values())) == len(times)
+
+    def test_all_equal_vector_shares_the_homogeneous_cell(self, phase_work):
+        """The degenerate vector canonicalizes onto the scalar key."""
+        machine = Machine(noise_sigma=0.0)
+        table = machine.pstate_table
+        machine.execute_batch(phase_work, [configuration_by_name("4@1.6GHz", table)])
+        degenerate = configuration_by_name("4@1.6/1.6/1.6/1.6GHz", table)
+        assert not degenerate.is_heterogeneous
+        batch = machine.execute_batch(phase_work, [degenerate])
+        assert batch.memo_hits == 1
+
+    def test_shares_memo_cell_understands_vectors(self, fresh_machine):
+        table = fresh_machine.pstate_table
+        ladder = configuration_by_name("4@2.4/2.4/1.6/1.6GHz", table)
+        other_split = configuration_by_name("4@2.4/1.6/1.6/1.6GHz", table)
+        assert fresh_machine.shares_memo_cell(ladder, ladder)
+        assert not fresh_machine.shares_memo_cell(ladder, other_split)
+        assert not fresh_machine.shares_memo_cell(
+            ladder, configuration_by_name("4", table)
+        )
+
+    def test_snapshots_carry_heterogeneous_cells(self, phase_work):
+        machine = Machine(noise_sigma=0.0)
+        ladder = configuration_by_name(
+            "2b@2.4/1.6GHz", machine.pstate_table
+        )
+        machine.execute_batch(phase_work, [ladder])
+        snapshot = pickle.loads(pickle.dumps(machine.export_execution_memo()))
+        other = Machine(noise_sigma=0.0)
+        assert other.merge_execution_memo(snapshot) == 1
+        assert other.execute_batch(phase_work, [ladder]).memo_hits == 1
+
+
+class TestMemoPersistence:
+    """Disk round-trips of the execution memo (save/load_execution_memo)."""
+
+    def test_save_load_roundtrip_restores_every_cell(
+        self, fresh_machine, phase_work, tmp_path
+    ):
+        configs = standard_configurations(fresh_machine.topology) + [
+            configuration_by_name(
+                "4@2.4/2.4/1.6/1.6GHz", fresh_machine.pstate_table
+            )
+        ]
+        fresh_machine.execute_batch(phase_work, configs)
+        path = tmp_path / "memo.pkl"
+        assert fresh_machine.save_execution_memo(path) == len(configs)
+        restored = Machine(noise_sigma=0.0)
+        assert restored.load_execution_memo(path) == len(configs)
+        batch = restored.execute_batch(phase_work, configs)
+        assert (batch.memo_hits, batch.memo_misses) == (len(configs), 0)
+
+    def test_save_since_writes_only_the_delta(
+        self, fresh_machine, phase_work, tmp_path
+    ):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        seed = fresh_machine.export_execution_memo()
+        configs = standard_configurations(fresh_machine.topology)
+        fresh_machine.execute_batch(phase_work, configs)
+        path = tmp_path / "delta.pkl"
+        assert fresh_machine.save_execution_memo(path, since=seed) == len(configs) - 1
+        restored = Machine(noise_sigma=0.0)
+        assert restored.load_execution_memo(path) == len(configs) - 1
+
+    def test_load_rejects_stale_schema_files(
+        self, fresh_machine, phase_work, tmp_path
+    ):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        snapshot = fresh_machine.export_execution_memo()
+        stale = replace(snapshot, schema=("memo-v1",) + snapshot.schema[1:])
+        path = tmp_path / "stale.pkl"
+        with open(path, "wb") as stream:
+            pickle.dump(stale, stream)
+        with pytest.raises(ValueError, match="stale execution-memo snapshot"):
+            Machine(noise_sigma=0.0).load_execution_memo(path)
+
+    def test_load_rejects_files_that_are_not_snapshots(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as stream:
+            pickle.dump({"not": "a snapshot"}, stream)
+        with pytest.raises(ValueError, match="does not contain"):
+            Machine(noise_sigma=0.0).load_execution_memo(path)
+
+    def test_load_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            Machine(noise_sigma=0.0).load_execution_memo(tmp_path / "absent.pkl")
+
+
 class TestWorkFingerprint:
     def test_fingerprint_tracks_field_values(self):
         a = WorkRequest(instructions=1e8)
