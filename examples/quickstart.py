@@ -8,7 +8,7 @@ default and once under ACTOR's prediction-based concurrency throttling.
 It prints the per-phase configuration decisions and the resulting
 time/power/energy/ED² improvements.
 
-It then demonstrates the four scaling features of the serving path:
+It then demonstrates the five scaling features of the serving path:
 
 * the **batched prediction engine** — one ``predict_batch`` /
   ``predict_batch_from_rates`` call scores every target configuration for
@@ -30,6 +30,12 @@ It then demonstrates the four scaling features of the serving path:
   ``predict_batch`` call scores the whole (optionally ladder-enlarged)
   cross-product, and ``EnergyAwarePolicy(bundle, objective="ed2")``
   selects by energy, EDP or ED² instead of raw predicted IPC;
+* the **adaptation service** — ``repro.service.AdaptationServer`` turns
+  the predict-and-select loop into a micro-batching asyncio server: many
+  concurrent clients' phase samples coalesce in a bounded window and are
+  scored through one batched pass, with backpressure (bounded queue,
+  reject-with-retry-after) and a plain-dict metrics surface — decisions
+  identical to serial per-phase selection;
 * the **concurrent experiment runner** — independent workload × policy
   cells fan out over a process pool with seeded, reproducible RNG streams
   (``run_cells(..., processes=N)``; the full figure sweep — now including
@@ -232,7 +238,55 @@ def main() -> None:
         f"re-simulated {replay.memo_misses} cells"
     )
 
-    # 7. The frequency axis: expand the target space to the placement x
+    # 7. Serving adaptation decisions: the same predict-and-select loop as
+    #    a micro-batching asyncio service.  Many concurrent clients submit
+    #    phase samples; the server coalesces whatever arrives inside a
+    #    bounded batching window (max batch size OR max latency, whichever
+    #    first) and scores each batch through ONE predict_batch pass —
+    #    decisions are identical to calling the selector per phase, so
+    #    batching is purely a throughput feature.  A bounded queue rejects
+    #    overload with a retry-after hint the client shim honours.
+    import asyncio
+
+    from repro.service import (
+        AdaptationServer,
+        PhaseSampleRequest,
+        PredictionHandler,
+        run_open_loop,
+    )
+
+    service_requests = [
+        PhaseSampleRequest(
+            client_id=f"app-{i % 4}",
+            phase=phase.name,
+            ipc_sample=ipc,
+            rates=rates,
+        )
+        for i, (phase, (ipc, rates)) in enumerate(zip(target.phases, samples))
+    ]
+
+    async def serve_fleet():
+        handler = PredictionHandler(bundle)
+        async with AdaptationServer(
+            handler, max_batch_size=32, max_batch_window=0.002
+        ) as server:
+            return await run_open_loop(server, service_requests, concurrency=4)
+
+    fleet = asyncio.run(serve_fleet())
+    print()
+    print(
+        f"Adaptation service: {len(fleet.decisions)} decisions at "
+        f"{fleet.decisions_per_second:,.0f}/s "
+        f"(mean batch {fleet.metrics['mean_batch_size']:.1f}, "
+        f"p99 latency {fleet.metrics['latency_seconds']['p99'] * 1e3:.2f} ms)"
+    )
+    for decision in fleet.decisions[:3]:
+        print(
+            f"  {decision.client_id} {decision.phase:20s} -> "
+            f"{decision.configuration}"
+        )
+
+    # 8. The frequency axis: expand the target space to the placement x
     #    P-state cross-product (regression-backed; closed-form training)
     #    and adapt MG for minimal ED^2 on a CPU-dominated platform.
     table = default_pstate_table()
@@ -269,7 +323,7 @@ def main() -> None:
         f"{mg_report.energy_joules:.0f} J, ED2 {mg_report.ed2:.3e}"
     )
 
-    # 8. The concurrent experiment runner: independent workload x policy
+    # 9. The concurrent experiment runner: independent workload x policy
     #    cells fan out over a process pool, each with its own seeded RNG
     #    streams, so results are bit-identical to a serial run.
     cells = [

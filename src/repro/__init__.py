@@ -15,6 +15,10 @@ The package is organized bottom-up:
 * :mod:`repro.core` — ACTOR, the paper's adaptive concurrency-throttling
   runtime: counter sampling, ANN-based IPC prediction, configuration
   selection and the comparison policies (oracles, search, regression);
+* :mod:`repro.service` — adaptation-as-a-service: a micro-batching asyncio
+  server that coalesces phase samples from many concurrent clients and
+  scores each batch through one vectorized prediction (or grid) pass, with
+  backpressure, metrics and client shims;
 * :mod:`repro.analysis` — speedup/power/energy/ED² metrics and reporting;
 * :mod:`repro.experiments` — drivers that regenerate every figure of the
   paper's evaluation.

@@ -107,13 +107,23 @@ class LinearIPCModel(ConfigurationModel):
     def predict_one(self, features: np.ndarray) -> float:
         self._require_fitted("predict_one")
         features = np.asarray(features, dtype=float).ravel()
-        return float(self.intercept + features @ self.coefficients)
+        return float(self.intercept + (features * self.coefficients).sum())
 
     def predict_batch(self, features: np.ndarray) -> np.ndarray:
-        """Vectorized prediction: ``intercept + X @ coefficients`` in one op."""
+        """Vectorized prediction over all rows in one pass.
+
+        Computed as an elementwise product with a per-row reduction rather
+        than ``X @ coefficients``: BLAS matmul kernels pick different
+        summation orders for different batch shapes, which would make
+        predictions (and hence adaptation decisions) depend on batch
+        composition at the last ulp.  The axis reduction's order depends
+        only on the feature count, so every row is bit-identical whether
+        predicted alone or inside any batch — and matches
+        :meth:`predict_one`.
+        """
         self._require_fitted("predict_batch")
         features = require_batch_matrix(features)
-        return self.intercept + features @ self.coefficients
+        return self.intercept + (features * self.coefficients).sum(axis=1)
 
 
 class FrequencyRatioModel(ConfigurationModel):

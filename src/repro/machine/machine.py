@@ -66,7 +66,9 @@ matters for the empirical-search baseline and for counter-sampling error.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
@@ -2352,10 +2354,29 @@ class Machine:
         :meth:`load_execution_memo` on a fresh machine restores every
         deterministic cell without re-simulating.  ``since`` restricts the
         file to a delta, as in :meth:`export_execution_memo`.
+
+        The write is atomic: the snapshot is pickled into a temporary file
+        in the same directory and published with :func:`os.replace`, so a
+        crash (or a concurrent reader) never observes a truncated file —
+        ``path`` either holds the previous complete snapshot or the new
+        one.
         """
         snapshot = self.export_execution_memo(since=since)
-        with open(path, "wb") as stream:
-            pickle.dump(snapshot, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        path = Path(path)
+        directory = path.parent if str(path.parent) else Path(".")
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(directory), prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                pickle.dump(snapshot, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return len(snapshot)
 
     def load_execution_memo(self, path: Union[str, Path]) -> int:
@@ -2365,11 +2386,26 @@ class Machine:
         a different code revision — one whose work-request fields, cell
         layout or memo-key schema differ — is rejected with
         :class:`ValueError` instead of silently aliasing cells.  A file
-        that does not hold a snapshot at all also raises
-        :class:`ValueError`.
+        that does not hold a snapshot at all — including a truncated or
+        corrupted pickle — also raises :class:`ValueError` naming the
+        path, rather than leaking raw :class:`EOFError` /
+        :class:`pickle.UnpicklingError` internals to callers.
         """
-        with open(path, "rb") as stream:
-            snapshot = pickle.load(stream)
+        try:
+            with open(path, "rb") as stream:
+                snapshot = pickle.load(stream)
+        except (
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            IndexError,
+            ValueError,
+        ) as exc:
+            raise ValueError(
+                f"{str(path)!r} does not contain a readable execution-memo "
+                f"snapshot (file is truncated or corrupt: {exc})"
+            ) from exc
         if not isinstance(snapshot, ExecutionMemoSnapshot):
             raise ValueError(
                 f"{str(path)!r} does not contain an execution-memo snapshot "

@@ -1,0 +1,63 @@
+"""Adaptation-as-a-service: a micro-batching prediction/control server.
+
+The ACTOR loop of the paper makes its (placement × P-state) decisions as a
+library call inside one process.  This package turns that call into a
+service tier, so one trained predictor (and one shared execution memo) can
+serve a fleet of adapting applications:
+
+* :mod:`repro.service.messages` — the wire-level request/decision types and
+  the backpressure rejection (:class:`ServiceOverloadedError`);
+* :mod:`repro.service.handlers` — stateless batch handlers mapping a list
+  of requests onto **one** array-shaped kernel call:
+  :class:`PredictionHandler` scores every pending phase sample through a
+  single :meth:`~repro.core.predictor.PredictorBundle.predict_batch` pass,
+  :class:`GridHandler` resolves work-fingerprint probes through a single
+  memo-backed :meth:`~repro.machine.Machine.execute_grid` launch;
+* :mod:`repro.service.batcher` — the bounded request queue and the
+  micro-batching scheduler (dispatch on ``max_batch_size`` OR the
+  ``max_batch_window`` latency deadline, whichever fires first; reject
+  with a retry-after hint once the queue is saturated);
+* :mod:`repro.service.metrics` — the exported counters (decisions/sec,
+  batch-size histogram, queue depth, p50/p99 latency, cache hit rates) as
+  a plain dict for tests, benches and dashboards;
+* :mod:`repro.service.server` — :class:`AdaptationServer`, the asyncio
+  front door tying the tiers together, plus an optional JSON-lines TCP
+  endpoint;
+* :mod:`repro.service.client` — the client shim (bounded retry on
+  backpressure) and the open-loop synthetic load generator used by the
+  service benchmark.
+
+Batched decisions are identical to serial per-phase selection on the same
+inputs: the handlers reuse the exact quantized-cache prediction path and
+:class:`~repro.core.selector.ConfigurationSelector` ranking the in-process
+policies run, so batching is purely a throughput feature.
+"""
+
+from .batcher import MicroBatcher
+from .client import AdaptationClient, OpenLoopResult, TCPAdaptationClient, run_open_loop
+from .handlers import DecisionHandler, GridHandler, PredictionHandler
+from .messages import (
+    AdaptationDecision,
+    GridProbeRequest,
+    PhaseSampleRequest,
+    ServiceOverloadedError,
+)
+from .metrics import ServiceMetrics
+from .server import AdaptationServer
+
+__all__ = [
+    "AdaptationClient",
+    "AdaptationDecision",
+    "AdaptationServer",
+    "DecisionHandler",
+    "GridHandler",
+    "GridProbeRequest",
+    "MicroBatcher",
+    "OpenLoopResult",
+    "PhaseSampleRequest",
+    "PredictionHandler",
+    "ServiceMetrics",
+    "ServiceOverloadedError",
+    "TCPAdaptationClient",
+    "run_open_loop",
+]

@@ -1,0 +1,233 @@
+"""The micro-batching tier: bounded queue, latency window, one dispatch.
+
+:class:`MicroBatcher` owns the request queue and the scheduler task of an
+adaptation server.  Submissions enqueue a ``(request, future, t0)`` triple;
+the scheduler coalesces queued requests into batches and hands each batch
+to the handler **once**, resolving every request's future with its decision.
+
+Dispatch policy — whichever fires first:
+
+* the batch reached ``max_batch_size``, or
+* ``max_batch_window`` seconds elapsed since the batch's first request was
+  dequeued (the latency budget a lone request pays waiting for company).
+
+Backpressure: the queue is bounded by ``max_queue_depth``.  A submission
+finding it full is rejected immediately with
+:class:`~repro.service.messages.ServiceOverloadedError` carrying a
+retry-after hint derived from the scheduler's recent drain rate — the
+client-visible contract is "come back in ~this long", not an unbounded
+in-server wait.
+
+The handler runs in a worker thread (``loop.run_in_executor``) so the event
+loop keeps accepting submissions while a batch is being scored; batches are
+still strictly sequential (one scheduler, one in-flight batch), which keeps
+the decision stream deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
+
+from .messages import ServiceOverloadedError
+from .metrics import ServiceMetrics
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Bounded micro-batching scheduler in front of a batch handler.
+
+    Parameters
+    ----------
+    handle_batch:
+        Callable mapping a list of requests to a list of responses of the
+        same length, in input order.
+    max_batch_size:
+        Dispatch as soon as this many requests are coalesced.
+    max_batch_window:
+        Dispatch at latest this many seconds after a batch's first request
+        was dequeued (``0`` dispatches whatever is immediately queued).
+    max_queue_depth:
+        Bound of the request queue; submissions beyond it are rejected.
+    metrics:
+        Shared metrics sink (a private one is created when omitted).
+    offload_handler:
+        Run the handler in the loop's default thread-pool executor
+        (default).  ``False`` calls it inline on the event loop — only
+        sensible for trivial handlers in tests.
+    """
+
+    def __init__(
+        self,
+        handle_batch: Callable[[List[object]], Sequence[object]],
+        max_batch_size: int = 64,
+        max_batch_window: float = 0.002,
+        max_queue_depth: int = 1024,
+        metrics: Optional[ServiceMetrics] = None,
+        offload_handler: bool = True,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_batch_window < 0:
+            raise ValueError("max_batch_window must be >= 0")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.handle_batch = handle_batch
+        self.max_batch_size = max_batch_size
+        self.max_batch_window = max_batch_window
+        self.max_queue_depth = max_queue_depth
+        self.metrics = metrics or ServiceMetrics()
+        self.offload_handler = offload_handler
+        self._queue: Optional[asyncio.Queue] = None
+        self._scheduler: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the scheduler task is live."""
+        return self._scheduler is not None and not self._scheduler.done()
+
+    async def start(self) -> None:
+        """Create the queue and spawn the scheduler on the running loop."""
+        if self.running:
+            return
+        self._queue = asyncio.Queue()
+        self._scheduler = asyncio.get_running_loop().create_task(
+            self._run(), name="repro-service-batcher"
+        )
+
+    async def stop(self) -> None:
+        """Stop the scheduler; queued-but-unserved requests are rejected."""
+        scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler.cancel()
+            try:
+                await scheduler
+            except asyncio.CancelledError:
+                pass
+        queue, self._queue = self._queue, None
+        if queue is not None:
+            while not queue.empty():
+                _, future, _ = queue.get_nowait()
+                if not future.done():
+                    future.set_exception(
+                        RuntimeError("adaptation service stopped before serving")
+                    )
+
+    # ------------------------------------------------------------------
+    # submission path
+    # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Requests currently queued (not yet dequeued into a batch)."""
+        return 0 if self._queue is None else self._queue.qsize()
+
+    def retry_after_hint(self) -> float:
+        """Estimated time until a saturated queue has drained.
+
+        Uses the sustained decision rate observed so far; before any batch
+        has completed, falls back to assuming one full batch per window.
+        """
+        throughput = self.metrics.decisions_per_second()
+        if throughput <= 0.0:
+            batches = self.max_queue_depth / self.max_batch_size
+            return max(self.max_batch_window, 1e-4) * max(batches, 1.0)
+        return self.max_batch_window + self.max_queue_depth / throughput
+
+    async def submit(self, request: object) -> object:
+        """Enqueue one request and await its decision.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            When the queue is at its bound (carries ``retry_after``).
+        RuntimeError
+            When the batcher is not running.
+        """
+        if not self.running or self._queue is None:
+            raise RuntimeError("MicroBatcher is not running; call start() first")
+        if self._queue.qsize() >= self.max_queue_depth:
+            self.metrics.record_rejection()
+            raise ServiceOverloadedError(
+                retry_after=self.retry_after_hint(),
+                queue_depth=self._queue.qsize(),
+                max_queue_depth=self.max_queue_depth,
+            )
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((request, future, time.perf_counter()))
+        return await future
+
+    # ------------------------------------------------------------------
+    # scheduler
+    # ------------------------------------------------------------------
+    async def _collect_batch(self) -> List[Tuple[object, asyncio.Future, float]]:
+        """Dequeue one batch: first item blocks, then size/window race."""
+        assert self._queue is not None
+        batch = [await self._queue.get()]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_batch_window
+        while len(batch) < self.max_batch_size:
+            # Drain whatever is already queued without yielding.
+            try:
+                batch.append(self._queue.get_nowait())
+                continue
+            except asyncio.QueueEmpty:
+                pass
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(
+                    await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                )
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    async def _dispatch(
+        self, batch: List[Tuple[object, asyncio.Future, float]]
+    ) -> None:
+        requests = [request for request, _, _ in batch]
+        try:
+            if self.offload_handler:
+                responses = await asyncio.get_running_loop().run_in_executor(
+                    None, self.handle_batch, requests
+                )
+            else:
+                responses = self.handle_batch(requests)
+            if len(responses) != len(requests):
+                raise RuntimeError(
+                    f"handler answered {len(responses)} responses for "
+                    f"{len(requests)} requests"
+                )
+        except asyncio.CancelledError:
+            # stop() cancelled the scheduler mid-dispatch: fail the batch's
+            # futures instead of abandoning their awaiters.
+            for _, future, _ in batch:
+                if not future.done():
+                    future.set_exception(
+                        RuntimeError("adaptation service stopped before serving")
+                    )
+            raise
+        except Exception as exc:
+            # A failing batch fails exactly its own requests; the scheduler
+            # survives to serve the next batch.
+            for _, future, _ in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        now = time.perf_counter()
+        latencies = []
+        for (_, future, submitted), response in zip(batch, responses):
+            latencies.append(now - submitted)
+            if not future.done():
+                future.set_result(response)
+        self.metrics.record_batch(len(batch), latencies)
+
+    async def _run(self) -> None:
+        while True:
+            batch = await self._collect_batch()
+            await self._dispatch(batch)

@@ -1,0 +1,217 @@
+"""Client shims and the open-loop synthetic load generator.
+
+:class:`AdaptationClient` wraps an in-process
+:class:`~repro.service.server.AdaptationServer` with a bounded
+retry-on-backpressure loop: a well-behaved client sleeps for the server's
+``retry_after`` hint and resubmits, up to ``max_retries`` times.
+:class:`TCPAdaptationClient` speaks the JSON-lines TCP protocol with the
+same retry discipline.
+
+:func:`run_open_loop` is the synthetic fleet used by the service benchmark:
+``concurrency`` independent clients each firing their request list as fast
+as the service admits them (open loop — submission does not wait for the
+previous decision of *other* clients).  It returns an
+:class:`OpenLoopResult` with the achieved decisions/sec and every decision
+in submission order, so benches can both assert throughput floors and check
+bit-identical agreement with serial selection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .messages import (
+    AdaptationDecision,
+    GridProbeRequest,
+    PhaseSampleRequest,
+    ServiceOverloadedError,
+)
+from .server import AdaptationServer
+
+__all__ = [
+    "AdaptationClient",
+    "TCPAdaptationClient",
+    "OpenLoopResult",
+    "run_open_loop",
+]
+
+Request = Union[PhaseSampleRequest, GridProbeRequest]
+
+
+class AdaptationClient:
+    """In-process client with bounded retry on backpressure.
+
+    Parameters
+    ----------
+    server:
+        The server to submit against.
+    max_retries:
+        How many times a rejected request is resubmitted before the
+        :class:`~repro.service.messages.ServiceOverloadedError` propagates.
+    backoff_cap:
+        Upper bound (seconds) on any single retry sleep, so a pessimistic
+        ``retry_after`` hint cannot stall a client indefinitely.
+    """
+
+    def __init__(
+        self,
+        server: AdaptationServer,
+        max_retries: int = 8,
+        backoff_cap: float = 0.25,
+    ) -> None:
+        self.server = server
+        self.max_retries = max_retries
+        self.backoff_cap = backoff_cap
+        self.retries = 0
+
+    async def request(self, request: Request) -> AdaptationDecision:
+        """Submit one request, retrying on backpressure with the hint."""
+        attempts = 0
+        while True:
+            try:
+                return await self.server.submit(request)
+            except ServiceOverloadedError as exc:
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise
+                self.retries += 1
+                await asyncio.sleep(min(max(exc.retry_after, 0.0), self.backoff_cap))
+
+
+class TCPAdaptationClient:
+    """JSON-lines TCP client mirroring :class:`AdaptationClient`'s retry."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_retries: int = 8,
+        backoff_cap: float = 0.25,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_retries = max_retries
+        self.backoff_cap = backoff_cap
+        self.retries = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        self._reader = None
+        self._writer = None
+
+    async def __aenter__(self) -> "TCPAdaptationClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def request(self, request: Request) -> AdaptationDecision:
+        """Send one request over the wire, retrying on backpressure."""
+        if self._reader is None or self._writer is None:
+            raise RuntimeError("TCPAdaptationClient is not connected")
+        payload = request.to_payload()
+        payload["kind"] = (
+            "grid_probe" if isinstance(request, GridProbeRequest) else "phase_sample"
+        )
+        line = json.dumps(payload).encode("utf-8") + b"\n"
+        attempts = 0
+        while True:
+            self._writer.write(line)
+            await self._writer.drain()
+            raw = await self._reader.readline()
+            if not raw:
+                raise ConnectionError("adaptation service closed the connection")
+            response = json.loads(raw.decode("utf-8"))
+            if response.get("ok"):
+                return AdaptationDecision.from_payload(response["decision"])
+            if response.get("error") == "overloaded":
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise ServiceOverloadedError(
+                        retry_after=float(response.get("retry_after", 0.0)),
+                        queue_depth=int(response.get("queue_depth", 0)),
+                        max_queue_depth=int(response.get("max_queue_depth", 0)),
+                    )
+                self.retries += 1
+                await asyncio.sleep(
+                    min(max(float(response.get("retry_after", 0.0)), 0.0), self.backoff_cap)
+                )
+                continue
+            raise ValueError(
+                f"adaptation service rejected request: {response.get('detail')}"
+            )
+
+
+@dataclass
+class OpenLoopResult:
+    """Outcome of one :func:`run_open_loop` run."""
+
+    decisions: List[AdaptationDecision]
+    elapsed_seconds: float
+    retries: int
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def decisions_per_second(self) -> float:
+        """Achieved end-to-end decision throughput."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return len(self.decisions) / self.elapsed_seconds
+
+
+async def run_open_loop(
+    server: AdaptationServer,
+    requests: Sequence[Request],
+    concurrency: int = 8,
+    max_retries: int = 64,
+    backoff_cap: float = 0.05,
+) -> OpenLoopResult:
+    """Drive ``requests`` through ``server`` with an open-loop client fleet.
+
+    The request list is dealt round-robin to ``concurrency`` clients; each
+    client fires its share sequentially (awaiting its own decisions), while
+    the fleet as a whole keeps the service saturated.  Decisions come back
+    in the original request order.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    clients = [
+        AdaptationClient(server, max_retries=max_retries, backoff_cap=backoff_cap)
+        for _ in range(concurrency)
+    ]
+    slots: List[Optional[AdaptationDecision]] = [None] * len(requests)
+
+    async def drive(client_index: int) -> None:
+        client = clients[client_index]
+        for i in range(client_index, len(requests), concurrency):
+            slots[i] = await client.request(requests[i])
+
+    start = time.perf_counter()
+    await asyncio.gather(*(drive(i) for i in range(len(clients))))
+    elapsed = time.perf_counter() - start
+    missing = [i for i, d in enumerate(slots) if d is None]
+    if missing:
+        raise RuntimeError(f"open-loop run left {len(missing)} requests unanswered")
+    return OpenLoopResult(
+        decisions=list(slots),  # type: ignore[arg-type]
+        elapsed_seconds=elapsed,
+        retries=sum(client.retries for client in clients),
+        metrics=server.metrics(),
+    )

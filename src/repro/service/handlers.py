@@ -1,0 +1,217 @@
+"""Batch decision handlers: many requests in, one kernel call, decisions out.
+
+A handler is the stateless-looking tier between the batching scheduler and
+the array-shaped engines of the library.  It receives the whole coalesced
+batch at once and must answer it with **one** vectorized pass — that single
+call is the entire point of micro-batching:
+
+* :class:`PredictionHandler` — the online path.  Every request carries a
+  sampled phase (IPC + counter rates); the handler scores all target
+  configurations for all pending samples through the bundle's quantized
+  cache and one :meth:`~repro.core.predictor.IPCPredictor.predict_batch`
+  forward pass, then ranks each row with the exact
+  :class:`~repro.core.selector.ConfigurationSelector` the in-process
+  policies use — so batched decisions are identical to serial per-phase
+  selection on the same inputs.
+* :class:`GridHandler` — the fingerprint path.  Requests carry full
+  :class:`~repro.machine.work.WorkRequest` characterizations; the handler
+  evaluates the whole batch against the candidate space in one shared,
+  memo-backed :meth:`~repro.machine.Machine.execute_grid` launch and picks
+  each row's best configuration under the configured objective.  Repeated
+  fingerprints (fleets run the same phases over and over) are pure memo
+  hits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.selector import ConfigurationSelector
+from ..core.predictor import PredictorBundle
+from ..machine.machine import Machine
+from ..machine.placement import Configuration, standard_configurations
+from .messages import AdaptationDecision, GridProbeRequest, PhaseSampleRequest
+
+__all__ = ["DecisionHandler", "PredictionHandler", "GridHandler"]
+
+#: Objective aliases accepted by :class:`GridHandler`, mapped to the metric
+#: arrays of :class:`~repro.machine.machine.GridExecutionResult` and whether
+#: the metric is minimized.
+_GRID_OBJECTIVES: Dict[str, tuple] = {
+    "ipc": ("ipc", False),
+    "time": ("time_seconds", True),
+    "energy": ("energy_joules", True),
+    "edp": ("edp", True),
+    "ed2": ("ed2", True),
+}
+
+
+class DecisionHandler:
+    """Interface of a batch decision handler."""
+
+    def handle_batch(self, requests: Sequence) -> List[AdaptationDecision]:
+        """Answer every request of one coalesced batch, in input order."""
+        raise NotImplementedError
+
+    def cache_info(self) -> Dict[str, Dict[str, float]]:
+        """Per-cache counters to merge into the metrics snapshot."""
+        return {}
+
+
+class PredictionHandler(DecisionHandler):
+    """Predict-and-select for a batch of phase samples in one forward pass.
+
+    Parameters
+    ----------
+    bundle:
+        Trained predictor bundle (its quantized LRU cache fronts the
+        batched path, so repeated phase samples skip model evaluation).
+    selector:
+        Ranking strategy; the paper's highest-predicted-IPC selector by
+        default.  Pass an energy-objective selector (with its cost model)
+        for DVFS-aware serving.
+    include_measured_sample:
+        Include the directly measured sample-configuration IPC in each
+        ranking, exactly as :class:`~repro.core.policies.PredictionPolicy`
+        does (default).
+    """
+
+    def __init__(
+        self,
+        bundle: PredictorBundle,
+        selector: Optional[ConfigurationSelector] = None,
+        include_measured_sample: bool = True,
+    ) -> None:
+        self.bundle = bundle
+        self.selector = selector or ConfigurationSelector()
+        self.include_measured_sample = include_measured_sample
+
+    def handle_batch(
+        self, requests: Sequence[PhaseSampleRequest]
+    ) -> List[AdaptationDecision]:
+        decisions: List[Optional[AdaptationDecision]] = [None] * len(requests)
+        # One predict_batch per event set present in the batch (almost
+        # always exactly one); rows keep their input positions.
+        groups: Dict[Optional[str], List[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(request.event_set, []).append(index)
+        for event_set, indices in groups.items():
+            samples = [
+                (requests[i].ipc_sample, requests[i].rates_dict()) for i in indices
+            ]
+            rows = self.bundle.predict_batch_from_rates(samples, event_set=event_set)
+            for i, predictions in zip(indices, rows):
+                request = requests[i]
+                measured = (
+                    (self.bundle.sample_configuration, request.ipc_sample)
+                    if self.include_measured_sample
+                    else None
+                )
+                ranking = self.selector.rank(predictions, measured_sample=measured)
+                decisions[i] = AdaptationDecision(
+                    client_id=request.client_id,
+                    phase=request.phase,
+                    configuration=ranking.best,
+                    objective=self.selector.objective,
+                    ranking=ranking.ranking,
+                    predicted=ranking.predictions,
+                )
+        return decisions  # type: ignore[return-value]
+
+    def cache_info(self) -> Dict[str, Dict[str, float]]:
+        info = self.bundle.cache_info()
+        return {
+            "prediction_cache": {
+                "hits": info.hits,
+                "misses": info.misses,
+                "evictions": info.evictions,
+                "size": info.size,
+                "capacity": info.capacity,
+                "hit_rate": info.hit_rate,
+            }
+        }
+
+
+class GridHandler(DecisionHandler):
+    """Evaluate a batch of work fingerprints in one shared grid launch.
+
+    Parameters
+    ----------
+    machine:
+        Noise-free machine hosting the shared execution memo; a default
+        deterministic platform when omitted.  Handing several handlers the
+        same machine shares one memo across them.
+    configurations:
+        Candidate space (default: the paper's five placements).  Pass
+        ``dvfs_configurations(...)`` for the placement × P-state
+        cross-product.
+    objective:
+        ``"ipc"`` (maximize) or ``"time"`` / ``"energy"`` / ``"edp"`` /
+        ``"ed2"`` (minimize), resolved against the grid's measured metric
+        arrays.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        configurations: Optional[Sequence[Configuration]] = None,
+        objective: str = "time",
+    ) -> None:
+        if objective not in _GRID_OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; expected one of "
+                f"{sorted(_GRID_OBJECTIVES)}"
+            )
+        self.machine = machine or Machine(noise_sigma=0.0)
+        if self.machine.noise_sigma > 0:
+            raise ValueError(
+                "GridHandler needs a noise-free machine: decisions must be "
+                "deterministic and memoizable (use Machine(noise_sigma=0.0))"
+            )
+        self.configurations = list(
+            configurations or standard_configurations(self.machine.topology)
+        )
+        self.objective = objective
+        self._metric, self._minimize = _GRID_OBJECTIVES[objective]
+
+    def handle_batch(
+        self, requests: Sequence[GridProbeRequest]
+    ) -> List[AdaptationDecision]:
+        grid = self.machine.execute_grid(
+            [request.work for request in requests], self.configurations
+        )
+        values = grid.metric(self._metric)
+        best = grid.best(self._metric, minimize=self._minimize)
+        names = grid.names()
+        decisions = []
+        for row, (request, choice) in enumerate(zip(requests, best)):
+            scores = {name: float(v) for name, v in zip(names, values[row])}
+            sign = 1.0 if self._minimize else -1.0
+            # Tie-break by name so rankings are deterministic.
+            ranking = tuple(sorted(scores, key=lambda n: (sign * scores[n], n)))
+            decisions.append(
+                AdaptationDecision(
+                    client_id=request.client_id,
+                    phase=request.phase,
+                    configuration=choice.name,
+                    objective=self.objective,
+                    ranking=ranking,
+                    predicted=scores,
+                )
+            )
+        return decisions
+
+    def cache_info(self) -> Dict[str, Dict[str, float]]:
+        info = self.machine.execution_memo_info()
+        total = info.hits + info.misses
+        return {
+            "execution_memo": {
+                "hits": info.hits,
+                "misses": info.misses,
+                "size": info.size,
+                "maxsize": info.maxsize,
+                "merged_hits": info.merged_hits,
+                "merged_misses": info.merged_misses,
+                "hit_rate": info.hits / total if total else 0.0,
+            }
+        }

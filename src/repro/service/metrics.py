@@ -1,0 +1,134 @@
+"""The service's metrics surface: plain-dict counters for tests and benches.
+
+One :class:`ServiceMetrics` instance sits behind each server.  The batching
+scheduler feeds it per-batch observations (size, per-request latencies),
+the submit path feeds it rejections, and :meth:`ServiceMetrics.snapshot`
+exports everything as a JSON-able dict — decisions/sec, the batch-size
+histogram, queue depth, latency percentiles and the handler's cache hit
+rates — so a bench artifact or a dashboard scrape is one call.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from typing import Callable, Deque, Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Counters of one adaptation server.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of most-recent per-request latencies kept for the
+        percentile estimates (a bounded deque, so a long-running server's
+        metrics stay O(1) in memory).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        latency_window: int = 4096,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+        self._clock = clock
+        self.decisions = 0
+        self.batches = 0
+        self.rejections = 0
+        self.batch_size_histogram: Counter = Counter()
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self._first_dispatch: Optional[float] = None
+        self._last_dispatch: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # observation hooks (called by the batcher / submit path)
+    # ------------------------------------------------------------------
+    def record_batch(self, size: int, latencies: Sequence[float]) -> None:
+        """One dispatched batch of ``size`` decisions with its latencies."""
+        now = self._clock()
+        if self._first_dispatch is None:
+            self._first_dispatch = now
+        self._last_dispatch = now
+        self.batches += 1
+        self.decisions += size
+        self.batch_size_histogram[size] += 1
+        self._latencies.extend(float(x) for x in latencies)
+
+    def record_rejection(self) -> None:
+        """One request rejected by backpressure."""
+        self.rejections += 1
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def decisions_per_second(self) -> float:
+        """Sustained throughput across the dispatch window observed so far."""
+        if self._first_dispatch is None or self._last_dispatch is None:
+            return 0.0
+        elapsed = self._last_dispatch - self._first_dispatch
+        if elapsed <= 0.0:
+            # A single dispatch (or a clock too coarse to separate two):
+            # no sustained window to divide by yet.
+            return 0.0
+        return self.decisions / elapsed
+
+    def mean_batch_size(self) -> float:
+        """Average dispatched batch size."""
+        return self.decisions / self.batches if self.batches else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile (``q`` in [0, 100]) over the recent window."""
+        if not self._latencies:
+            return 0.0
+        return float(np.percentile(np.fromiter(self._latencies, dtype=float), q))
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        caches: Optional[Mapping[str, Mapping[str, float]]] = None,
+    ) -> Dict[str, object]:
+        """Everything as one plain dict (JSON-able, stable keys).
+
+        Parameters
+        ----------
+        queue_depth:
+            Current depth of the request queue (the server passes it in —
+            the metrics object itself holds no live references).
+        caches:
+            Per-cache counter dicts from the handler (prediction cache,
+            execution memo), included verbatim under ``"caches"``.
+        """
+        latencies = (
+            np.fromiter(self._latencies, dtype=float) if self._latencies else None
+        )
+        return {
+            "decisions": self.decisions,
+            "batches": self.batches,
+            "rejections": self.rejections,
+            "decisions_per_second": self.decisions_per_second(),
+            "mean_batch_size": self.mean_batch_size(),
+            "batch_size_histogram": {
+                str(size): count
+                for size, count in sorted(self.batch_size_histogram.items())
+            },
+            "queue_depth": int(queue_depth),
+            "latency_seconds": {
+                "count": 0 if latencies is None else int(latencies.size),
+                "mean": 0.0 if latencies is None else float(latencies.mean()),
+                "p50": 0.0 if latencies is None else float(np.percentile(latencies, 50)),
+                "p99": 0.0 if latencies is None else float(np.percentile(latencies, 99)),
+                "max": 0.0 if latencies is None else float(latencies.max()),
+            },
+            "caches": {name: dict(info) for name, info in (caches or {}).items()},
+        }

@@ -1,0 +1,187 @@
+"""The asyncio front door: :class:`AdaptationServer` ties the tiers together.
+
+One server = one handler + one micro-batching scheduler + one metrics sink.
+In-process callers ``await server.submit(request)``; remote callers speak a
+one-line-of-JSON-per-message TCP protocol (:meth:`AdaptationServer.serve_tcp`)
+handled by the same batcher, so local and remote requests coalesce into the
+same batches.
+
+The server is an async context manager::
+
+    async with AdaptationServer(PredictionHandler(bundle)) as server:
+        decision = await server.submit(request)
+        stats = server.metrics()          # plain dict, JSON-able
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Sequence, Union
+
+from .batcher import MicroBatcher
+from .handlers import DecisionHandler
+from .messages import (
+    AdaptationDecision,
+    GridProbeRequest,
+    PhaseSampleRequest,
+    ServiceOverloadedError,
+)
+from .metrics import ServiceMetrics
+
+__all__ = ["AdaptationServer"]
+
+Request = Union[PhaseSampleRequest, GridProbeRequest]
+
+
+class AdaptationServer:
+    """Micro-batching adaptation server over one decision handler.
+
+    Parameters
+    ----------
+    handler:
+        The batch handler answering coalesced requests
+        (:class:`~repro.service.handlers.PredictionHandler` or
+        :class:`~repro.service.handlers.GridHandler`).
+    max_batch_size / max_batch_window / max_queue_depth:
+        Batching and backpressure knobs, passed to
+        :class:`~repro.service.batcher.MicroBatcher`.
+    metrics:
+        Shared metrics sink (a private one is created when omitted).
+    offload_handler:
+        Score batches in a worker thread (default) so the event loop keeps
+        accepting submissions while a batch is in flight.
+    """
+
+    def __init__(
+        self,
+        handler: DecisionHandler,
+        max_batch_size: int = 64,
+        max_batch_window: float = 0.002,
+        max_queue_depth: int = 1024,
+        metrics: Optional[ServiceMetrics] = None,
+        offload_handler: bool = True,
+    ) -> None:
+        self.handler = handler
+        self._metrics = metrics or ServiceMetrics()
+        self.batcher = MicroBatcher(
+            handler.handle_batch,
+            max_batch_size=max_batch_size,
+            max_batch_window=max_batch_window,
+            max_queue_depth=max_queue_depth,
+            metrics=self._metrics,
+            offload_handler=offload_handler,
+        )
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the batching scheduler."""
+        await self.batcher.start()
+
+    async def stop(self) -> None:
+        """Stop the TCP endpoint (if any) and the scheduler."""
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        await self.batcher.stop()
+
+    async def __aenter__(self) -> "AdaptationServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # in-process API
+    # ------------------------------------------------------------------
+    async def submit(self, request: Request) -> AdaptationDecision:
+        """Submit one request; resolves when its batch has been scored.
+
+        Raises :class:`~repro.service.messages.ServiceOverloadedError` when
+        the request queue is at its bound.
+        """
+        decision = await self.batcher.submit(request)
+        return decision  # type: ignore[return-value]
+
+    async def submit_many(
+        self, requests: Sequence[Request]
+    ) -> Sequence[AdaptationDecision]:
+        """Submit several requests concurrently, preserving input order."""
+        return await asyncio.gather(
+            *(self.submit(request) for request in requests)
+        )
+
+    def metrics(self) -> Dict[str, object]:
+        """The full metrics surface as one plain dict."""
+        return self._metrics.snapshot(
+            queue_depth=self.batcher.queue_depth(),
+            caches=self.handler.cache_info(),
+        )
+
+    # ------------------------------------------------------------------
+    # TCP endpoint (JSON lines)
+    # ------------------------------------------------------------------
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
+        """Expose the server over TCP; returns the bound ``(host, port)``.
+
+        Protocol: one JSON object per line.  Requests are
+        ``{"kind": "phase_sample" | "grid_probe", ...payload}``; responses
+        are ``{"ok": true, "decision": {...}}``,
+        ``{"ok": false, "error": "overloaded", "retry_after": s}`` or
+        ``{"ok": false, "error": "bad_request", "detail": "..."}``.
+        """
+        await self.start()
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+        sockname = self._tcp_server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._answer_line(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _answer_line(self, line: bytes) -> Dict[str, object]:
+        try:
+            payload = json.loads(line.decode("utf-8"))
+            kind = payload.get("kind", "phase_sample")
+            if kind == "phase_sample":
+                request: Request = PhaseSampleRequest.from_payload(payload)
+            elif kind == "grid_probe":
+                request = GridProbeRequest.from_payload(payload)
+            else:
+                raise ValueError(f"unknown request kind {kind!r}")
+        except (ValueError, KeyError, TypeError) as exc:
+            return {"ok": False, "error": "bad_request", "detail": str(exc)}
+        try:
+            decision = await self.submit(request)
+        except ServiceOverloadedError as exc:
+            return {
+                "ok": False,
+                "error": "overloaded",
+                "retry_after": exc.retry_after,
+                "queue_depth": exc.queue_depth,
+                "max_queue_depth": exc.max_queue_depth,
+            }
+        return {"ok": True, "decision": decision.to_payload()}

@@ -418,6 +418,66 @@ class TestMemoPersistence:
         with pytest.raises(OSError):
             Machine(noise_sigma=0.0).load_execution_memo(tmp_path / "absent.pkl")
 
+    def test_load_rejects_truncated_files_with_valueerror(
+        self, fresh_machine, phase_work, tmp_path
+    ):
+        fresh_machine.execute_batch(
+            phase_work, standard_configurations(fresh_machine.topology)
+        )
+        path = tmp_path / "truncated.pkl"
+        fresh_machine.save_execution_memo(path)
+        # Chop the file mid-pickle, as a crash before the atomic publish
+        # existed would have done.
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="truncated or corrupt") as excinfo:
+            Machine(noise_sigma=0.0).load_execution_memo(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_load_rejects_garbage_bytes_with_valueerror(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"\x00\x01not a pickle at all\xff\xfe")
+        with pytest.raises(ValueError, match="truncated or corrupt") as excinfo:
+            Machine(noise_sigma=0.0).load_execution_memo(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_save_is_atomic_on_serialization_failure(
+        self, fresh_machine, phase_work, tmp_path, monkeypatch
+    ):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        path = tmp_path / "memo.pkl"
+        fresh_machine.save_execution_memo(path)
+        good = path.read_bytes()
+        # A crash mid-write must leave the previous complete file in place
+        # and no temporary droppings next to it.
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(pickle, "dump", boom)
+        with pytest.raises(RuntimeError, match="disk full"):
+            fresh_machine.save_execution_memo(path)
+        assert path.read_bytes() == good
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["memo.pkl"]
+
+    def test_save_publishes_with_replace_not_in_place_write(
+        self, fresh_machine, phase_work, tmp_path
+    ):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        path = tmp_path / "memo.pkl"
+        fresh_machine.save_execution_memo(path)
+        first_inode = path.stat().st_ino
+        fresh_machine.execute_batch(
+            phase_work, standard_configurations(fresh_machine.topology)
+        )
+        fresh_machine.save_execution_memo(path)
+        # os.replace swaps in a fresh file rather than truncating in place.
+        assert path.stat().st_ino != first_inode
+        restored = Machine(noise_sigma=0.0)
+        assert restored.load_execution_memo(path) == len(
+            standard_configurations(fresh_machine.topology)
+        )
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["memo.pkl"]
+
 
 class TestWorkFingerprint:
     def test_fingerprint_tracks_field_values(self):

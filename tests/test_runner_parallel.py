@@ -200,3 +200,100 @@ class TestWorkerCrashRecovery:
         cells = [RunCell("IS", "crash-in-worker", seed=2, max_timesteps=3)]
         with pytest.raises(RuntimeError, match="failed in worker"):
             run_cells(cells, processes=2, retry_failed_serially=False)
+
+
+class TestMemoProbeSideEffectFree:
+    """The host-compatibility probe must not touch the host's memo state."""
+
+    def test_probe_leaves_counters_and_memo_untouched(self):
+        from repro.experiments.common import _assert_memo_host_compatible
+        from repro.machine import Machine
+
+        host = Machine(noise_sigma=0.0)
+        _assert_memo_host_compatible(host)
+        info = host.execution_memo_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+        assert (info.merged_hits, info.merged_misses) == (0, 0)
+
+    def test_run_cells_moves_only_merge_accounting_on_the_host(self):
+        from repro.experiments.common import _MEMO_PROBE
+        from repro.machine import Machine
+
+        host = Machine(noise_sigma=0.0)
+        run_cells(CELLS[:1], memo_machine=host)
+        info = host.execution_memo_info()
+        # The probe ran through the scalar path and the cells executed in
+        # their own calibration machines: the host's own hit/miss counters
+        # stay zero, only the merged_* accounting moves.
+        assert (info.hits, info.misses) == (0, 0)
+        assert info.merged_misses > 0
+        # And the probe cell itself never leaks into the host memo.
+        snapshot = host.export_execution_memo()
+        fingerprints = {key[0] for key, _ in snapshot.cells}
+        assert _MEMO_PROBE.fingerprint() not in fingerprints
+
+
+class _FailInWorkerPolicy(StaticPolicy):
+    """Raises inside pool workers only; benign in the parent process.
+
+    Unlike ``_CrashInWorkerPolicy`` the pool itself survives, so the cell
+    fails in *both* pool generations and lands in the serial fallback —
+    exercising the retry-seeding path without breaking its neighbours.
+    """
+
+    def before_phase(self, region, timestep):
+        if multiprocessing.parent_process() is not None:
+            raise RuntimeError("deliberate worker-only failure")
+        return super().before_phase(region, timestep)
+
+
+class TestRetryGenerationMemoSeeding:
+    """Retried cells must seed from the host's current (absorbed) memo.
+
+    Regression test: the retry pool and the serial fallback used to re-seed
+    from the stale call-time snapshot, re-simulating every calibration cell
+    the first generation had already handed back to the host.
+    """
+
+    @pytest.fixture(autouse=True)
+    def faily_policy(self):
+        POLICY_BUILDERS["fail-in-worker"] = lambda bundle: _FailInWorkerPolicy(
+            CONFIG_2B
+        )
+        yield
+        POLICY_BUILDERS.pop("fail-in-worker", None)
+
+    def test_serial_fallback_seeds_from_absorbed_deltas(self):
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("fail-policy registration requires fork start method")
+        from repro.machine import Machine
+
+        healthy = RunCell("IS", "static-4", seed=1, max_timesteps=3)
+        flaky = RunCell("IS", "fail-in-worker", seed=2, max_timesteps=3)
+
+        # Reference: the same two cells run serially against one warm host.
+        # The second cell's calibration is pure hits on what the first one
+        # simulated (both are IS cells sharing calibration probes).
+        reference_host = Machine(noise_sigma=0.0)
+        run_cells([healthy], memo_machine=reference_host)
+        run_cells(
+            [RunCell("IS", "static-2b", seed=2, max_timesteps=3)],
+            memo_machine=reference_host,
+        )
+        reference = reference_host.execution_memo_info()
+        assert reference.merged_hits > 0
+
+        # Failure path: the flaky cell fails in both pool generations and
+        # is recovered by the serial fallback in the parent (where the
+        # policy equals static-2b).  With fallback seeding fixed, the
+        # host's accounting is bit-identical to the serial reference; with
+        # the stale call-time snapshot it would re-simulate every
+        # calibration cell (merged_hits == 0, merged_misses doubled).
+        host = Machine(noise_sigma=0.0)
+        with pytest.warns(RuntimeWarning, match="re-running them serially"):
+            reports = run_cells([healthy, flaky], processes=2, memo_machine=host)
+        assert len(reports) == 2
+        info = host.execution_memo_info()
+        assert info.size == reference.size
+        assert info.merged_hits == reference.merged_hits
+        assert info.merged_misses == reference.merged_misses

@@ -1,0 +1,513 @@
+"""Tests for the micro-batching adaptation service.
+
+Covers the batching window semantics in both directions (size-triggered
+dispatch beats the window; the window flushes undersized batches), the
+bounded-queue backpressure contract (reject with retry-after, client shim
+retries), and the central determinism guarantee: decisions served through
+the batching path are identical to serial per-phase selection — the
+prediction tier against direct :class:`ConfigurationSelector` calls, the
+grid tier against a direct :meth:`Machine.execute_grid` launch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core import ConfigurationSelector
+from repro.machine import CONFIG_4, Machine, WorkRequest
+from repro.service import (
+    AdaptationClient,
+    AdaptationDecision,
+    AdaptationServer,
+    DecisionHandler,
+    GridHandler,
+    GridProbeRequest,
+    PhaseSampleRequest,
+    PredictionHandler,
+    ServiceMetrics,
+    ServiceOverloadedError,
+    TCPAdaptationClient,
+    run_open_loop,
+)
+
+
+def _sample_for(machine, predictor, phase):
+    """Noise-free sampled IPC and event rates for one phase."""
+    result = machine.execute(phase.work, CONFIG_4.placement, apply_noise=False)
+    rates = {
+        event: result.event_counts.get(event, 0.0) / result.cycles
+        for event in predictor.event_set.events
+    }
+    return result.ipc, rates
+
+
+def _phase_requests(machine, bundle, phases):
+    return [
+        PhaseSampleRequest(
+            client_id=f"client-{i}",
+            phase=phase.name,
+            ipc_sample=ipc,
+            rates=rates,
+        )
+        for i, (phase, (ipc, rates)) in enumerate(
+            (p, _sample_for(machine, bundle.full, p)) for p in phases
+        )
+    ]
+
+
+class _EchoHandler(DecisionHandler):
+    """Trivial handler recording the batch sizes it was dispatched."""
+
+    def __init__(self):
+        self.batch_sizes = []
+
+    def handle_batch(self, requests):
+        self.batch_sizes.append(len(requests))
+        return [
+            AdaptationDecision(
+                client_id=r.client_id, phase=r.phase, configuration="4"
+            )
+            for r in requests
+        ]
+
+
+class _BlockingHandler(_EchoHandler):
+    """Echo handler that parks in the worker thread until released."""
+
+    def __init__(self):
+        super().__init__()
+        self.release = threading.Event()
+
+    def handle_batch(self, requests):
+        assert self.release.wait(timeout=10.0), "test never released the handler"
+        return super().handle_batch(requests)
+
+
+def _request(i):
+    return PhaseSampleRequest(
+        client_id=f"c{i}", phase=f"p{i}", ipc_sample=1.0, rates={"x": 0.1}
+    )
+
+
+class TestBatchingWindow:
+    def test_full_batch_dispatches_before_the_window_expires(self):
+        async def main():
+            handler = _EchoHandler()
+            async with AdaptationServer(
+                handler, max_batch_size=4, max_batch_window=5.0
+            ) as server:
+                start = time.perf_counter()
+                await server.submit_many([_request(i) for i in range(4)])
+                return handler.batch_sizes, time.perf_counter() - start
+
+        sizes, elapsed = asyncio.run(main())
+        # Size cap fired: one full batch, long before the 5 s window.
+        assert sizes == [4]
+        assert elapsed < 2.0
+
+    def test_window_flushes_an_undersized_batch(self):
+        async def main():
+            handler = _EchoHandler()
+            async with AdaptationServer(
+                handler, max_batch_size=64, max_batch_window=0.05
+            ) as server:
+                decisions = await server.submit_many([_request(i) for i in range(3)])
+                return handler.batch_sizes, decisions
+
+        sizes, decisions = asyncio.run(main())
+        # Window fired: all three coalesced, none waited for a full batch.
+        assert sizes == [3]
+        assert [d.client_id for d in decisions] == ["c0", "c1", "c2"]
+
+    def test_responses_preserve_request_order_across_batches(self):
+        async def main():
+            handler = _EchoHandler()
+            async with AdaptationServer(
+                handler, max_batch_size=3, max_batch_window=0.01
+            ) as server:
+                return await server.submit_many([_request(i) for i in range(10)])
+
+        decisions = asyncio.run(main())
+        assert [d.client_id for d in decisions] == [f"c{i}" for i in range(10)]
+        assert [d.phase for d in decisions] == [f"p{i}" for i in range(10)]
+
+    def test_handler_errors_fail_only_their_own_batch(self):
+        class _FlakyHandler(_EchoHandler):
+            def handle_batch(self, requests):
+                if any(r.client_id == "c1" for r in requests):
+                    raise RuntimeError("poisoned batch")
+                return super().handle_batch(requests)
+
+        async def main():
+            handler = _FlakyHandler()
+            async with AdaptationServer(
+                handler, max_batch_size=1, max_batch_window=0.0
+            ) as server:
+                good = await server.submit(_request(0))
+                with pytest.raises(RuntimeError, match="poisoned batch"):
+                    await server.submit(_request(1))
+                # The scheduler survived the failing batch.
+                again = await server.submit(_request(2))
+                return good, again
+
+        good, again = asyncio.run(main())
+        assert (good.client_id, again.client_id) == ("c0", "c2")
+
+
+class TestBackpressure:
+    def test_saturated_queue_rejects_with_retry_after(self):
+        async def main():
+            handler = _BlockingHandler()
+            async with AdaptationServer(
+                handler,
+                max_batch_size=1,
+                max_batch_window=0.0,
+                max_queue_depth=2,
+            ) as server:
+                # Request 0 is taken by the scheduler and parks in the
+                # handler; requests 1 and 2 then fill the queue to its bound.
+                tasks = [asyncio.create_task(server.submit(_request(0)))]
+                await asyncio.sleep(0.05)
+                tasks += [
+                    asyncio.create_task(server.submit(_request(i))) for i in (1, 2)
+                ]
+                await asyncio.sleep(0.05)
+                assert server.batcher.queue_depth() == 2
+                with pytest.raises(ServiceOverloadedError) as excinfo:
+                    await server.submit(_request(3))
+                error = excinfo.value
+                handler.release.set()
+                await asyncio.gather(*tasks)
+                return error, server.metrics()
+
+        error, metrics = asyncio.run(main())
+        assert error.queue_depth == 2
+        assert error.max_queue_depth == 2
+        assert error.retry_after > 0.0
+        assert metrics["rejections"] == 1
+        assert metrics["decisions"] == 3
+
+    def test_client_retries_through_a_transient_overload(self):
+        async def main():
+            handler = _BlockingHandler()
+            async with AdaptationServer(
+                handler,
+                max_batch_size=1,
+                max_batch_window=0.0,
+                max_queue_depth=1,
+            ) as server:
+                tasks = [asyncio.create_task(server.submit(_request(0)))]
+                await asyncio.sleep(0.05)
+                tasks.append(asyncio.create_task(server.submit(_request(1))))
+                await asyncio.sleep(0.05)
+                client = AdaptationClient(server, max_retries=200, backoff_cap=0.01)
+                retried = asyncio.create_task(client.request(_request(9)))
+                await asyncio.sleep(0.05)  # let it hit the full queue at least once
+                handler.release.set()
+                decision = await retried
+                await asyncio.gather(*tasks)
+                return client.retries, decision
+
+        retries, decision = asyncio.run(main())
+        assert retries > 0
+        assert decision.client_id == "c9"
+
+    def test_zero_retries_client_propagates_the_rejection(self):
+        async def main():
+            handler = _BlockingHandler()
+            async with AdaptationServer(
+                handler,
+                max_batch_size=1,
+                max_batch_window=0.0,
+                max_queue_depth=1,
+            ) as server:
+                tasks = [asyncio.create_task(server.submit(_request(0)))]
+                await asyncio.sleep(0.05)
+                tasks.append(asyncio.create_task(server.submit(_request(1))))
+                await asyncio.sleep(0.05)
+                client = AdaptationClient(server, max_retries=0)
+                with pytest.raises(ServiceOverloadedError):
+                    await client.request(_request(9))
+                handler.release.set()
+                await asyncio.gather(*tasks)
+
+        asyncio.run(main())
+
+
+class TestPredictionServiceDeterminism:
+    """Batched decisions == serial per-phase selection, bit for bit."""
+
+    def test_batched_decisions_match_direct_selector_calls(
+        self, machine, suite, trained_bundle
+    ):
+        phases = suite.get("SP").phases[:6]
+        requests = _phase_requests(machine, trained_bundle, phases)
+        selector = ConfigurationSelector()
+
+        # Serial reference: exactly what PredictionPolicy does per phase.
+        reference = []
+        for request in requests:
+            predictions = trained_bundle.predict_from_rates(
+                request.ipc_sample, request.rates_dict()
+            )
+            reference.append(
+                selector.rank(
+                    predictions,
+                    measured_sample=(
+                        trained_bundle.sample_configuration,
+                        request.ipc_sample,
+                    ),
+                )
+            )
+
+        async def main():
+            handler = PredictionHandler(trained_bundle, selector=selector)
+            async with AdaptationServer(
+                handler, max_batch_size=len(requests), max_batch_window=0.05
+            ) as server:
+                return await server.submit_many(requests), server.metrics()
+
+        decisions, metrics = asyncio.run(main())
+        for request, decision, ranked in zip(requests, decisions, reference):
+            assert decision.client_id == request.client_id
+            assert decision.phase == request.phase
+            assert decision.configuration == ranked.best
+            assert decision.ranking == ranked.ranking
+            assert decision.predicted == dict(ranked.predictions)
+            assert decision.objective == selector.objective
+        assert metrics["decisions"] == len(requests)
+        assert "prediction_cache" in metrics["caches"]
+
+    def test_one_at_a_time_server_agrees_with_batched_server(
+        self, machine, suite, trained_bundle
+    ):
+        phases = suite.get("BT").phases[:4]
+        requests = _phase_requests(machine, trained_bundle, phases)
+
+        async def run_with(batch_size):
+            handler = PredictionHandler(trained_bundle)
+            async with AdaptationServer(
+                handler, max_batch_size=batch_size, max_batch_window=0.02
+            ) as server:
+                return await server.submit_many(requests)
+
+        batched = asyncio.run(run_with(len(requests)))
+        serial = asyncio.run(run_with(1))
+        assert [d.to_payload() for d in batched] == [d.to_payload() for d in serial]
+
+
+class TestGridService:
+    def test_grid_decisions_match_direct_grid_best(self, suite):
+        phases = suite.get("CG").phases[:4]
+        handler = GridHandler(objective="time")
+        requests = [
+            GridProbeRequest(client_id=f"g{i}", phase=p.name, work=p.work)
+            for i, p in enumerate(phases)
+        ]
+        grid = handler.machine.execute_grid(
+            [p.work for p in phases], handler.configurations
+        )
+        expected = [c.name for c in grid.best("time_seconds", minimize=True)]
+
+        async def main():
+            async with AdaptationServer(
+                handler, max_batch_size=len(requests), max_batch_window=0.05
+            ) as server:
+                first = await server.submit_many(requests)
+                second = await server.submit_many(requests)
+                return first, second, server.metrics()
+
+        first, second, metrics = asyncio.run(main())
+        assert [d.configuration for d in first] == expected
+        # Repeats are pure memo hits and bit-identical.
+        assert [d.to_payload() for d in first] == [d.to_payload() for d in second]
+        memo = metrics["caches"]["execution_memo"]
+        assert memo["hits"] >= len(requests)
+        assert memo["hit_rate"] > 0.0
+
+    def test_grid_handler_rejects_noisy_machines_and_bad_objectives(self):
+        with pytest.raises(ValueError, match="noise-free"):
+            GridHandler(machine=Machine(noise_sigma=0.05))
+        with pytest.raises(ValueError, match="unknown objective"):
+            GridHandler(objective="happiness")
+
+
+class TestMetricsSurface:
+    def test_snapshot_shape_and_json_round_trip(self):
+        async def main():
+            handler = _EchoHandler()
+            async with AdaptationServer(
+                handler, max_batch_size=4, max_batch_window=0.01
+            ) as server:
+                await server.submit_many([_request(i) for i in range(10)])
+                return server.metrics()
+
+        snapshot = asyncio.run(main())
+        assert set(snapshot) == {
+            "decisions",
+            "batches",
+            "rejections",
+            "decisions_per_second",
+            "mean_batch_size",
+            "batch_size_histogram",
+            "queue_depth",
+            "latency_seconds",
+            "caches",
+        }
+        assert snapshot["decisions"] == 10
+        assert sum(
+            int(size) * count
+            for size, count in snapshot["batch_size_histogram"].items()
+        ) == 10
+        latency = snapshot["latency_seconds"]
+        assert latency["count"] == 10
+        assert 0.0 <= latency["p50"] <= latency["p99"] <= latency["max"]
+        json.dumps(snapshot)  # must be a plain JSON-able dict
+
+    def test_metrics_object_derived_quantities(self):
+        clock = iter([0.0, 1.0, 2.0])
+        metrics = ServiceMetrics(clock=lambda: next(clock))
+        metrics.record_batch(4, [0.01, 0.02, 0.03, 0.04])
+        metrics.record_batch(2, [0.05, 0.06])
+        metrics.record_batch(3, [0.07, 0.08, 0.09])
+        assert metrics.decisions == 9
+        assert metrics.decisions_per_second() == pytest.approx(4.5)
+        assert metrics.mean_batch_size() == pytest.approx(3.0)
+        assert metrics.latency_percentile(100) == pytest.approx(0.09)
+
+
+class TestOpenLoopClientFleet:
+    def test_open_loop_answers_everything_in_order(self):
+        async def main():
+            handler = _EchoHandler()
+            async with AdaptationServer(
+                handler, max_batch_size=8, max_batch_window=0.005
+            ) as server:
+                requests = [_request(i) for i in range(40)]
+                return await run_open_loop(server, requests, concurrency=8), requests
+
+        result, requests = asyncio.run(main())
+        assert [d.client_id for d in result.decisions] == [
+            r.client_id for r in requests
+        ]
+        assert result.decisions_per_second > 0
+        assert result.metrics["decisions"] == len(requests)
+
+
+class TestWireProtocol:
+    def test_payload_round_trips(self):
+        request = _request(7)
+        assert PhaseSampleRequest.from_payload(request.to_payload()) == request
+        probe = GridProbeRequest(
+            client_id="g", phase="p", work=WorkRequest(instructions=2e8)
+        )
+        assert GridProbeRequest.from_payload(probe.to_payload()) == probe
+        decision = AdaptationDecision(
+            client_id="c",
+            phase="p",
+            configuration="2b",
+            objective="ipc",
+            ranking=("2b", "4"),
+            predicted={"2b": 1.5, "4": 1.2},
+        )
+        assert AdaptationDecision.from_payload(decision.to_payload()) == decision
+
+    def test_tcp_round_trip_matches_in_process_submission(self):
+        async def main():
+            handler = _EchoHandler()
+            server = AdaptationServer(handler, max_batch_size=4, max_batch_window=0.01)
+            try:
+                host, port = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            try:
+                async with TCPAdaptationClient(host, port) as client:
+                    remote = await client.request(_request(0))
+                local = await server.submit(_request(0))
+                return remote, local
+            finally:
+                await server.stop()
+
+        outcome = asyncio.run(main())
+        if outcome is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        remote, local = outcome
+        assert remote.to_payload() == local.to_payload()
+
+    def test_tcp_rejects_malformed_requests(self):
+        async def main():
+            handler = _EchoHandler()
+            server = AdaptationServer(handler, max_batch_window=0.01)
+            try:
+                host, port = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b'{"kind": "nope"}\n')
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return response
+            finally:
+                await server.stop()
+
+        response = asyncio.run(main())
+        if response is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+
+
+class TestLifecycle:
+    def test_submitting_to_a_stopped_server_raises(self):
+        async def main():
+            handler = _EchoHandler()
+            server = AdaptationServer(handler)
+            async with server:
+                await server.submit(_request(0))
+            with pytest.raises(RuntimeError, match="not running"):
+                await server.submit(_request(1))
+
+        asyncio.run(main())
+
+    def test_stop_rejects_requests_never_served(self):
+        async def main():
+            handler = _BlockingHandler()
+            server = AdaptationServer(
+                handler, max_batch_size=1, max_batch_window=0.0, max_queue_depth=8
+            )
+            await server.start()
+            # Request 0 parks in the handler, requests 1/2 stay queued;
+            # stopping must fail all three (in-flight and queued alike)
+            # instead of abandoning their awaiters.
+            tasks = [
+                asyncio.create_task(server.submit(_request(i))) for i in range(3)
+            ]
+            await asyncio.sleep(0.1)
+            await server.stop()
+            handler.release.set()  # unpark the worker thread
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        outcomes = asyncio.run(main())
+        assert len(outcomes) == 3
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+        assert any("stopped before serving" in str(o) for o in outcomes)
+
+    def test_double_start_is_idempotent(self):
+        async def main():
+            handler = _EchoHandler()
+            server = AdaptationServer(handler, max_batch_window=0.0)
+            await server.start()
+            await server.start()
+            decision = await server.submit(_request(0))
+            await server.stop()
+            return decision
+
+        assert asyncio.run(main()).client_id == "c0"
