@@ -19,6 +19,10 @@ The package is organized bottom-up:
   server that coalesces phase samples from many concurrent clients and
   scores each batch through one vectorized prediction (or grid) pass, with
   backpressure, metrics and client shims;
+* :mod:`repro.store` — the durable shared execution-memo store: an
+  append-only segment log (atomic publication, torn-tail crash recovery,
+  cross-revision schema guards) with non-blocking compaction, so sweeps
+  and adaptation servers warm-start across process restarts;
 * :mod:`repro.analysis` — speedup/power/energy/ED² metrics and reporting;
 * :mod:`repro.experiments` — drivers that regenerate every figure of the
   paper's evaluation.

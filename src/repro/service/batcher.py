@@ -27,6 +27,7 @@ the decision stream deterministic.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
 
@@ -79,6 +80,14 @@ class MicroBatcher:
         self.max_batch_window = max_batch_window
         self.max_queue_depth = max_queue_depth
         self.metrics = metrics or ServiceMetrics()
+        # A single dispatched batch leaves the metrics no [first, last]
+        # dispatch span to divide by; the batching window is the natural
+        # elapsed floor (a batch takes at least one window to coalesce),
+        # so a warm server never reports 0.0 decisions/sec — which would
+        # push retry_after_hint into its worst-case cold fallback.
+        self.metrics.elapsed_floor = max(
+            self.metrics.elapsed_floor, self.max_batch_window
+        )
         self.offload_handler = offload_handler
         self._queue: Optional[asyncio.Queue] = None
         self._scheduler: Optional[asyncio.Task] = None
@@ -125,17 +134,24 @@ class MicroBatcher:
         """Requests currently queued (not yet dequeued into a batch)."""
         return 0 if self._queue is None else self._queue.qsize()
 
-    def retry_after_hint(self) -> float:
-        """Estimated time until a saturated queue has drained.
+    def retry_after_hint(self, queue_depth: Optional[int] = None) -> float:
+        """Estimated time until the *current* backlog has drained.
 
-        Uses the sustained decision rate observed so far; before any batch
-        has completed, falls back to assuming one full batch per window.
+        Charged from the live ``qsize()`` (or an explicit ``queue_depth``)
+        rather than the worst-case ``max_queue_depth``, so a rejection
+        racing a nearly drained queue — e.g. concurrent submits colliding
+        at the bound — advises a short backoff instead of the full-queue
+        drain time.  The hint grows monotonically with the depth.  Uses
+        the sustained decision rate observed so far; before any batch has
+        completed, falls back to assuming one full batch per window.
         """
+        depth = self.queue_depth() if queue_depth is None else int(queue_depth)
+        depth = max(depth, 1)  # the rejected request still needs one slot
+        window = max(self.max_batch_window, 1e-4)
         throughput = self.metrics.decisions_per_second()
         if throughput <= 0.0:
-            batches = self.max_queue_depth / self.max_batch_size
-            return max(self.max_batch_window, 1e-4) * max(batches, 1.0)
-        return self.max_batch_window + self.max_queue_depth / throughput
+            return window * math.ceil(depth / self.max_batch_size)
+        return window + depth / throughput
 
     async def submit(self, request: object) -> object:
         """Enqueue one request and await its decision.

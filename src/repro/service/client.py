@@ -2,8 +2,11 @@
 
 :class:`AdaptationClient` wraps an in-process
 :class:`~repro.service.server.AdaptationServer` with a bounded
-retry-on-backpressure loop: a well-behaved client sleeps for the server's
-``retry_after`` hint and resubmits, up to ``max_retries`` times.
+retry-on-backpressure loop: a well-behaved client sleeps a capped,
+attempt-scaled, per-client-jittered derivative of the server's
+``retry_after`` hint and resubmits, up to ``max_retries`` times — the
+jitter is deterministic (seeded per client), so concurrent retriers
+desynchronize without sacrificing reproducible tests.
 :class:`TCPAdaptationClient` speaks the JSON-lines TCP protocol with the
 same retry discipline.
 
@@ -19,7 +22,9 @@ bit-identical agreement with serial selection.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -41,9 +46,63 @@ __all__ = [
 
 Request = Union[PhaseSampleRequest, GridProbeRequest]
 
+#: Distinct default jitter seeds handed out per constructed client, so a
+#: fleet built without explicit seeds still desynchronizes — and does so
+#: deterministically: creation order alone defines each client's stream.
+_DEFAULT_JITTER_SEEDS = itertools.count()
 
-class AdaptationClient:
-    """In-process client with bounded retry on backpressure.
+
+class _RetryBackoff:
+    """Shared retry-backoff discipline of the client shims.
+
+    Every rejected client sleeping the server's identical ``retry_after``
+    hint and resubmitting in lockstep recreates the overload as one
+    synchronized wave (a retry stampede).  Both shims therefore derive
+    each sleep from :meth:`next_retry_delay`: the hint, capped, scaled by
+    the retry attempt, and multiplied by a *deterministic per-client*
+    jitter factor — seeded, so tests (and the open-loop bench) stay
+    reproducible while concurrent retriers spread out.
+    """
+
+    def _init_backoff(
+        self,
+        max_retries: int,
+        backoff_cap: float,
+        backoff_factor: float,
+        jitter: float,
+        jitter_seed: Optional[int],
+    ) -> None:
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_retries = max_retries
+        self.backoff_cap = backoff_cap
+        self.backoff_factor = backoff_factor
+        self.jitter = jitter
+        self.retries = 0
+        self._rng = random.Random(
+            next(_DEFAULT_JITTER_SEEDS) if jitter_seed is None else jitter_seed
+        )
+
+    def next_retry_delay(self, retry_after: float, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of a rejected request.
+
+        The server's hint is clamped to ``[0, backoff_cap]``, scaled by
+        ``backoff_factor ** (attempt - 1)`` (re-capped, so repeated
+        rejections back off harder but never stall unboundedly), then
+        multiplied by this client's jitter draw in ``(1 - jitter, 1]`` —
+        clients rejected together wake apart, even at the cap.
+        """
+        base = min(max(retry_after, 0.0), self.backoff_cap)
+        scaled = min(
+            base * self.backoff_factor ** max(attempt - 1, 0), self.backoff_cap
+        )
+        return scaled * (1.0 - self.jitter * self._rng.random())
+
+
+class AdaptationClient(_RetryBackoff):
+    """In-process client with bounded, jittered retry on backpressure.
 
     Parameters
     ----------
@@ -55,6 +114,16 @@ class AdaptationClient:
     backoff_cap:
         Upper bound (seconds) on any single retry sleep, so a pessimistic
         ``retry_after`` hint cannot stall a client indefinitely.
+    backoff_factor:
+        Attempt-scaling of the hint: retry ``n`` sleeps up to
+        ``hint * backoff_factor ** (n - 1)`` (still capped).
+    jitter:
+        Fraction of each sleep subject to the per-client jitter draw
+        (``0`` restores identical lockstep sleeps).
+    jitter_seed:
+        Seed of this client's deterministic jitter stream; by default each
+        constructed client draws the next seed from a process-wide
+        counter, so fleets desynchronize reproducibly.
     """
 
     def __init__(
@@ -62,11 +131,12 @@ class AdaptationClient:
         server: AdaptationServer,
         max_retries: int = 8,
         backoff_cap: float = 0.25,
+        backoff_factor: float = 2.0,
+        jitter: float = 0.5,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         self.server = server
-        self.max_retries = max_retries
-        self.backoff_cap = backoff_cap
-        self.retries = 0
+        self._init_backoff(max_retries, backoff_cap, backoff_factor, jitter, jitter_seed)
 
     async def request(self, request: Request) -> AdaptationDecision:
         """Submit one request, retrying on backpressure with the hint."""
@@ -79,10 +149,10 @@ class AdaptationClient:
                 if attempts > self.max_retries:
                     raise
                 self.retries += 1
-                await asyncio.sleep(min(max(exc.retry_after, 0.0), self.backoff_cap))
+                await asyncio.sleep(self.next_retry_delay(exc.retry_after, attempts))
 
 
-class TCPAdaptationClient:
+class TCPAdaptationClient(_RetryBackoff):
     """JSON-lines TCP client mirroring :class:`AdaptationClient`'s retry."""
 
     def __init__(
@@ -91,12 +161,13 @@ class TCPAdaptationClient:
         port: int,
         max_retries: int = 8,
         backoff_cap: float = 0.25,
+        backoff_factor: float = 2.0,
+        jitter: float = 0.5,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
-        self.max_retries = max_retries
-        self.backoff_cap = backoff_cap
-        self.retries = 0
+        self._init_backoff(max_retries, backoff_cap, backoff_factor, jitter, jitter_seed)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -151,7 +222,9 @@ class TCPAdaptationClient:
                     )
                 self.retries += 1
                 await asyncio.sleep(
-                    min(max(float(response.get("retry_after", 0.0)), 0.0), self.backoff_cap)
+                    self.next_retry_delay(
+                        float(response.get("retry_after", 0.0)), attempts
+                    )
                 )
                 continue
             raise ValueError(
@@ -193,8 +266,13 @@ async def run_open_loop(
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
     clients = [
-        AdaptationClient(server, max_retries=max_retries, backoff_cap=backoff_cap)
-        for _ in range(concurrency)
+        AdaptationClient(
+            server,
+            max_retries=max_retries,
+            backoff_cap=backoff_cap,
+            jitter_seed=i,
+        )
+        for i in range(concurrency)
     ]
     slots: List[Optional[AdaptationDecision]] = [None] * len(requests)
 

@@ -28,8 +28,9 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.selector import ConfigurationSelector
 from ..core.predictor import PredictorBundle
-from ..machine.machine import Machine
+from ..machine.machine import ExecutionMemoSnapshot, Machine
 from ..machine.placement import Configuration, standard_configurations
+from ..store.memo_store import MemoStore
 from .messages import AdaptationDecision, GridProbeRequest, PhaseSampleRequest
 
 __all__ = ["DecisionHandler", "PredictionHandler", "GridHandler"]
@@ -149,6 +150,13 @@ class GridHandler(DecisionHandler):
         ``"ipc"`` (maximize) or ``"time"`` / ``"energy"`` / ``"edp"`` /
         ``"ed2"`` (minimize), resolved against the grid's measured metric
         arrays.
+    memo_store:
+        Durable :class:`~repro.store.MemoStore` backing the machine's
+        memo across server restarts.  The handler seeds its machine from
+        the store at construction — a restarted adaptation server answers
+        previously seen fingerprints from disk without re-simulating —
+        and publishes each batch's freshly simulated cells as an atomic
+        delta segment right after scoring it.
     """
 
     def __init__(
@@ -156,6 +164,7 @@ class GridHandler(DecisionHandler):
         machine: Optional[Machine] = None,
         configurations: Optional[Sequence[Configuration]] = None,
         objective: str = "time",
+        memo_store: Optional[MemoStore] = None,
     ) -> None:
         if objective not in _GRID_OBJECTIVES:
             raise ValueError(
@@ -173,6 +182,30 @@ class GridHandler(DecisionHandler):
         )
         self.objective = objective
         self._metric, self._minimize = _GRID_OBJECTIVES[objective]
+        self.memo_store = memo_store
+        self._persisted: Optional[ExecutionMemoSnapshot] = None
+        if memo_store is not None:
+            memo_store.seed(self.machine)
+            self._persisted = self.machine.export_execution_memo()
+
+    def _persist_new_cells(self) -> None:
+        """Publish cells simulated since the last persisted snapshot.
+
+        One scheduler dispatches batches strictly sequentially, so this
+        runs unraced; the persisted snapshot is extended with the delta
+        (both are disjoint by construction) instead of re-exported, so the
+        steady-state cost is O(new cells), not O(memo).
+        """
+        if self.memo_store is None:
+            return
+        delta = self.machine.export_execution_memo(since=self._persisted)
+        if len(delta) == 0:
+            return
+        self.memo_store.append(delta)
+        assert self._persisted is not None
+        self._persisted = ExecutionMemoSnapshot(
+            schema=delta.schema, cells=self._persisted.cells + delta.cells
+        )
 
     def handle_batch(
         self, requests: Sequence[GridProbeRequest]
@@ -180,6 +213,7 @@ class GridHandler(DecisionHandler):
         grid = self.machine.execute_grid(
             [request.work for request in requests], self.configurations
         )
+        self._persist_new_cells()
         values = grid.metric(self._metric)
         best = grid.best(self._metric, minimize=self._minimize)
         names = grid.names()
@@ -204,7 +238,7 @@ class GridHandler(DecisionHandler):
     def cache_info(self) -> Dict[str, Dict[str, float]]:
         info = self.machine.execution_memo_info()
         total = info.hits + info.misses
-        return {
+        caches = {
             "execution_memo": {
                 "hits": info.hits,
                 "misses": info.misses,
@@ -215,3 +249,14 @@ class GridHandler(DecisionHandler):
                 "hit_rate": info.hits / total if total else 0.0,
             }
         }
+        if self.memo_store is not None:
+            store = self.memo_store.info()
+            caches["memo_store"] = {
+                "segment_files": store.segment_files,
+                "segments_replayed": store.segments_replayed,
+                "cells_appended": store.cells_appended,
+                "stale_records_skipped": store.stale_records_skipped,
+                "corrupt_records_skipped": store.corrupt_records_skipped,
+                "torn_tails_truncated": store.torn_tails_truncated,
+            }
+        return caches

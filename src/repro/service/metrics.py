@@ -30,6 +30,15 @@ class ServiceMetrics:
         metrics stay O(1) in memory).
     clock:
         Monotonic time source (injectable for tests).
+
+    Attributes
+    ----------
+    elapsed_floor:
+        Lower bound on the dispatch span :meth:`decisions_per_second`
+        divides by.  The batcher sets it to its batching window, so a
+        server that has dispatched only one batch (first == last dispatch,
+        an empty span) still reports a finite, meaningful rate instead of
+        0.0.
     """
 
     def __init__(
@@ -40,6 +49,7 @@ class ServiceMetrics:
         if latency_window < 1:
             raise ValueError("latency_window must be >= 1")
         self._clock = clock
+        self.elapsed_floor = 0.0
         self.decisions = 0
         self.batches = 0
         self.rejections = 0
@@ -70,13 +80,17 @@ class ServiceMetrics:
     # derived quantities
     # ------------------------------------------------------------------
     def decisions_per_second(self) -> float:
-        """Sustained throughput across the dispatch window observed so far."""
+        """Sustained throughput across the dispatch span observed so far.
+
+        A single dispatch (or a clock too coarse to separate two) leaves
+        an empty [first, last] span; ``elapsed_floor`` — the batcher's
+        batching window — stands in for it so a warm server reports its
+        batch-per-window rate rather than 0.0.
+        """
         if self._first_dispatch is None or self._last_dispatch is None:
             return 0.0
-        elapsed = self._last_dispatch - self._first_dispatch
+        elapsed = max(self._last_dispatch - self._first_dispatch, self.elapsed_floor)
         if elapsed <= 0.0:
-            # A single dispatch (or a clock too coarse to separate two):
-            # no sustained window to divide by yet.
             return 0.0
         return self.decisions / elapsed
 
@@ -126,8 +140,8 @@ class ServiceMetrics:
             "latency_seconds": {
                 "count": 0 if latencies is None else int(latencies.size),
                 "mean": 0.0 if latencies is None else float(latencies.mean()),
-                "p50": 0.0 if latencies is None else float(np.percentile(latencies, 50)),
-                "p99": 0.0 if latencies is None else float(np.percentile(latencies, 99)),
+                "p50": self.latency_percentile(50),
+                "p99": self.latency_percentile(99),
                 "max": 0.0 if latencies is None else float(latencies.max()),
             },
             "caches": {name: dict(info) for name, info in (caches or {}).items()},

@@ -1,0 +1,31 @@
+"""Durable shared stores for the simulation's cross-process caches.
+
+Today this package holds one store: :class:`MemoStore`, the on-disk form
+of the deterministic execution memo.  A directory of append-only delta
+segments over a compacted base snapshot lets fleets of workers warm-start
+across process restarts, runs and hosts:
+
+* :mod:`repro.store.segments` — the length/checksum record framing that
+  makes torn tails detectable (and recoverable by truncation);
+* :mod:`repro.store.memo_store` — :class:`MemoStore` itself: lock-free
+  ``seed`` replay, ``flock``-guarded atomic ``absorb``/``append``
+  publication, and non-blocking ``compact``.
+
+Consumers: ``run_cells(..., memo_store=...)`` warm-starts experiment
+sweeps from disk and persists each batch's freshly simulated cells, and
+``GridHandler(memo_store=...)`` gives a restarted adaptation server its
+warm memo back.
+"""
+
+from .memo_store import CompactionResult, MemoStore, MemoStoreInfo
+from .segments import SegmentScan, pack_record, scan_segment, truncate_torn_tail
+
+__all__ = [
+    "CompactionResult",
+    "MemoStore",
+    "MemoStoreInfo",
+    "SegmentScan",
+    "pack_record",
+    "scan_segment",
+    "truncate_torn_tail",
+]

@@ -1,0 +1,484 @@
+"""A durable, multi-process execution-memo store: segment log + compaction.
+
+:class:`MemoStore` grows the single-file memo persistence
+(:meth:`~repro.machine.Machine.save_execution_memo`) into a *shared* store
+a fleet of processes can warm-start from across runs and hosts.  It is a
+thin durability layer over the existing schema-fingerprinted
+:class:`~repro.machine.machine.ExecutionMemoSnapshot` delta ``export`` /
+``merge`` machinery — the store never interprets cells, it only replays
+snapshots in publication order.
+
+Directory layout (all files framed by :mod:`repro.store.segments`)::
+
+    store/
+      base-00000007.seg      # compacted snapshot covering sequence <= 7
+      segment-00000008.seg   # one appended delta, published atomically
+      segment-00000009.seg
+      .lock                  # advisory flock taken by writers, never readers
+
+Concurrency contract:
+
+* **Writers** (:meth:`MemoStore.absorb` / :meth:`MemoStore.append`,
+  :meth:`MemoStore.compact`) hold an advisory ``flock`` on ``.lock``
+  around sequence-number allocation and file publication, so concurrent
+  processes never claim the same segment name and compaction never races
+  an append.
+* **Readers** (:meth:`MemoStore.seed`) take no lock.  Every file is
+  published complete via ``tempfile + os.replace``, so a reader only ever
+  sees whole files; if compaction unlinks a segment mid-scan the reader
+  re-lists and retries (the folded cells are covered by the newer base,
+  and merges are first-wins idempotent).
+* **Recovery**: a segment whose tail is torn (crash, partial copy,
+  truncated write) is detected by the per-record length/checksum framing;
+  the reader truncates the file back to its last complete record under
+  the lock and counts the repair — only the torn record is lost.
+* **Cross-revision safety**: records carrying a different memo schema
+  fingerprint (written by an older or newer code revision) are *skipped
+  with a logged count*, exactly matching
+  :meth:`~repro.machine.Machine.merge_execution_memo`'s stale-snapshot
+  rejection — never silently merged into an incompatible key space.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import re
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple, Union
+
+try:  # advisory locking is POSIX-only; the store degrades gracefully
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+# The schema fingerprint is deliberately private to repro.machine — the
+# store reuses it verbatim so "stale" means exactly what merge_execution_memo
+# rejects, with no second source of truth.
+from ..machine.machine import ExecutionMemoSnapshot, Machine, _memo_schema
+from .segments import pack_record, scan_segment, truncate_torn_tail
+
+__all__ = ["CompactionResult", "MemoStore", "MemoStoreInfo"]
+
+logger = logging.getLogger(__name__)
+
+_FILE_RE = re.compile(r"^(base|segment)-(\d{8})\.seg$")
+_LOCK_NAME = ".lock"
+
+
+class _Entry(NamedTuple):
+    """One store file: its kind, sequence number and path."""
+
+    kind: str
+    seq: int
+    path: Path
+
+
+class _SegmentRead(NamedTuple):
+    """One replayed file: its usable snapshots plus skip accounting."""
+
+    entry: _Entry
+    fresh: Tuple[ExecutionMemoSnapshot, ...]
+    stale: int
+    corrupt: int
+
+
+@dataclass(frozen=True)
+class MemoStoreInfo:
+    """Cheap stats of a store: on-disk shape plus this process's counters."""
+
+    directory: str
+    base_seq: Optional[int]
+    segment_files: int
+    segments_replayed: int
+    cells_appended: int
+    stale_records_skipped: int
+    corrupt_records_skipped: int
+    torn_tails_truncated: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain JSON-able dict (for metrics surfaces and bench artifacts)."""
+        return {
+            "directory": self.directory,
+            "base_seq": -1 if self.base_seq is None else self.base_seq,
+            "segment_files": self.segment_files,
+            "segments_replayed": self.segments_replayed,
+            "cells_appended": self.cells_appended,
+            "stale_records_skipped": self.stale_records_skipped,
+            "corrupt_records_skipped": self.corrupt_records_skipped,
+            "torn_tails_truncated": self.torn_tails_truncated,
+        }
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of one :meth:`MemoStore.compact` call."""
+
+    folded_files: int
+    cells: int
+    base_path: Optional[Path]
+    removed_files: Tuple[str, ...]
+    kept_stale_files: int
+
+    @property
+    def noop(self) -> bool:
+        """Whether there was nothing to fold."""
+        return self.folded_files == 0
+
+
+class MemoStore:
+    """Durable shared execution-memo store over a directory.
+
+    Parameters
+    ----------
+    directory:
+        Store directory; created (with parents) when missing.  Many
+        processes — on many hosts, given a shared filesystem with working
+        advisory locks — may point at the same directory.
+
+    Notes
+    -----
+    Appended snapshots are normalized to carry **cells only** (their
+    hit/miss counters are zeroed): the counters describe one process's
+    past activity, and replaying them at every future :meth:`seed` would
+    inflate the merged accounting of every restarted reader forever.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segments_replayed = 0
+        self.cells_appended = 0
+        self.stale_records_skipped = 0
+        self.corrupt_records_skipped = 0
+        self.torn_tails_truncated = 0
+
+    # ------------------------------------------------------------------
+    # reading: seed
+    # ------------------------------------------------------------------
+    def seed(self, machine: Machine) -> int:
+        """Replay base + segments, in order, into ``machine``'s memo.
+
+        Returns how many cells were actually new to the machine.  Torn
+        tails are repaired (truncated to the last complete record),
+        stale-schema and unreadable records are skipped with a logged
+        count — the cross-process counters on this store instance
+        (:meth:`info`) accumulate all three.
+        """
+        added = 0
+        for read in self._read_all():
+            self.segments_replayed += 1
+            for snapshot in read.fresh:
+                added += machine.merge_execution_memo(snapshot)
+        return added
+
+    # ------------------------------------------------------------------
+    # writing: absorb / append
+    # ------------------------------------------------------------------
+    def absorb(
+        self,
+        machine: Machine,
+        since: Optional[ExecutionMemoSnapshot] = None,
+    ) -> int:
+        """Append the machine's memo (or its delta past ``since``).
+
+        ``since`` is typically the snapshot the machine was seeded from,
+        so the published segment holds exactly the cells this process
+        computed itself.  An empty delta publishes nothing and returns 0.
+        """
+        return self.append(machine.export_execution_memo(since=since))
+
+    def append(self, snapshot: ExecutionMemoSnapshot) -> int:
+        """Publish one snapshot as a new segment; returns its cell count.
+
+        The segment name is allocated and the file published while holding
+        the store's advisory lock, via a same-directory temp file and
+        ``os.replace`` — concurrent writers never collide and readers
+        never observe a partial file.
+        """
+        expected = _memo_schema()
+        if snapshot.schema != expected:
+            raise ValueError(
+                "refusing to append a stale execution-memo snapshot: "
+                f"fingerprint schema {snapshot.schema!r} does not match "
+                f"this revision's {expected!r}"
+            )
+        if len(snapshot) == 0:
+            return 0
+        if snapshot.hits or snapshot.misses:
+            snapshot = ExecutionMemoSnapshot(
+                schema=snapshot.schema, cells=snapshot.cells
+            )
+        record = pack_record(
+            pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        with self._locked():
+            seq = self._next_seq()
+            self._publish(record, self.directory / f"segment-{seq:08d}.seg")
+        self.cells_appended += len(snapshot)
+        return len(snapshot)
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def compact(self, drop_stale: bool = False) -> CompactionResult:
+        """Fold base + segments into one new base, without blocking readers.
+
+        First-wins merge order matches :meth:`seed` exactly (base first,
+        then segments by ascending sequence), so a seed before and after
+        compaction yields the same memo.  Readers keep working throughout:
+        the new base is published atomically before the folded files are
+        unlinked, and :meth:`seed` retries its listing if a file vanishes
+        mid-scan.
+
+        Segments containing stale-schema or unreadable records are *kept*
+        by default (they may still be readable by the code revision that
+        wrote them) and reported in the result; ``drop_stale=True``
+        removes them too.
+        """
+        with self._locked():
+            bases, segments = self._list_entries()
+            replayed = self._read_all()
+            replay_paths = {read.entry.path for read in replayed}
+            # Segments at or below the latest base's sequence are never
+            # replayed: an earlier compaction kept them only for their
+            # stale/unreadable records.
+            orphaned = [s for s in segments if s.path not in replay_paths]
+            foldable = [read for read in replayed if read.entry.kind == "segment"]
+            if not foldable and len(bases) <= 1 and not (drop_stale and orphaned):
+                return CompactionResult(
+                    folded_files=0,
+                    cells=0,
+                    base_path=bases[-1].path if bases else None,
+                    removed_files=(),
+                    kept_stale_files=len(orphaned),
+                )
+            merged: "Dict[tuple, object]" = {}
+            for read in replayed:
+                for snapshot in read.fresh:
+                    for key, entry in snapshot.cells:
+                        merged.setdefault(key, entry)
+            new_seq = max(read.entry.seq for read in replayed)
+            base_path: Optional[Path] = None
+            if merged:
+                if foldable or len(bases) != 1:
+                    base_path = self.directory / f"base-{new_seq:08d}.seg"
+                    combined = ExecutionMemoSnapshot(
+                        schema=_memo_schema(), cells=tuple(merged.items())
+                    )
+                    self._publish(
+                        pack_record(
+                            pickle.dumps(combined, protocol=pickle.HIGHEST_PROTOCOL)
+                        ),
+                        base_path,
+                    )
+                else:
+                    # Nothing to fold beyond the single existing base (we
+                    # got here only to drop orphans) — keep it as is.
+                    base_path = bases[-1].path
+            removed: List[str] = []
+            kept_stale = 0
+            for read in replayed:
+                if read.entry.kind != "segment":
+                    continue
+                dirty = read.stale or read.corrupt
+                if dirty and not drop_stale:
+                    kept_stale += 1
+                    continue
+                self._unlink(read.entry.path, removed)
+            for segment in orphaned:
+                if drop_stale:
+                    self._unlink(segment.path, removed)
+                else:
+                    kept_stale += 1
+            for base in bases:
+                if base_path is None or base.path != base_path:
+                    self._unlink(base.path, removed)
+            if removed or base_path is not None:
+                logger.info(
+                    "memo store %s: compacted %d file(s) into %s "
+                    "(%d cells, %d stale file(s) kept)",
+                    self.directory,
+                    len(foldable),
+                    base_path.name if base_path is not None else "<nothing>",
+                    len(merged),
+                    kept_stale,
+                )
+            return CompactionResult(
+                folded_files=len(foldable),
+                cells=len(merged),
+                base_path=base_path,
+                removed_files=tuple(removed),
+                kept_stale_files=kept_stale,
+            )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def info(self) -> MemoStoreInfo:
+        """On-disk shape plus this instance's cumulative counters."""
+        bases, segments = self._list_entries()
+        base_seq = bases[-1].seq if bases else None
+        replayable = [
+            s for s in segments if base_seq is None or s.seq > base_seq
+        ]
+        return MemoStoreInfo(
+            directory=str(self.directory),
+            base_seq=base_seq,
+            segment_files=len(replayable),
+            segments_replayed=self.segments_replayed,
+            cells_appended=self.cells_appended,
+            stale_records_skipped=self.stale_records_skipped,
+            corrupt_records_skipped=self.corrupt_records_skipped,
+            torn_tails_truncated=self.torn_tails_truncated,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory exclusive lock shared by every writer of the directory."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self.directory / _LOCK_NAME, "ab") as lock:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+
+    def _list_entries(self) -> Tuple[List[_Entry], List[_Entry]]:
+        """All (bases, segments) in the directory, each sorted by sequence."""
+        bases: List[_Entry] = []
+        segments: List[_Entry] = []
+        for name in os.listdir(self.directory):
+            match = _FILE_RE.match(name)
+            if match is None:
+                continue
+            entry = _Entry(match.group(1), int(match.group(2)), self.directory / name)
+            (bases if entry.kind == "base" else segments).append(entry)
+        bases.sort(key=lambda e: e.seq)
+        segments.sort(key=lambda e: e.seq)
+        return bases, segments
+
+    def _next_seq(self) -> int:
+        """Next unused sequence number (caller holds the lock)."""
+        bases, segments = self._list_entries()
+        taken = [entry.seq for entry in bases + segments]
+        return max(taken, default=-1) + 1
+
+    def _read_all(self) -> List[_SegmentRead]:
+        """Read the replayable files in seed order, retrying compaction races."""
+        last_error: Optional[FileNotFoundError] = None
+        for _ in range(3):
+            try:
+                return self._read_once()
+            except FileNotFoundError as exc:
+                # A concurrent compaction unlinked a file between our
+                # listing and our scan; its cells live in a newer base.
+                last_error = exc
+        raise RuntimeError(
+            f"memo store {self.directory}: files kept vanishing mid-read "
+            "across 3 attempts (is something unlinking segments without "
+            "holding the store lock?)"
+        ) from last_error
+
+    def _read_once(self) -> List[_SegmentRead]:
+        bases, segments = self._list_entries()
+        order: List[_Entry] = []
+        if bases:
+            order.append(bases[-1])
+            order.extend(s for s in segments if s.seq > bases[-1].seq)
+        else:
+            order.extend(segments)
+        reads: List[_SegmentRead] = []
+        for entry in order:
+            scan = scan_segment(entry.path)
+            if scan.torn:
+                with self._locked():
+                    # Re-scan under the lock: another recovering reader may
+                    # have repaired (or compaction replaced) the file already.
+                    scan = scan_segment(entry.path)
+                    if truncate_torn_tail(scan):
+                        self.torn_tails_truncated += 1
+                        logger.warning(
+                            "memo store %s: truncated torn tail of %s "
+                            "(%d of %d bytes kept, %d complete record(s))",
+                            self.directory,
+                            entry.path.name,
+                            scan.good_bytes,
+                            scan.file_bytes,
+                            len(scan.records),
+                        )
+            fresh: List[ExecutionMemoSnapshot] = []
+            stale = 0
+            corrupt = 0
+            expected = _memo_schema()
+            for payload in scan.records:
+                try:
+                    snapshot = pickle.loads(payload)
+                except Exception:
+                    # The checksum passed, so the bytes are what was
+                    # written — unpicklable means a different code revision
+                    # (renamed classes/fields): a stale record.
+                    stale += 1
+                    continue
+                if not isinstance(snapshot, ExecutionMemoSnapshot):
+                    corrupt += 1
+                    continue
+                if snapshot.schema != expected:
+                    stale += 1
+                    continue
+                fresh.append(snapshot)
+            if stale:
+                self.stale_records_skipped += stale
+                logger.warning(
+                    "memo store %s: skipped %d stale-schema record(s) in %s "
+                    "(written by a different code revision; never merged)",
+                    self.directory,
+                    stale,
+                    entry.path.name,
+                )
+            if corrupt:
+                self.corrupt_records_skipped += corrupt
+                logger.warning(
+                    "memo store %s: skipped %d record(s) in %s that do not "
+                    "hold execution-memo snapshots",
+                    self.directory,
+                    corrupt,
+                    entry.path.name,
+                )
+            reads.append(_SegmentRead(entry, tuple(fresh), stale, corrupt))
+        return reads
+
+    def _publish(self, data: bytes, final: Path) -> None:
+        """Atomically publish ``data`` at ``final`` (tempfile + os.replace)."""
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=final.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                stream.write(data)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_name, final)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _unlink(path: Path, removed: List[str]) -> None:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            return
+        removed.append(path.name)

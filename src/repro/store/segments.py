@@ -1,0 +1,121 @@
+"""Binary record framing of the memo store's on-disk files.
+
+A segment (or compacted base) file is a sequence of framed records, each
+holding one pickled payload:
+
+    +-------+----------------+----------------+-----------------+
+    | magic | payload length | payload crc32  | payload         |
+    | 4 B   | 8 B big-endian | 4 B big-endian | `length` bytes  |
+    +-------+----------------+----------------+-----------------+
+
+The framing exists so a *torn tail* — a record cut short by a crash, a
+partial copy between hosts or a truncated disk write — is detected (short
+header, short payload, bad magic or checksum mismatch) instead of blowing
+up the reader mid-unpickle: :func:`scan_segment` returns every complete
+record plus the byte offset where the good prefix ends, and
+:func:`truncate_torn_tail` cuts the file back to that offset so recovery
+loses only the torn record.
+
+Framing is deliberately ignorant of what the payloads mean; the store
+layer (:mod:`repro.store.memo_store`) owns snapshot schema checks and
+merge semantics.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple, Union
+
+__all__ = [
+    "RECORD_MAGIC",
+    "SegmentScan",
+    "pack_record",
+    "scan_segment",
+    "truncate_torn_tail",
+]
+
+#: Leading bytes of every framed record ("Repro Memo Segment v1").
+RECORD_MAGIC = b"RMS1"
+
+_HEADER = struct.Struct(">4sQI")
+
+
+@dataclass(frozen=True)
+class SegmentScan:
+    """Outcome of scanning one segment file's framing.
+
+    Attributes
+    ----------
+    path:
+        The scanned file.
+    records:
+        Every complete, checksum-verified payload, in file order.
+    good_bytes:
+        Byte offset where the well-framed prefix ends; equals
+        ``file_bytes`` for a clean file.
+    file_bytes:
+        Size of the file as read.
+    """
+
+    path: Path
+    records: Tuple[bytes, ...]
+    good_bytes: int
+    file_bytes: int
+
+    @property
+    def torn(self) -> bool:
+        """Whether an unreadable tail follows the good prefix."""
+        return self.good_bytes < self.file_bytes
+
+
+def pack_record(payload: bytes) -> bytes:
+    """Frame one payload as a length/checksum-prefixed record."""
+    return _HEADER.pack(RECORD_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_segment(path: Union[str, Path]) -> SegmentScan:
+    """Read every complete record of ``path``, stopping at a torn tail.
+
+    Any framing violation — a header shorter than 16 bytes, a magic
+    mismatch, a payload shorter than its declared length, or a checksum
+    mismatch — marks the rest of the file unreadable from that offset;
+    everything before it is returned intact.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    records: List[bytes] = []
+    offset = 0
+    while offset < len(data):
+        header = data[offset : offset + _HEADER.size]
+        if len(header) < _HEADER.size:
+            break
+        magic, length, crc = _HEADER.unpack(header)
+        if magic != RECORD_MAGIC:
+            break
+        payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            break
+        records.append(payload)
+        offset += _HEADER.size + length
+    return SegmentScan(
+        path=path, records=tuple(records), good_bytes=offset, file_bytes=len(data)
+    )
+
+
+def truncate_torn_tail(scan: SegmentScan) -> bool:
+    """Cut the scanned file back to its good prefix.
+
+    Returns ``True`` when bytes were actually dropped.  The caller is
+    expected to hold the store's writer lock: publishes are atomic
+    (``os.replace``), so a torn tail never races a live writer, but
+    truncating under the lock keeps two recovering readers from stepping
+    on each other.
+    """
+    if not scan.torn:
+        return False
+    with open(scan.path, "r+b") as stream:
+        stream.truncate(scan.good_bytes)
+    return True

@@ -1,0 +1,349 @@
+"""Tests for the durable shared execution-memo store (segment log + compaction).
+
+Covers the store's crash paths and its multi-process contract: torn-tail
+segment recovery (truncate to the last complete record, lose only the torn
+tail), stale-schema segment skip accounting (logged, never silently
+merged), concurrent writer exclusion through the advisory lock (no lost or
+colliding segments), ``seed``/``absorb`` bit-identity with the in-process
+``export``/``merge`` round trip, compaction folding base + segments into a
+new base that replays identically, and the consumer wiring —
+``run_cells(..., memo_store=...)`` and ``GridHandler(memo_store=...)`` —
+where a restarted process must re-simulate zero previously stored cells.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import RunCell, run_cells
+from repro.machine import (
+    ExecutionMemoSnapshot,
+    Machine,
+    WorkRequest,
+    standard_configurations,
+)
+from repro.service import AdaptationServer, GridHandler, GridProbeRequest
+from repro.store import MemoStore, pack_record, scan_segment
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return MemoStore(tmp_path / "memo")
+
+
+@pytest.fixture()
+def machine():
+    return Machine(noise_sigma=0.0)
+
+
+def _work(k: int = 1) -> WorkRequest:
+    return WorkRequest(instructions=1e8 * k, working_set_mb=2.0 + k)
+
+
+def _warm_machine(works) -> Machine:
+    machine = Machine(noise_sigma=0.0)
+    for work in works:
+        machine.execute_batch(work, standard_configurations(machine.topology))
+    return machine
+
+
+def _snapshot_of(works) -> ExecutionMemoSnapshot:
+    return _warm_machine(works).export_execution_memo()
+
+
+class TestSeedAbsorbRoundTrip:
+    def test_restarted_process_resimulates_nothing(self, store, machine):
+        configs = standard_configurations(machine.topology)
+        store.seed(machine)
+        machine.execute_batch(_work(), configs)
+        assert store.absorb(machine) == len(configs)
+        restarted = Machine(noise_sigma=0.0)
+        assert MemoStore(store.directory).seed(restarted) == len(configs)
+        batch = restarted.execute_batch(_work(), configs)
+        assert (batch.memo_hits, batch.memo_misses) == (len(configs), 0)
+
+    def test_seed_is_bit_identical_to_in_process_merge(self, store):
+        works = [_work(1), _work(2)]
+        snapshot = _snapshot_of(works)
+        via_memory = Machine(noise_sigma=0.0)
+        via_memory.merge_execution_memo(snapshot)
+        store.append(snapshot)
+        via_disk = Machine(noise_sigma=0.0)
+        MemoStore(store.directory).seed(via_disk)
+        assert (
+            via_disk.export_execution_memo().cells
+            == via_memory.export_execution_memo().cells
+        )
+
+    def test_absorb_since_appends_only_own_cells(self, store, machine):
+        configs = standard_configurations(machine.topology)
+        machine.execute_batch(_work(1), configs)
+        store.absorb(machine)
+        seeded = machine.export_execution_memo()
+        machine.execute_batch(_work(2), configs)
+        assert store.absorb(machine, since=seeded) == len(configs)
+        # Replaying base-less segments in order restores both works' cells.
+        fresh = Machine(noise_sigma=0.0)
+        assert MemoStore(store.directory).seed(fresh) == 2 * len(configs)
+
+    def test_empty_delta_publishes_no_segment(self, store, machine):
+        assert store.absorb(machine) == 0
+        assert store.info().segment_files == 0
+
+    def test_appended_snapshots_drop_activity_counters(self, store, machine):
+        configs = standard_configurations(machine.topology)
+        machine.execute_batch(_work(), configs)
+        machine.execute_batch(_work(), configs)  # all hits: counters non-zero
+        assert machine.execution_memo_info().hits > 0
+        store.absorb(machine)
+        restarted = Machine(noise_sigma=0.0)
+        MemoStore(store.directory).seed(restarted)
+        info = restarted.execution_memo_info()
+        # One process's past activity must not inflate every future
+        # reader's merged accounting.
+        assert (info.merged_hits, info.merged_misses) == (0, 0)
+
+    def test_append_rejects_stale_snapshots(self, store):
+        snapshot = _snapshot_of([_work()])
+        stale = replace(snapshot, schema=("memo-v0",) + snapshot.schema[1:])
+        with pytest.raises(ValueError, match="stale"):
+            store.append(stale)
+
+    def test_seed_of_empty_store_is_noop(self, store, machine):
+        assert store.seed(machine) == 0
+        assert machine.execution_memo_info().size == 0
+
+
+class TestTornTailRecovery:
+    def test_torn_tail_is_truncated_and_prefix_recovered(self, store, tmp_path):
+        first = _snapshot_of([_work(1)])
+        second = _snapshot_of([_work(2)])
+        good = pack_record(pickle.dumps(first, protocol=pickle.HIGHEST_PROTOCOL))
+        torn = pack_record(pickle.dumps(second, protocol=pickle.HIGHEST_PROTOCOL))
+        path = store.directory / "segment-00000000.seg"
+        path.write_bytes(good + torn[: len(torn) - 7])  # tail cut mid-record
+        machine = Machine(noise_sigma=0.0)
+        assert store.seed(machine) == len(first)
+        assert store.torn_tails_truncated == 1
+        # The file was repaired on disk: only the torn record is gone.
+        assert path.stat().st_size == len(good)
+        rescan = scan_segment(path)
+        assert not rescan.torn and len(rescan.records) == 1
+
+    def test_fully_torn_segment_recovers_to_empty(self, store):
+        path = store.directory / "segment-00000000.seg"
+        path.write_bytes(b"RMS1\x00garbage-that-is-no-frame")
+        machine = Machine(noise_sigma=0.0)
+        assert store.seed(machine) == 0
+        assert store.torn_tails_truncated == 1
+        assert path.stat().st_size == 0
+
+    def test_clean_segments_are_never_rewritten(self, store, machine):
+        configs = standard_configurations(machine.topology)
+        machine.execute_batch(_work(), configs)
+        store.absorb(machine)
+        (segment,) = [
+            p for p in store.directory.iterdir() if p.name.startswith("segment-")
+        ]
+        before = (segment.stat().st_mtime_ns, segment.read_bytes())
+        store.seed(Machine(noise_sigma=0.0))
+        assert (segment.stat().st_mtime_ns, segment.read_bytes()) == before
+        assert store.torn_tails_truncated == 0
+
+
+class TestStaleSchemaSkip:
+    def _write_stale_segment(self, store, name="segment-00000000.seg"):
+        snapshot = _snapshot_of([_work(9)])
+        stale = replace(snapshot, schema=("memo-v0",) + snapshot.schema[1:])
+        payload = pickle.dumps(stale, protocol=pickle.HIGHEST_PROTOCOL)
+        (store.directory / name).write_bytes(pack_record(payload))
+
+    def test_stale_segments_skipped_with_logged_count(self, store, caplog):
+        self._write_stale_segment(store)
+        machine = Machine(noise_sigma=0.0)
+        with caplog.at_level(logging.WARNING, logger="repro.store.memo_store"):
+            assert store.seed(machine) == 0
+        assert store.stale_records_skipped == 1
+        assert machine.execution_memo_info().size == 0  # never silently merged
+        assert any("stale-schema" in record.message for record in caplog.records)
+
+    def test_fresh_segments_still_merge_next_to_stale_ones(self, store, machine):
+        self._write_stale_segment(store)
+        configs = standard_configurations(machine.topology)
+        machine.execute_batch(_work(), configs)
+        store.absorb(machine)
+        restarted = Machine(noise_sigma=0.0)
+        reader = MemoStore(store.directory)
+        assert reader.seed(restarted) == len(configs)
+        assert reader.stale_records_skipped == 1
+
+    def test_non_snapshot_records_counted_as_corrupt(self, store, machine):
+        payload = pickle.dumps({"not": "a snapshot"}, protocol=pickle.HIGHEST_PROTOCOL)
+        (store.directory / "segment-00000000.seg").write_bytes(pack_record(payload))
+        assert store.seed(machine) == 0
+        assert store.corrupt_records_skipped == 1
+
+    def test_compaction_keeps_stale_segments_by_default(self, store, machine):
+        self._write_stale_segment(store)
+        configs = standard_configurations(machine.topology)
+        machine.execute_batch(_work(), configs)
+        store.absorb(machine)
+        result = store.compact()
+        assert result.kept_stale_files == 1
+        assert (store.directory / "segment-00000000.seg").exists()
+        assert MemoStore(store.directory).seed(Machine(noise_sigma=0.0)) == len(configs)
+        dropped = store.compact(drop_stale=True)
+        assert "segment-00000000.seg" in dropped.removed_files
+        assert not (store.directory / "segment-00000000.seg").exists()
+
+
+def _concurrent_absorb_worker(directory: str, k: int) -> int:
+    """Pool worker: simulate a private work and publish it into one store.
+
+    Module-level so it pickles under any multiprocessing start method.
+    """
+    machine = Machine(noise_sigma=0.0)
+    machine.execute_batch(_work(k), standard_configurations(machine.topology))
+    return MemoStore(directory).absorb(machine)
+
+
+class TestConcurrentWriters:
+    def test_concurrent_absorbs_neither_collide_nor_get_lost(self, store):
+        ks = [1, 2, 3, 4]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            appended = list(
+                pool.map(
+                    _concurrent_absorb_worker,
+                    [str(store.directory)] * len(ks),
+                    ks,
+                )
+            )
+        configs = standard_configurations(Machine(noise_sigma=0.0).topology)
+        assert appended == [len(configs)] * len(ks)
+        # Exclusion held: one distinct segment per writer, all replayable.
+        assert store.info().segment_files == len(ks)
+        machine = Machine(noise_sigma=0.0)
+        assert store.seed(machine) == len(ks) * len(configs)
+        for k in ks:
+            batch = machine.execute_batch(_work(k), configs)
+            assert (batch.memo_hits, batch.memo_misses) == (len(configs), 0)
+
+
+class TestCompaction:
+    def test_compaction_preserves_replay_and_removes_segments(self, store):
+        configs = standard_configurations(Machine(noise_sigma=0.0).topology)
+        for k in (1, 2, 3):
+            machine = Machine(noise_sigma=0.0)
+            machine.execute_batch(_work(k), configs)
+            store.absorb(machine)
+        reference = Machine(noise_sigma=0.0)
+        MemoStore(store.directory).seed(reference)
+        result = store.compact()
+        assert (result.folded_files, result.cells) == (3, 3 * len(configs))
+        assert store.info().segment_files == 0
+        assert store.info().base_seq is not None
+        compacted = Machine(noise_sigma=0.0)
+        MemoStore(store.directory).seed(compacted)
+        assert (
+            compacted.export_execution_memo().cells
+            == reference.export_execution_memo().cells
+        )
+
+    def test_segments_after_a_base_fold_into_the_next_base(self, store):
+        configs = standard_configurations(Machine(noise_sigma=0.0).topology)
+        machine = Machine(noise_sigma=0.0)
+        machine.execute_batch(_work(1), configs)
+        store.absorb(machine)
+        store.compact()
+        late = Machine(noise_sigma=0.0)
+        late.execute_batch(_work(2), configs)
+        store.absorb(late)
+        result = store.compact()
+        assert result.folded_files == 1
+        assert result.cells == 2 * len(configs)
+        fresh = Machine(noise_sigma=0.0)
+        assert MemoStore(store.directory).seed(fresh) == 2 * len(configs)
+
+    def test_compacting_an_already_compact_store_is_a_noop(self, store, machine):
+        machine.execute_batch(_work(), standard_configurations(machine.topology))
+        store.absorb(machine)
+        first = store.compact()
+        assert not first.noop
+        second = store.compact()
+        assert second.noop and second.removed_files == ()
+
+    def test_compacting_an_empty_store_is_a_noop(self, store):
+        assert store.compact().noop
+
+
+class TestConsumerWiring:
+    CELLS = [
+        RunCell(workload="SP", policy="static-4", seed=1, max_timesteps=3),
+        RunCell(workload="IS", policy="static-2b", seed=2, max_timesteps=3),
+    ]
+
+    def test_run_cells_restart_resimulates_zero_cells(self, store):
+        first = run_cells(self.CELLS, memo_store=store)
+        assert store.info().cells_appended > 0
+        host = Machine(noise_sigma=0.0)
+        second = run_cells(
+            self.CELLS, memo_store=MemoStore(store.directory), memo_machine=host
+        )
+        info = host.execution_memo_info()
+        assert info.merged_misses == 0  # every calibration cell came from disk
+        assert info.merged_hits > 0
+        for a, b in zip(first, second):
+            assert a.time_seconds == b.time_seconds
+            assert a.energy_joules == b.energy_joules
+        # Nothing new was computed, so nothing new was published.
+        assert MemoStore(store.directory).info().segment_files == 1
+
+    def test_run_cells_without_host_builds_a_default_one(self, store):
+        run_cells(self.CELLS[:1], memo_store=store)
+        assert store.info().cells_appended > 0
+
+    def test_grid_handler_restart_keeps_warm_memo(self, store):
+        request = GridProbeRequest(
+            client_id="app", phase="solve", work=_work(5)
+        )
+
+        async def serve_once(handler):
+            async with AdaptationServer(
+                handler, max_batch_size=4, max_batch_window=0.001
+            ) as server:
+                return await server.submit(request)
+
+        cold = GridHandler(memo_store=store)
+        first = asyncio.run(serve_once(cold))
+        assert cold.machine.execution_memo_info().misses > 0
+
+        warm = GridHandler(memo_store=MemoStore(store.directory))
+        second = asyncio.run(serve_once(warm))
+        info = warm.machine.execution_memo_info()
+        assert info.misses == 0  # the restarted server re-simulated nothing
+        assert info.hits == len(warm.configurations)
+        assert first.configuration == second.configuration
+        assert first.predicted == second.predicted
+        assert warm.cache_info()["memo_store"]["segments_replayed"] == 1
+
+    def test_grid_handler_appends_only_new_cells(self, store):
+        async def serve(handler, requests):
+            async with AdaptationServer(
+                handler, max_batch_size=4, max_batch_window=0.001
+            ) as server:
+                return await server.submit_many(requests)
+
+        handler = GridHandler(memo_store=store)
+        r1 = GridProbeRequest(client_id="a", phase="p1", work=_work(1))
+        asyncio.run(serve(handler, [r1]))
+        appended_once = store.info().cells_appended
+        assert appended_once == len(handler.configurations)
+        # A repeated fingerprint is all memo hits: nothing new to publish.
+        asyncio.run(serve(handler, [r1]))
+        assert store.info().cells_appended == appended_once

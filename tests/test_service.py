@@ -27,6 +27,7 @@ from repro.service import (
     DecisionHandler,
     GridHandler,
     GridProbeRequest,
+    MicroBatcher,
     PhaseSampleRequest,
     PredictionHandler,
     ServiceMetrics,
@@ -511,3 +512,232 @@ class TestLifecycle:
             return decision
 
         assert asyncio.run(main()).client_id == "c0"
+
+
+class TestRetryAfterHint:
+    """The backpressure hint tracks the live backlog, not the worst case."""
+
+    def _warm_batcher(self, max_batch_size=8, window=0.002):
+        # Deterministic throughput: 3 batches over 2 fake seconds.
+        clock = iter([0.0, 1.0, 2.0])
+        metrics = ServiceMetrics(clock=lambda: next(clock))
+        batcher = MicroBatcher(
+            lambda requests: requests,
+            max_batch_size=max_batch_size,
+            max_batch_window=window,
+            metrics=metrics,
+        )
+        for size in (8, 8, 8):
+            metrics.record_batch(size, [0.01] * size)
+        return batcher
+
+    def test_hint_grows_monotonically_with_queue_depth(self):
+        batcher = self._warm_batcher()
+        hints = [batcher.retry_after_hint(queue_depth=d) for d in (1, 8, 64, 256)]
+        assert hints == sorted(hints)
+        assert len(set(hints)) == len(hints)  # strictly increasing here
+
+    def test_nearly_drained_queue_advises_much_less_than_full(self):
+        batcher = self._warm_batcher()
+        light = batcher.retry_after_hint(queue_depth=1)
+        full = batcher.retry_after_hint(queue_depth=batcher.max_queue_depth)
+        assert light < full / 10
+
+    def test_default_depth_is_the_live_queue_not_the_bound(self):
+        batcher = self._warm_batcher()
+        # Not started: the live queue is empty, so the hint must match the
+        # minimal-depth estimate, not a max_queue_depth drain time.
+        assert batcher.queue_depth() == 0
+        assert batcher.retry_after_hint() == batcher.retry_after_hint(queue_depth=1)
+
+    def test_cold_fallback_scales_with_whole_batches(self):
+        metrics = ServiceMetrics(clock=lambda: 0.0)
+        batcher = MicroBatcher(
+            lambda requests: requests,
+            max_batch_size=8,
+            max_batch_window=0.002,
+            metrics=metrics,
+        )
+        metrics.elapsed_floor = 0.0  # force the no-throughput fallback
+        assert metrics.decisions_per_second() == 0.0
+        one_batch = batcher.retry_after_hint(queue_depth=8)
+        two_batches = batcher.retry_after_hint(queue_depth=9)
+        assert one_batch == pytest.approx(0.002)
+        assert two_batches == pytest.approx(0.004)
+
+    def test_live_rejection_carries_a_backlog_shaped_hint(self):
+        async def main():
+            handler = _BlockingHandler()
+            async with AdaptationServer(
+                handler,
+                max_batch_size=1,
+                max_batch_window=0.0,
+                max_queue_depth=2,
+            ) as server:
+                tasks = [asyncio.create_task(server.submit(_request(0)))]
+                await asyncio.sleep(0.05)
+                tasks += [
+                    asyncio.create_task(server.submit(_request(i))) for i in (1, 2)
+                ]
+                await asyncio.sleep(0.05)
+                with pytest.raises(ServiceOverloadedError) as excinfo:
+                    await server.submit(_request(3))
+                # Depth-2 backlog: the hint must stay within the live
+                # estimate for that depth, far below a deep-bound drain.
+                live = server.batcher.retry_after_hint(queue_depth=2)
+                worst = server.batcher.retry_after_hint(queue_depth=1024)
+                handler.release.set()
+                await asyncio.gather(*tasks)
+                return excinfo.value.retry_after, live, worst
+
+        retry_after, live, worst = asyncio.run(main())
+        assert retry_after <= live
+        assert retry_after < worst
+
+
+class TestSingleBatchThroughput:
+    """decisions_per_second is finite after one dispatched batch."""
+
+    def test_raw_metrics_still_report_zero_without_a_floor(self):
+        metrics = ServiceMetrics(clock=lambda: 1.5)
+        metrics.record_batch(64, [0.01] * 64)
+        assert metrics.decisions_per_second() == 0.0
+
+    def test_batcher_floor_makes_a_single_batch_rate_finite(self):
+        metrics = ServiceMetrics(clock=lambda: 1.5)
+        MicroBatcher(
+            lambda requests: requests,
+            max_batch_size=64,
+            max_batch_window=0.004,
+            metrics=metrics,
+        )
+        metrics.record_batch(64, [0.01] * 64)
+        assert metrics.decisions_per_second() == pytest.approx(64 / 0.004)
+
+    def test_explicit_floor_survives_a_larger_preset(self):
+        metrics = ServiceMetrics()
+        metrics.elapsed_floor = 1.0
+        MicroBatcher(lambda requests: requests, max_batch_window=0.002, metrics=metrics)
+        assert metrics.elapsed_floor == 1.0  # max(), never lowered
+
+    def test_served_single_batch_reports_finite_throughput(self):
+        async def main():
+            handler = _EchoHandler()
+            async with AdaptationServer(
+                handler, max_batch_size=64, max_batch_window=0.005
+            ) as server:
+                await server.submit_many([_request(i) for i in range(3)])
+                return server.metrics()
+
+        snapshot = asyncio.run(main())
+        assert snapshot["batches"] == 1
+        assert snapshot["decisions_per_second"] > 0.0
+
+    def test_snapshot_percentiles_match_latency_percentile(self):
+        metrics = ServiceMetrics(clock=lambda: 0.0)
+        metrics.record_batch(5, [0.010, 0.020, 0.030, 0.040, 0.500])
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_seconds"]["p50"] == metrics.latency_percentile(50)
+        assert snapshot["latency_seconds"]["p99"] == metrics.latency_percentile(99)
+        assert snapshot["latency_seconds"]["p50"] == pytest.approx(0.030)
+
+
+class TestRetryBackoffJitter:
+    """Rejected clients back off apart instead of retrying in lockstep."""
+
+    def test_same_seed_reproduces_the_delay_stream(self):
+        a = AdaptationClient(None, jitter_seed=7)
+        b = AdaptationClient(None, jitter_seed=7)
+        assert [a.next_retry_delay(0.01, n) for n in range(1, 6)] == [
+            b.next_retry_delay(0.01, n) for n in range(1, 6)
+        ]
+
+    def test_distinct_seeds_desynchronize_the_first_retry(self):
+        clients = [AdaptationClient(None, jitter_seed=i) for i in range(8)]
+        delays = {client.next_retry_delay(0.01, 1) for client in clients}
+        assert len(delays) == len(clients)
+        assert all(0.0 < d <= 0.01 for d in delays)
+
+    def test_default_seeds_are_distinct_per_client(self):
+        clients = [AdaptationClient(None) for _ in range(8)]
+        delays = {client.next_retry_delay(0.01, 1) for client in clients}
+        assert len(delays) == len(clients)
+
+    def test_attempt_scaling_is_monotone_and_capped(self):
+        client = AdaptationClient(None, backoff_cap=0.08, jitter=0.0)
+        delays = [client.next_retry_delay(0.01, n) for n in range(1, 8)]
+        assert delays == sorted(delays)
+        assert delays[0] == pytest.approx(0.01)
+        assert delays[1] == pytest.approx(0.02)
+        assert delays[-1] == pytest.approx(0.08)  # capped, never unbounded
+        assert max(delays) <= client.backoff_cap
+
+    def test_jitter_still_separates_clients_pinned_at_the_cap(self):
+        # A hint far above the cap used to collapse every client onto the
+        # identical capped sleep; jitter applies after capping.
+        clients = [
+            AdaptationClient(None, backoff_cap=0.05, jitter_seed=i) for i in range(6)
+        ]
+        delays = {client.next_retry_delay(10.0, 9) for client in clients}
+        assert len(delays) == len(clients)
+        assert all(0.0 < d <= 0.05 for d in delays)
+
+    def test_tcp_client_shares_the_same_backoff_discipline(self):
+        tcp = TCPAdaptationClient("localhost", 1, jitter_seed=3)
+        in_process = AdaptationClient(None, jitter_seed=3)
+        assert [tcp.next_retry_delay(0.02, n) for n in range(1, 5)] == [
+            in_process.next_retry_delay(0.02, n) for n in range(1, 5)
+        ]
+
+    def test_invalid_backoff_parameters_are_rejected(self):
+        with pytest.raises(ValueError, match="backoff_factor"):
+            AdaptationClient(None, backoff_factor=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            AdaptationClient(None, jitter=1.0)
+
+    def test_concurrent_retriers_sleep_apart(self):
+        class RecordingClient(AdaptationClient):
+            def __init__(self, server, **kwargs):
+                super().__init__(server, **kwargs)
+                self.recorded = []
+
+            def next_retry_delay(self, retry_after, attempt):
+                delay = super().next_retry_delay(retry_after, attempt)
+                self.recorded.append(delay)
+                return min(delay, 0.001)  # keep the test fast
+
+        async def main():
+            handler = _BlockingHandler()
+            async with AdaptationServer(
+                handler,
+                max_batch_size=1,
+                max_batch_window=0.0,
+                max_queue_depth=1,
+            ) as server:
+                tasks = [asyncio.create_task(server.submit(_request(0)))]
+                await asyncio.sleep(0.05)
+                tasks.append(asyncio.create_task(server.submit(_request(1))))
+                await asyncio.sleep(0.05)
+                clients = [
+                    RecordingClient(
+                        server, max_retries=500, backoff_cap=0.02, jitter_seed=i
+                    )
+                    for i in range(3)
+                ]
+                retriers = [
+                    asyncio.create_task(client.request(_request(10 + i)))
+                    for i, client in enumerate(clients)
+                ]
+                await asyncio.sleep(0.1)  # let every client hit the full queue
+                handler.release.set()
+                decisions = await asyncio.gather(*retriers)
+                await asyncio.gather(*tasks)
+                return clients, decisions
+
+        clients, decisions = asyncio.run(main())
+        assert all(client.retries > 0 for client in clients)
+        assert {d.client_id for d in decisions} == {"c10", "c11", "c12"}
+        # The first planned sleep of each client is distinct: no lockstep
+        # retry wave even though all were rejected with the same hint.
+        first_delays = {client.recorded[0] for client in clients}
+        assert len(first_delays) == len(clients)
