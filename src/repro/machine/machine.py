@@ -72,7 +72,16 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import (
+    AbstractSet,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -2282,7 +2291,7 @@ class Machine:
         )
 
     def export_execution_memo(
-        self, since: Optional[ExecutionMemoSnapshot] = None
+        self, since: Optional[Union[ExecutionMemoSnapshot, AbstractSet]] = None
     ) -> ExecutionMemoSnapshot:
         """Export the memo as a picklable :class:`ExecutionMemoSnapshot`.
 
@@ -2292,11 +2301,19 @@ class Machine:
             When given, export only the *delta*: cells whose key is not in
             ``since`` — typically the snapshot this machine was seeded from
             — so a ``run_cells`` worker hands back exactly the cells it
-            simulated itself.  The snapshot always carries this machine's
-            own hit/miss counters so the merging side can attribute the
-            exporter's memo activity.
+            simulated itself.  A bare set of memo keys is accepted too, so
+            long-lived callers (e.g. the adaptation server's persistence
+            loop) can track what they already exported as a growing key
+            set instead of rebuilding ever-larger snapshots.  The snapshot
+            always carries this machine's own hit/miss counters so the
+            merging side can attribute the exporter's memo activity.
         """
-        exclude = since.keys() if since is not None else frozenset()
+        if since is None:
+            exclude: AbstractSet = frozenset()
+        elif isinstance(since, ExecutionMemoSnapshot):
+            exclude = since.keys()
+        else:
+            exclude = since
         cells = tuple(
             (key, entry) for key, entry in self._memo.items() if key not in exclude
         )

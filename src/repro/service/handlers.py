@@ -28,7 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.selector import ConfigurationSelector
 from ..core.predictor import PredictorBundle
-from ..machine.machine import ExecutionMemoSnapshot, Machine
+from ..machine.machine import Machine
 from ..machine.placement import Configuration, standard_configurations
 from ..store.memo_store import MemoStore
 from .messages import AdaptationDecision, GridProbeRequest, PhaseSampleRequest
@@ -183,29 +183,28 @@ class GridHandler(DecisionHandler):
         self.objective = objective
         self._metric, self._minimize = _GRID_OBJECTIVES[objective]
         self.memo_store = memo_store
-        self._persisted: Optional[ExecutionMemoSnapshot] = None
+        self._persisted_keys: Optional[set] = None
         if memo_store is not None:
             memo_store.seed(self.machine)
-            self._persisted = self.machine.export_execution_memo()
+            self._persisted_keys = set(self.machine.export_execution_memo().keys())
 
     def _persist_new_cells(self) -> None:
-        """Publish cells simulated since the last persisted snapshot.
+        """Publish cells simulated since the last persisted batch.
 
         One scheduler dispatches batches strictly sequentially, so this
-        runs unraced; the persisted snapshot is extended with the delta
-        (both are disjoint by construction) instead of re-exported, so the
-        steady-state cost is O(new cells), not O(memo).
+        runs unraced.  Already-published cells are tracked as a growing
+        key set extended in place with each delta's keys, so a persist
+        costs one O(memo) dict scan plus O(new cells) copying and IO —
+        no snapshot-tuple rebuild growing with server lifetime.
         """
         if self.memo_store is None:
             return
-        delta = self.machine.export_execution_memo(since=self._persisted)
+        assert self._persisted_keys is not None
+        delta = self.machine.export_execution_memo(since=self._persisted_keys)
         if len(delta) == 0:
             return
         self.memo_store.append(delta)
-        assert self._persisted is not None
-        self._persisted = ExecutionMemoSnapshot(
-            schema=delta.schema, cells=self._persisted.cells + delta.cells
-        )
+        self._persisted_keys.update(delta.keys())
 
     def handle_batch(
         self, requests: Sequence[GridProbeRequest]

@@ -46,6 +46,7 @@ import os
 import pickle
 import re
 import tempfile
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -156,6 +157,12 @@ class MemoStore:
         self.stale_records_skipped = 0
         self.corrupt_records_skipped = 0
         self.torn_tails_truncated = 0
+        # flock treats every open file description as a distinct owner, even
+        # within one process — so _locked() must be reentrant per instance
+        # (compact() holds the lock while torn-tail repair re-enters it) and
+        # must serialize threads sharing this instance before touching flock.
+        self._lock_mutex = threading.RLock()
+        self._flock_depth = 0
 
     # ------------------------------------------------------------------
     # reading: seed
@@ -235,81 +242,93 @@ class MemoStore:
         unlinked, and :meth:`seed` retries its listing if a file vanishes
         mid-scan.
 
-        Segments containing stale-schema or unreadable records are *kept*
-        by default (they may still be readable by the code revision that
-        wrote them) and reported in the result; ``drop_stale=True``
-        removes them too.
+        Files containing stale-schema or unreadable records — segments
+        *and* bases alike — are *kept* by default (they may still be
+        readable by the code revision that wrote them) and reported in
+        the result; ``drop_stale=True`` removes them too.
         """
         with self._locked():
             bases, segments = self._list_entries()
             replayed = self._read_all()
             replay_paths = {read.entry.path for read in replayed}
-            # Segments at or below the latest base's sequence are never
-            # replayed: an earlier compaction kept them only for their
-            # stale/unreadable records.
-            orphaned = [s for s in segments if s.path not in replay_paths]
+            # Files outside the replay order: segments at or below the
+            # latest base's sequence (an earlier compaction kept them only
+            # for their stale/unreadable records) and bases superseded by
+            # a newer base (a crash between publish and unlink).
+            orphaned_segments = [s for s in segments if s.path not in replay_paths]
+            orphaned_bases = [b for b in bases if b.path not in replay_paths]
             foldable = [read for read in replayed if read.entry.kind == "segment"]
-            if not foldable and len(bases) <= 1 and not (drop_stale and orphaned):
+            if (
+                not foldable
+                and not orphaned_bases
+                and not (drop_stale and orphaned_segments)
+            ):
                 return CompactionResult(
                     folded_files=0,
                     cells=0,
                     base_path=bases[-1].path if bases else None,
                     removed_files=(),
-                    kept_stale_files=len(orphaned),
+                    kept_stale_files=len(orphaned_segments),
                 )
             merged: "Dict[tuple, object]" = {}
             for read in replayed:
                 for snapshot in read.fresh:
                     for key, entry in snapshot.cells:
                         merged.setdefault(key, entry)
-            new_seq = max(read.entry.seq for read in replayed)
             base_path: Optional[Path] = None
-            if merged:
-                if foldable or len(bases) != 1:
-                    base_path = self.directory / f"base-{new_seq:08d}.seg"
-                    combined = ExecutionMemoSnapshot(
-                        schema=_memo_schema(), cells=tuple(merged.items())
-                    )
-                    self._publish(
-                        pack_record(
-                            pickle.dumps(combined, protocol=pickle.HIGHEST_PROTOCOL)
-                        ),
-                        base_path,
-                    )
-                else:
-                    # Nothing to fold beyond the single existing base (we
-                    # got here only to drop orphans) — keep it as is.
-                    base_path = bases[-1].path
+            if foldable and merged:
+                new_seq = max(read.entry.seq for read in replayed)
+                base_path = self.directory / f"base-{new_seq:08d}.seg"
+                combined = ExecutionMemoSnapshot(
+                    schema=_memo_schema(), cells=tuple(merged.items())
+                )
+                self._publish(
+                    pack_record(
+                        pickle.dumps(combined, protocol=pickle.HIGHEST_PROTOCOL)
+                    ),
+                    base_path,
+                )
+            elif bases:
+                # Nothing new to fold — keep the existing base untouched.
+                # Republishing in place would rewrite only the records this
+                # revision can read, silently dropping any stale ones.
+                base_path = bases[-1].path
             removed: List[str] = []
             kept_stale = 0
             for read in replayed:
-                if read.entry.kind != "segment":
+                if base_path is not None and read.entry.path == base_path:
                     continue
-                dirty = read.stale or read.corrupt
-                if dirty and not drop_stale:
+                # Same contract for the replayed base as for segments: a
+                # file with stale/unreadable records survives compaction.
+                if (read.stale or read.corrupt) and not drop_stale:
                     kept_stale += 1
                     continue
                 self._unlink(read.entry.path, removed)
-            for segment in orphaned:
+            for segment in orphaned_segments:
                 if drop_stale:
                     self._unlink(segment.path, removed)
                 else:
                     kept_stale += 1
-            for base in bases:
-                if base_path is None or base.path != base_path:
-                    self._unlink(base.path, removed)
-            if removed or base_path is not None:
+            for base in orphaned_bases:
+                # A superseded clean base is fully covered by the newer one;
+                # a dirty one still holds records only other revisions read.
+                if not drop_stale and self._holds_unmergeable_records(base.path):
+                    kept_stale += 1
+                    continue
+                self._unlink(base.path, removed)
+            folded = len(foldable) if base_path is not None and merged else 0
+            if removed or (foldable and merged):
                 logger.info(
                     "memo store %s: compacted %d file(s) into %s "
                     "(%d cells, %d stale file(s) kept)",
                     self.directory,
-                    len(foldable),
+                    folded,
                     base_path.name if base_path is not None else "<nothing>",
                     len(merged),
                     kept_stale,
                 )
             return CompactionResult(
-                folded_files=len(foldable),
+                folded_files=folded,
                 cells=len(merged),
                 base_path=base_path,
                 removed_files=tuple(removed),
@@ -342,16 +361,34 @@ class MemoStore:
     # ------------------------------------------------------------------
     @contextmanager
     def _locked(self) -> Iterator[None]:
-        """Advisory exclusive lock shared by every writer of the directory."""
+        """Advisory exclusive lock shared by every writer of the directory.
+
+        Reentrant per instance: the flock is taken once at the outermost
+        entry and nested entries only bump a depth counter.  Acquiring a
+        second open file description on ``.lock`` would self-deadlock —
+        flock counts separate descriptions within one process as
+        conflicting owners — and compact() legitimately re-enters through
+        torn-tail repair in :meth:`_read_once`.
+        """
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             yield
             return
-        with open(self.directory / _LOCK_NAME, "ab") as lock:
-            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
-                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+        with self._lock_mutex:
+            if self._flock_depth:
+                self._flock_depth += 1
+                try:
+                    yield
+                finally:
+                    self._flock_depth -= 1
+                return
+            with open(self.directory / _LOCK_NAME, "ab") as lock:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+                self._flock_depth = 1
+                try:
+                    yield
+                finally:
+                    self._flock_depth = 0
+                    fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
 
     def _list_entries(self) -> Tuple[List[_Entry], List[_Entry]]:
         """All (bases, segments) in the directory, each sorted by sequence."""
@@ -416,26 +453,7 @@ class MemoStore:
                             scan.file_bytes,
                             len(scan.records),
                         )
-            fresh: List[ExecutionMemoSnapshot] = []
-            stale = 0
-            corrupt = 0
-            expected = _memo_schema()
-            for payload in scan.records:
-                try:
-                    snapshot = pickle.loads(payload)
-                except Exception:
-                    # The checksum passed, so the bytes are what was
-                    # written — unpicklable means a different code revision
-                    # (renamed classes/fields): a stale record.
-                    stale += 1
-                    continue
-                if not isinstance(snapshot, ExecutionMemoSnapshot):
-                    corrupt += 1
-                    continue
-                if snapshot.schema != expected:
-                    stale += 1
-                    continue
-                fresh.append(snapshot)
+            fresh, stale, corrupt = self._classify_records(scan.records)
             if stale:
                 self.stale_records_skipped += stale
                 logger.warning(
@@ -454,8 +472,51 @@ class MemoStore:
                     corrupt,
                     entry.path.name,
                 )
-            reads.append(_SegmentRead(entry, tuple(fresh), stale, corrupt))
+            reads.append(_SegmentRead(entry, fresh, stale, corrupt))
         return reads
+
+    @staticmethod
+    def _classify_records(
+        records: Tuple[bytes, ...]
+    ) -> Tuple[Tuple[ExecutionMemoSnapshot, ...], int, int]:
+        """Split framed payloads into (fresh snapshots, stale, corrupt)."""
+        expected = _memo_schema()
+        fresh: List[ExecutionMemoSnapshot] = []
+        stale = 0
+        corrupt = 0
+        for payload in records:
+            try:
+                snapshot = pickle.loads(payload)
+            except Exception:
+                # The checksum passed, so the bytes are what was
+                # written — unpicklable means a different code revision
+                # (renamed classes/fields): a stale record.
+                stale += 1
+                continue
+            if not isinstance(snapshot, ExecutionMemoSnapshot):
+                corrupt += 1
+                continue
+            if snapshot.schema != expected:
+                stale += 1
+                continue
+            fresh.append(snapshot)
+        return tuple(fresh), stale, corrupt
+
+    def _holds_unmergeable_records(self, path: Path) -> bool:
+        """Whether a file holds content this code revision cannot fold.
+
+        Used by :meth:`compact` on files *outside* the replay order (older
+        bases, segments at or below the latest base's sequence): a torn
+        tail, a stale-schema record or an unreadable payload means some
+        other revision may still need the file, so it must survive
+        compaction unless ``drop_stale=True``.
+        """
+        try:
+            scan = scan_segment(path)
+        except FileNotFoundError:
+            return False
+        _, stale, corrupt = self._classify_records(scan.records)
+        return bool(scan.torn or stale or corrupt)
 
     def _publish(self, data: bytes, final: Path) -> None:
         """Atomically publish ``data`` at ``final`` (tempfile + os.replace)."""

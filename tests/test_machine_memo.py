@@ -227,6 +227,19 @@ class TestMemoSnapshot:
         # The delta carries the worker's own accounting.
         assert (delta.hits, delta.misses) == (1, len(configs) - 1)
 
+    def test_delta_export_accepts_a_bare_key_set(self, fresh_machine, phase_work):
+        fresh_machine.execute_batch(phase_work, [CONFIG_4])
+        seed = fresh_machine.export_execution_memo()
+        worker = Machine(noise_sigma=0.0)
+        worker.merge_execution_memo(seed)
+        configs = standard_configurations(worker.topology)
+        worker.execute_batch(phase_work, configs)
+        # Long-lived callers track what they already exported as a growing
+        # key set; the delta must match the snapshot-based one exactly.
+        via_set = worker.export_execution_memo(since=set(seed.keys()))
+        via_snapshot = worker.export_execution_memo(since=seed)
+        assert via_set.cells == via_snapshot.cells
+
     def test_schema_mismatch_rejects_stale_snapshots(self, fresh_machine, phase_work):
         fresh_machine.execute_batch(phase_work, [CONFIG_4])
         snapshot = fresh_machine.export_execution_memo()

@@ -16,7 +16,7 @@ from __future__ import annotations
 import asyncio
 import logging
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
 
 import pytest
@@ -270,6 +270,80 @@ class TestCompaction:
         fresh = Machine(noise_sigma=0.0)
         assert MemoStore(store.directory).seed(fresh) == 2 * len(configs)
 
+    def test_compacting_a_torn_segment_recovers_without_deadlock(self, store):
+        configs = standard_configurations(Machine(noise_sigma=0.0).topology)
+        machine = Machine(noise_sigma=0.0)
+        machine.execute_batch(_work(1), configs)
+        store.absorb(machine)
+        good = pack_record(
+            pickle.dumps(_snapshot_of([_work(2)]), protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        torn = pack_record(
+            pickle.dumps(_snapshot_of([_work(3)]), protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        path = store.directory / "segment-00000001.seg"
+        path.write_bytes(good + torn[: len(torn) - 5])  # tail cut mid-record
+        # compact() repairs the torn tail while already holding the store
+        # lock — exactly the post-crash state compaction is run against.
+        # Run it on a worker thread so a reentrancy regression fails the
+        # test with a timeout instead of hanging the suite on flock.
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            result = pool.submit(store.compact).result(timeout=60)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        assert store.torn_tails_truncated == 1
+        assert result.folded_files == 2
+        # Only the torn record is lost; both clean snapshots replay.
+        fresh = Machine(noise_sigma=0.0)
+        assert MemoStore(store.directory).seed(fresh) == 2 * len(configs)
+        assert MemoStore(store.directory).info().segment_files == 0
+
+    def test_compaction_keeps_stale_base_by_default(self, store, machine):
+        snapshot = _snapshot_of([_work(9)])
+        stale = replace(snapshot, schema=("memo-v0",) + snapshot.schema[1:])
+        base = store.directory / "base-00000000.seg"
+        base.write_bytes(
+            pack_record(pickle.dumps(stale, protocol=pickle.HIGHEST_PROTOCOL))
+        )
+        configs = standard_configurations(machine.topology)
+        machine.execute_batch(_work(), configs)
+        store.absorb(machine)
+        result = store.compact()
+        # The old-revision base survives (only the revision that wrote it
+        # can still read those cells) and is counted, like stale segments.
+        assert base.exists()
+        assert result.kept_stale_files == 1
+        assert base.name not in result.removed_files
+        # The fresh cells folded into a newer base that replays alone.
+        assert MemoStore(store.directory).seed(Machine(noise_sigma=0.0)) == len(
+            configs
+        )
+        dropped = store.compact(drop_stale=True)
+        assert base.name in dropped.removed_files
+        assert not base.exists()
+
+    def test_superseded_clean_base_is_removed_by_compaction(self, store):
+        configs = standard_configurations(Machine(noise_sigma=0.0).topology)
+        machine = Machine(noise_sigma=0.0)
+        machine.execute_batch(_work(1), configs)
+        store.absorb(machine)
+        store.compact()
+        old = store.directory / "base-00000000.seg"
+        leftover = old.read_bytes()
+        late = Machine(noise_sigma=0.0)
+        late.execute_batch(_work(2), configs)
+        store.absorb(late)
+        store.compact()
+        # Simulate a compaction that crashed between publishing the new
+        # base and unlinking the superseded one.
+        old.write_bytes(leftover)
+        result = store.compact()
+        assert old.name in result.removed_files
+        assert not old.exists()
+        fresh = Machine(noise_sigma=0.0)
+        assert MemoStore(store.directory).seed(fresh) == 2 * len(configs)
+
     def test_compacting_an_already_compact_store_is_a_noop(self, store, machine):
         machine.execute_batch(_work(), standard_configurations(machine.topology))
         store.absorb(machine)
@@ -307,6 +381,36 @@ class TestConsumerWiring:
     def test_run_cells_without_host_builds_a_default_one(self, store):
         run_cells(self.CELLS[:1], memo_store=store)
         assert store.info().cells_appended > 0
+
+    def test_persist_error_never_masks_the_sweep_failure(
+        self, store, monkeypatch, caplog
+    ):
+        from repro.experiments import common as common_mod
+
+        def failing_sweep(*args, **kwargs):
+            raise RuntimeError("sweep exploded")
+
+        def failing_absorb(machine, since=None):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(common_mod, "_run_cells_against_host", failing_sweep)
+        monkeypatch.setattr(store, "absorb", failing_absorb)
+        with caplog.at_level(logging.ERROR, logger="repro.experiments.common"):
+            with pytest.raises(RuntimeError, match="sweep exploded"):
+                run_cells(self.CELLS[:1], memo_store=store)
+        # The store write failure is logged, not raised in place of the
+        # actual sweep failure.
+        assert any("persist" in record.message for record in caplog.records)
+
+    def test_successful_sweep_still_raises_on_persist_failure(
+        self, store, monkeypatch
+    ):
+        def failing_absorb(machine, since=None):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store, "absorb", failing_absorb)
+        with pytest.raises(OSError, match="disk full"):
+            run_cells(self.CELLS[:1], memo_store=store)
 
     def test_grid_handler_restart_keeps_warm_memo(self, store):
         request = GridProbeRequest(
