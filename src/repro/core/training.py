@@ -139,11 +139,13 @@ def collect_training_dataset(
     performs online.
 
     All ground-truth measurements run through the machine's vectorized
-    grid engine (:meth:`~repro.machine.Machine.execute_grid`): one kernel
-    pass per workload covers every phase under every target configuration
-    *and* the sample configuration, and the execution memo shares cells
-    with oracle construction and with the second (reduced-event-set)
-    collection pass of :func:`train_predictor_bundle`.
+    grid engine (:meth:`~repro.machine.Machine.execute_grid`): a single
+    fused kernel pass covers every phase of **every** workload under every
+    target configuration *and* the sample configuration (phases are flat
+    grid rows; per-workload slices are recovered afterwards), and the
+    execution memo shares cells with oracle construction and with the
+    second (reduced-event-set) collection pass of
+    :func:`train_predictor_bundle`.
 
     When a ``pstate_table`` is supplied the frequency axis joins the target
     space: the candidate configurations become the placement × P-state
@@ -216,16 +218,25 @@ def collect_training_dataset(
         sample_column = len(target_configs)
     else:
         grid_configs = target_configs
-    for workload in workloads:
-        grid = machine.execute_grid(
-            [phase.work for phase in workload.phases], grid_configs
-        )
-        for phase_index, phase in enumerate(workload.phases):
+    # One fused kernel launch for the whole workload list: every phase of
+    # every workload becomes one flat grid row, and each workload's slice
+    # is recovered by a running row index below.  Row-major noise draws and
+    # lane-independent solver trajectories keep every sample bit-identical
+    # to the former one-launch-per-workload loop.
+    workload_list = list(workloads)
+    all_works = [
+        phase.work for workload in workload_list for phase in workload.phases
+    ]
+    grid = machine.execute_grid(all_works, grid_configs) if all_works else None
+    row = 0
+    for workload in workload_list:
+        for phase in workload.phases:
             targets = {
                 name: float(ipc)
-                for name, ipc in zip(target_names, grid.ipc[phase_index])
+                for name, ipc in zip(target_names, grid.ipc[row])
             }
-            sample_result = grid.result(phase_index, sample_column)
+            sample_result = grid.result(row, sample_column)
+            row += 1
             for _ in range(samples_per_phase):
                 rates = _noisy_rates(
                     sample_result.event_counts,

@@ -31,6 +31,11 @@ from .counters import (
 )
 from .cpu import CPIBreakdown, CPIBreakdownBatch, CPUModel
 from .dvfs import PState, PStateTable, default_pstate_table, format_frequency
+from .fixedpoint import (
+    FIXED_POINT_SOLVERS,
+    solve_fixed_point_scalar,
+    solve_fixed_point_vector,
+)
 from .machine import (
     BatchExecutionResult,
     ExecutionMemoInfo,
@@ -102,6 +107,7 @@ __all__ = [
     "ExecutionMemoInfo",
     "ExecutionMemoSnapshot",
     "ExecutionResult",
+    "FIXED_POINT_SOLVERS",
     "GridExecutionResult",
     "Machine",
     "MemoryModel",
@@ -133,5 +139,7 @@ __all__ = [
     "many_core",
     "placements_equivalent",
     "quad_core_xeon",
+    "solve_fixed_point_scalar",
+    "solve_fixed_point_vector",
     "standard_configurations",
 ]

@@ -70,6 +70,7 @@ import os
 import pickle
 import tempfile
 from collections import OrderedDict
+from time import perf_counter
 from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
 from typing import (
@@ -88,6 +89,12 @@ import numpy as np
 from .caches import CacheModel
 from .cpu import CPIBreakdown, CPUModel
 from .dvfs import PState, PStateTable, default_pstate_table
+from .fixedpoint import (
+    FIXED_POINT_SOLVERS,
+    solve_fixed_point_scalar,
+    solve_fixed_point_vector,
+    validate_solver,
+)
 from .memory import BusState, MemoryModel
 from .placement import (
     Configuration,
@@ -122,6 +129,15 @@ _SYNC_INSTRUCTIONS_PER_BARRIER = 400.0
 #: 15-cell cross-product stays on the kernel.  The memo makes the scalar
 #: detour a one-time cost per cell either way.
 DEFAULT_SMALL_BATCH_CUTOFF = 6
+
+#: Cells in the larger of the two kernel launches ``small_batch_cutoff="auto"``
+#: times to split the kernel's cost into fixed setup and per-cell slope.
+_CALIBRATION_CELLS = 16
+
+#: Calibrated cutoffs are clamped to this range: at least 1 (a cutoff of 1
+#: disables the short-circuit — ``0 < cold < 1`` never holds), at most 64
+#: (beyond that a mis-measured scalar path would starve the kernel).
+_CALIBRATION_CUTOFF_RANGE = (1, 64)
 
 
 @dataclass(frozen=True)
@@ -222,6 +238,12 @@ class ExecutionMemoInfo(NamedTuple):
     activity of worker machines whose memo deltas were absorbed (see
     :meth:`Machine.merge_execution_memo`) — kept separate from the machine's
     own ``hits`` / ``misses``.
+
+    ``solver_iterations`` / ``solver_evaluations`` expose the cumulative
+    fixed-point solver cost behind every miss (steps taken, and model
+    evaluations — scalar probes or full-width kernel sweeps — performed),
+    so the cold-cell price of a workload is observable next to its memo
+    accounting; both are independent of the memo key space.
     """
 
     hits: int
@@ -230,6 +252,8 @@ class ExecutionMemoInfo(NamedTuple):
     maxsize: int
     merged_hits: int = 0
     merged_misses: int = 0
+    solver_iterations: int = 0
+    solver_evaluations: int = 0
 
 
 class _CellEntry(NamedTuple):
@@ -658,6 +682,19 @@ class Machine:
         noise term).
     fixed_point_iterations:
         Maximum iterations of the throughput/bus-latency fixed point.
+    fixed_point_tolerance:
+        Convergence threshold on ``|implied(u) - u|`` of the fixed point
+        (because the map is monotone decreasing, this also bounds the
+        distance to the true root).
+    fixed_point_solver:
+        ``"newton"`` (default) — the safeguarded Newton/secant iteration of
+        :mod:`repro.machine.fixedpoint`, superlinearly convergent and as
+        robust as bisection (every step stays inside the bracket) — or
+        ``"bisect"``, the pure bisection kept for equivalence testing and
+        as a conservative fallback.  Both modes produce the same memo keys
+        and hit/miss accounting; solver cost is tracked in
+        ``solver_iterations`` / ``solver_evaluations`` and surfaced via
+        :meth:`execution_memo_info`.
     memo_size:
         Capacity (in cells) of the machine's noise-free execution memo,
         used by :meth:`execute_batch` and :meth:`execute_grid`; ``0``
@@ -673,6 +710,9 @@ class Machine:
         cell per phase) is ~5x faster scalar.  ``0`` disables the
         short-circuit.  Only applies when the memo is active (noise-free,
         ``use_memo=True``); memo-bypassing calls always use the kernel.
+        Pass ``"auto"`` to measure the actual scalar-vs-kernel crossover on
+        this host once, lazily at the first batched call (the resolved
+        integer then replaces the ``"auto"`` marker on the attribute).
     """
 
     def __init__(
@@ -686,9 +726,10 @@ class Machine:
         noise_sigma: float = 0.004,
         seed: int = 20070917,
         fixed_point_iterations: int = 48,
-        fixed_point_tolerance: float = 1e-6,
+        fixed_point_tolerance: float = 1e-9,
+        fixed_point_solver: str = "newton",
         memo_size: int = 4096,
-        small_batch_cutoff: int = DEFAULT_SMALL_BATCH_CUTOFF,
+        small_batch_cutoff: Union[int, str] = DEFAULT_SMALL_BATCH_CUTOFF,
     ) -> None:
         self.topology = topology or quad_core_xeon()
         self.pstate_table = pstate_table or default_pstate_table(
@@ -704,12 +745,19 @@ class Machine:
             raise ValueError("noise_sigma must be non-negative")
         if memo_size < 0:
             raise ValueError("memo_size must be non-negative")
-        if small_batch_cutoff < 0:
+        if isinstance(small_batch_cutoff, str):
+            if small_batch_cutoff != "auto":
+                raise ValueError(
+                    f"small_batch_cutoff must be a non-negative int or "
+                    f"'auto', got {small_batch_cutoff!r}"
+                )
+        elif small_batch_cutoff < 0:
             raise ValueError("small_batch_cutoff must be non-negative")
         self.noise_sigma = noise_sigma
         self._rng = np.random.default_rng(seed)
         self.fixed_point_iterations = fixed_point_iterations
         self.fixed_point_tolerance = fixed_point_tolerance
+        self.fixed_point_solver = validate_solver(fixed_point_solver)
         self.memo_size = memo_size
         self.small_batch_cutoff = small_batch_cutoff
         self._memo: "OrderedDict[tuple, _CellEntry]" = OrderedDict()
@@ -731,6 +779,13 @@ class Machine:
         #: Number of batched/grid calls whose cold cells were served through
         #: the memoized scalar path (see ``small_batch_cutoff``).
         self.small_batch_shortcircuits = 0
+        #: Fixed-point solver cost: steps taken and model evaluations
+        #: (scalar ``implied(u)`` probes or full-width kernel sweeps)
+        #: performed across every execution so far, including each path's
+        #: initial ``u = 0`` bracketing evaluation.  Surfaced through
+        #: :meth:`execution_memo_info` and the service ``cache_info`` block.
+        self.solver_iterations = 0
+        self.solver_evaluations = 0
 
     # ------------------------------------------------------------------
     # helpers
@@ -805,8 +860,11 @@ class Machine:
         utilization ``u``: higher assumed utilization raises the effective
         memory latency, which lowers thread throughput, which lowers the
         traffic demand.  The map from assumed to implied utilization is
-        therefore monotonically decreasing, so the fixed point is unique and
-        is found robustly by bisection on ``implied(u) - u``.
+        therefore monotonically decreasing, so the fixed point is unique,
+        bracketed by ``[0, implied(0)]``, and resolved by the shared
+        safeguarded solver (:mod:`repro.machine.fixedpoint`) — a bracketed
+        Newton/secant iteration by default, pure bisection with
+        ``fixed_point_solver="bisect"``.
 
         At a reduced clock (``frequency_ghz`` below nominal) the same DRAM
         nanoseconds cost fewer core cycles and the bus delivers more bytes
@@ -821,34 +879,27 @@ class Machine:
             n_requestors, frequency_ghz
         )
 
-        def implied_utilization(assumed: float) -> tuple[List[CPIBreakdown], float, float]:
+        def evaluate(assumed: float):
             breakdowns, demand = self._demand_at(
                 work, placement, miss_ratios, assumed, frequency_ghz
             )
             implied = demand / capacity if capacity > 0 else 0.0
-            return breakdowns, demand, implied
+            return implied, (breakdowns, demand)
 
         # Bracket the fixed point: at u=0 the implied utilization is maximal.
-        breakdowns, demand, implied0 = implied_utilization(0.0)
-        if implied0 <= self.fixed_point_tolerance:
-            bus_state = self.memory_model.resolve(
-                demand,
-                frequency_ghz=frequency_ghz,
-                line_bytes=line_bytes,
-                active_requestors=n_requestors,
+        implied0, (breakdowns, demand) = evaluate(0.0)
+        self.solver_evaluations += 1
+        if implied0 > self.fixed_point_tolerance:
+            (breakdowns, demand), iterations, evaluations = solve_fixed_point_scalar(
+                evaluate,
+                implied0,
+                (breakdowns, demand),
+                self.fixed_point_tolerance,
+                self.fixed_point_iterations,
+                self.fixed_point_solver,
             )
-            return breakdowns, bus_state
-
-        low, high = 0.0, implied0
-        for _ in range(self.fixed_point_iterations):
-            mid = 0.5 * (low + high)
-            breakdowns, demand, implied = implied_utilization(mid)
-            if abs(implied - mid) < self.fixed_point_tolerance:
-                break
-            if implied > mid:
-                low = mid
-            else:
-                high = mid
+            self.solver_iterations += iterations
+            self.solver_evaluations += evaluations
         bus_state = self.memory_model.resolve(
             demand,
             frequency_ghz=frequency_ghz,
@@ -1084,8 +1135,10 @@ class Machine:
     ) -> tuple[List[CPIBreakdown], BusState]:
         """Per-thread CPI and bus state with one clock per core.
 
-        The fixed point is the same one-dimensional bisection as
-        :meth:`_resolve_parallel`, but with per-core clocks there is no
+        The fixed point is the same one-dimensional problem as
+        :meth:`_resolve_parallel` — resolved by the same shared safeguarded
+        solver (:mod:`repro.machine.fixedpoint`) — but with per-core clocks
+        there is no
         common "core cycle" to express bus traffic in, so demand and
         capacity move to *per-nanosecond* units (bytes/ns == GB/s; a thread
         at ``f`` GHz retiring ``ipc`` instructions per cycle produces
@@ -1101,9 +1154,7 @@ class Machine:
         capacity = self.memory_model.effective_capacity_bytes_per_cycle(n, 1.0)
         l1_misses_per_instr = work.mem_fraction * work.l1_miss_rate
 
-        def implied_utilization(
-            assumed: float,
-        ) -> tuple[List[CPIBreakdown], float, float]:
+        def evaluate(assumed: float):
             breakdowns: List[CPIBreakdown] = []
             demand = 0.0
             for core_id, miss_ratio, f in zip(
@@ -1128,20 +1179,21 @@ class Machine:
                 l2_misses_per_instr = l1_misses_per_instr * miss_ratio
                 demand += l2_misses_per_instr * bd.ipc * line_bytes * f
             implied = demand / capacity if capacity > 0 else 0.0
-            return breakdowns, demand, implied
+            return implied, (breakdowns, demand)
 
-        breakdowns, demand, implied0 = implied_utilization(0.0)
+        implied0, (breakdowns, demand) = evaluate(0.0)
+        self.solver_evaluations += 1
         if implied0 > self.fixed_point_tolerance:
-            low, high = 0.0, implied0
-            for _ in range(self.fixed_point_iterations):
-                mid = 0.5 * (low + high)
-                breakdowns, demand, implied = implied_utilization(mid)
-                if abs(implied - mid) < self.fixed_point_tolerance:
-                    break
-                if implied > mid:
-                    low = mid
-                else:
-                    high = mid
+            (breakdowns, demand), iterations, evaluations = solve_fixed_point_scalar(
+                evaluate,
+                implied0,
+                (breakdowns, demand),
+                self.fixed_point_tolerance,
+                self.fixed_point_iterations,
+                self.fixed_point_solver,
+            )
+            self.solver_iterations += iterations
+            self.solver_evaluations += evaluations
         bus_state = self.memory_model.resolve(
             demand,
             frequency_ghz=1.0,
@@ -1421,10 +1473,10 @@ class Machine:
         """The one-clock-per-configuration cell kernel.
 
         The arithmetic mirrors :meth:`execute` operation for operation —
-        including the bisection trajectory of the throughput/bus fixed
-        point, run simultaneously for all cells with a per-row convergence
-        mask — so a one-cell batch reproduces the scalar path to
-        floating-point accuracy.  Per-work scalars simply become per-row
+        including the throughput/bus fixed point, resolved by the shared
+        safeguarded solver (:mod:`repro.machine.fixedpoint`) simultaneously
+        for all cells with a per-row convergence mask — so a one-cell batch
+        reproduces the scalar path to floating-point accuracy.  Per-work scalars simply become per-row
         columns; IEEE elementwise arithmetic keeps the results identical to
         the former one-work batch kernel.  ``jitter`` (drawn by the
         dispatcher) multiplies the total cycles per row when present.
@@ -1498,8 +1550,8 @@ class Machine:
         sync_cycles_per_barrier = wcol("sync_cycles_per_barrier")
 
         # --- parallel portion: vectorized fixed point ------------------
-        # The inner bisection is the hot loop of the whole batch engine, so
-        # the per-iteration quantities are inlined from the component grid
+        # The inner solver sweep is the hot loop of the whole batch engine,
+        # so the per-iteration quantities are inlined from the component grid
         # APIs with every latency-independent term hoisted out of the loop.
         # The operation order deliberately mirrors the scalar path
         # (`MemoryModel.latency_stretch` / `CPUModel.breakdown`) term for
@@ -1554,26 +1606,27 @@ class Machine:
             demand = np.sum(traffic_coeff * thread_ipc, axis=1)
             return latency, demand
 
-        tolerance = self.fixed_point_tolerance
         final_latency, final_demand = sweep(np.zeros(n_rows))
+        self.solver_evaluations += 1
         implied0 = np.where(capacity_positive, final_demand / safe_capacity, 0.0)
-        active = implied0 > tolerance
-        low = np.zeros(n_rows)
-        # Inactive rows keep low == high == 0, so recomputing them inside the
-        # loop reproduces their u = 0 state bit for bit; converged rows stop
-        # moving their bracket, so their mid — and therefore their latency
-        # and demand — freezes at the value the scalar path breaks with.
-        high = np.where(active, implied0, 0.0)
-        for _ in range(self.fixed_point_iterations):
-            if not active.any():
-                break
-            mid = 0.5 * (low + high)
-            final_latency, final_demand = sweep(mid)
-            implied = np.where(capacity_positive, final_demand / safe_capacity, 0.0)
-            active = active & ~(np.abs(implied - mid) < tolerance)
-            go_low = active & (implied > mid)
-            low = np.where(go_low, mid, low)
-            high = np.where(active & ~go_low, mid, high)
+
+        def evaluate(assumed: np.ndarray) -> np.ndarray:
+            # Converged / inactive lanes arrive with their u frozen, so
+            # recomputing them reproduces their final state bit for bit;
+            # the solver guarantees the last sweep covered every lane.
+            nonlocal final_latency, final_demand
+            final_latency, final_demand = sweep(assumed)
+            return np.where(capacity_positive, final_demand / safe_capacity, 0.0)
+
+        iterations, evaluations = solve_fixed_point_vector(
+            evaluate,
+            implied0,
+            self.fixed_point_tolerance,
+            self.fixed_point_iterations,
+            self.fixed_point_solver,
+        )
+        self.solver_iterations += iterations
+        self.solver_evaluations += evaluations
 
         breakdowns = self.cpu_model.breakdown_grid(
             works, work_rows, miss_ratios, final_latency[:, None], l2_hit, l1_hit
@@ -1839,22 +1892,24 @@ class Machine:
             demand = np.sum(traffic_coeff * thread_ipc * freq, axis=1)
             return latency, demand
 
-        tolerance = self.fixed_point_tolerance
         final_latency, final_demand = sweep(np.zeros(n_rows))
+        self.solver_evaluations += 1
         implied0 = np.where(capacity_positive, final_demand / safe_capacity, 0.0)
-        active = implied0 > tolerance
-        low = np.zeros(n_rows)
-        high = np.where(active, implied0, 0.0)
-        for _ in range(self.fixed_point_iterations):
-            if not active.any():
-                break
-            mid = 0.5 * (low + high)
-            final_latency, final_demand = sweep(mid)
-            implied = np.where(capacity_positive, final_demand / safe_capacity, 0.0)
-            active = active & ~(np.abs(implied - mid) < tolerance)
-            go_low = active & (implied > mid)
-            low = np.where(go_low, mid, low)
-            high = np.where(active & ~go_low, mid, high)
+
+        def evaluate(assumed: np.ndarray) -> np.ndarray:
+            nonlocal final_latency, final_demand
+            final_latency, final_demand = sweep(assumed)
+            return np.where(capacity_positive, final_demand / safe_capacity, 0.0)
+
+        iterations, evaluations = solve_fixed_point_vector(
+            evaluate,
+            implied0,
+            self.fixed_point_tolerance,
+            self.fixed_point_iterations,
+            self.fixed_point_solver,
+        )
+        self.solver_iterations += iterations
+        self.solver_evaluations += evaluations
 
         breakdowns = self.cpu_model.breakdown_grid(
             works, work_rows, miss_ratios, final_latency, l2_hit, l1_hit
@@ -2047,8 +2102,9 @@ class Machine:
 
         The batched engine vectorizes everything :meth:`execute` composes —
         cache miss-ratio evaluation, the per-thread CPI stacks, the
-        throughput/bus fixed point (bisected simultaneously for every
-        configuration with a per-row convergence mask) and the power model —
+        throughput/bus fixed point (resolved by the shared safeguarded
+        solver simultaneously for every configuration, with a per-row
+        convergence mask retiring converged lanes) and the power model —
         so evaluating a whole configuration space costs one array pass
         instead of one Python traversal per configuration.  Noise-free
         results match looped :meth:`execute` calls to floating-point
@@ -2103,7 +2159,8 @@ class Machine:
         axis: all of a benchmark's phases (or the phases of several
         benchmarks stacked together) and a whole configuration space are
         simulated in a single kernel launch, with the throughput/bus fixed
-        point bisected simultaneously for every (work, configuration) cell.
+        point resolved simultaneously for every (work, configuration) cell
+        by the shared safeguarded solver.
         Oracle-table construction and training-data collection therefore
         pay one kernel launch per benchmark instead of one per phase.
         Noise-free results match looped :meth:`execute` calls to
@@ -2231,7 +2288,10 @@ class Machine:
                         duplicate_of[i] = first
             else:
                 unique_indices = miss_indices
-            if memo_enabled and 0 < len(unique_indices) < self.small_batch_cutoff:
+            if (
+                memo_enabled
+                and 0 < len(unique_indices) < self._effective_small_batch_cutoff()
+            ):
                 # Small-batch short-circuit: below the cutoff the vectorized
                 # kernel's fixed setup cost dominates, so cold cells go
                 # through the scalar path and land in the memo like any
@@ -2276,6 +2336,69 @@ class Machine:
         """One noise-free cell through the scalar path, as a compact entry."""
         return _CellEntry.from_result(self.execute(work, config, apply_noise=False))
 
+    def _effective_small_batch_cutoff(self) -> int:
+        """The integer cutoff, calibrating (once) if it is still ``"auto"``."""
+        cutoff = self.small_batch_cutoff
+        if cutoff == "auto":
+            cutoff = self._calibrate_small_batch_cutoff()
+            self.small_batch_cutoff = cutoff
+        return cutoff
+
+    def _calibrate_small_batch_cutoff(self) -> int:
+        """Measure the scalar-vs-kernel crossover on this host.
+
+        The kernel's cost is an affine model ``setup + cells · per_cell``;
+        fitting it from a 1-cell and a ``_CALIBRATION_CELLS``-cell launch
+        and comparing the slope against the measured scalar-path cell cost
+        gives the break-even batch size directly: the scalar detour wins
+        while ``cells · t_scalar < setup + cells · per_cell``.  Runs once,
+        lazily, at the first batched call that needs the cutoff (best-of-3
+        timings after a warm-up pass); the probe bypasses the memo, the
+        noise RNG, and the batch/solver counters, so calibration is
+        invisible to accounting and to reproducibility.
+        """
+        probe = WorkRequest(instructions=2.0e8)
+        config = self._normalize_configurations(None, "cutoff calibration")[0]
+        counters = (
+            self.solver_iterations,
+            self.solver_evaluations,
+            self.batch_cells_computed,
+        )
+        one = np.zeros(1, dtype=np.intp)
+        many = np.zeros(_CALIBRATION_CELLS, dtype=np.intp)
+
+        def best_of(fn, repetitions: int = 3) -> float:
+            best = float("inf")
+            for _ in range(repetitions):
+                start = perf_counter()
+                fn()
+                best = min(best, perf_counter() - start)
+            return best
+
+        # Warm both paths first so one-time costs (placement statics,
+        # validation caches) don't masquerade as per-call cost.
+        self.execute(probe, config, apply_noise=False)
+        self._execute_cells_kernel([probe], one, [config], one, False)
+        t_scalar = best_of(lambda: self.execute(probe, config, apply_noise=False))
+        t_one = best_of(
+            lambda: self._execute_cells_kernel([probe], one, [config], one, False)
+        )
+        t_many = best_of(
+            lambda: self._execute_cells_kernel([probe], many, [config], many, False)
+        )
+        (
+            self.solver_iterations,
+            self.solver_evaluations,
+            self.batch_cells_computed,
+        ) = counters
+        per_cell = max((t_many - t_one) / (_CALIBRATION_CELLS - 1), 0.0)
+        setup = max(t_one - per_cell, 0.0)
+        margin = t_scalar - per_cell
+        lo, hi = _CALIBRATION_CUTOFF_RANGE
+        if margin <= 0.0:
+            return lo  # kernel is at least as cheap per cell: never detour
+        return max(lo, min(hi, int(setup / margin) + 1))
+
     # ------------------------------------------------------------------
     # execution memo introspection and cross-process sharing
     # ------------------------------------------------------------------
@@ -2288,6 +2411,8 @@ class Machine:
             maxsize=self.memo_size,
             merged_hits=self._merged_hits,
             merged_misses=self._merged_misses,
+            solver_iterations=self.solver_iterations,
+            solver_evaluations=self.solver_evaluations,
         )
 
     def export_execution_memo(

@@ -246,6 +246,8 @@ class GridHandler(DecisionHandler):
                 "merged_hits": info.merged_hits,
                 "merged_misses": info.merged_misses,
                 "hit_rate": info.hits / total if total else 0.0,
+                "solver_iterations": info.solver_iterations,
+                "solver_evaluations": info.solver_evaluations,
             }
         }
         if self.memo_store is not None:

@@ -13,6 +13,10 @@ Complements ``tests/test_golden_grid.py`` (which pins the grid rewiring of
 PR 4) with a capture taken on different benchmarks (MG / LU / FT+IS), a
 different seed and the full DVFS cross-product, so the two golden nets do
 not share cells.
+
+Re-pinned in PR 8 under the default safeguarded Newton fixed-point solver
+at its 1e-9 tolerance, after ``tests/test_fixed_point.py`` proved the
+newton and bisect solvers agree to ≤ 1e-9 on these same grids.
 """
 
 from __future__ import annotations
@@ -57,30 +61,30 @@ class TestGoldenHomogeneousGrid:
     #: "4@1.6GHz" in cross-product order.
     GOLDEN_CELLS = {
         (0, 0): (0.25649999999999995, 0.3331457323085558, 125.24958919913672, 2.113676011099139),
-        (0, 4): (0.27603245531517745, 0.37149202722371016, 127.24397765748606, 2.6761945517846226),
-        (0, 7): (0.18485500705332053, 0.5547258796998406, 128.90791873070617, 0.8142790329789275),
-        (0, 11): (0.2573679547878221, 0.4980449901441342, 127.52158853291928, 2.1739378709254678),
-        (0, 14): (0.26950873257971336, 0.47561286522619123, 128.45022672264105, 2.51451019177996),
-        (1, 0): (0.2025, 0.31023170370529396, 126.86913057200897, 1.053491525317485),
-        (1, 4): (0.17301720912729104, 0.4357202637855703, 128.6947764220165, 0.6665440049676689),
-        (1, 7): (0.15779148446853686, 0.4777640837482482, 130.13816519708487, 0.5112759509901165),
-        (1, 11): (0.16847425320399984, 0.5593399478457862, 128.65806058659822, 0.6152301641151214),
-        (1, 14): (0.1760099040253766, 0.5353953263158222, 129.51566201849118, 0.7062095857236472),
+        (0, 4): (0.2760323295267374, 0.37149219651330995, 127.24398304812422, 2.676191006523338),
+        (0, 7): (0.1848551355260282, 0.5547254941701901, 128.9079102555052, 0.8142806771959418),
+        (0, 11): (0.2573680987295447, 0.49804471159580527, 127.52158144874805, 2.173941397703711),
+        (0, 14): (0.26950875517335293, 0.475612825354293, 128.45022555710653, 2.5145108013581803),
+        (1, 0): (0.20249999999999993, 0.31023181525610577, 126.86913412290441, 1.053491554803287),
+        (1, 4): (0.17301724016838704, 0.43572034228417933, 128.6947788071999, 0.6665443760761175),
+        (1, 7): (0.15779154482099886, 0.47776407280094757, 130.1381648916084, 0.5112765364523316),
+        (1, 11): (0.1684743137681852, 0.5593399478908422, 128.65806058766995, 0.6152308276209248),
+        (1, 14): (0.1760100043720276, 0.5353952135860431, 129.51565887982434, 0.7062107764813459),
         (2, 0): (0.10800000000000001, 0.6827142753370287, 123.60394527332383, 0.15570537310814936),
-        (2, 4): (0.10560613089237782, 0.8378355435997236, 124.91526793606411, 0.14712379493893607),
-        (2, 7): (0.06327369152898932, 1.3983785036967677, 127.22155931477782, 0.03222776832791481),
-        (2, 11): (0.08242035428814666, 1.3419162482355995, 126.12113378446814, 0.07061407871283021),
-        (2, 14): (0.08036114859486757, 1.376308260129354, 127.44345549386145, 0.06613874422979653),
+        (2, 4): (0.1056061439457676, 0.8378354400395185, 124.9152667695572, 0.14712384812051948),
+        (2, 7): (0.06327369393915991, 1.3983784504308598, 127.22155891758533, 0.03222777191008085),
+        (2, 11): (0.08242034133233477, 1.341916459173994, 126.12113539665317, 0.07061404631559969),
+        (2, 14): (0.08036117898544114, 1.3763077396442398, 127.44345063296447, 0.0661388167432341),
         (3, 0): (0.06750000000000002, 1.4401404885849423, 127.07891442017952, 0.03908272300831868),
-        (3, 4): (0.0406641488580924, 2.868673828203487, 129.63078911240348, 0.00871652187249507),
-        (3, 7): (0.040684235862661795, 2.867257479510353, 130.98861992348444, 0.008820882901162043),
-        (3, 11): (0.033384093901337585, 4.367820342830486, 128.54554672311778, 0.004782729463128764),
-        (3, 14): (0.025205585096624718, 5.785075962737787, 133.44263704853032, 0.0021369037698645245),
+        (3, 4): (0.040664149417650404, 2.868673788729173, 129.63078891684717, 0.008716522219176088),
+        (3, 7): (0.04068423588368441, 2.8672574780287654, 130.98861991614294, 0.008820882914341606),
+        (3, 11): (0.03338409424989784, 4.3678202972264755, 128.54554657555627, 0.004782729607446635),
+        (3, 14): (0.025205584105756143, 5.78507619015763, 133.44263779704124, 0.002136903529836447),
         (4, 0): (0.04049999999999999, 1.1525031330797675, 125.97930473318618, 0.008368820960838642),
-        (4, 4): (0.029737778148300534, 1.8836260055587857, 128.06179257578177, 0.0033677909705539786),
-        (4, 7): (0.029768611477183234, 1.8816750089472738, 129.41421015463004, 0.003413954273886706),
-        (4, 11): (0.027897004174699997, 2.509967195620884, 126.94816367355152, 0.0027561263638580195),
-        (4, 14): (0.02358399934130083, 2.969070865430816, 131.31417668206555, 0.001722518826209641),
+        (4, 4): (0.029737778681319146, 1.8836259717967576, 128.06179225954773, 0.0033677911433300112),
+        (4, 7): (0.02976861149810687, 1.8816750076246902, 129.4142101422434, 0.003413954280758703),
+        (4, 11): (0.02789700424703166, 2.5099671891130133, 126.9481636222459, 0.002756126384182486),
+        (4, 14): (0.02358399898361369, 2.9690709104612822, 131.31417713903224, 0.001722518753830084),
     }
 
     def test_mg_grid_cells_match_pre_hetero_capture(
@@ -101,17 +105,17 @@ class TestGoldenHomogeneousOracle:
 
     GOLDEN_LU = {
         ("lu.jacld_blts", "1"): (0.8399999999999999, 1.0648630215581945, 125.17647045286823),
-        ("lu.jacld_blts", "2b@2GHz"): (0.6563823539529943, 1.6353241662671658, 128.67447718718236),
-        ("lu.jacld_blts", "4@1.6GHz"): (0.47801820132867284, 2.8069379020167493, 130.9091105463724),
+        ("lu.jacld_blts", "2b@2GHz"): (0.6563823435265355, 1.6353241922438546, 128.67447742291773),
+        ("lu.jacld_blts", "4@1.6GHz"): (0.4780182009633094, 2.806937904162175, 130.9091105650943),
         ("lu.rhs", "1"): (0.96, 0.3719464174701038, 126.00665380545819),
-        ("lu.rhs", "2b@2GHz"): (0.7081751479753218, 0.605052400032105, 129.4312455321055),
-        ("lu.rhs", "4@1.6GHz"): (0.7736406401719927, 0.6923173542665441, 129.0987271167455),
+        ("lu.rhs", "2b@2GHz"): (0.7081754363298686, 0.6050521536671485, 129.43124039004078),
+        ("lu.rhs", "4@1.6GHz"): (0.7736399727547374, 0.6923179515269814, 129.09873962689227),
         ("lu.l2norm", "1"): (0.11999999999999998, 1.1525031330797675, 125.97930473318618),
-        ("lu.l2norm", "2b@2GHz"): (0.0862067857420038, 1.9251901081218619, 129.41421015463004),
-        ("lu.l2norm", "4@1.6GHz"): (0.06601641124242169, 3.1425604641326723, 131.31417668206555),
+        ("lu.l2norm", "2b@2GHz"): (0.08620678580626791, 1.925190106686701, 129.4142101422434),
+        ("lu.l2norm", "4@1.6GHz"): (0.06601641014383429, 3.1425605164284174, 131.31417713903224),
         ("lu.add", "1"): (0.24, 1.5016679025393502, 127.39926490611947),
-        ("lu.add", "2b@2GHz"): (0.1453513723370347, 2.97541845651456, 131.32012931120764),
-        ("lu.add", "4@1.6GHz"): (0.09036005855327116, 5.98275890442742, 133.6903014392972),
+        ("lu.add", "2b@2GHz"): (0.14535137391359973, 2.975418424241451, 131.3201291534879),
+        ("lu.add", "4@1.6GHz"): (0.09036005804480682, 5.982758938092954, 133.69030154784355),
     }
 
     def test_lu_oracle_cells_match_pre_hetero_capture(
@@ -133,12 +137,12 @@ class TestGoldenHomogeneousOracle:
             golden_machine, golden_suite.get("LU"), cross_product
         )
         app = table.application_metrics("4")
-        assert app["time_seconds"] == pytest.approx(236.6367590721739, rel=_RTOL)
-        assert app["energy_joules"] == pytest.approx(34726.11596278148, rel=_RTOL)
-        assert app["ed2"] == pytest.approx(1944556778.7352092, rel=_RTOL)
+        assert app["time_seconds"] == pytest.approx(236.63668347725635, rel=_RTOL)
+        assert app["energy_joules"] == pytest.approx(34726.106811203084, rel=_RTOL)
+        assert app["ed2"] == pytest.approx(1944555023.8764334, rel=_RTOL)
         throttled = table.application_metrics("2b@1.6GHz")
-        assert throttled["time_seconds"] == pytest.approx(387.0666839759164, rel=_RTOL)
-        assert throttled["energy_joules"] == pytest.approx(47818.39477155123, rel=_RTOL)
+        assert throttled["time_seconds"] == pytest.approx(387.0667041469863, rel=_RTOL)
+        assert throttled["energy_joules"] == pytest.approx(47818.39708720929, rel=_RTOL)
         assert table.global_optimal_configuration("ed2") == "4"
         assert table.phase_optimal_configurations("time_seconds") == {
             "lu.jacld_blts": "4",
@@ -153,31 +157,31 @@ class TestGoldenHomogeneousTraining:
     """FT+IS DVFS training collection at seed 11."""
 
     GOLDEN_FIRST_FEATURES = (
-        5.920484176987755,
-        0.04337500293423923,
-        1.964200187587362,
-        0.003997377289161312,
-        0.041021282721683455,
-        0.003755557280911525,
-        0.0038500908515025074,
-        0.6298723182404655,
-        0.0009628605577658957,
-        0.4955282599025094,
-        0.007518235701334116,
-        3.4665937601283745,
-        1.71241391939206,
+        5.920484152008609,
+        0.04337500275123553,
+        1.9642001793001946,
+        0.0039973772722959565,
+        0.041021282548610344,
+        0.0037555572650664337,
+        0.003850090835258569,
+        0.629872333658491,
+        0.0009628605537034856,
+        0.4955282578118235,
+        0.007518235669613888,
+        3.4665937455024505,
+        1.7124139121672055,
     )
     GOLDEN_FIRST_TARGETS = {
         "1": 1.4973216471870736,
         "1@2GHz": 1.52072766058195,
         "1@1.6GHz": 1.5448770563665386,
-        "2a": 2.9229105857770765,
-        "2a@1.6GHz": 3.0169542131980376,
-        "2b@2GHz": 2.968160135015798,
-        "3": 4.355069233857484,
-        "4": 5.763626291333839,
-        "4@2GHz": 5.865519944653501,
-        "4@1.6GHz": 5.968945879666398,
+        "2a": 2.922910607865549,
+        "2a@1.6GHz": 3.0169542227956256,
+        "2b@2GHz": 2.9681601871517524,
+        "3": 4.355069373095266,
+        "4": 5.763626267016493,
+        "4@2GHz": 5.865520006901793,
+        "4@1.6GHz": 5.9689458978798235,
     }
 
     def test_dvfs_dataset_matches_pre_hetero_capture(
@@ -207,6 +211,6 @@ class TestGoldenHomogeneousTraining:
         last = dataset.samples[-1]
         assert last.phase_id == "IS:is.verify"
         assert last.targets["2a@1.6GHz"] == pytest.approx(
-            1.7479450839041755, rel=_RTOL
+            1.7479450763073539, rel=_RTOL
         )
-        assert last.targets["4"] == pytest.approx(2.3220525658388715, rel=_RTOL)
+        assert last.targets["4"] == pytest.approx(2.3220526208352443, rel=_RTOL)

@@ -592,3 +592,41 @@ class TestSmallBatchShortCircuit:
             fresh.execute_batch(phase.work, [CONFIG_4])
         assert fresh.small_batch_shortcircuits == len(suite.get("CG").phases)
         assert fresh.batch_cells_computed == len(suite.get("CG").phases)
+
+
+class TestAutoSmallBatchCutoff:
+    """``small_batch_cutoff="auto"`` measures the kernel setup cost once."""
+
+    def test_auto_resolves_lazily_to_a_clamped_int(self, suite):
+        machine = Machine(noise_sigma=0.0, small_batch_cutoff="auto")
+        assert machine.small_batch_cutoff == "auto"  # not resolved yet
+        work = suite.get("CG").phases[0].work
+        machine.execute_batch(work, [CONFIG_4])
+        resolved = machine.small_batch_cutoff
+        assert isinstance(resolved, int)
+        assert 1 <= resolved <= 64
+
+    def test_calibration_runs_once_and_leaves_counters_untouched(self, suite):
+        machine = Machine(noise_sigma=0.0, small_batch_cutoff="auto")
+        first = machine._effective_small_batch_cutoff()
+        # Calibration probes must not leak into the observable accounting.
+        assert machine.batch_cells_computed == 0
+        assert machine.solver_evaluations == 0
+        assert machine.execution_memo_info().size == 0
+        assert machine._effective_small_batch_cutoff() == first
+        assert machine.small_batch_cutoff == first
+
+    def test_calibrated_machine_matches_explicit_cutoff_values(self, suite):
+        """Auto only changes *when* the kernel is used, never what it says."""
+        auto = Machine(noise_sigma=0.0, small_batch_cutoff="auto")
+        explicit = Machine(noise_sigma=0.0)
+        work = suite.get("SP").phases[0].work
+        configs = standard_configurations(auto.topology)
+        a = auto.execute_batch(work, configs, use_memo=False)
+        b = explicit.execute_batch(work, configs, use_memo=False)
+        np.testing.assert_array_equal(a.time_seconds, b.time_seconds)
+        np.testing.assert_array_equal(a.ipc, b.ipc)
+
+    def test_invalid_cutoff_strings_rejected(self):
+        with pytest.raises(ValueError, match="small_batch_cutoff"):
+            Machine(small_batch_cutoff="bogus")

@@ -1,0 +1,211 @@
+"""Tests of the fused all-workloads training grid.
+
+``collect_training_dataset`` used to issue one ``execute_grid`` launch per
+workload; it now flattens every phase of every workload into a single grid
+and recovers per-workload slices by a running row index.  These tests pin
+the two contracts that fusion must keep: the produced dataset is
+bit-identical to the old per-workload loop (the rng draw order is
+row-major either way), and exactly ONE kernel launch happens regardless of
+how many workloads are passed — including the DVFS and heterogeneous
+target spaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FULL_EVENT_SET, collect_training_dataset
+from repro.core.training import _noisy_rates
+from repro.machine import (
+    CONFIG_4,
+    Configuration,
+    Machine,
+    dvfs_configurations,
+    standard_configurations,
+)
+from repro.workloads import nas_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return nas_suite(machine=Machine(noise_sigma=0.0), variability=0.0)
+
+
+def _reference_dataset(
+    machine,
+    workloads,
+    samples_per_phase=2,
+    measurement_noise=0.10,
+    seed=7,
+    pstate_table=None,
+    include_heterogeneous=False,
+):
+    """Replica of the pre-fusion loop: one ``execute_grid`` per workload.
+
+    Mirrors the old implementation's candidate/target/sample-column setup so
+    the only difference from the production path is the launch granularity.
+    Returns ``(samples, grid_calls)`` where each sample is a plain tuple.
+    """
+    event_set = FULL_EVENT_SET
+    rng = np.random.default_rng(seed)
+    base_configs = standard_configurations(machine.topology)
+    if pstate_table is not None:
+        candidates = dvfs_configurations(
+            base_configs, pstate_table, include_heterogeneous=include_heterogeneous
+        )
+        target_names = tuple(c.name for c in candidates)
+    else:
+        candidates = base_configs
+        target_names = ("1", "2a", "2b", "3")
+    all_configs = {c.name: c for c in candidates}
+    target_configs = [all_configs[name] for name in target_names]
+    bare_sample = Configuration(CONFIG_4.name, CONFIG_4.placement)
+    sample_column = next(
+        (
+            i
+            for i, c in enumerate(target_configs)
+            if machine.shares_memo_cell(c, bare_sample)
+        ),
+        None,
+    )
+    if sample_column is None:
+        grid_configs = target_configs + [bare_sample]
+        sample_column = len(target_configs)
+    else:
+        grid_configs = target_configs
+
+    before = machine.grid_calls
+    samples = []
+    for workload in workloads:
+        works = [phase.work for phase in workload.phases]
+        grid = machine.execute_grid(works, grid_configs)
+        for row, phase in enumerate(workload.phases):
+            targets = {
+                name: float(ipc) for name, ipc in zip(target_names, grid.ipc[row])
+            }
+            sample_result = grid.result(row, sample_column)
+            for _ in range(samples_per_phase):
+                rates = _noisy_rates(
+                    sample_result.event_counts,
+                    sample_result.cycles,
+                    event_set.events,
+                    rng,
+                    measurement_noise,
+                )
+                ipc_noise = 1.0
+                if measurement_noise > 0:
+                    ipc_noise = float(
+                        np.clip(
+                            1.0 + rng.normal(0.0, measurement_noise * 0.4), 0.8, 1.2
+                        )
+                    )
+                features = (sample_result.ipc * ipc_noise,) + tuple(
+                    rates[e] for e in event_set.events
+                )
+                samples.append(
+                    (f"{workload.name}:{phase.name}", features, targets)
+                )
+    return samples, machine.grid_calls - before
+
+
+def _assert_bit_identical(dataset, reference_samples):
+    assert len(dataset.samples) == len(reference_samples)
+    for sample, (phase_id, features, targets) in zip(
+        dataset.samples, reference_samples
+    ):
+        assert sample.phase_id == phase_id
+        assert sample.features == features  # exact, not approx
+        assert sample.targets == targets
+
+
+class TestFusedTrainingGrid:
+    def test_fused_dataset_is_bit_identical_to_per_workload_loop(self, suite):
+        workloads = [suite.get("CG"), suite.get("MG"), suite.get("IS")]
+        reference, ref_calls = _reference_dataset(
+            Machine(noise_sigma=0.0), workloads
+        )
+        assert ref_calls == len(workloads)  # the old cost: one per workload
+
+        machine = Machine(noise_sigma=0.0)
+        dataset = collect_training_dataset(
+            machine,
+            workloads,
+            samples_per_phase=2,
+            measurement_noise=0.10,
+            seed=7,
+        )
+        assert machine.grid_calls == 1  # the new cost: one, total
+        _assert_bit_identical(dataset, reference)
+
+    def test_fused_dvfs_dataset_is_bit_identical(self, suite):
+        machine = Machine(noise_sigma=0.0)
+        workloads = [suite.get("FT"), suite.get("IS")]
+        reference, _ = _reference_dataset(
+            Machine(noise_sigma=0.0),
+            workloads,
+            seed=11,
+            pstate_table=machine.pstate_table,
+        )
+        dataset = collect_training_dataset(
+            machine,
+            workloads,
+            samples_per_phase=2,
+            measurement_noise=0.10,
+            seed=11,
+            pstate_table=machine.pstate_table,
+        )
+        assert machine.grid_calls == 1
+        _assert_bit_identical(dataset, reference)
+
+    def test_fused_heterogeneous_dataset_is_bit_identical(self, suite):
+        machine = Machine(noise_sigma=0.0)
+        workloads = [suite.get("MG"), suite.get("CG")]
+        reference, _ = _reference_dataset(
+            Machine(noise_sigma=0.0),
+            workloads,
+            seed=3,
+            pstate_table=machine.pstate_table,
+            include_heterogeneous=True,
+        )
+        dataset = collect_training_dataset(
+            machine,
+            workloads,
+            samples_per_phase=2,
+            measurement_noise=0.10,
+            seed=3,
+            pstate_table=machine.pstate_table,
+            include_heterogeneous=True,
+        )
+        assert machine.grid_calls == 1
+        _assert_bit_identical(dataset, reference)
+        # The heterogeneous ladders really are part of the target space.
+        assert any("+" in name or "/" in name for name in dataset.target_configurations) or len(
+            dataset.target_configurations
+        ) > 15
+
+    def test_single_workload_still_one_launch(self, suite):
+        machine = Machine(noise_sigma=0.0)
+        collect_training_dataset(
+            machine, [suite.get("CG")], samples_per_phase=1
+        )
+        assert machine.grid_calls == 1
+
+    def test_empty_workload_list_skips_the_grid(self):
+        machine = Machine(noise_sigma=0.0)
+        dataset = collect_training_dataset(machine, [], samples_per_phase=1)
+        assert len(dataset) == 0
+        assert machine.grid_calls == 0
+
+    def test_fusion_shares_memo_cells_across_workloads(self, suite):
+        """One launch, one memo population — a second collection over any
+        subset of the same workloads is served entirely from the memo."""
+        machine = Machine(noise_sigma=0.0)
+        collect_training_dataset(
+            machine, [suite.get("CG"), suite.get("MG")], samples_per_phase=1
+        )
+        info = machine.execution_memo_info()
+        collect_training_dataset(machine, [suite.get("MG")], samples_per_phase=1)
+        after = machine.execution_memo_info()
+        assert after.misses == info.misses  # nothing new simulated
+        assert after.hits > info.hits
