@@ -18,11 +18,15 @@ The package is organized bottom-up:
 * :mod:`repro.service` — adaptation-as-a-service: a micro-batching asyncio
   server that coalesces phase samples from many concurrent clients and
   scores each batch through one vectorized prediction (or grid) pass, with
-  backpressure, metrics and client shims;
+  backpressure, metrics and client shims — scaled out by a sharded fleet
+  front door that routes each request to the event-loop shard whose
+  caches are warm with its workload;
 * :mod:`repro.store` — the durable shared execution-memo store: an
   append-only segment log (atomic publication, torn-tail crash recovery,
-  cross-revision schema guards) with non-blocking compaction, so sweeps
-  and adaptation servers warm-start across process restarts;
+  cross-revision schema guards) with non-blocking compaction — run in the
+  background by a store-driven policy when the log outgrows its
+  thresholds — so sweeps and adaptation servers warm-start across
+  process restarts;
 * :mod:`repro.analysis` — speedup/power/energy/ED² metrics and reporting;
 * :mod:`repro.experiments` — drivers that regenerate every figure of the
   paper's evaluation.

@@ -22,7 +22,15 @@ serve a fleet of adapting applications:
   a plain dict for tests, benches and dashboards;
 * :mod:`repro.service.server` — :class:`AdaptationServer`, the asyncio
   front door tying the tiers together, plus an optional JSON-lines TCP
-  endpoint;
+  endpoint (shared, as :class:`JsonLinesEndpoint`, with the sharded front
+  door — structured ``overloaded`` / ``shutting_down`` / ``bad_request``
+  / ``internal`` error responses, never a silently dropped connection);
+* :mod:`repro.service.shard` — :class:`ShardedAdaptationServer`, the
+  fleet tier: N independent server shards on N event-loop threads behind
+  one front door, with deterministic workload-fingerprint routing (a
+  phase's home shard holds its warm memo), merged fleet metrics, and a
+  shared durable memo directory compacted in the background by the
+  store's :class:`~repro.store.CompactionPolicy`;
 * :mod:`repro.service.client` — the client shim (bounded retry on
   backpressure) and the open-loop synthetic load generator used by the
   service benchmark.
@@ -41,9 +49,11 @@ from .messages import (
     GridProbeRequest,
     PhaseSampleRequest,
     ServiceOverloadedError,
+    ServiceStoppedError,
 )
 from .metrics import ServiceMetrics
-from .server import AdaptationServer
+from .server import AdaptationServer, JsonLinesEndpoint
+from .shard import ShardedAdaptationServer, routing_key
 
 __all__ = [
     "AdaptationClient",
@@ -52,12 +62,16 @@ __all__ = [
     "DecisionHandler",
     "GridHandler",
     "GridProbeRequest",
+    "JsonLinesEndpoint",
     "MicroBatcher",
     "OpenLoopResult",
     "PhaseSampleRequest",
     "PredictionHandler",
     "ServiceMetrics",
     "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "ShardedAdaptationServer",
     "TCPAdaptationClient",
+    "routing_key",
     "run_open_loop",
 ]

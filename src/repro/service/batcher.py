@@ -31,7 +31,7 @@ import math
 import time
 from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
 
-from .messages import ServiceOverloadedError
+from .messages import ServiceOverloadedError, ServiceStoppedError
 from .metrics import ServiceMetrics
 
 __all__ = ["MicroBatcher"]
@@ -123,9 +123,7 @@ class MicroBatcher:
             while not queue.empty():
                 _, future, _ = queue.get_nowait()
                 if not future.done():
-                    future.set_exception(
-                        RuntimeError("adaptation service stopped before serving")
-                    )
+                    future.set_exception(ServiceStoppedError())
 
     # ------------------------------------------------------------------
     # submission path
@@ -160,11 +158,15 @@ class MicroBatcher:
         ------
         ServiceOverloadedError
             When the queue is at its bound (carries ``retry_after``).
-        RuntimeError
-            When the batcher is not running.
+        ServiceStoppedError
+            When the batcher is not running (never started, or stopped) —
+            a ``RuntimeError`` subclass, so it maps to the structured
+            ``shutting_down`` wire response instead of a dropped socket.
         """
         if not self.running or self._queue is None:
-            raise RuntimeError("MicroBatcher is not running; call start() first")
+            raise ServiceStoppedError(
+                "MicroBatcher is not running; call start() first"
+            )
         if self._queue.qsize() >= self.max_queue_depth:
             self.metrics.record_rejection()
             raise ServiceOverloadedError(
@@ -224,9 +226,7 @@ class MicroBatcher:
             # futures instead of abandoning their awaiters.
             for _, future, _ in batch:
                 if not future.done():
-                    future.set_exception(
-                        RuntimeError("adaptation service stopped before serving")
-                    )
+                    future.set_exception(ServiceStoppedError())
             raise
         except Exception as exc:
             # A failing batch fails exactly its own requests; the scheduler

@@ -34,6 +34,7 @@ from .messages import (
     GridProbeRequest,
     PhaseSampleRequest,
     ServiceOverloadedError,
+    ServiceStoppedError,
 )
 from .server import AdaptationServer
 
@@ -212,7 +213,8 @@ class TCPAdaptationClient(_RetryBackoff):
             response = json.loads(raw.decode("utf-8"))
             if response.get("ok"):
                 return AdaptationDecision.from_payload(response["decision"])
-            if response.get("error") == "overloaded":
+            error = response.get("error")
+            if error == "overloaded":
                 attempts += 1
                 if attempts > self.max_retries:
                     raise ServiceOverloadedError(
@@ -227,6 +229,21 @@ class TCPAdaptationClient(_RetryBackoff):
                     )
                 )
                 continue
+            if error == "shutting_down":
+                # Non-retriable: the server is going away, and unlike a
+                # backpressure rejection there is no future capacity to
+                # wait for on this endpoint.
+                raise ServiceStoppedError(
+                    str(
+                        response.get("detail")
+                        or "adaptation service stopped before serving"
+                    )
+                )
+            if error == "internal":
+                raise RuntimeError(
+                    "adaptation service internal error: "
+                    f"{response.get('detail')}"
+                )
             raise ValueError(
                 f"adaptation service rejected request: {response.get('detail')}"
             )

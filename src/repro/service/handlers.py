@@ -254,10 +254,13 @@ class GridHandler(DecisionHandler):
             store = self.memo_store.info()
             caches["memo_store"] = {
                 "segment_files": store.segment_files,
+                "replay_bytes": store.replay_bytes,
                 "segments_replayed": store.segments_replayed,
                 "cells_appended": store.cells_appended,
                 "stale_records_skipped": store.stale_records_skipped,
                 "corrupt_records_skipped": store.corrupt_records_skipped,
                 "torn_tails_truncated": store.torn_tails_truncated,
+                "compactions_triggered": store.compactions_triggered,
+                "compaction_errors": store.compaction_errors,
             }
         return caches

@@ -18,6 +18,7 @@ __all__ = [
     "GridProbeRequest",
     "AdaptationDecision",
     "ServiceOverloadedError",
+    "ServiceStoppedError",
 ]
 
 
@@ -172,6 +173,24 @@ class AdaptationDecision:
                 for k, v in dict(payload.get("predicted") or {}).items()  # type: ignore[arg-type]
             },
         )
+
+
+class ServiceStoppedError(RuntimeError):
+    """The service was stopped before this request could be served.
+
+    Raised by :meth:`~repro.service.batcher.MicroBatcher.stop` on every
+    queued or in-flight future, and surfaced to TCP clients as a structured
+    ``{"ok": false, "error": "shutting_down"}`` response instead of a
+    dropped connection.  Retrying against the same endpoint is pointless —
+    the server is going away — so client shims treat it as non-retriable.
+
+    Subclasses :class:`RuntimeError` so pre-existing callers catching the
+    old bare ``RuntimeError("adaptation service stopped before serving")``
+    keep working.
+    """
+
+    def __init__(self, detail: str = "adaptation service stopped before serving"):
+        super().__init__(detail)
 
 
 class ServiceOverloadedError(RuntimeError):

@@ -1,0 +1,372 @@
+"""Fleet tier: one front door over N independent adaptation-server shards.
+
+:class:`ShardedAdaptationServer` scales the micro-batching server of
+:mod:`repro.service.server` horizontally: ``num_shards`` fully independent
+:class:`~repro.service.server.AdaptationServer` workers — each with its own
+event-loop **thread**, its own :class:`~repro.service.batcher.MicroBatcher`
+and its own handler instance — behind a single ``submit()`` / TCP front
+door.
+
+Why threads-per-shard works here: the handlers' hot paths are array-shaped
+NumPy kernels (``predict_batch``, ``execute_grid``) that release the GIL
+for the bulk of their runtime, so N shards scoring N batches concurrently
+in N executor threads overlap on real cores.  The front door itself stays
+on the caller's loop and only routes.
+
+Routing is **deterministic and content-based**: a request is hashed on its
+workload identity — the :meth:`~repro.machine.work.WorkRequest.fingerprint`
+of a grid probe, the ``(phase, event_set)`` of a phase sample — via CRC32,
+not Python's per-process-randomized ``hash()``.  The same phase therefore
+always lands on the same shard, whose execution memo / prediction cache is
+warm with exactly that phase's cells, across requests, connections and
+process restarts alike.
+
+Grid-tier shards share one durable memo directory by giving each shard's
+:class:`~repro.service.handlers.GridHandler` its own
+:class:`~repro.store.MemoStore` handle on the same path: every shard seeds
+at construction and publishes its own deltas, and a store-level
+:class:`~repro.store.CompactionPolicy` folds the growing segment log in
+the background — no shard ever calls ``compact()`` explicitly.
+
+::
+
+    def handler_factory(shard_index):
+        return GridHandler(
+            machine=Machine(noise_sigma=0.0),
+            memo_store=MemoStore(store_dir, policy=CompactionPolicy(8)),
+        )
+
+    async with ShardedAdaptationServer(handler_factory, num_shards=4) as fleet:
+        decision = await fleet.submit(request)      # routed by fingerprint
+        host, port = await fleet.serve_tcp()        # one endpoint, N loops
+        stats = fleet.metrics()                     # merged + per-shard
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import zlib
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from .handlers import DecisionHandler
+from .messages import (
+    AdaptationDecision,
+    GridProbeRequest,
+    PhaseSampleRequest,
+    ServiceStoppedError,
+)
+from .server import AdaptationServer, JsonLinesEndpoint
+
+__all__ = ["ShardedAdaptationServer", "routing_key"]
+
+Request = Union[PhaseSampleRequest, GridProbeRequest]
+
+#: Keys whose per-shard values are ratios, not counters — recomputed (or
+#: dropped) during fleet aggregation instead of summed.
+_RATE_KEYS = frozenset({"hit_rate"})
+
+
+def routing_key(request: Request) -> tuple:
+    """The workload identity a request is sharded on.
+
+    Grid probes key on the full :meth:`WorkRequest.fingerprint` — two
+    probes describing the same phase characterization share memo cells, so
+    they must share a shard.  Phase samples key on ``(phase, event_set)``:
+    successive samples of one phase differ slightly in their measured
+    rates, but pinning the phase *name* to one shard keeps that shard's
+    quantized prediction cache the warm home of the whole sample stream.
+    """
+    if isinstance(request, GridProbeRequest):
+        return ("grid", request.work.fingerprint())
+    return ("phase", request.phase, request.event_set)
+
+
+class _ShardWorker:
+    """One shard: an :class:`AdaptationServer` on a private loop thread."""
+
+    def __init__(self, index: int, server: AdaptationServer) -> None:
+        self.index = index
+        self.server = server
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    def start_thread(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-{self.index}", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self.loop = loop
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            try:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+
+    def call(self, coro) -> "asyncio.Future":
+        """Schedule ``coro`` on the shard loop; awaitable from the caller loop."""
+        assert self.loop is not None, "shard thread not started"
+        return asyncio.wrap_future(
+            asyncio.run_coroutine_threadsafe(coro, self.loop)
+        )
+
+    def stop_thread(self) -> None:
+        if self.loop is not None:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            if self._thread.is_alive():  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"shard {self.index} event-loop thread failed to stop"
+                )
+        self._thread = None
+
+
+class ShardedAdaptationServer(JsonLinesEndpoint):
+    """N independent adaptation-server shards behind one front door.
+
+    Parameters
+    ----------
+    handler_factory:
+        ``handler_factory(shard_index) -> DecisionHandler``; called once
+        per shard at :meth:`start`, so every shard owns a private handler
+        (its own machine/memo or its own view of a shared bundle).  A
+        :class:`~repro.service.handlers.GridHandler` built with a
+        ``memo_store`` seeds from disk right here — a restarted fleet
+        comes up warm on every shard.
+    num_shards:
+        How many event-loop shards to run.
+    max_batch_size / max_batch_window / max_queue_depth / offload_handler:
+        Per-shard batching knobs, passed through to each
+        :class:`AdaptationServer`.  Note ``max_queue_depth`` bounds each
+        shard's queue, so the fleet admits up to ``num_shards`` times it.
+    """
+
+    def __init__(
+        self,
+        handler_factory: Callable[[int], DecisionHandler],
+        num_shards: int = 4,
+        max_batch_size: int = 64,
+        max_batch_window: float = 0.002,
+        max_queue_depth: int = 1024,
+        offload_handler: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.handler_factory = handler_factory
+        self.num_shards = num_shards
+        self.max_batch_size = max_batch_size
+        self.max_batch_window = max_batch_window
+        self.max_queue_depth = max_queue_depth
+        self.offload_handler = offload_handler
+        self._shards: List[_ShardWorker] = []
+        self._tcp_server = None
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_index(self, request: Request) -> int:
+        """Deterministic home shard of ``request`` (stable across processes)."""
+        key = repr(routing_key(request)).encode("utf-8")
+        return zlib.crc32(key) % self.num_shards
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the shard fleet is up."""
+        return bool(self._shards)
+
+    @property
+    def shards(self) -> Sequence[AdaptationServer]:
+        """The per-shard servers, by shard index (for tests/introspection)."""
+        return [shard.server for shard in self._shards]
+
+    async def start(self) -> None:
+        """Build the handlers, spin up the shard loops, start every batcher.
+
+        Idempotent while running, like :meth:`AdaptationServer.start`.
+        """
+        if self._shards:
+            return
+        shards = []
+        for index in range(self.num_shards):
+            server = AdaptationServer(
+                self.handler_factory(index),
+                max_batch_size=self.max_batch_size,
+                max_batch_window=self.max_batch_window,
+                max_queue_depth=self.max_queue_depth,
+                offload_handler=self.offload_handler,
+            )
+            shards.append(_ShardWorker(index, server))
+        for shard in shards:
+            shard.start_thread()
+        await asyncio.gather(
+            *(shard.call(shard.server.start()) for shard in shards)
+        )
+        self._shards = shards
+
+    async def _start_for_tcp(self) -> None:
+        await self.start()
+
+    async def stop(self) -> None:
+        """Stop the endpoint, drain and stop every shard, join their threads.
+
+        Each shard's :meth:`AdaptationServer.stop` runs on its own loop —
+        in-flight batches finish failing over to
+        :class:`~repro.service.messages.ServiceStoppedError` exactly as a
+        single server's would — then the loops themselves are stopped.
+        The front door's listener closes before the shards stop and its
+        connections drain after, so every in-flight TCP request still
+        receives its structured ``shutting_down`` answer.
+        """
+        listener = self._begin_tcp_shutdown()
+        shards, self._shards = self._shards, []
+        if shards:
+            await asyncio.gather(
+                *(shard.call(shard.server.stop()) for shard in shards)
+            )
+        await self._finish_tcp_shutdown(listener)
+        loop = asyncio.get_running_loop()
+        for shard in shards:
+            await loop.run_in_executor(None, shard.stop_thread)
+
+    async def __aenter__(self) -> "ShardedAdaptationServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    async def submit(self, request: Request) -> AdaptationDecision:
+        """Route one request to its home shard and await the decision.
+
+        Raises whatever the shard's submit raises —
+        :class:`ServiceOverloadedError` on that shard's backpressure,
+        :class:`ServiceStoppedError` when the fleet (or the shard) is not
+        running, the handler's exception on a failed batch.
+        """
+        if not self._shards:
+            raise ServiceStoppedError(
+                "ShardedAdaptationServer is not running; call start() first"
+            )
+        shard = self._shards[self.shard_index(request)]
+        return await shard.call(shard.server.submit(request))
+
+    async def submit_many(
+        self, requests: Sequence[Request]
+    ) -> Sequence[AdaptationDecision]:
+        """Submit several requests concurrently, preserving input order."""
+        return await asyncio.gather(
+            *(self.submit(request) for request in requests)
+        )
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, object]:
+        """Fleet metrics: merged totals plus the per-shard breakdown.
+
+        Counter-like quantities (decisions, batches, rejections, queue
+        depth, batch-size histogram, cache counters) are summed across
+        shards; ``decisions_per_second`` is the fleet aggregate (sum of
+        per-shard rates); latency percentiles are the worst shard's (a
+        conservative fleet-level bound — exact per-shard values live in
+        ``per_shard``).  Cache ``hit_rate`` is recomputed from the summed
+        hits/misses.  For shards sharing one memo-store directory the
+        summed ``memo_store`` counters describe fleet-wide activity, while
+        directory-shape fields are per-handle — read those per shard.
+        """
+        per_shard = [shard.server.metrics() for shard in self._shards]
+        decisions = sum(int(s["decisions"]) for s in per_shard)
+        batches = sum(int(s["batches"]) for s in per_shard)
+        histogram: Counter = Counter()
+        for snapshot in per_shard:
+            for size, count in snapshot["batch_size_histogram"].items():
+                histogram[size] += count
+        latency_count = sum(
+            int(s["latency_seconds"]["count"]) for s in per_shard
+        )
+        mean_latency = (
+            sum(
+                float(s["latency_seconds"]["mean"])
+                * int(s["latency_seconds"]["count"])
+                for s in per_shard
+            )
+            / latency_count
+            if latency_count
+            else 0.0
+        )
+        return {
+            "shards": len(per_shard),
+            "decisions": decisions,
+            "batches": batches,
+            "rejections": sum(int(s["rejections"]) for s in per_shard),
+            "decisions_per_second": sum(
+                float(s["decisions_per_second"]) for s in per_shard
+            ),
+            "mean_batch_size": decisions / batches if batches else 0.0,
+            "batch_size_histogram": {
+                str(size): count for size, count in sorted(histogram.items())
+            },
+            "queue_depth": sum(int(s["queue_depth"]) for s in per_shard),
+            "latency_seconds": {
+                "count": latency_count,
+                "mean": mean_latency,
+                "p50": max(
+                    (float(s["latency_seconds"]["p50"]) for s in per_shard),
+                    default=0.0,
+                ),
+                "p99": max(
+                    (float(s["latency_seconds"]["p99"]) for s in per_shard),
+                    default=0.0,
+                ),
+                "max": max(
+                    (float(s["latency_seconds"]["max"]) for s in per_shard),
+                    default=0.0,
+                ),
+            },
+            "caches": self._merge_caches(per_shard),
+            "per_shard": per_shard,
+        }
+
+    @staticmethod
+    def _merge_caches(
+        per_shard: Sequence[Dict[str, object]]
+    ) -> Dict[str, Dict[str, float]]:
+        merged: Dict[str, Dict[str, float]] = {}
+        for snapshot in per_shard:
+            for name, counters in snapshot["caches"].items():  # type: ignore[union-attr]
+                into = merged.setdefault(name, {})
+                for key, value in counters.items():
+                    if key in _RATE_KEYS or not isinstance(value, (int, float)):
+                        continue
+                    into[key] = into.get(key, 0) + value
+        for counters in merged.values():
+            total = counters.get("hits", 0) + counters.get("misses", 0)
+            if "hits" in counters and "misses" in counters:
+                counters["hit_rate"] = (
+                    counters["hits"] / total if total else 0.0
+                )
+        return merged

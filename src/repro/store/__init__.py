@@ -9,7 +9,10 @@ across process restarts, runs and hosts:
   makes torn tails detectable (and recoverable by truncation);
 * :mod:`repro.store.memo_store` — :class:`MemoStore` itself: lock-free
   ``seed`` replay, ``flock``-guarded atomic ``absorb``/``append``
-  publication, and non-blocking ``compact``.
+  publication, and non-blocking ``compact`` — run for you in a
+  single-flight background thread once a :class:`CompactionPolicy`
+  threshold (segment count and/or replay bytes) is crossed, so writers
+  never block on folding the log and callers never schedule compaction.
 
 Consumers: ``run_cells(..., memo_store=...)`` warm-starts experiment
 sweeps from disk and persists each batch's freshly simulated cells, and
@@ -17,10 +20,11 @@ sweeps from disk and persists each batch's freshly simulated cells, and
 warm memo back.
 """
 
-from .memo_store import CompactionResult, MemoStore, MemoStoreInfo
+from .memo_store import CompactionPolicy, CompactionResult, MemoStore, MemoStoreInfo
 from .segments import SegmentScan, pack_record, scan_segment, truncate_torn_tail
 
 __all__ = [
+    "CompactionPolicy",
     "CompactionResult",
     "MemoStore",
     "MemoStoreInfo",

@@ -63,7 +63,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 from ..machine.machine import ExecutionMemoSnapshot, Machine, _memo_schema
 from .segments import pack_record, scan_segment, truncate_torn_tail
 
-__all__ = ["CompactionResult", "MemoStore", "MemoStoreInfo"]
+__all__ = ["CompactionPolicy", "CompactionResult", "MemoStore", "MemoStoreInfo"]
 
 logger = logging.getLogger(__name__)
 
@@ -89,17 +89,71 @@ class _SegmentRead(NamedTuple):
 
 
 @dataclass(frozen=True)
+class CompactionPolicy:
+    """When should a store fold its segment log in the background?
+
+    Replay cost — what every restarting reader pays in :meth:`MemoStore.seed`
+    — grows with the number of live segment files and the bytes they hold.
+    A policy bounds that growth: after each :meth:`MemoStore.append` /
+    :meth:`MemoStore.absorb` the store checks the on-disk pressure against
+    these thresholds and, when either is crossed, runs
+    :meth:`MemoStore.compact` in a single-flight background thread —
+    callers never invoke ``compact()`` themselves.
+
+    Parameters
+    ----------
+    max_segment_files:
+        Compact once this many un-compacted segment files are replayable
+        (``None`` disables the count trigger).
+    max_replay_bytes:
+        Compact once the replayable byte volume — latest base plus the
+        segments above it — crosses this bound (``None`` disables it).
+
+    At least one threshold must be set.
+    """
+
+    max_segment_files: Optional[int] = 8
+    max_replay_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_segment_files is None and self.max_replay_bytes is None:
+            raise ValueError(
+                "CompactionPolicy needs at least one threshold: set "
+                "max_segment_files and/or max_replay_bytes"
+            )
+        if self.max_segment_files is not None and self.max_segment_files < 1:
+            raise ValueError("max_segment_files must be >= 1")
+        if self.max_replay_bytes is not None and self.max_replay_bytes < 1:
+            raise ValueError("max_replay_bytes must be >= 1")
+
+    def should_compact(self, segment_files: int, replay_bytes: int) -> bool:
+        """Whether the observed replay pressure crosses either threshold."""
+        if (
+            self.max_segment_files is not None
+            and segment_files >= self.max_segment_files
+        ):
+            return True
+        return (
+            self.max_replay_bytes is not None
+            and replay_bytes >= self.max_replay_bytes
+        )
+
+
+@dataclass(frozen=True)
 class MemoStoreInfo:
     """Cheap stats of a store: on-disk shape plus this process's counters."""
 
     directory: str
     base_seq: Optional[int]
     segment_files: int
+    replay_bytes: int
     segments_replayed: int
     cells_appended: int
     stale_records_skipped: int
     corrupt_records_skipped: int
     torn_tails_truncated: int
+    compactions_triggered: int
+    compaction_errors: int
 
     def as_dict(self) -> Dict[str, object]:
         """Plain JSON-able dict (for metrics surfaces and bench artifacts)."""
@@ -107,11 +161,14 @@ class MemoStoreInfo:
             "directory": self.directory,
             "base_seq": -1 if self.base_seq is None else self.base_seq,
             "segment_files": self.segment_files,
+            "replay_bytes": self.replay_bytes,
             "segments_replayed": self.segments_replayed,
             "cells_appended": self.cells_appended,
             "stale_records_skipped": self.stale_records_skipped,
             "corrupt_records_skipped": self.corrupt_records_skipped,
             "torn_tails_truncated": self.torn_tails_truncated,
+            "compactions_triggered": self.compactions_triggered,
+            "compaction_errors": self.compaction_errors,
         }
 
 
@@ -140,6 +197,14 @@ class MemoStore:
         Store directory; created (with parents) when missing.  Many
         processes — on many hosts, given a shared filesystem with working
         advisory locks — may point at the same directory.
+    policy:
+        Optional :class:`CompactionPolicy`.  When set, every
+        :meth:`append` / :meth:`absorb` re-checks the on-disk replay
+        pressure and, past a threshold, folds the log via :meth:`compact`
+        in a **single-flight background thread** — writers return
+        immediately and no caller ever needs to invoke ``compact()``.
+        Background failures are logged and counted
+        (``compaction_errors``), never raised into the writer.
 
     Notes
     -----
@@ -149,20 +214,30 @@ class MemoStore:
     inflate the merged accounting of every restarted reader forever.
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        policy: Optional[CompactionPolicy] = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.policy = policy
         self.segments_replayed = 0
         self.cells_appended = 0
         self.stale_records_skipped = 0
         self.corrupt_records_skipped = 0
         self.torn_tails_truncated = 0
+        self.compactions_triggered = 0
+        self.compaction_errors = 0
         # flock treats every open file description as a distinct owner, even
         # within one process — so _locked() must be reentrant per instance
         # (compact() holds the lock while torn-tail repair re-enters it) and
         # must serialize threads sharing this instance before touching flock.
         self._lock_mutex = threading.RLock()
         self._flock_depth = 0
+        # Single-flight guard of the background compaction thread.
+        self._compaction_mutex = threading.Lock()
+        self._compaction_thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
     # reading: seed
@@ -227,7 +302,87 @@ class MemoStore:
             seq = self._next_seq()
             self._publish(record, self.directory / f"segment-{seq:08d}.seg")
         self.cells_appended += len(snapshot)
+        self.maybe_compact()
         return len(snapshot)
+
+    # ------------------------------------------------------------------
+    # store-driven background compaction
+    # ------------------------------------------------------------------
+    def maybe_compact(self) -> bool:
+        """Check the policy and kick off a background compaction if due.
+
+        Called automatically after every :meth:`append` / :meth:`absorb`;
+        public so long-lived readers (or periodic janitors) can also poll
+        store pressure.  Single-flight: while one background compaction is
+        running, further triggers are no-ops — the running pass will fold
+        whatever has been published by the time it lists the directory.
+        Returns whether a new background pass was started.
+        """
+        if self.policy is None:
+            return False
+        segment_files, replay_bytes = self._replay_shape()
+        if not self.policy.should_compact(segment_files, replay_bytes):
+            return False
+        with self._compaction_mutex:
+            if (
+                self._compaction_thread is not None
+                and self._compaction_thread.is_alive()
+            ):
+                return False
+            thread = threading.Thread(
+                target=self._background_compact,
+                name=f"repro-memo-compaction-{self.directory.name}",
+                daemon=True,
+            )
+            self._compaction_thread = thread
+            thread.start()
+        return True
+
+    def wait_for_compaction(self, timeout: Optional[float] = None) -> bool:
+        """Block until any in-flight background compaction finishes.
+
+        Returns ``False`` when the thread is still alive after ``timeout``
+        seconds.  Tests and benches use this to assert post-compaction
+        invariants without sleeping.
+        """
+        with self._compaction_mutex:
+            thread = self._compaction_thread
+        if thread is None or not thread.is_alive():
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
+
+    def _background_compact(self) -> None:
+        self.compactions_triggered += 1
+        try:
+            self.compact()
+        except Exception:
+            # A failed background pass must not poison the writer that
+            # triggered it; the segments it would have folded stay on disk
+            # and the next trigger retries.
+            self.compaction_errors += 1
+            logger.exception(
+                "memo store %s: background compaction failed", self.directory
+            )
+
+    def _replay_shape(self) -> Tuple[int, int]:
+        """Current replay pressure: (replayable segment files, replay bytes).
+
+        Replay bytes cover everything a fresh :meth:`seed` must read — the
+        latest base plus the segments above it.  Files racing an unlink
+        (a concurrent compaction) count as zero bytes.
+        """
+        bases, segments = self._list_entries()
+        base_seq = bases[-1].seq if bases else None
+        replayable = [s for s in segments if base_seq is None or s.seq > base_seq]
+        paths = ([bases[-1].path] if bases else []) + [s.path for s in replayable]
+        replay_bytes = 0
+        for path in paths:
+            try:
+                replay_bytes += os.path.getsize(path)
+            except OSError:
+                continue
+        return len(replayable), replay_bytes
 
     # ------------------------------------------------------------------
     # compaction
@@ -340,20 +495,20 @@ class MemoStore:
     # ------------------------------------------------------------------
     def info(self) -> MemoStoreInfo:
         """On-disk shape plus this instance's cumulative counters."""
-        bases, segments = self._list_entries()
-        base_seq = bases[-1].seq if bases else None
-        replayable = [
-            s for s in segments if base_seq is None or s.seq > base_seq
-        ]
+        bases, _ = self._list_entries()
+        segment_files, replay_bytes = self._replay_shape()
         return MemoStoreInfo(
             directory=str(self.directory),
-            base_seq=base_seq,
-            segment_files=len(replayable),
+            base_seq=bases[-1].seq if bases else None,
+            segment_files=segment_files,
+            replay_bytes=replay_bytes,
             segments_replayed=self.segments_replayed,
             cells_appended=self.cells_appended,
             stale_records_skipped=self.stale_records_skipped,
             corrupt_records_skipped=self.corrupt_records_skipped,
             torn_tails_truncated=self.torn_tails_truncated,
+            compactions_triggered=self.compactions_triggered,
+            compaction_errors=self.compaction_errors,
         )
 
     # ------------------------------------------------------------------

@@ -451,3 +451,134 @@ class TestConsumerWiring:
         # A repeated fingerprint is all memo hits: nothing new to publish.
         asyncio.run(serve(handler, [r1]))
         assert store.info().cells_appended == appended_once
+
+
+class TestCompactionPolicy:
+    """Threshold validation, trigger logic, and the background pass."""
+
+    def test_policy_requires_at_least_one_threshold(self):
+        from repro.store import CompactionPolicy
+
+        with pytest.raises(ValueError, match="at least one"):
+            CompactionPolicy(max_segment_files=None, max_replay_bytes=None)
+
+    def test_policy_rejects_non_positive_thresholds(self):
+        from repro.store import CompactionPolicy
+
+        with pytest.raises(ValueError):
+            CompactionPolicy(max_segment_files=0)
+        with pytest.raises(ValueError):
+            CompactionPolicy(max_segment_files=4, max_replay_bytes=0)
+
+    def test_should_compact_crosses_either_threshold(self):
+        from repro.store import CompactionPolicy
+
+        policy = CompactionPolicy(max_segment_files=3, max_replay_bytes=1000)
+        assert not policy.should_compact(2, 999)
+        assert policy.should_compact(3, 0)
+        assert policy.should_compact(0, 1000)
+
+    def test_append_triggers_background_compaction_at_threshold(self, tmp_path):
+        from repro.store import CompactionPolicy
+
+        store = MemoStore(
+            tmp_path / "memo", policy=CompactionPolicy(max_segment_files=3)
+        )
+        works = [_work(k) for k in range(1, 7)]
+        for work in works:
+            store.append(_snapshot_of([work]))
+        assert store.wait_for_compaction(timeout=10.0)
+        info = store.info()
+        assert store.compactions_triggered >= 1
+        assert store.compaction_errors == 0
+        assert info.segment_files < 3
+        assert info.base_seq is not None
+
+        # Not one cell was lost: seeding reproduces the full union.
+        seeded = Machine(noise_sigma=0.0)
+        store.seed(seeded)
+        expected = _snapshot_of(works)
+        assert set(seeded.export_execution_memo().keys()) == set(expected.keys())
+
+    def test_below_threshold_never_triggers(self, tmp_path):
+        from repro.store import CompactionPolicy
+
+        store = MemoStore(
+            tmp_path / "memo", policy=CompactionPolicy(max_segment_files=50)
+        )
+        for k in range(1, 4):
+            store.append(_snapshot_of([_work(k)]))
+        assert store.compactions_triggered == 0
+        assert store.info().segment_files == 3
+
+    def test_replay_bytes_threshold_triggers(self, tmp_path):
+        from repro.store import CompactionPolicy
+
+        store = MemoStore(
+            tmp_path / "memo",
+            policy=CompactionPolicy(max_segment_files=None, max_replay_bytes=1),
+        )
+        store.append(_snapshot_of([_work(1)]))
+        assert store.wait_for_compaction(timeout=10.0)
+        assert store.compactions_triggered >= 1
+        assert store.info().base_seq is not None
+
+    def test_maybe_compact_is_single_flight(self, tmp_path, monkeypatch):
+        import threading
+
+        from repro.store import CompactionPolicy
+
+        store = MemoStore(
+            tmp_path / "memo", policy=CompactionPolicy(max_segment_files=1)
+        )
+        store.policy = None  # publish segments without auto-triggering
+        for k in range(1, 4):
+            store.append(_snapshot_of([_work(k)]))
+        store.policy = CompactionPolicy(max_segment_files=1)
+
+        release = threading.Event()
+        original = MemoStore.compact
+
+        def blocking_compact(self, *args, **kwargs):
+            assert release.wait(timeout=10.0)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(MemoStore, "compact", blocking_compact)
+        assert store.maybe_compact() is True
+        assert store.maybe_compact() is False  # pass already in flight
+        release.set()
+        assert store.wait_for_compaction(timeout=10.0)
+        assert store.compactions_triggered == 1
+
+    def test_background_compaction_errors_are_counted_not_raised(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        from repro.store import CompactionPolicy
+
+        store = MemoStore(
+            tmp_path / "memo", policy=CompactionPolicy(max_segment_files=1)
+        )
+
+        def broken_compact(self, *args, **kwargs):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(MemoStore, "compact", broken_compact)
+        with caplog.at_level(logging.ERROR, logger="repro.store.memo_store"):
+            store.append(_snapshot_of([_work(1)]))  # trigger; must not raise
+            assert store.wait_for_compaction(timeout=10.0)
+        assert store.compactions_triggered == 1
+        assert store.compaction_errors == 1
+        assert any("compaction failed" in r.message for r in caplog.records)
+
+    def test_info_reports_replay_bytes_and_compaction_counters(self, store):
+        info = store.info()
+        assert info.replay_bytes == 0
+        assert info.compactions_triggered == 0
+        assert info.compaction_errors == 0
+        store.append(_snapshot_of([_work(1)]))
+        info = store.info()
+        assert info.replay_bytes > 0
+        payload = info.as_dict()
+        assert payload["replay_bytes"] == info.replay_bytes
+        assert "compactions_triggered" in payload
+        assert "compaction_errors" in payload

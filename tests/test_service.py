@@ -32,6 +32,7 @@ from repro.service import (
     PredictionHandler,
     ServiceMetrics,
     ServiceOverloadedError,
+    ServiceStoppedError,
     TCPAdaptationClient,
     run_open_loop,
 )
@@ -741,3 +742,257 @@ class TestRetryBackoffJitter:
         # retry wave even though all were rejected with the same hint.
         first_delays = {client.recorded[0] for client in clients}
         assert len(first_delays) == len(clients)
+
+
+class _PoisonHandler(_EchoHandler):
+    """Echo handler that raises whenever a batch contains a poison phase."""
+
+    def handle_batch(self, requests):
+        if any("poison" in r.phase for r in requests):
+            raise ValueError("simulated handler failure")
+        return super().handle_batch(requests)
+
+
+def _poison_request():
+    return PhaseSampleRequest(
+        client_id="px", phase="poison", ipc_sample=1.0, rates={"x": 0.1}
+    )
+
+
+class TestTCPSilentDropFixes:
+    """The TCP endpoint answers structurally instead of dropping the socket."""
+
+    def test_handler_exception_answers_internal_and_connection_survives(self):
+        async def main():
+            server = AdaptationServer(
+                _PoisonHandler(), max_batch_size=1, max_batch_window=0.0
+            )
+            try:
+                host, port = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                poison = dict(_poison_request().to_payload(), kind="phase_sample")
+                good = dict(_request(1).to_payload(), kind="phase_sample")
+                # The poisoned batch must answer an internal error...
+                writer.write(json.dumps(poison).encode() + b"\n")
+                await writer.drain()
+                first = json.loads(await reader.readline())
+                # ...and the SAME connection must keep serving afterwards.
+                writer.write(json.dumps(good).encode() + b"\n")
+                await writer.drain()
+                second = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return first, second
+            finally:
+                await server.stop()
+
+        outcome = asyncio.run(main())
+        if outcome is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        first, second = outcome
+        assert first["ok"] is False
+        assert first["error"] == "internal"
+        assert "simulated handler failure" in first["detail"]
+        assert second["ok"] is True
+        assert second["decision"]["client_id"] == "c1"
+
+    def test_tcp_client_surfaces_internal_error_and_keeps_connection(self):
+        async def main():
+            server = AdaptationServer(
+                _PoisonHandler(), max_batch_size=1, max_batch_window=0.0
+            )
+            try:
+                host, port = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            try:
+                async with TCPAdaptationClient(host, port) as client:
+                    try:
+                        await client.request(_poison_request())
+                    except RuntimeError as exc:
+                        error = exc
+                    else:
+                        error = None
+                    decision = await client.request(_request(2))
+                    return error, decision, client.retries
+            finally:
+                await server.stop()
+
+        outcome = asyncio.run(main())
+        if outcome is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        error, decision, retries = outcome
+        assert error is not None
+        assert "internal error" in str(error)
+        assert "simulated handler failure" in str(error)
+        assert decision.client_id == "c2"
+        assert retries == 0
+
+    def test_stop_during_inflight_tcp_request_answers_shutting_down(self):
+        async def main():
+            handler = _BlockingHandler()
+            server = AdaptationServer(
+                handler, max_batch_size=1, max_batch_window=0.0
+            )
+            try:
+                host, port = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            reader, writer = await asyncio.open_connection(host, port)
+            line = json.dumps(
+                dict(_request(0).to_payload(), kind="phase_sample")
+            ).encode() + b"\n"
+            writer.write(line)
+            await writer.drain()
+            await asyncio.sleep(0.1)  # request is now parked in the handler
+            stop = asyncio.create_task(server.stop())
+            response = json.loads(await reader.readline())
+            handler.release.set()  # unpark the worker thread
+            await stop
+            # After the response the server closes the connection (EOF),
+            # rather than leaving the client hanging.
+            assert await reader.readline() == b""
+            writer.close()
+            await writer.wait_closed()
+            return response
+
+        response = asyncio.run(main())
+        if response is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        assert response["ok"] is False
+        assert response["error"] == "shutting_down"
+
+    def test_stop_answers_queued_requests_shutting_down_across_connections(self):
+        async def main():
+            handler = _BlockingHandler()
+            server = AdaptationServer(
+                handler, max_batch_size=1, max_batch_window=0.0, max_queue_depth=8
+            )
+            try:
+                host, port = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            connections = []
+            for i in range(3):
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    json.dumps(
+                        dict(_request(i).to_payload(), kind="phase_sample")
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                connections.append((reader, writer))
+            await asyncio.sleep(0.1)  # one in flight, two queued
+            stop = asyncio.create_task(server.stop())
+            responses = [
+                json.loads(await reader.readline()) for reader, _ in connections
+            ]
+            handler.release.set()
+            await stop
+            for _, writer in connections:
+                writer.close()
+                await writer.wait_closed()
+            return responses
+
+        responses = asyncio.run(main())
+        if responses is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        assert len(responses) == 3
+        for response in responses:
+            assert response["ok"] is False
+            assert response["error"] == "shutting_down"
+
+    def test_tcp_client_treats_shutting_down_as_non_retriable(self):
+        async def main():
+            handler = _BlockingHandler()
+            server = AdaptationServer(
+                handler, max_batch_size=1, max_batch_window=0.0
+            )
+            try:
+                host, port = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            client = TCPAdaptationClient(host, port)
+            await client.connect()
+            request_task = asyncio.create_task(client.request(_request(0)))
+            await asyncio.sleep(0.1)
+            stop = asyncio.create_task(server.stop())
+            try:
+                await request_task
+            except ServiceStoppedError as exc:
+                outcome = exc
+            else:
+                outcome = None
+            handler.release.set()
+            await stop
+            await client.close()
+            return outcome, client.retries
+
+        result = asyncio.run(main())
+        if result is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        outcome, retries = result
+        assert isinstance(outcome, ServiceStoppedError)
+        assert retries == 0  # never retried: the server is going away
+
+    def test_stopped_batcher_raises_typed_service_stopped_error(self):
+        async def main():
+            server = AdaptationServer(_EchoHandler())
+            async with server:
+                await server.submit(_request(0))
+            with pytest.raises(ServiceStoppedError):
+                await server.submit(_request(1))
+
+        asyncio.run(main())
+
+
+class TestServeTcpDoubleBind:
+    """A second serve_tcp() must not silently leak the first listener."""
+
+    def test_double_serve_tcp_raises_and_first_listener_survives(self):
+        async def main():
+            server = AdaptationServer(_EchoHandler(), max_batch_window=0.0)
+            try:
+                host, port = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            try:
+                with pytest.raises(RuntimeError, match="serve_tcp"):
+                    await server.serve_tcp(host="127.0.0.1", port=0)
+                # The original endpoint is still serving.
+                async with TCPAdaptationClient(host, port) as client:
+                    decision = await client.request(_request(0))
+                return decision
+            finally:
+                await server.stop()
+
+        decision = asyncio.run(main())
+        if decision is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        assert decision.client_id == "c0"
+
+    def test_rebinding_after_stop_works(self):
+        async def main():
+            server = AdaptationServer(_EchoHandler(), max_batch_window=0.0)
+            try:
+                first = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            await server.stop()
+            second = await server.serve_tcp(host="127.0.0.1", port=0)
+            try:
+                async with TCPAdaptationClient(*second) as client:
+                    decision = await client.request(_request(5))
+                return first, second, decision
+            finally:
+                await server.stop()
+
+        outcome = asyncio.run(main())
+        if outcome is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        first, second, decision = outcome
+        assert decision.client_id == "c5"

@@ -1,0 +1,490 @@
+"""Tests for the sharded adaptation fleet and store-driven compaction wiring.
+
+Covers the fleet contract of :class:`~repro.service.ShardedAdaptationServer`:
+deterministic content-based routing (the same workload fingerprint always
+lands on the same shard, across server instances alike), fleet decisions
+bit-identical to a single server over the same request set (sharding is
+purely a scale-out feature), the single TCP front door dispatching to the
+right shard, merged fleet metrics with the per-shard breakdown, graceful
+fleet lifecycle, and the shared-:class:`~repro.store.MemoStore` story:
+every grid shard seeds from one directory at construction (a restarted
+fleet re-simulates nothing) while a :class:`~repro.store.CompactionPolicy`
+folds the segment log in the background without losing a cell.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.machine import Machine, WorkRequest
+from repro.service import (
+    AdaptationDecision,
+    AdaptationServer,
+    DecisionHandler,
+    GridHandler,
+    GridProbeRequest,
+    PhaseSampleRequest,
+    PredictionHandler,
+    ServiceStoppedError,
+    ShardedAdaptationServer,
+    TCPAdaptationClient,
+    routing_key,
+    run_open_loop,
+)
+from repro.store import CompactionPolicy, MemoStore
+
+
+class _ShardTagHandler(DecisionHandler):
+    """Echo handler stamping decisions with the shard that served them."""
+
+    def __init__(self, index):
+        self.index = index
+        self.served = 0
+
+    def handle_batch(self, requests):
+        self.served += len(requests)
+        return [
+            AdaptationDecision(
+                client_id=r.client_id,
+                phase=r.phase,
+                configuration=f"shard-{self.index}",
+            )
+            for r in requests
+        ]
+
+
+def _sample(i, phase=None):
+    return PhaseSampleRequest(
+        client_id=f"c{i}",
+        phase=phase if phase is not None else f"phase-{i}",
+        ipc_sample=1.0 + 0.01 * i,
+        rates={"x": 0.1},
+    )
+
+
+def _probe(i, work=None):
+    return GridProbeRequest(
+        client_id=f"g{i}",
+        phase=f"p{i}",
+        work=work if work is not None else WorkRequest(instructions=1e8 * (i + 1)),
+    )
+
+
+def _tagged_fleet(num_shards=4, **knobs):
+    handlers = {}
+
+    def factory(index):
+        handlers[index] = _ShardTagHandler(index)
+        return handlers[index]
+
+    knobs.setdefault("max_batch_window", 0.001)
+    return ShardedAdaptationServer(factory, num_shards=num_shards, **knobs), handlers
+
+
+class TestRouting:
+    def test_same_fingerprint_always_lands_on_the_same_shard(self):
+        fleet = ShardedAdaptationServer(_ShardTagHandler, num_shards=4)
+        work = WorkRequest(instructions=3e8, working_set_mb=4.0)
+        indexes = {fleet.shard_index(_probe(i, work=work)) for i in range(10)}
+        assert len(indexes) == 1  # client_id/phase never affect routing
+
+    def test_routing_is_stable_across_server_instances(self):
+        first = ShardedAdaptationServer(_ShardTagHandler, num_shards=8)
+        second = ShardedAdaptationServer(_ShardTagHandler, num_shards=8)
+        requests = [_probe(i) for i in range(20)] + [_sample(i) for i in range(20)]
+        assert [first.shard_index(r) for r in requests] == [
+            second.shard_index(r) for r in requests
+        ]
+
+    def test_phase_samples_route_by_phase_not_by_sampled_values(self):
+        fleet = ShardedAdaptationServer(_ShardTagHandler, num_shards=4)
+        same_phase = [
+            PhaseSampleRequest(
+                client_id=f"c{i}",
+                phase="sp.x_solve",
+                ipc_sample=1.0 + 0.1 * i,
+                rates={"x": 0.01 * i},
+            )
+            for i in range(6)
+        ]
+        assert len({fleet.shard_index(r) for r in same_phase}) == 1
+
+    def test_distinct_workloads_spread_over_shards(self):
+        fleet = ShardedAdaptationServer(_ShardTagHandler, num_shards=4)
+        indexes = {fleet.shard_index(_probe(i)) for i in range(40)}
+        assert len(indexes) > 1
+
+    def test_routing_key_distinguishes_request_kinds(self):
+        assert routing_key(_sample(0))[0] == "phase"
+        assert routing_key(_probe(0))[0] == "grid"
+
+    def test_num_shards_validation(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardedAdaptationServer(_ShardTagHandler, num_shards=0)
+
+
+class TestFleetServing:
+    def test_requests_are_served_by_their_routed_shard(self):
+        fleet, handlers = _tagged_fleet()
+        requests = [_sample(i) for i in range(32)]
+
+        async def main():
+            async with fleet:
+                return await fleet.submit_many(requests)
+
+        decisions = asyncio.run(main())
+        for request, decision in zip(requests, decisions):
+            assert decision.configuration == f"shard-{fleet.shard_index(request)}"
+        assert sum(h.served for h in handlers.values()) == len(requests)
+        assert len([h for h in handlers.values() if h.served]) > 1
+
+    def test_fleet_decisions_bit_identical_to_single_server_prediction_tier(
+        self, machine, suite, trained_bundle
+    ):
+        from repro.machine import CONFIG_4
+
+        requests = []
+        for workload in ("SP", "BT"):
+            for phase in suite.get(workload).phases[:4]:
+                result = machine.execute(
+                    phase.work, CONFIG_4.placement, apply_noise=False
+                )
+                rates = {
+                    event: result.event_counts.get(event, 0.0) / result.cycles
+                    for event in trained_bundle.full.event_set.events
+                }
+                requests.append(
+                    PhaseSampleRequest(
+                        client_id=f"c{len(requests)}",
+                        phase=f"{workload}/{phase.name}",
+                        ipc_sample=result.ipc,
+                        rates=rates,
+                    )
+                )
+
+        async def fleet_run():
+            async with ShardedAdaptationServer(
+                lambda i: PredictionHandler(trained_bundle),
+                num_shards=4,
+                max_batch_window=0.005,
+            ) as fleet:
+                return await fleet.submit_many(requests)
+
+        async def single_run():
+            async with AdaptationServer(
+                PredictionHandler(trained_bundle), max_batch_window=0.005
+            ) as server:
+                return await server.submit_many(requests)
+
+        sharded = asyncio.run(fleet_run())
+        single = asyncio.run(single_run())
+        assert [d.to_payload() for d in sharded] == [d.to_payload() for d in single]
+
+    def test_fleet_decisions_bit_identical_to_single_server_grid_tier(self, suite):
+        requests = [
+            GridProbeRequest(client_id=f"g{i}", phase=p.name, work=p.work)
+            for i, p in enumerate(suite.get("CG").phases[:3] + suite.get("MG").phases[:3])
+        ]
+
+        async def fleet_run():
+            async with ShardedAdaptationServer(
+                lambda i: GridHandler(machine=Machine(noise_sigma=0.0)),
+                num_shards=3,
+                max_batch_window=0.005,
+            ) as fleet:
+                return await fleet.submit_many(requests)
+
+        async def single_run():
+            async with AdaptationServer(
+                GridHandler(machine=Machine(noise_sigma=0.0)),
+                max_batch_window=0.005,
+            ) as server:
+                return await server.submit_many(requests)
+
+        sharded = asyncio.run(fleet_run())
+        single = asyncio.run(single_run())
+        assert [d.to_payload() for d in sharded] == [d.to_payload() for d in single]
+
+    def test_open_loop_fleet_answers_everything_in_order(self):
+        fleet, _ = _tagged_fleet(num_shards=2)
+        requests = [_sample(i) for i in range(24)]
+
+        async def main():
+            async with fleet:
+                return await run_open_loop(requests=requests, server=fleet, concurrency=4)
+
+        result = asyncio.run(main())
+        assert [d.client_id for d in result.decisions] == [
+            r.client_id for r in requests
+        ]
+        assert result.metrics["decisions"] == len(requests)
+
+
+class TestFrontDoorTCP:
+    def test_single_endpoint_dispatches_to_the_right_shard(self):
+        fleet, _ = _tagged_fleet()
+        requests = [_sample(i) for i in range(8)]
+
+        async def main():
+            async with fleet:
+                try:
+                    host, port = await fleet.serve_tcp(host="127.0.0.1", port=0)
+                except OSError:
+                    return None
+                async with TCPAdaptationClient(host, port) as client:
+                    return [await client.request(r) for r in requests]
+
+        decisions = asyncio.run(main())
+        if decisions is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        for request, decision in zip(requests, decisions):
+            assert decision.configuration == f"shard-{fleet.shard_index(request)}"
+
+    def test_double_serve_tcp_raises_on_the_fleet_too(self):
+        fleet, _ = _tagged_fleet()
+
+        async def main():
+            async with fleet:
+                try:
+                    await fleet.serve_tcp(host="127.0.0.1", port=0)
+                except OSError:
+                    return None
+                with pytest.raises(RuntimeError, match="serve_tcp"):
+                    await fleet.serve_tcp(host="127.0.0.1", port=0)
+                return True
+
+        if asyncio.run(main()) is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+
+    def test_stop_answers_inflight_tcp_requests_shutting_down(self):
+        import threading
+
+        class _BlockingTagHandler(_ShardTagHandler):
+            release = threading.Event()  # shared across shards on purpose
+
+            def handle_batch(self, requests):
+                assert self.release.wait(timeout=10.0), "never released"
+                return super().handle_batch(requests)
+
+        async def main():
+            fleet = ShardedAdaptationServer(
+                _BlockingTagHandler,
+                num_shards=2,
+                max_batch_size=1,
+                max_batch_window=0.0,
+            )
+            await fleet.start()
+            try:
+                host, port = await fleet.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                await fleet.stop()
+                _BlockingTagHandler.release.set()
+                return None
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                json.dumps(
+                    dict(_sample(0).to_payload(), kind="phase_sample")
+                ).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            await asyncio.sleep(0.1)
+            stop = asyncio.create_task(fleet.stop())
+            response = json.loads(await reader.readline())
+            _BlockingTagHandler.release.set()
+            await stop
+            writer.close()
+            await writer.wait_closed()
+            return response
+
+        response = asyncio.run(main())
+        if response is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        assert response["ok"] is False
+        assert response["error"] == "shutting_down"
+
+
+class TestFleetMetrics:
+    def test_merged_totals_and_per_shard_breakdown(self):
+        fleet, handlers = _tagged_fleet()
+        requests = [_sample(i) for i in range(40)]
+
+        async def main():
+            async with fleet:
+                await fleet.submit_many(requests)
+                return fleet.metrics()
+
+        metrics = asyncio.run(main())
+        assert metrics["shards"] == 4
+        assert metrics["decisions"] == len(requests)
+        assert len(metrics["per_shard"]) == 4
+        assert sum(s["decisions"] for s in metrics["per_shard"]) == len(requests)
+        assert metrics["batches"] == sum(
+            s["batches"] for s in metrics["per_shard"]
+        )
+        assert metrics["decisions_per_second"] > 0.0
+        histogram_total = sum(
+            int(count) for count in metrics["batch_size_histogram"].values()
+        )
+        assert histogram_total == metrics["batches"]
+        assert metrics["latency_seconds"]["count"] == len(requests)
+        assert metrics["latency_seconds"]["p99"] >= metrics["latency_seconds"]["p50"]
+
+    def test_cache_counters_are_summed_and_hit_rate_recomputed(self, suite):
+        phases = suite.get("CG").phases[:4]
+        requests = [
+            GridProbeRequest(client_id=f"g{i}", phase=p.name, work=p.work)
+            for i, p in enumerate(phases)
+        ]
+
+        async def main():
+            async with ShardedAdaptationServer(
+                lambda i: GridHandler(machine=Machine(noise_sigma=0.0)),
+                num_shards=2,
+                max_batch_window=0.005,
+            ) as fleet:
+                await fleet.submit_many(requests)
+                await fleet.submit_many(requests)  # repeats hit each shard's memo
+                return fleet.metrics()
+
+        metrics = asyncio.run(main())
+        memo = metrics["caches"]["execution_memo"]
+        assert memo["hits"] >= len(requests)
+        assert memo["hits"] == sum(
+            s["caches"]["execution_memo"]["hits"] for s in metrics["per_shard"]
+        )
+        assert 0.0 < memo["hit_rate"] <= 1.0
+
+
+class TestFleetLifecycle:
+    def test_submit_before_start_raises_service_stopped(self):
+        fleet, _ = _tagged_fleet()
+
+        async def main():
+            with pytest.raises(ServiceStoppedError, match="not running"):
+                await fleet.submit(_sample(0))
+
+        asyncio.run(main())
+
+    def test_start_is_idempotent_and_stop_is_reentrant(self):
+        fleet, handlers = _tagged_fleet(num_shards=2)
+
+        async def main():
+            await fleet.start()
+            await fleet.start()
+            assert len(handlers) == 2  # second start built no new shards
+            decision = await fleet.submit(_sample(0))
+            await fleet.stop()
+            await fleet.stop()
+            return decision
+
+        decision = asyncio.run(main())
+        assert decision.configuration.startswith("shard-")
+
+    def test_submit_after_stop_raises_service_stopped(self):
+        fleet, _ = _tagged_fleet(num_shards=2)
+
+        async def main():
+            async with fleet:
+                await fleet.submit(_sample(0))
+            with pytest.raises(ServiceStoppedError):
+                await fleet.submit(_sample(1))
+
+        asyncio.run(main())
+
+    def test_restart_builds_a_fresh_fleet(self):
+        fleet, handlers = _tagged_fleet(num_shards=2)
+
+        async def main():
+            async with fleet:
+                await fleet.submit(_sample(0))
+            async with fleet:
+                await fleet.submit(_sample(1))
+
+        asyncio.run(main())
+        # Two generations of handlers were constructed (factory re-invoked).
+        assert len(handlers) == 2  # dict keyed by shard index, rebuilt in place
+
+
+class TestSharedMemoStoreFleet:
+    """Grid shards share one durable store directory."""
+
+    def _requests(self, suite):
+        phases = suite.get("CG").phases + suite.get("MG").phases
+        return [
+            GridProbeRequest(client_id=f"g{i}", phase=p.name, work=p.work)
+            for i, p in enumerate(phases)
+        ]
+
+    def _fleet(self, directory, policy=None, num_shards=3):
+        return ShardedAdaptationServer(
+            lambda i: GridHandler(
+                machine=Machine(noise_sigma=0.0),
+                memo_store=MemoStore(directory, policy=policy),
+            ),
+            num_shards=num_shards,
+            max_batch_window=0.005,
+        )
+
+    def test_warm_restart_across_shards_resimulates_nothing(self, suite, tmp_path):
+        directory = tmp_path / "fleet-memo"
+        requests = self._requests(suite)
+
+        async def serve(fleet):
+            async with fleet:
+                decisions = await fleet.submit_many(requests)
+                return decisions, fleet.metrics()
+
+        cold_decisions, cold_metrics = asyncio.run(serve(self._fleet(directory)))
+        assert cold_metrics["caches"]["execution_memo"]["misses"] > 0
+
+        warm_decisions, warm_metrics = asyncio.run(serve(self._fleet(directory)))
+        # Every shard seeded its machine from the shared directory: the
+        # restarted fleet simulates zero cells for the same request set.
+        assert warm_metrics["caches"]["execution_memo"]["misses"] == 0
+        assert [d.to_payload() for d in warm_decisions] == [
+            d.to_payload() for d in cold_decisions
+        ]
+
+    def test_background_compaction_bounds_segments_without_losing_cells(
+        self, suite, tmp_path
+    ):
+        directory = tmp_path / "fleet-memo"
+        policy = CompactionPolicy(max_segment_files=2)
+        requests = self._requests(suite)
+        stores = []
+
+        def factory(index):
+            store = MemoStore(directory, policy=policy)
+            stores.append(store)
+            return GridHandler(
+                machine=Machine(noise_sigma=0.0), memo_store=store
+            )
+
+        async def main():
+            async with ShardedAdaptationServer(
+                factory, num_shards=3, max_batch_size=4, max_batch_window=0.002
+            ) as fleet:
+                await fleet.submit_many(requests)
+
+        asyncio.run(main())
+        for store in stores:
+            assert store.wait_for_compaction(timeout=10.0)
+        assert sum(s.compactions_triggered for s in stores) > 0
+
+        # The policy bound held and not one cell was lost: a fresh seed
+        # reproduces exactly the union of what the shards simulated.
+        final = MemoStore(directory)
+        assert final.info().segment_files <= policy.max_segment_files
+        seeded = Machine(noise_sigma=0.0)
+        final.seed(seeded)
+        expected = Machine(noise_sigma=0.0)
+        grid_requests = [r.work for r in requests]
+        handler = GridHandler(machine=expected)
+        expected.execute_grid(grid_requests, handler.configurations)
+        assert set(seeded.export_execution_memo().keys()) == set(
+            expected.export_execution_memo().keys()
+        )
