@@ -8,7 +8,7 @@ default and once under ACTOR's prediction-based concurrency throttling.
 It prints the per-phase configuration decisions and the resulting
 time/power/energy/ED² improvements.
 
-It then demonstrates the seven scaling features of the serving path:
+It then demonstrates the eight scaling features of the serving path:
 
 * the **batched prediction engine** — one ``predict_batch`` /
   ``predict_batch_from_rates`` call scores every target configuration for
@@ -61,7 +61,15 @@ It then demonstrates the seven scaling features of the serving path:
   always lands on the shard whose caches are warm with it; grid shards
   share one ``MemoStore`` directory whose ``CompactionPolicy`` folds the
   growing segment log in the background, and fleet ``metrics()`` merges
-  every shard's counters with a per-shard breakdown.
+  every shard's counters with a per-shard breakdown;
+* the **cluster fleet under a global power cap** — ``repro.cluster``
+  registers N heterogeneous ``Node``s in a ``Fleet`` and lets the
+  ``FleetScheduler`` place a weighted job stream and water-fill a hard
+  global power budget from per-node upgrade chains: deterministic,
+  bit-reproducible schedules whose total draw never exceeds the cap,
+  with ``run_scenario`` driving node churn, mid-round failures,
+  stragglers and cap steps without ever losing (or double-running) a
+  job.
 
 Run with::
 
@@ -454,6 +462,78 @@ def main() -> None:
             f"store segments "
             f"{MemoStore(fleet_dir).info().segment_files})"
         )
+
+    # 12. The cluster fleet under a global power cap: heterogeneous nodes
+    #     (here two quad-core Xeons — one a straggler — and a dual-socket
+    #     box), one memo-backed grid sweep per node, and a water-filling
+    #     budget redistribution whose decisions are bit-reproducible and
+    #     never exceed the cap.  A scenario then kills a node mid-round:
+    #     its jobs are carried and re-placed, and every job still
+    #     completes exactly once.
+    from repro.cluster import (
+        Fleet,
+        FleetScheduler,
+        Node,
+        NodeFailure,
+        ScenarioRound,
+        jobs_from_workload,
+        run_scenario,
+    )
+    from repro.machine import dual_socket_xeon
+
+    def small_fleet() -> Fleet:
+        return Fleet(
+            [
+                Node("xeon-a", Machine(noise_sigma=0.0)),
+                Node("xeon-b", Machine(noise_sigma=0.0), straggler_factor=1.5),
+                Node(
+                    "dual-a",
+                    Machine(topology=dual_socket_xeon(), noise_sigma=0.0),
+                ),
+            ]
+        )
+
+    fleet = small_fleet()
+    jobs = [
+        job
+        for name in ("CG", "IS")
+        for job in jobs_from_workload(suite.get(name))
+    ]
+    scheduler = FleetScheduler(fleet)
+    unconstrained = scheduler.schedule(jobs)
+    floor = unconstrained.min_feasible_watts
+    peak = unconstrained.total_power_watts
+    print()
+    print(
+        f"Fleet of {len(fleet.names())} nodes, {len(jobs)} jobs: "
+        f"feasible caps span {floor:.0f} W .. {peak:.0f} W"
+    )
+    for fraction in (0.0, 0.5, 1.0):
+        cap = floor + fraction * (peak - floor)
+        capped = scheduler.schedule(jobs, cap)
+        print(
+            f"  cap {cap:6.1f} W -> draw {capped.total_power_watts:6.1f} W, "
+            f"throughput {capped.throughput:.3f} jobs/s "
+            f"({len(capped.upgrades)} upgrades applied)"
+        )
+
+    half = len(jobs) // 2
+    report = run_scenario(
+        small_fleet(),
+        [
+            ScenarioRound(
+                jobs=tuple(jobs[:half]), events=(NodeFailure("xeon-b"),)
+            ),
+            ScenarioRound(jobs=tuple(jobs[half:])),
+        ],
+    )
+    reassigned = sum(len(r.carried_jobs) for r in report.rounds)
+    completions = report.completions()
+    print(
+        f"Scenario: xeon-b failed mid-round, {reassigned} jobs reassigned; "
+        f"{len(report.completed)} completed, every job exactly once: "
+        f"{set(completions.values()) == {1}}"
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,215 @@
+"""Fleet scenarios: membership churn, failures, stragglers, cap steps.
+
+A scenario is a sequence of **rounds**.  Each round may open with events
+(nodes joining or leaving, a straggler onset, a cap step), then the
+scheduler places every pending job and the fleet "runs" the round.  A
+:class:`NodeFailure` event strikes *after* the round's schedule is
+decided — mid-run, from the jobs' point of view: work assigned to the
+failed node does not complete and is carried into the next round, where
+the (now smaller) fleet re-places it.  No job is ever dropped: the
+report tracks every job from arrival to completion, and a job completes
+exactly once.
+
+Every round's schedule is a plain :class:`~repro.cluster.FleetSchedule`,
+so all scheduler invariants (cap never exceeded, bit-reproducibility)
+hold round by round; the report adds the fleet-level latency view
+(p99 of per-invocation job times) that straggler scenarios degrade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .node import Node
+from .registry import Fleet
+from .scheduler import FleetJob, FleetSchedule, FleetScheduler
+
+__all__ = [
+    "NodeJoin",
+    "NodeLeave",
+    "NodeFailure",
+    "StragglerOnset",
+    "CapStep",
+    "ScenarioRound",
+    "RoundRecord",
+    "ScenarioReport",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class NodeJoin:
+    """A node joins the fleet before the round is scheduled."""
+
+    node: Node
+
+
+@dataclass(frozen=True)
+class NodeLeave:
+    """A node drains and leaves before the round is scheduled."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """A node dies mid-round: its jobs are reassigned next round."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class StragglerOnset:
+    """A node starts straggling (time inflation factor >= 1)."""
+
+    name: str
+    factor: float
+
+
+@dataclass(frozen=True)
+class CapStep:
+    """The global power cap steps to a new level (``None`` = uncapped)."""
+
+    power_cap_watts: Optional[float]
+
+
+Event = Union[NodeJoin, NodeLeave, NodeFailure, StragglerOnset, CapStep]
+
+
+@dataclass(frozen=True)
+class ScenarioRound:
+    """One round: events applied first, then the arriving jobs."""
+
+    events: Tuple[Event, ...] = ()
+    jobs: Tuple[FleetJob, ...] = ()
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What one round decided and what survived it."""
+
+    index: int
+    power_cap_watts: Optional[float]
+    active_nodes: Tuple[str, ...]
+    schedule: Optional[FleetSchedule]
+    completed_jobs: Tuple[str, ...]
+    carried_jobs: Tuple[str, ...]
+    failed_nodes: Tuple[str, ...]
+    total_power_watts: float
+    throughput: float
+    p99_time_seconds: float
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Round records plus whole-scenario accounting."""
+
+    rounds: Tuple[RoundRecord, ...]
+    completed: Tuple[str, ...]
+
+    def completions(self) -> Dict[str, int]:
+        """How many times each job completed (must be exactly once)."""
+        counts: Dict[str, int] = {}
+        for record in self.rounds:
+            for name in record.completed_jobs:
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def max_total_power_watts(self) -> float:
+        return max(
+            (r.total_power_watts for r in self.rounds if r.schedule is not None),
+            default=0.0,
+        )
+
+    def p99_time_seconds(self) -> float:
+        """Worst per-round p99 — the scenario's tail-latency headline."""
+        return max((r.p99_time_seconds for r in self.rounds), default=0.0)
+
+
+def run_scenario(
+    fleet: Fleet,
+    rounds: Sequence[ScenarioRound],
+    power_cap_watts: Optional[float] = None,
+    scheduler: Optional[FleetScheduler] = None,
+) -> ScenarioReport:
+    """Drive ``fleet`` through ``rounds`` and account for every job.
+
+    Jobs pending after the final round are flushed in extra rounds with
+    no new arrivals (so a trailing failure cannot strand work), as long
+    as the fleet still has members.
+    """
+    scheduler = scheduler or FleetScheduler(fleet)
+    cap = power_cap_watts
+    pending: List[FleetJob] = []
+    records: List[RoundRecord] = []
+    completed: List[str] = []
+
+    queue = list(rounds)
+    index = 0
+    while queue or pending:
+        round_ = queue.pop(0) if queue else ScenarioRound()
+        failures: List[str] = []
+        for event in round_.events:
+            if isinstance(event, NodeJoin):
+                fleet.add(event.node)
+            elif isinstance(event, NodeLeave):
+                fleet.remove(event.name)
+            elif isinstance(event, NodeFailure):
+                failures.append(event.name)
+            elif isinstance(event, StragglerOnset):
+                fleet.node(event.name).straggler_factor = event.factor
+            elif isinstance(event, CapStep):
+                cap = event.power_cap_watts
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown scenario event {event!r}")
+        pending.extend(round_.jobs)
+
+        schedule: Optional[FleetSchedule] = None
+        round_completed: List[str] = []
+        carried: List[str] = []
+        if pending:
+            if not len(fleet):
+                raise ValueError(
+                    f"round {index}: {len(pending)} pending jobs but the "
+                    f"fleet is empty"
+                )
+            schedule = scheduler.schedule(pending, cap)
+            survivors: List[FleetJob] = []
+            lost = set(failures)
+            for decision in schedule.decisions:
+                if decision.node in lost:
+                    survivors.append(decision.job)
+                    carried.append(decision.job.name)
+                else:
+                    round_completed.append(decision.job.name)
+            pending = survivors
+        # The failure takes effect for the next round's placement.
+        for name in failures:
+            fleet.remove(name)
+
+        times = schedule.job_times() if schedule is not None else np.array([])
+        records.append(
+            RoundRecord(
+                index=index,
+                power_cap_watts=cap,
+                active_nodes=tuple(fleet.names()),
+                schedule=schedule,
+                completed_jobs=tuple(round_completed),
+                carried_jobs=tuple(carried),
+                failed_nodes=tuple(failures),
+                total_power_watts=(
+                    schedule.total_power_watts if schedule is not None else 0.0
+                ),
+                throughput=schedule.throughput if schedule is not None else 0.0,
+                p99_time_seconds=(
+                    float(np.percentile(times, 99)) if times.size else 0.0
+                ),
+            )
+        )
+        completed.extend(round_completed)
+        index += 1
+
+    return ScenarioReport(rounds=tuple(records), completed=tuple(completed))

@@ -1,0 +1,555 @@
+"""Fleet scheduling: placement + power redistribution under a global cap.
+
+The Figure-8 generalization: instead of throttling one machine, the
+scheduler decides where a datacenter's watts buy the most throughput.
+Given a stream of jobs (phase characterizations), a heterogeneous
+:class:`~repro.cluster.Fleet` and a hard global power cap, it picks a
+**placement** (which node runs which job) and a per-node **operating
+point** (placement × P-state configuration per job) maximizing fleet
+throughput — and therefore throughput-per-watt, since the redistribution
+loop spends every watt where the marginal throughput per watt is
+largest.
+
+The algorithm is two deterministic stages over one memo-backed
+:meth:`~repro.cluster.Node.sweep` per node:
+
+1. **Placement** (cap-independent): jobs are placed greedily,
+   longest-job-first, onto the node where they finish the combined load
+   soonest at each node's *unconstrained* best operating point.  Using
+   unconstrained times keeps the placement independent of the cap, so
+   power redistribution below is the only cap-sensitive stage.
+2. **Water-filling**: every occupied node starts at its minimum feasible
+   budget (the smallest per-node power level at which each of its jobs
+   has at least one affordable configuration); empty nodes draw their
+   idle floor.  Each node then exposes a precomputed *upgrade chain* —
+   the ascending budget thresholds at which its throughput strictly
+   improves — and the loop repeatedly applies the chain head with the
+   highest marginal throughput per watt, stopping at the **first**
+   upgrade that would push the fleet total over the cap.
+
+Because every node's chain is computed independently of the remaining
+budget and the loop never skips over an unaffordable upgrade, the
+sequence of applied upgrades under cap ``P`` is an exact prefix of the
+sequence under any cap ``P' > P``.  That prefix property makes the three
+invariants the property suite pins hold *by construction*:
+
+* the fleet total never exceeds the cap (checked before every step);
+* watts are conserved — the reported total is the exact sum of per-node
+  draws, recomputed in sorted node order at every step;
+* raising the cap never lowers fleet throughput (longer prefix, and
+  every step strictly improves throughput).
+
+All decisions derive from deterministic grid arrays with first-index
+tie-breaking, so the same fleet + jobs + cap yields a bit-identical
+schedule across runs and — through the shared
+:class:`~repro.store.MemoStore` — across process restarts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.work import WorkRequest
+from ..workloads.base import Workload
+from .node import Node, NodeSweep
+from .registry import Fleet
+
+__all__ = [
+    "FleetJob",
+    "JobDecision",
+    "NodeAllocation",
+    "UpgradeStep",
+    "FleetSchedule",
+    "FleetScheduler",
+    "PowerCapInfeasibleError",
+    "jobs_from_workload",
+]
+
+
+class PowerCapInfeasibleError(ValueError):
+    """The cap is below the fleet's minimum feasible draw.
+
+    Even with every job at its lowest-power operating point and every
+    empty node at its idle floor, the fleet would exceed the cap.
+    """
+
+    def __init__(self, cap_watts: float, required_watts: float) -> None:
+        super().__init__(
+            f"power cap {cap_watts:.2f} W is below the fleet's minimum "
+            f"feasible draw {required_watts:.2f} W (lowest-power operating "
+            f"points + idle floors)"
+        )
+        self.cap_watts = cap_watts
+        self.required_watts = required_watts
+
+
+@dataclass(frozen=True)
+class FleetJob:
+    """One schedulable unit: a phase characterization plus a weight.
+
+    ``weight`` is the number of invocations the job represents (e.g. the
+    total invocation count of a NAS phase over a run); it scales the
+    job's contribution to node busy time and fleet throughput.
+    """
+
+    name: str
+    work: WorkRequest
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a fleet job needs a non-empty name")
+        if not self.weight > 0:
+            raise ValueError(f"job {self.name!r}: weight must be positive")
+
+
+def jobs_from_workload(workload: Workload) -> List[FleetJob]:
+    """One :class:`FleetJob` per phase, weighted by total invocations."""
+    return [
+        FleetJob(
+            name=f"{workload.name}/{phase.name}",
+            work=phase.work,
+            weight=float(phase.invocations_per_timestep * workload.timesteps),
+        )
+        for phase in workload.phases
+    ]
+
+
+@dataclass(frozen=True)
+class JobDecision:
+    """Where one job runs and at which operating point."""
+
+    job: FleetJob
+    node: str
+    configuration: str
+    time_seconds: float
+    power_watts: float
+
+    @property
+    def energy_joules(self) -> float:
+        """Energy of one invocation at the chosen operating point."""
+        return self.time_seconds * self.power_watts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "job": self.job.name,
+            "node": self.node,
+            "configuration": self.configuration,
+            "time_seconds": self.time_seconds,
+            "power_watts": self.power_watts,
+        }
+
+
+@dataclass(frozen=True)
+class NodeAllocation:
+    """One node's share of the schedule."""
+
+    node: str
+    kind: str
+    job_names: Tuple[str, ...]
+    budget_watts: float
+    power_watts: float
+    busy_seconds: float
+    throughput: float
+
+    @property
+    def idle(self) -> bool:
+        return not self.job_names
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "node": self.node,
+            "jobs": list(self.job_names),
+            "budget_watts": self.budget_watts,
+            "power_watts": self.power_watts,
+            "busy_seconds": self.busy_seconds,
+            "throughput": self.throughput,
+        }
+
+
+@dataclass(frozen=True)
+class UpgradeStep:
+    """One applied water-filling step (audit trail of the redistribution)."""
+
+    node: str
+    budget_watts: float
+    delta_watts: float
+    delta_throughput: float
+
+    @property
+    def gain_per_watt(self) -> float:
+        return self.delta_throughput / self.delta_watts
+
+
+@dataclass(frozen=True)
+class FleetSchedule:
+    """The scheduler's bit-reproducible answer.
+
+    ``decisions`` preserves input job order; ``allocations`` maps node
+    name → :class:`NodeAllocation` for every fleet member (idle ones
+    included, at their idle floor).  ``upgrades`` is the exact sequence
+    of applied water-filling steps, so tests can audit conservation.
+    """
+
+    power_cap_watts: Optional[float]
+    decisions: Tuple[JobDecision, ...]
+    allocations: Mapping[str, NodeAllocation]
+    upgrades: Tuple[UpgradeStep, ...]
+    min_feasible_watts: float
+    total_power_watts: float
+    throughput: float
+    throughput_per_watt: float
+
+    def decision_for(self, job_name: str) -> JobDecision:
+        """The decision of the first job called ``job_name``."""
+        for decision in self.decisions:
+            if decision.job.name == job_name:
+                return decision
+        raise KeyError(f"no job {job_name!r} in this schedule")
+
+    def jobs_on(self, node: str) -> List[JobDecision]:
+        return [d for d in self.decisions if d.node == node]
+
+    def job_times(self) -> np.ndarray:
+        """Per-job wall times (input order) — latency-distribution view."""
+        return np.array([d.time_seconds for d in self.decisions])
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical primitive form; equality == bit-identical schedule."""
+        return {
+            "power_cap_watts": self.power_cap_watts,
+            "decisions": [d.to_dict() for d in self.decisions],
+            "allocations": {
+                name: self.allocations[name].to_dict()
+                for name in sorted(self.allocations)
+            },
+            "upgrades": [
+                {
+                    "node": u.node,
+                    "budget_watts": u.budget_watts,
+                    "delta_watts": u.delta_watts,
+                    "delta_throughput": u.delta_throughput,
+                }
+                for u in self.upgrades
+            ],
+            "min_feasible_watts": self.min_feasible_watts,
+            "total_power_watts": self.total_power_watts,
+            "throughput": self.throughput,
+            "throughput_per_watt": self.throughput_per_watt,
+        }
+
+
+@dataclass
+class _ChainStep:
+    """One precomputed upgrade of a node's chain."""
+
+    budget_watts: float
+    consumed_watts: float
+    delta_watts: float
+    delta_throughput: float
+
+
+class _NodeState:
+    """Per-node scheduling arrays restricted to its assigned jobs."""
+
+    def __init__(self, node: Node, sweep: NodeSweep, rows: List[int], jobs: List[FleetJob]) -> None:
+        self.node = node
+        self.jobs = jobs
+        self.times = sweep.time_seconds[rows, :]
+        self.powers = sweep.power_watts[rows, :]
+        self.weights = np.array([job.weight for job in jobs])
+        self.names = sweep.names()
+        # Minimum feasible budget: every job needs one affordable config.
+        self.min_budget = float(np.max(np.min(self.powers, axis=1)))
+        self.budget = self.min_budget
+        self.consumed = self._evaluate(self.min_budget)[1]
+        self.chain = self._build_chain()
+        self.next_step = 0
+
+    def _choices(self, budget: float) -> np.ndarray:
+        masked = np.where(self.powers <= budget, self.times, np.inf)
+        return np.argmin(masked, axis=1)
+
+    def _evaluate(self, budget: float) -> Tuple[float, float, np.ndarray]:
+        """(throughput, consumed peak watts, per-job config indices)."""
+        choices = self._choices(budget)
+        rows = np.arange(len(self.jobs))
+        busy = float(np.sum(self.weights * self.times[rows, choices]))
+        throughput = float(np.sum(self.weights)) / busy
+        consumed = float(np.max(self.powers[rows, choices]))
+        return throughput, consumed, choices
+
+    def _build_chain(self) -> List[_ChainStep]:
+        """Ascending budget thresholds at which throughput strictly improves.
+
+        The chain is computed once, independent of any cap or remaining
+        budget — the prefix property of the water-filling loop (and hence
+        cap monotonicity) rests on exactly this independence.
+        """
+        value, consumed, _ = self._evaluate(self.min_budget)
+        chain: List[_ChainStep] = []
+        thresholds = np.unique(self.powers)
+        thresholds = thresholds[thresholds > self.min_budget]
+        if not thresholds.size:
+            return chain
+        # Evaluate every threshold in one shot: a (K, W, C) masked argmin
+        # replaces K separate _evaluate calls.  Each row's reduction sees
+        # the same values in the same order as the scalar path, so the
+        # chain (and with it every downstream decision) is unchanged.
+        masked = np.where(
+            self.powers[None, :, :] <= thresholds[:, None, None],
+            self.times[None, :, :],
+            np.inf,
+        )
+        choices = np.argmin(masked, axis=2)
+        rows = np.arange(len(self.jobs))
+        chosen_times = self.times[rows[None, :], choices]
+        chosen_powers = self.powers[rows[None, :], choices]
+        busy = np.sum(self.weights[None, :] * chosen_times, axis=1)
+        values = float(np.sum(self.weights)) / busy
+        consumed_peaks = np.max(chosen_powers, axis=1)
+        for t, new_value, new_consumed in zip(thresholds, values, consumed_peaks):
+            if new_value > value:
+                chain.append(
+                    _ChainStep(
+                        budget_watts=float(t),
+                        consumed_watts=float(new_consumed),
+                        delta_watts=float(new_consumed) - consumed,
+                        delta_throughput=float(new_value) - value,
+                    )
+                )
+                value, consumed = float(new_value), float(new_consumed)
+        return chain
+
+    def peek(self) -> Optional[_ChainStep]:
+        if self.next_step < len(self.chain):
+            return self.chain[self.next_step]
+        return None
+
+    def apply(self) -> _ChainStep:
+        step = self.chain[self.next_step]
+        self.next_step += 1
+        self.budget = step.budget_watts
+        self.consumed = step.consumed_watts
+        return step
+
+    def final(self) -> Tuple[float, float, np.ndarray]:
+        return self._evaluate(self.budget)
+
+
+class FleetScheduler:
+    """Place jobs and redistribute watts across a fleet, deterministically.
+
+    Parameters
+    ----------
+    fleet:
+        The :class:`~repro.cluster.Fleet` to schedule onto.  Membership
+        is read at each :meth:`schedule` call, so join/leave between
+        calls is fine.
+    """
+
+    def __init__(self, fleet: Fleet) -> None:
+        self.fleet = fleet
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        jobs: Sequence[FleetJob],
+        power_cap_watts: Optional[float] = None,
+    ) -> FleetSchedule:
+        """One bit-reproducible scheduling decision for ``jobs``.
+
+        ``power_cap_watts=None`` means uncapped (every upgrade applies).
+        Raises :class:`PowerCapInfeasibleError` when even the fleet's
+        minimum feasible draw exceeds the cap.
+        """
+        nodes = self.fleet.nodes()
+        if not nodes:
+            raise ValueError("cannot schedule onto an empty fleet")
+        jobs = list(jobs)
+        cap = math.inf if power_cap_watts is None else float(power_cap_watts)
+
+        # One memo-backed grid sweep per node over the whole job stream
+        # (an empty stream needs no sweep: every node idles).
+        sweeps = (
+            {node.name: node.sweep([job.work for job in jobs]) for node in nodes}
+            if jobs
+            else {}
+        )
+
+        assignment = self._place(nodes, sweeps, jobs)
+        states: Dict[str, _NodeState] = {}
+        for node in nodes:
+            rows = assignment.get(node.name, [])
+            if rows:
+                states[node.name] = _NodeState(
+                    node, sweeps[node.name], rows, [jobs[r] for r in rows]
+                )
+
+        idle_floor = sum(
+            node.idle_power_watts() for node in nodes if node.name not in states
+        )
+
+        def fleet_total(consumed: Mapping[str, float]) -> float:
+            # Recomputed in sorted node order at every step: the reported
+            # total is always the exact sum of the per-node draws.
+            return idle_floor + sum(consumed[name] for name in sorted(consumed))
+
+        consumed = {name: state.consumed for name, state in states.items()}
+        required = fleet_total(consumed)
+        if required > cap:
+            raise PowerCapInfeasibleError(cap, required)
+
+        # Water-filling: highest marginal throughput per watt first; stop
+        # at the first upgrade the cap cannot afford (prefix property).
+        upgrades: List[UpgradeStep] = []
+        while True:
+            best_name = None
+            best_key = None
+            for name in sorted(states):
+                step = states[name].peek()
+                if step is None:
+                    continue
+                key = (
+                    -(step.delta_throughput / step.delta_watts),
+                    step.delta_watts,
+                    name,
+                )
+                if best_key is None or key < best_key:
+                    best_name, best_key = name, key
+            if best_name is None:
+                break
+            step = states[best_name].peek()
+            assert step is not None
+            tentative = dict(consumed)
+            tentative[best_name] = step.consumed_watts
+            if fleet_total(tentative) > cap:
+                break
+            states[best_name].apply()
+            consumed = tentative
+            upgrades.append(
+                UpgradeStep(
+                    node=best_name,
+                    budget_watts=step.budget_watts,
+                    delta_watts=step.delta_watts,
+                    delta_throughput=step.delta_throughput,
+                )
+            )
+
+        return self._build_schedule(
+            nodes, states, assignment, jobs, power_cap_watts, required, idle_floor,
+            upgrades,
+        )
+
+    # ------------------------------------------------------------------
+    def _place(
+        self,
+        nodes: Sequence[Node],
+        sweeps: Mapping[str, NodeSweep],
+        jobs: Sequence[FleetJob],
+    ) -> Dict[str, List[int]]:
+        """Greedy longest-job-first placement on unconstrained best times.
+
+        Cap-independent by design: placement sees each node's best
+        achievable per-job time (straggler-adjusted), never the power
+        budget, so the water-filling stage is the only cap-sensitive
+        code path.
+        """
+        if not jobs:
+            return {}
+        names = [node.name for node in nodes]
+        # best[n][j]: node n's best achievable time for job j.
+        best = {
+            name: np.min(sweeps[name].time_seconds, axis=1) for name in names
+        }
+        sizes = np.min(np.stack([best[name] for name in names]), axis=0)
+        order = sorted(
+            range(len(jobs)),
+            key=lambda j: (-jobs[j].weight * float(sizes[j]), jobs[j].name, j),
+        )
+        load = {name: 0.0 for name in names}
+        assignment: Dict[str, List[int]] = {name: [] for name in names}
+        for j in order:
+            target = min(
+                names,
+                key=lambda name: (
+                    load[name] + jobs[j].weight * float(best[name][j]),
+                    name,
+                ),
+            )
+            assignment[target].append(j)
+            load[target] += jobs[j].weight * float(best[target][j])
+        # Keep per-node rows in input job order (stable arrays downstream).
+        return {
+            name: sorted(rows) for name, rows in assignment.items() if rows
+        }
+
+    # ------------------------------------------------------------------
+    def _build_schedule(
+        self,
+        nodes: Sequence[Node],
+        states: Mapping[str, _NodeState],
+        assignment: Mapping[str, List[int]],
+        jobs: Sequence[FleetJob],
+        power_cap_watts: Optional[float],
+        required: float,
+        idle_floor: float,
+        upgrades: List[UpgradeStep],
+    ) -> FleetSchedule:
+        decisions: List[Optional[JobDecision]] = [None] * len(jobs)
+        allocations: Dict[str, NodeAllocation] = {}
+        total = idle_floor
+        throughput = 0.0
+        for node in nodes:
+            state = states.get(node.name)
+            if state is None:
+                allocations[node.name] = NodeAllocation(
+                    node=node.name,
+                    kind=node.kind,
+                    job_names=(),
+                    budget_watts=node.idle_power_watts(),
+                    power_watts=node.idle_power_watts(),
+                    busy_seconds=0.0,
+                    throughput=0.0,
+                )
+                continue
+            node_throughput, node_consumed, choices = state.final()
+            rows = assignment[node.name]
+            busy = 0.0
+            for local, j in enumerate(rows):
+                c = int(choices[local])
+                time = float(state.times[local, c])
+                decisions[j] = JobDecision(
+                    job=jobs[j],
+                    node=node.name,
+                    configuration=state.names[c],
+                    time_seconds=time,
+                    power_watts=float(state.powers[local, c]),
+                )
+                busy += jobs[j].weight * time
+            allocations[node.name] = NodeAllocation(
+                node=node.name,
+                kind=node.kind,
+                job_names=tuple(jobs[j].name for j in rows),
+                budget_watts=state.budget,
+                power_watts=node_consumed,
+                busy_seconds=busy,
+                throughput=node_throughput,
+            )
+            total += node_consumed
+            throughput += node_throughput
+        assert all(d is not None for d in decisions)
+        return FleetSchedule(
+            power_cap_watts=power_cap_watts,
+            decisions=tuple(decisions),  # type: ignore[arg-type]
+            allocations=allocations,
+            upgrades=tuple(upgrades),
+            min_feasible_watts=required,
+            total_power_watts=total,
+            throughput=throughput,
+            throughput_per_watt=throughput / total if total > 0 else 0.0,
+        )

@@ -22,6 +22,7 @@ from .fig3_power_energy import run_fig3
 from .fig6_prediction_cdf import run_fig6
 from .fig7_rank_selection import run_fig7
 from .fig8_throttling import STRATEGY_NAMES, run_fig8
+from .fig_cluster import build_reference_fleet, run_fig_cluster
 from .fig_dvfs import DVFS_STRATEGY_NAMES, run_fig_dvfs, run_heterogeneous_sweep
 from .manycore_extension import run_manycore_extension
 from .runner import ABLATIONS, EXPERIMENTS, run_all
@@ -37,6 +38,7 @@ __all__ = [
     "RunCell",
     "STRATEGY_NAMES",
     "build_cell_policy",
+    "build_reference_fleet",
     "execute_cell",
     "run_cells",
     "run_ablation_event_sets",
@@ -51,6 +53,7 @@ __all__ = [
     "run_fig6",
     "run_fig7",
     "run_fig8",
+    "run_fig_cluster",
     "run_fig_dvfs",
     "run_heterogeneous_sweep",
     "run_manycore_extension",

@@ -35,6 +35,7 @@ from .fig3_power_energy import run_fig3
 from .fig6_prediction_cdf import run_fig6
 from .fig7_rank_selection import run_fig7
 from .fig8_throttling import run_fig8
+from .fig_cluster import run_fig_cluster
 from .fig_dvfs import run_fig_dvfs
 from .manycore_extension import run_manycore_extension
 from .scaling_summary import run_scaling_summary
@@ -52,6 +53,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], Figure]] = {
     "fig7": run_fig7,
     "fig8": run_fig8,
     "fig-dvfs": run_fig_dvfs,
+    "fig-cluster": run_fig_cluster,
 }
 
 #: Ablation experiments (design-choice studies beyond the paper's figures).

@@ -70,12 +70,15 @@ from .power import (
     dvfs_power_parameters,
 )
 from .topology import (
+    TOPOLOGY_BUILDERS,
     CacheDescriptor,
     CoreDescriptor,
     Topology,
     dual_socket_xeon,
     many_core,
     quad_core_xeon,
+    register_topology,
+    topology_by_name,
 )
 from .work import WorkRequest
 
@@ -123,6 +126,7 @@ __all__ = [
     "STANDARD_CONFIGURATIONS",
     "STANDARD_CONFIG_NAMES",
     "ThreadPlacement",
+    "TOPOLOGY_BUILDERS",
     "Topology",
     "WorkRequest",
     "configuration_by_name",
@@ -139,6 +143,8 @@ __all__ = [
     "many_core",
     "placements_equivalent",
     "quad_core_xeon",
+    "register_topology",
+    "topology_by_name",
     "solve_fixed_point_scalar",
     "solve_fixed_point_vector",
     "standard_configurations",

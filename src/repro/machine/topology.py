@@ -17,7 +17,7 @@ exact machine used throughout the paper's evaluation and this reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 __all__ = [
     "CacheDescriptor",
@@ -360,3 +360,37 @@ def many_core(
         memory_latency_ns=110.0,
         memory_gb=8.0,
     )
+
+
+# ----------------------------------------------------------------------
+# builder registry
+# ----------------------------------------------------------------------
+#: Named topology builders.  The fleet layer (and anything else that
+#: describes machines declaratively — node specs, scenario files) resolves
+#: machine kinds through this registry instead of importing factory
+#: functions directly.  Builders take keyword arguments only.
+TOPOLOGY_BUILDERS: Dict[str, Callable[..., Topology]] = {}
+
+
+def register_topology(name: str, builder: Callable[..., Topology]) -> None:
+    """Register ``builder`` under ``name``; duplicates are an error."""
+    if name in TOPOLOGY_BUILDERS:
+        raise ValueError(f"topology builder {name!r} is already registered")
+    TOPOLOGY_BUILDERS[name] = builder
+
+
+def topology_by_name(name: str, **kwargs: object) -> Topology:
+    """Build a registered topology (e.g. ``"quad-core-xeon"``)."""
+    try:
+        builder = TOPOLOGY_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; registered: "
+            f"{sorted(TOPOLOGY_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)
+
+
+register_topology("quad-core-xeon", quad_core_xeon)
+register_topology("dual-socket-xeon", dual_socket_xeon)
+register_topology("many-core", many_core)

@@ -43,7 +43,7 @@ policies run, so batching is purely a throughput feature.
 
 from .batcher import MicroBatcher
 from .client import AdaptationClient, OpenLoopResult, TCPAdaptationClient, run_open_loop
-from .handlers import DecisionHandler, GridHandler, PredictionHandler
+from .handlers import DecisionHandler, FleetHandler, GridHandler, PredictionHandler
 from .messages import (
     AdaptationDecision,
     GridProbeRequest,
@@ -52,7 +52,12 @@ from .messages import (
     ServiceStoppedError,
 )
 from .metrics import ServiceMetrics
-from .server import AdaptationServer, JsonLinesEndpoint
+from .server import (
+    MAX_REQUEST_LINE_BYTES,
+    AdaptationServer,
+    JsonLinesEndpoint,
+    parse_request_line,
+)
 from .shard import ShardedAdaptationServer, routing_key
 
 __all__ = [
@@ -60,13 +65,16 @@ __all__ = [
     "AdaptationDecision",
     "AdaptationServer",
     "DecisionHandler",
+    "FleetHandler",
     "GridHandler",
     "GridProbeRequest",
     "JsonLinesEndpoint",
     "MicroBatcher",
     "OpenLoopResult",
     "PhaseSampleRequest",
+    "MAX_REQUEST_LINE_BYTES",
     "PredictionHandler",
+    "parse_request_line",
     "ServiceMetrics",
     "ServiceOverloadedError",
     "ServiceStoppedError",

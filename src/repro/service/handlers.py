@@ -33,7 +33,7 @@ from ..machine.placement import Configuration, standard_configurations
 from ..store.memo_store import MemoStore
 from .messages import AdaptationDecision, GridProbeRequest, PhaseSampleRequest
 
-__all__ = ["DecisionHandler", "PredictionHandler", "GridHandler"]
+__all__ = ["DecisionHandler", "PredictionHandler", "GridHandler", "FleetHandler"]
 
 #: Objective aliases accepted by :class:`GridHandler`, mapped to the metric
 #: arrays of :class:`~repro.machine.machine.GridExecutionResult` and whether
@@ -264,3 +264,85 @@ class GridHandler(DecisionHandler):
                 "compaction_errors": store.compaction_errors,
             }
         return caches
+
+
+class FleetHandler(DecisionHandler):
+    """Serve fleet scheduling decisions through the micro-batcher.
+
+    The datacenter tier of the service: requests are
+    :class:`~repro.service.messages.GridProbeRequest` work
+    characterizations, and each coalesced batch is scheduled **as one
+    fleet decision** — one memo-backed sweep per node plus the
+    water-filling power redistribution of
+    :class:`~repro.cluster.FleetScheduler` — under the handler's global
+    power cap.  Each request is answered with the chosen configuration
+    *and* the node the job was placed on
+    (:attr:`~repro.service.messages.AdaptationDecision.node`).
+
+    Batching is semantically meaningful here, beyond amortizing kernel
+    launches: jobs that arrive together are placed together, so they
+    share the cap optimally instead of being fitted one at a time.
+
+    Parameters
+    ----------
+    fleet:
+        The :class:`~repro.cluster.Fleet` to schedule onto.  Node
+        machines must be noise-free (enforced at sweep time).
+    power_cap_watts:
+        Hard global cap applied to every batch (``None`` = uncapped).
+        A batch the cap cannot accommodate at all fails with
+        :class:`~repro.cluster.PowerCapInfeasibleError`, surfaced to TCP
+        clients as a structured ``internal`` error.
+    """
+
+    def __init__(self, fleet, power_cap_watts: Optional[float] = None) -> None:
+        from ..cluster import FleetScheduler
+
+        if not len(fleet):
+            raise ValueError("FleetHandler needs a fleet with at least one node")
+        self.fleet = fleet
+        self.power_cap_watts = power_cap_watts
+        self.scheduler = FleetScheduler(fleet)
+
+    def handle_batch(
+        self, requests: Sequence[GridProbeRequest]
+    ) -> List[AdaptationDecision]:
+        from ..cluster import FleetJob
+
+        jobs = [
+            FleetJob(name=f"{r.client_id}/{r.phase}", work=r.work)
+            for r in requests
+        ]
+        schedule = self.scheduler.schedule(jobs, self.power_cap_watts)
+        decisions = []
+        for request, decision in zip(requests, schedule.decisions):
+            decisions.append(
+                AdaptationDecision(
+                    client_id=request.client_id,
+                    phase=request.phase,
+                    configuration=decision.configuration,
+                    objective="fleet-throughput",
+                    ranking=(decision.configuration,),
+                    predicted={
+                        "time_seconds": decision.time_seconds,
+                        "power_watts": decision.power_watts,
+                        "fleet_power_watts": schedule.total_power_watts,
+                    },
+                    node=decision.node,
+                )
+            )
+        return decisions
+
+    def cache_info(self) -> Dict[str, Dict[str, float]]:
+        """Execution-memo counters summed over the fleet's nodes."""
+        totals = {"hits": 0.0, "misses": 0.0, "size": 0.0, "merged_hits": 0.0}
+        for node in self.fleet:
+            info = node.machine.execution_memo_info()
+            totals["hits"] += info.hits
+            totals["misses"] += info.misses
+            totals["size"] += info.size
+            totals["merged_hits"] += info.merged_hits
+        served = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / served if served else 0.0
+        totals["nodes"] = float(len(self.fleet))
+        return {"fleet_memo": totals}

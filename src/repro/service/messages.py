@@ -144,13 +144,17 @@ class AdaptationDecision:
     objective: str = "ipc"
     ranking: Tuple[str, ...] = ()
     predicted: Mapping[str, float] = field(default_factory=dict)
+    #: Fleet tier only: the node the job was placed on (``None`` for
+    #: single-machine decisions, and then absent from the payload so the
+    #: single-machine wire format is unchanged).
+    node: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "predicted", dict(self.predicted))
 
     def to_payload(self) -> Dict[str, object]:
         """JSON-able wire representation."""
-        return {
+        payload: Dict[str, object] = {
             "client_id": self.client_id,
             "phase": self.phase,
             "configuration": self.configuration,
@@ -158,6 +162,9 @@ class AdaptationDecision:
             "ranking": list(self.ranking),
             "predicted": dict(self.predicted),
         }
+        if self.node is not None:
+            payload["node"] = self.node
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, object]) -> "AdaptationDecision":
@@ -172,6 +179,9 @@ class AdaptationDecision:
                 str(k): float(v)
                 for k, v in dict(payload.get("predicted") or {}).items()  # type: ignore[arg-type]
             },
+            node=(
+                str(payload["node"]) if payload.get("node") is not None else None
+            ),
         )
 
 

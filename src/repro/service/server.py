@@ -36,16 +36,36 @@ from .messages import (
 )
 from .metrics import ServiceMetrics
 
-__all__ = ["AdaptationServer", "JsonLinesEndpoint", "parse_request_line"]
+__all__ = [
+    "AdaptationServer",
+    "JsonLinesEndpoint",
+    "MAX_REQUEST_LINE_BYTES",
+    "parse_request_line",
+]
 
 logger = logging.getLogger(__name__)
 
 Request = Union[PhaseSampleRequest, GridProbeRequest]
 
+#: Upper bound on one request line.  Matches asyncio's default
+#: ``StreamReader`` limit, so a line the reader would refuse to frame is
+#: rejected here as a structured ``bad_request`` instead of surfacing as a
+#: transport-level error; a legitimate request is a few hundred bytes.
+MAX_REQUEST_LINE_BYTES = 64 * 1024
+
 
 def parse_request_line(line: bytes) -> Request:
     """Decode one JSON-lines request; raises ``ValueError``-family on junk."""
+    if len(line) > MAX_REQUEST_LINE_BYTES:
+        raise ValueError(
+            f"request line of {len(line)} bytes exceeds the "
+            f"{MAX_REQUEST_LINE_BYTES}-byte limit"
+        )
     payload = json.loads(line.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
     kind = payload.get("kind", "phase_sample")
     if kind == "phase_sample":
         return PhaseSampleRequest.from_payload(payload)
@@ -99,8 +119,14 @@ class JsonLinesEndpoint:
         await self._start_for_tcp()
         if self._tcp_connections is None:
             self._tcp_connections = set()
+        # Frame up to twice the protocol's line limit so an oversized line
+        # is answered structurally by parse_request_line's guard instead of
+        # tripping the StreamReader's own limit mid-frame.
         self._tcp_server = await asyncio.start_server(
-            self._handle_connection, host=host, port=port
+            self._handle_connection,
+            host=host,
+            port=port,
+            limit=2 * MAX_REQUEST_LINE_BYTES,
         )
         sockname = self._tcp_server.sockets[0].getsockname()
         return sockname[0], sockname[1]
@@ -148,7 +174,24 @@ class JsonLinesEndpoint:
             self._tcp_connections.add(writer)
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError as exc:
+                    # The line overran even the enlarged reader limit; the
+                    # stream's framing is gone, so answer once and close
+                    # rather than dropping the connection with no response.
+                    writer.write(
+                        json.dumps(
+                            {
+                                "ok": False,
+                                "error": "bad_request",
+                                "detail": f"request line too long: {exc}",
+                            }
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    break
                 if not line:
                     break
                 response = await self._answer_line(line)

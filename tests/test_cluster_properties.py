@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for the fleet scheduler.
+
+The invariants the water-filling design claims *by construction* are
+checked here over random fleets, job streams and caps:
+
+* the fleet's total draw never exceeds the cap;
+* watts are conserved — the reported total is exactly the sum of the
+  per-node draws, and the upgrade audit trail accounts for every watt
+  above the minimum feasible draw;
+* raising the cap never lowers fleet throughput (the prefix property);
+* a one-node fleet reproduces plain single-machine grid selection,
+  bit for bit.
+
+The node machines are module-level and shared across examples so their
+execution memos stay warm — each example costs memo lookups, not fresh
+simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Fleet, FleetJob, FleetScheduler, Node
+from repro.machine import Machine, WorkRequest
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Shared noise-free machines (warm memos across examples).  Nodes are
+#: rebuilt per example — they are cheap wrappers — but wrap these.
+_MACHINES = [Machine(noise_sigma=0.0) for _ in range(3)]
+
+
+@st.composite
+def work_requests(draw) -> WorkRequest:
+    """Random but physically admissible phase characterizations.
+
+    Coarsely quantized relative to the unconstrained strategy in
+    ``test_properties.py`` so the shared machines' memos serve repeated
+    fingerprints across examples.
+    """
+    mem = draw(st.floats(0.1, 0.5))
+    return WorkRequest(
+        instructions=draw(st.sampled_from([1e8, 4e8, 1.6e9])),
+        mem_fraction=round(mem, 2),
+        flop_fraction=round(draw(st.floats(0.0, 0.9 - mem)), 2),
+        l1_miss_rate=round(draw(st.floats(0.0, 0.25)), 2),
+        l2_miss_rate_solo=round(draw(st.floats(0.0, 0.8)), 2),
+        working_set_mb=draw(st.sampled_from([0.5, 2.0, 8.0])),
+        serial_fraction=round(draw(st.floats(0.0, 0.2)), 2),
+        load_imbalance=draw(st.sampled_from([1.0, 1.1])),
+        barriers=draw(st.integers(0, 8)),
+    )
+
+
+@st.composite
+def fleets(draw) -> Fleet:
+    num_nodes = draw(st.integers(1, 3))
+    nodes = []
+    for i in range(num_nodes):
+        factor = draw(st.sampled_from([1.0, 1.0, 1.25, 1.5]))
+        nodes.append(
+            Node(f"node-{i}", machine=_MACHINES[i], straggler_factor=factor)
+        )
+    return Fleet(nodes)
+
+
+@st.composite
+def job_streams(draw):
+    works = draw(st.lists(work_requests(), min_size=1, max_size=3))
+    return [
+        FleetJob(
+            name=f"job-{i}",
+            work=work,
+            weight=draw(st.sampled_from([1.0, 4.0, 25.0])),
+        )
+        for i, work in enumerate(works)
+    ]
+
+
+class TestCapIsNeverExceeded:
+    @given(fleet=fleets(), jobs=job_streams(), fraction=st.floats(0.0, 1.25))
+    @_SETTINGS
+    def test_total_power_at_or_under_any_feasible_cap(
+        self, fleet, jobs, fraction
+    ):
+        scheduler = FleetScheduler(fleet)
+        unconstrained = scheduler.schedule(jobs)
+        floor = unconstrained.min_feasible_watts
+        peak = unconstrained.total_power_watts
+        cap = floor + fraction * (peak - floor)
+        schedule = scheduler.schedule(jobs, cap)
+        assert schedule.total_power_watts <= cap
+        # Per-node draws respect their budgets, and every applied upgrade
+        # bought throughput with strictly positive watts.
+        for alloc in schedule.allocations.values():
+            if not alloc.idle:
+                assert alloc.power_watts <= alloc.budget_watts
+        for step in schedule.upgrades:
+            assert step.delta_watts > 0
+            assert step.delta_throughput > 0
+
+
+class TestBudgetConservation:
+    @given(fleet=fleets(), jobs=job_streams(), fraction=st.floats(0.0, 1.0))
+    @_SETTINGS
+    def test_total_is_exactly_the_sum_of_node_draws(self, fleet, jobs, fraction):
+        scheduler = FleetScheduler(fleet)
+        unconstrained = scheduler.schedule(jobs)
+        cap = unconstrained.min_feasible_watts + fraction * (
+            unconstrained.total_power_watts - unconstrained.min_feasible_watts
+        )
+        schedule = scheduler.schedule(jobs, cap)
+        idle = sum(
+            alloc.power_watts
+            for name, alloc in sorted(schedule.allocations.items())
+            if alloc.idle
+        )
+        active = sum(
+            alloc.power_watts
+            for name, alloc in sorted(schedule.allocations.items())
+            if not alloc.idle
+        )
+        assert schedule.total_power_watts == pytest.approx(
+            idle + active, rel=1e-12
+        )
+        # The audit trail accounts for every watt redistributed above the
+        # minimum feasible draw (telescoped per node, hence the tolerance).
+        assert schedule.total_power_watts == pytest.approx(
+            schedule.min_feasible_watts
+            + sum(step.delta_watts for step in schedule.upgrades),
+            rel=1e-9,
+        )
+
+
+class TestCapMonotonicity:
+    @given(
+        fleet=fleets(),
+        jobs=job_streams(),
+        fractions=st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)),
+    )
+    @_SETTINGS
+    def test_raising_the_cap_never_lowers_throughput(
+        self, fleet, jobs, fractions
+    ):
+        scheduler = FleetScheduler(fleet)
+        unconstrained = scheduler.schedule(jobs)
+        floor = unconstrained.min_feasible_watts
+        span = unconstrained.total_power_watts - floor
+        low, high = sorted(fractions)
+        schedule_low = scheduler.schedule(jobs, floor + low * span)
+        schedule_high = scheduler.schedule(jobs, floor + high * span)
+        assert schedule_high.throughput >= schedule_low.throughput
+        # The lower cap's upgrade sequence is an exact prefix of the
+        # higher cap's — the structural fact monotonicity rests on.
+        low_steps = [
+            (s.node, s.budget_watts) for s in schedule_low.upgrades
+        ]
+        high_steps = [
+            (s.node, s.budget_watts) for s in schedule_high.upgrades
+        ]
+        assert high_steps[: len(low_steps)] == low_steps
+
+
+class TestDegenerateFleet:
+    @given(jobs=job_streams())
+    @_SETTINGS
+    def test_one_node_fleet_matches_single_machine_selection(self, jobs):
+        fleet = Fleet([Node("solo", machine=_MACHINES[0])])
+        schedule = FleetScheduler(fleet).schedule(jobs)
+        grid = _MACHINES[0].execute_grid(
+            [job.work for job in jobs], _MACHINES[0].default_configurations()
+        )
+        best = grid.best("time_seconds")
+        times = grid.metric("time_seconds")
+        for row, (decision, config) in enumerate(zip(schedule.decisions, best)):
+            assert decision.configuration == config.name
+            assert decision.time_seconds == times[row, grid.index_of(config.name)]
+
+    @given(jobs=job_streams(), fraction=st.floats(0.0, 1.0))
+    @_SETTINGS
+    def test_schedules_are_bit_reproducible(self, jobs, fraction):
+        fleet = Fleet(
+            [
+                Node("node-0", machine=_MACHINES[0]),
+                Node("node-1", machine=_MACHINES[1], straggler_factor=1.25),
+            ]
+        )
+        scheduler = FleetScheduler(fleet)
+        unconstrained = scheduler.schedule(jobs)
+        cap = unconstrained.min_feasible_watts + fraction * (
+            unconstrained.total_power_watts - unconstrained.min_feasible_watts
+        )
+        assert (
+            scheduler.schedule(jobs, cap).to_dict()
+            == scheduler.schedule(jobs, cap).to_dict()
+        )

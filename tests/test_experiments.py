@@ -203,6 +203,30 @@ class TestFigDVFS(object):
             assert 0 <= row["heterogeneous_wins"] <= len(workload.phases)
 
 
+class TestFigCluster(object):
+    def test_cap_sweep_and_scenario_shape(self, ctx):
+        from repro.experiments import run_fig_cluster
+
+        figure = run_fig_cluster(ctx)
+        data = figure.data
+        assert set(data["nodes"]) == {"xeon-a", "xeon-b", "dual-a"}
+        sweep = data["cap_sweep"]
+        assert len(sweep) == 6
+        for row in sweep:
+            assert row["total_power_watts"] <= row["cap_watts"] + 1e-9
+        # Raising the cap never lowers fleet throughput.
+        throughputs = [row["throughput"] for row in sweep]
+        assert throughputs == sorted(throughputs)
+        assert sweep[-1]["throughput"] == pytest.approx(
+            data["unconstrained_throughput"]
+        )
+        # The failure/churn scenario lost no work and duplicated none.
+        scenario = data["scenario"]
+        assert scenario["every_job_completed_once"]
+        assert scenario["jobs_completed"] == data["num_jobs"]
+        assert any(r["failed_nodes"] == ["xeon-b"] for r in scenario["rounds"])
+
+
 class TestRunner(object):
     def test_registry_contains_all_figures(self):
         assert set(EXPERIMENTS) == {
@@ -214,6 +238,7 @@ class TestRunner(object):
             "fig7",
             "fig8",
             "fig-dvfs",
+            "fig-cluster",
         }
         assert len(ABLATIONS) == 6
 

@@ -1,0 +1,193 @@
+"""Golden capture of the Figure 8 policy-comparison experiment.
+
+Pinned before the fig8 driver was rewired onto the degenerate one-node
+fleet (``repro.cluster``): the rewiring must keep every published value of
+the figure bit-identical.  The context mirrors the reduced four-benchmark
+fast setup used across the experiment tests, so a full policy comparison
+(static / global-optimal / phase-optimal / prediction) runs in seconds.
+
+Values were captured from the pre-fleet driver and are asserted at
+``rel=1e-12`` — the simulator and training pipeline are deterministic, so
+any drift means the rewiring changed a decision, not just noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext, run_fig8
+from repro.machine import Machine
+from repro.workloads import nas_suite
+
+_RTOL = 1e-12
+
+_GOLDEN = {'averages': {'ed2': {'4-cores': 1.0,
+                      'global-optimal': 0.6564781682272673,
+                      'phase-optimal': 0.5532332387348241,
+                      'prediction': 0.6091697450430004},
+              'energy': {'4-cores': 1.0,
+                         'global-optimal': 0.8534109278642554,
+                         'phase-optimal': 0.8102301404039435,
+                         'prediction': 0.8399587205423299},
+              'power': {'4-cores': 1.0,
+                        'global-optimal': 0.9730320728076391,
+                        'phase-optimal': 0.9805245226410313,
+                        'prediction': 0.9863198016358667},
+              'time': {'4-cores': 1.0,
+                       'global-optimal': 0.8770635128210909,
+                       'phase-optimal': 0.826323178763136,
+                       'prediction': 0.8516088992122142}},
+ 'is_ed2_prediction': 0.3483887610867781,
+ 'normalized': {'ed2': {'AVG': {'4-cores': 1.0,
+                                'global-optimal': 0.6564781682272673,
+                                'phase-optimal': 0.5532332387348241,
+                                'prediction': 0.6091697450430004},
+                        'BT': {'4-cores': 1.0,
+                               'global-optimal': 1.0004083153719716,
+                               'phase-optimal': 0.9101354681016133,
+                               'prediction': 0.9141026482386667},
+                        'CG': {'4-cores': 1.0,
+                               'global-optimal': 0.9357756446359853,
+                               'phase-optimal': 0.7602134057163349,
+                               'prediction': 0.7771483369270091},
+                        'IS': {'4-cores': 1.0,
+                               'global-optimal': 0.282105228611215,
+                               'phase-optimal': 0.26770282456090827,
+                               'prediction': 0.3483887610867781},
+                        'SP': {'4-cores': 1.0,
+                               'global-optimal': 0.7032682080197938,
+                               'phase-optimal': 0.5057530885201794,
+                               'prediction': 0.5564040427528497}},
+                'energy': {'AVG': {'4-cores': 1.0,
+                                   'global-optimal': 0.8534109278642554,
+                                   'phase-optimal': 0.8102301404039435,
+                                   'prediction': 0.8399587205423299},
+                           'BT': {'4-cores': 1.0,
+                                  'global-optimal': 1.0001174749861466,
+                                  'phase-optimal': 0.9656390937964439,
+                                  'prediction': 0.9672303389070188},
+                           'CG': {'4-cores': 1.0,
+                                  'global-optimal': 0.953463389628722,
+                                  'phase-optimal': 0.8964127422390931,
+                                  'prediction': 0.9044438629227014},
+                           'IS': {'4-cores': 1.0,
+                                  'global-optimal': 0.6423321976383081,
+                                  'phase-optimal': 0.6338687861261623,
+                                  'prediction': 0.694788398703597},
+                           'SP': {'4-cores': 1.0,
+                                  'global-optimal': 0.8660003526550437,
+                                  'phase-optimal': 0.7854369929161983,
+                                  'prediction': 0.8189694253613201}},
+                'power': {'AVG': {'4-cores': 1.0,
+                                  'global-optimal': 0.9730320728076391,
+                                  'phase-optimal': 0.9805245226410313,
+                                  'prediction': 0.9863198016358667},
+                          'BT': {'4-cores': 1.0,
+                                 'global-optimal': 0.9999720865023726,
+                                 'phase-optimal': 0.9946476024227879,
+                                 'prediction': 0.9949411244393903},
+                          'CG': {'4-cores': 1.0,
+                                 'global-optimal': 0.96243224306722,
+                                 'phase-optimal': 0.9734065629420025,
+                                 'prediction': 0.9757093423280945},
+                          'IS': {'4-cores': 1.0,
+                                 'global-optimal': 0.9692458949741007,
+                                 'phase-optimal': 0.9753771393180152,
+                                 'prediction': 0.9811756666159678},
+                          'SP': {'4-cores': 1.0,
+                                 'global-optimal': 0.960985004256376,
+                                 'phase-optimal': 0.9788085544198986,
+                                 'prediction': 0.993588129612652}},
+                'time': {'AVG': {'4-cores': 1.0,
+                                 'global-optimal': 0.8770635128210909,
+                                 'phase-optimal': 0.826323178763136,
+                                 'prediction': 0.8516088992122142},
+                         'BT': {'4-cores': 1.0,
+                                'global-optimal': 1.0001453925421881,
+                                'phase-optimal': 0.9708353907899798,
+                                'prediction': 0.9721483162654619},
+                         'CG': {'4-cores': 1.0,
+                                'global-optimal': 0.9906810546891959,
+                                'phase-optimal': 0.920902710507514,
+                                'prediction': 0.9269603391975834},
+                         'IS': {'4-cores': 1.0,
+                                'global-optimal': 0.6627133537207005,
+                                'phase-optimal': 0.6498704558211853,
+                                'prediction': 0.70811825276904},
+                         'SP': {'4-cores': 1.0,
+                                'global-optimal': 0.9011590699328001,
+                                'phase-optimal': 0.8024418967013381,
+                                'prediction': 0.8242544379838691}}},
+ 'prediction_decisions': {'BT': {'bt.add': '2b',
+                                 'bt.compute_rhs': '4',
+                                 'bt.x_solve': '4',
+                                 'bt.y_solve': '4',
+                                 'bt.z_solve': '4'},
+                          'CG': {'cg.axpy': '2b',
+                                 'cg.dot': '4',
+                                 'cg.precond': '4',
+                                 'cg.spmv': '2b'},
+                          'IS': {'is.bucket_scan': '2b',
+                                 'is.key_shift': '2b',
+                                 'is.rank': '2b',
+                                 'is.verify': '4'},
+                          'SP': {'sp.add': '2b',
+                                 'sp.adi_sync': '4',
+                                 'sp.compute_rhs': '2b',
+                                 'sp.error_norm': '4',
+                                 'sp.ninvr': '4',
+                                 'sp.pinvr': '4',
+                                 'sp.txinvr': '4',
+                                 'sp.tzetar': '4',
+                                 'sp.x_solve': '4',
+                                 'sp.y_solve': '4',
+                                 'sp.z_solve': '2b'}}}
+
+
+@pytest.fixture(scope="module")
+def fig8_figure():
+    suite = nas_suite(
+        machine=Machine(noise_sigma=0.0),
+        names=["BT", "CG", "IS", "SP"],
+        variability=0.0,
+    )
+    ctx = ExperimentContext(machine=Machine(), suite=suite, fast=True, seed=11)
+    return run_fig8(ctx)
+
+
+def _assert_matches(actual, expected, path="figure"):
+    """Recursive bit-identity walk (floats at ``rel=_RTOL``)."""
+    if isinstance(expected, dict):
+        assert set(actual) >= set(expected), path
+        for key, value in expected.items():
+            _assert_matches(actual[key], value, f"{path}.{key}")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=_RTOL), path
+    else:
+        assert actual == expected, path
+
+
+class TestFig8Golden(object):
+    def test_normalized_tables_bit_identical(self, fig8_figure):
+        _assert_matches(
+            fig8_figure.data["normalized"], _GOLDEN["normalized"], "normalized"
+        )
+
+    def test_averages_bit_identical(self, fig8_figure):
+        _assert_matches(
+            fig8_figure.data["averages"], _GOLDEN["averages"], "averages"
+        )
+
+    def test_prediction_decisions_bit_identical(self, fig8_figure):
+        _assert_matches(
+            fig8_figure.data["prediction_decisions"],
+            _GOLDEN["prediction_decisions"],
+            "prediction_decisions",
+        )
+
+    def test_is_ed2_prediction_pinned(self, fig8_figure):
+        _assert_matches(
+            fig8_figure.data["is_ed2_prediction"],
+            _GOLDEN["is_ed2_prediction"],
+            "is_ed2_prediction",
+        )

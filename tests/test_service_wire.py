@@ -1,0 +1,174 @@
+"""Tests for the JSON-lines wire protocol's malformed-input handling.
+
+``parse_request_line`` is the single choke point every TCP byte passes
+through; these tests pin its rejection paths (oversized lines, junk
+bytes, non-object JSON, unknown kinds, missing fields) and the
+connection-level behavior when a line overruns even the stream reader's
+enlarged framing limit: one structured ``bad_request`` answer, then a
+clean close — never a silent drop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import (
+    MAX_REQUEST_LINE_BYTES,
+    AdaptationDecision,
+    AdaptationServer,
+    DecisionHandler,
+    GridProbeRequest,
+    PhaseSampleRequest,
+    parse_request_line,
+)
+
+
+class TestParseRequestLine:
+    def test_oversized_line_is_rejected_with_the_limit_in_the_message(self):
+        line = b'{"pad": "' + b"x" * MAX_REQUEST_LINE_BYTES + b'"}'
+        with pytest.raises(ValueError, match=str(MAX_REQUEST_LINE_BYTES)):
+            parse_request_line(line)
+
+    def test_a_line_at_the_limit_is_still_parsed(self):
+        payload = {"client_id": "c", "phase": "p", "ipc_sample": 1.0, "rates": {}}
+        line = json.dumps(payload).encode()
+        line += b" " * (MAX_REQUEST_LINE_BYTES - len(line))
+        request = parse_request_line(line)
+        assert isinstance(request, PhaseSampleRequest)
+
+    def test_junk_bytes_raise_value_error(self):
+        with pytest.raises(ValueError):
+            parse_request_line(b"not json at all\n")
+
+    def test_non_object_json_is_rejected(self):
+        with pytest.raises(ValueError, match="must be a JSON object, got list"):
+            parse_request_line(b"[1, 2, 3]")
+        with pytest.raises(ValueError, match="must be a JSON object, got int"):
+            parse_request_line(b"42")
+
+    def test_unknown_kind_is_rejected(self):
+        payload = {"kind": "warp_drive", "client_id": "c", "phase": "p"}
+        with pytest.raises(ValueError, match="unknown request kind 'warp_drive'"):
+            parse_request_line(json.dumps(payload).encode())
+
+    def test_missing_required_fields_raise(self):
+        # phase_sample without its sample; grid_probe without its work.
+        with pytest.raises(KeyError):
+            parse_request_line(b'{"client_id": "c", "phase": "p"}')
+        with pytest.raises(KeyError):
+            parse_request_line(
+                b'{"kind": "grid_probe", "client_id": "c", "phase": "p"}'
+            )
+
+    def test_kind_defaults_to_phase_sample(self):
+        payload = {"client_id": "c", "phase": "p", "ipc_sample": 1.2, "rates": {}}
+        request = parse_request_line(json.dumps(payload).encode())
+        assert isinstance(request, PhaseSampleRequest)
+        assert request.ipc_sample == 1.2
+
+    def test_valid_requests_round_trip(self):
+        sample = PhaseSampleRequest(
+            client_id="c", phase="p", ipc_sample=1.5, rates={"l2": 0.01}
+        )
+        parsed = parse_request_line(
+            json.dumps(dict(sample.to_payload(), kind="phase_sample")).encode()
+        )
+        assert parsed == sample
+
+
+class _EchoHandler(DecisionHandler):
+    def handle_batch(self, requests):
+        return [
+            AdaptationDecision(
+                client_id=r.client_id, phase=r.phase, configuration="4"
+            )
+            for r in requests
+        ]
+
+
+class TestOversizedLinesOverTCP:
+    def test_oversized_but_frameable_line_answers_bad_request(self):
+        """~70 KB exceeds the protocol limit but not the reader's framing
+        limit: the guard in parse_request_line answers structurally and the
+        connection keeps serving."""
+
+        async def main():
+            server = AdaptationServer(_EchoHandler())
+            try:
+                host, port = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            try:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=4 * MAX_REQUEST_LINE_BYTES
+                )
+                writer.write(
+                    b'{"pad": "' + b"x" * (70 * 1024) + b'"}\n'
+                )
+                await writer.drain()
+                first = json.loads(await reader.readline())
+                # The connection is still alive for well-formed requests.
+                writer.write(
+                    json.dumps(
+                        {
+                            "client_id": "c",
+                            "phase": "p",
+                            "ipc_sample": 1.0,
+                            "rates": {},
+                        }
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                second = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return first, second
+            finally:
+                await server.stop()
+
+        outcome = asyncio.run(main())
+        if outcome is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        first, second = outcome
+        assert first["ok"] is False
+        assert first["error"] == "bad_request"
+        assert "exceeds" in first["detail"]
+        assert second["ok"] is True
+        assert second["decision"]["configuration"] == "4"
+
+    def test_unframeable_line_answers_once_then_closes(self):
+        """>128 KB overruns even the enlarged StreamReader limit: framing
+        is unrecoverable, so the server answers one bad_request and closes."""
+
+        async def main():
+            server = AdaptationServer(_EchoHandler())
+            try:
+                host, port = await server.serve_tcp(host="127.0.0.1", port=0)
+            except OSError:
+                return None
+            try:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=8 * MAX_REQUEST_LINE_BYTES
+                )
+                writer.write(b"x" * (3 * MAX_REQUEST_LINE_BYTES) + b"\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                eof = await reader.readline()
+                writer.close()
+                await writer.wait_closed()
+                return response, eof
+            finally:
+                await server.stop()
+
+        outcome = asyncio.run(main())
+        if outcome is None:
+            pytest.skip("loopback sockets unavailable in this environment")
+        response, eof = outcome
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+        assert "too long" in response["detail"]
+        assert eof == b""  # server closed after the one answer
